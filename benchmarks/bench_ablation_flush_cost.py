@@ -1,0 +1,80 @@
+"""Ablation — the software coherence (flush) cost of SC.
+
+The paper's SC model pays cache flushes around every kernel invocation
+("cache coherence is guaranteed implicitly by flushing the caches
+before and after each GPU kernel").  This ablation scales the flush
+driver cost to show when that software coherence starts eating the
+copy model's advantage — the hidden price ZC never pays.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.apps.shwfs import ShwfsPipeline
+from repro.comm.base import get_model
+from repro.soc.board import get_board
+from repro.soc.coherence import FlushCostModel
+from repro.soc.soc import SoC
+from repro.units import to_us
+
+FLUSH_SCALES = (0.0, 1.0, 4.0, 16.0, 64.0)
+
+
+def scaled_board(board, scale):
+    if scale == 0.0:
+        flush = FlushCostModel(fixed_overhead_s=0.0, per_line_s=0.0)
+    else:
+        base = FlushCostModel()
+        flush = FlushCostModel(
+            fixed_overhead_s=base.fixed_overhead_s * scale,
+            per_line_s=base.per_line_s * scale,
+        )
+    return replace(board, name=f"{board.name}-flush{scale:g}", flush=flush)
+
+
+def test_flush_cost_sweep(benchmark, archive):
+    pipeline = ShwfsPipeline()
+    workload = pipeline.workload(board_name="xavier")
+
+    def sweep():
+        rows = []
+        zc_time = None
+        for scale in FLUSH_SCALES:
+            board = scaled_board(get_board("xavier"), scale)
+            soc = SoC(board)
+            sc = get_model("SC").execute(workload, soc)
+            if zc_time is None:
+                soc.reset()
+                zc_time = get_model("ZC").execute(
+                    workload, soc
+                ).time_per_iteration_s
+            rows.append((scale, sc))
+        return rows, zc_time
+
+    rows, zc_time = run_once(benchmark, sweep)
+    table = Table(
+        "Ablation — SC flush-driver cost (SH-WFS on Xavier)",
+        ["flush scale", "SC total us", "flush us", "ZC advantage %"],
+    )
+    for scale, sc in rows:
+        advantage = (sc.time_per_iteration_s / zc_time - 1.0) * 100.0
+        table.add_row(
+            scale,
+            to_us(sc.time_per_iteration_s),
+            to_us(sc.steady_iteration.flush_time_s),
+            advantage,
+        )
+    archive("ablation_flush_cost.txt", table.render())
+
+    # SC degrades monotonically with the flush cost; ZC is untouched,
+    # so its advantage widens.
+    times = [sc.time_per_iteration_s for _, sc in rows]
+    assert times == sorted(times)
+    # Even with free flushes ZC still wins (the copies remain).
+    assert rows[0][1].time_per_iteration_s > zc_time
+    # At the extreme, flushes dominate visibly.
+    assert rows[-1][1].steady_iteration.flush_time_s > \
+        4 * rows[1][1].steady_iteration.flush_time_s

@@ -1,0 +1,64 @@
+"""Ablation — task overlap on/off under zero-copy.
+
+Eqn (3) credits ZC with a ``1 + CPU/GPU`` overlap factor.  This
+ablation runs the SH-WFS workload under ZC with the tiled overlap
+enabled and disabled, isolating how much of the Xavier win comes from
+overlap versus from copy elimination alone.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.apps.shwfs import ShwfsPipeline
+from repro.comm.base import get_model
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_us
+
+
+def test_overlap_ablation(benchmark, archive):
+    pipeline = ShwfsPipeline()
+
+    def run_variants():
+        rows = {}
+        for name in ("tx2", "xavier"):
+            workload = pipeline.workload(board_name=name)
+            serial_workload = dataclasses.replace(workload, overlappable=False)
+            soc = SoC(get_board(name))
+            sc = get_model("SC").execute(workload, soc)
+            soc.reset()
+            zc_overlap = get_model("ZC").execute(workload, soc)
+            soc.reset()
+            zc_serial = get_model("ZC").execute(serial_workload, soc)
+            rows[name] = (sc, zc_overlap, zc_serial)
+        return rows
+
+    rows = run_once(benchmark, run_variants)
+    table = Table(
+        "Ablation — ZC with and without task overlap (us/iteration)",
+        ["board", "SC", "ZC serial", "ZC overlapped", "overlap gain %"],
+    )
+    for name, (sc, zc_overlap, zc_serial) in rows.items():
+        gain = (zc_serial.time_per_iteration_s
+                / zc_overlap.time_per_iteration_s - 1.0) * 100.0
+        table.add_row(
+            name,
+            to_us(sc.time_per_iteration_s),
+            to_us(zc_serial.time_per_iteration_s),
+            to_us(zc_overlap.time_per_iteration_s),
+            gain,
+        )
+    archive("ablation_overlap.txt", table.render())
+
+    # Overlap never hurts and is required for the Xavier win: without
+    # it, ZC loses its edge over SC.
+    for name, (sc, zc_overlap, zc_serial) in rows.items():
+        assert zc_overlap.time_per_iteration_s <= \
+            zc_serial.time_per_iteration_s * 1.001
+    sc, zc_overlap, zc_serial = rows["xavier"]
+    assert zc_overlap.time_per_iteration_s < sc.time_per_iteration_s
+    assert zc_serial.time_per_iteration_s > \
+        zc_overlap.time_per_iteration_s * 1.10

@@ -1,0 +1,62 @@
+"""Ablation — tile size of the Fig-4 pattern.
+
+DESIGN.md calls out the tile-size choice (the smaller LLC block size)
+as a design decision: sub-line tiles split coalesced transactions,
+larger tiles change nothing until they stop fitting the plan.  This
+sweep quantifies it.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.comm.tiling import TiledZeroCopyPattern, TilingPlan
+from repro.kernels.workload import BufferSpec, Direction
+from repro.soc.board import get_board
+from repro.soc.events import OverlapJob
+from repro.units import gbps, to_us
+
+TILE_SIZES = (8, 16, 32, 64, 128, 512, 4096)
+
+
+def test_tile_size_sweep(benchmark, archive):
+    board = get_board("xavier")
+    spec = BufferSpec("image", 256 * 1024, element_size=4, shared=True,
+                      direction=Direction.BIDIRECTIONAL)
+    cpu = OverlapJob(name="cpu", compute_time_s=40e-6,
+                     memory_bytes=512 * 1024,
+                     solo_bandwidth=board.zero_copy.cpu_zc_bandwidth,
+                     overlap_compute_memory=False)
+    gpu = OverlapJob(name="gpu", compute_time_s=35e-6,
+                     memory_bytes=512 * 1024,
+                     solo_bandwidth=board.zero_copy.gpu_zc_bandwidth)
+
+    def sweep():
+        rows = []
+        for tile in TILE_SIZES:
+            plan = TilingPlan.for_buffer(spec, board, tile_bytes=tile)
+            execution = TiledZeroCopyPattern(plan).overlapped_execution(
+                cpu, gpu, board.interconnect
+            )
+            rows.append((tile, plan, execution))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    table = Table(
+        "Ablation — Fig-4 tile size (Xavier)",
+        ["tile B", "tiles", "coalescing %", "iteration us"],
+    )
+    times = {}
+    for tile, plan, execution in rows:
+        times[tile] = execution.total_time_s
+        table.add_row(tile, plan.num_tiles,
+                      plan.coalescing_efficiency * 100.0,
+                      to_us(execution.total_time_s))
+    archive("ablation_tile_size.txt", table.render())
+
+    # The paper's choice (= line size, 64 B) is on the flat optimum.
+    assert times[64] == min(times.values())
+    # Sub-line tiles degrade monotonically with the split factor.
+    assert times[8] > times[16] > times[32] > times[64]
+    # Larger-than-line tiles do not help further.
+    assert times[512] == pytest.approx(times[64], rel=0.01)

@@ -1,0 +1,66 @@
+"""Ablation — the UM ≈ SC envelope across workload scales.
+
+The paper treats UM and SC as equivalent ("the maximum difference …
+ranges between ±8 % in all the considered devices").  This sweep
+verifies the modelled migration machinery respects that envelope from
+kilobyte payloads to the multi-megabyte class, per board.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.comm.base import get_model
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+
+PAYLOAD_KIB = (16, 64, 256, 1024, 4096)
+
+
+def payload_workload(kib: int) -> Workload:
+    elements = kib * 1024 // 4
+    frame = BufferSpec("frame", elements, shared=True,
+                       direction=Direction.TO_GPU)
+    return Workload(
+        name=f"um-{kib}k",
+        buffers=(frame,),
+        cpu_task=CpuTask(
+            name="produce",
+            ops=OpMix.per_element({"mul": 1.0}, elements),
+            pattern=LinearPattern(buffer="frame", read_write_pairs=True),
+        ),
+        gpu_kernel=GpuKernel(
+            name="consume",
+            ops=OpMix.per_element({"fma": 2.0}, elements),
+            pattern=LinearPattern(buffer="frame", read_write_pairs=False),
+        ),
+        iterations=4,
+    )
+
+
+def test_um_envelope(benchmark, archive):
+    def sweep():
+        rows = []
+        for board_name in ("nano", "tx2", "xavier"):
+            board = get_board(board_name)
+            for kib in PAYLOAD_KIB:
+                workload = payload_workload(kib)
+                soc = SoC(board)
+                sc = get_model("SC").execute(workload, soc)
+                soc.reset()
+                um = get_model("UM").execute(workload, soc)
+                rows.append((board_name, kib,
+                             um.time_per_iteration_s / sc.time_per_iteration_s))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    table = Table("Ablation — UM/SC runtime ratio across payload sizes",
+                  ["board", "payload KiB", "UM/SC"])
+    for board_name, kib, ratio in rows:
+        table.add_row(board_name, kib, ratio)
+        assert 0.92 < ratio < 1.08, (board_name, kib)
+    archive("ablation_um_envelope.txt", table.render())

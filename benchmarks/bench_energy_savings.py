@@ -1,0 +1,77 @@
+"""§IV energy results — ZC's energy savings from eliminated copies.
+
+Paper: SH-WFS saves 0.12 J/s on Xavier and 0.09 J/s on TX2 with ZC
+(vs SC); ORB saves 0.17 J/s on Xavier.  The reproduction reports the
+same quantity: (E_SC − E_ZC) / wall time, per application and board.
+
+Documented deviation: for the ORB workload this model predicts a net
+energy *increase* under ZC (the uncached pyramid traffic re-reads DRAM
+on every pass), so only the copy-side saving reproduces there — see
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table, reference
+from repro.apps.orbslam import OrbPipeline
+from repro.apps.shwfs import ShwfsPipeline
+from repro.comm.base import get_model
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+
+
+def energy_rows(pipeline, boards):
+    rows = {}
+    for name in boards:
+        workload = pipeline.workload(board_name=name)
+        soc = SoC(get_board(name))
+        sc = get_model("SC").execute(workload, soc)
+        soc.reset()
+        zc = get_model("ZC").execute(workload, soc)
+        saving_j = sc.energy.total_j - zc.energy.total_j
+        rows[name] = (sc, zc, saving_j / sc.total_time_s)
+    return rows
+
+
+def test_energy_shwfs(benchmark, archive):
+    rows = run_once(benchmark, lambda: energy_rows(ShwfsPipeline(),
+                                                   ("tx2", "xavier")))
+    paper = reference("energy")["shwfs"]
+    table = Table("Energy — SH-WFS ZC saving vs SC (J per second)",
+                  ["board", "paper", "measured", "SC J", "ZC J"])
+    for name, (sc, zc, saving_per_s) in rows.items():
+        table.add_row(name, paper[name], saving_per_s,
+                      sc.energy.total_j, zc.energy.total_j)
+    archive("energy_shwfs.txt", table.render())
+    # On the Xavier ZC genuinely saves energy for the same frames.
+    sc, zc, saving = rows["xavier"]
+    assert zc.energy.total_j < sc.energy.total_j
+    assert saving > 0
+
+
+def test_energy_copy_elimination(benchmark, archive):
+    """The mechanism itself: the copy-engine energy goes to zero under
+    ZC for every application and board."""
+    def collect():
+        rows = []
+        for pipeline, boards in ((ShwfsPipeline(), ("nano", "tx2", "xavier")),
+                                 (OrbPipeline(), ("tx2", "xavier"))):
+            for name in boards:
+                workload = pipeline.workload(board_name=name)
+                soc = SoC(get_board(name))
+                sc = get_model("SC").execute(workload, soc)
+                soc.reset()
+                zc = get_model("ZC").execute(workload, soc)
+                rows.append((workload.name, name, sc.energy.copy_j,
+                             zc.energy.copy_j))
+        return rows
+
+    rows = run_once(benchmark, collect)
+    table = Table("Energy — copy-engine energy (J)",
+                  ["workload", "board", "SC", "ZC"])
+    for workload, board, sc_j, zc_j in rows:
+        table.add_row(workload, board, sc_j, zc_j)
+        assert zc_j == 0.0
+        assert sc_j > 0.0
+    archive("energy_copy_elimination.txt", table.render())

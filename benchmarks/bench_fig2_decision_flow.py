@@ -1,0 +1,108 @@
+"""Fig. 2 — the decision flow, exercised over a workload grid.
+
+The figure is a flowchart, so its "reproduction" is executable: sweep
+applications across the (CPU usage, GPU usage) plane and record which
+model the framework recommends on each board.  The expected structure:
+
+- high GPU usage -> SC/UM everywhere (zone 3),
+- low GPU + high CPU usage -> SC/UM on Nano/TX2, ZC on Xavier,
+- both low -> ZC everywhere (energy).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern, StridedPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.model.decision import RecommendedModel
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+
+
+def grid_workload(cpu_hot: bool, gpu_hot: bool) -> Workload:
+    """A synthetic app at one corner of the usage plane."""
+    frame = BufferSpec("frame", 64 * 1024, shared=True,
+                       direction=Direction.TO_GPU)
+    hot_tile = BufferSpec("hot_tile", 48 * 1024, shared=True,
+                          direction=Direction.RESIDENT)
+    cpu_pattern = (
+        StridedPattern(buffer="hot_tile", stride_elements=3, repeats=3)
+        if cpu_hot else LinearPattern(buffer="frame", read_write_pairs=False)
+    )
+    gpu_pattern = (
+        LinearPattern(buffer="hot_tile", read_write_pairs=False, repeats=48)
+        if gpu_hot else LinearPattern(buffer="frame", read_write_pairs=False)
+    )
+    # A "cold" kernel must be compute-bound so its LL-L1 demand stays
+    # below even the TX2's ~1-3 % threshold; the hot kernel is
+    # deliberately cache-bandwidth-bound.
+    gpu_fma_per_element = 0.5 if gpu_hot else 600.0
+    return Workload(
+        name=f"grid-cpu{int(cpu_hot)}-gpu{int(gpu_hot)}",
+        buffers=(frame, hot_tile),
+        cpu_task=CpuTask(
+            name="cpu",
+            ops=OpMix.per_element({"mul": 1.0}, 64 * 1024),
+            pattern=cpu_pattern,
+        ),
+        gpu_kernel=GpuKernel(
+            name="gpu",
+            ops=OpMix.per_element({"fma": gpu_fma_per_element}, 64 * 1024),
+            pattern=gpu_pattern,
+        ),
+        iterations=6,
+        overlappable=True,
+    )
+
+
+def test_fig2_decision_grid(benchmark, archive, suite):
+    framework = Framework(suite=suite)
+
+    def sweep():
+        decisions = {}
+        for cpu_hot in (False, True):
+            for gpu_hot in (False, True):
+                workload = grid_workload(cpu_hot, gpu_hot)
+                for board_name in ("tx2", "xavier"):
+                    report = framework.tune(workload, get_board(board_name))
+                    decisions[(cpu_hot, gpu_hot, board_name)] = report
+        return decisions
+
+    decisions = run_once(benchmark, sweep)
+
+    table = Table(
+        "Fig 2 — decision flow over the usage plane",
+        ["CPU hot", "GPU hot", "board", "cpu %", "gpu %", "zone",
+         "recommendation"],
+    )
+    for (cpu_hot, gpu_hot, board_name), report in decisions.items():
+        rec = report.recommendation
+        table.add_row(
+            "yes" if cpu_hot else "no",
+            "yes" if gpu_hot else "no",
+            board_name,
+            report.cpu_cache_usage_pct,
+            report.gpu_cache_usage_pct,
+            int(rec.zone),
+            rec.model.value,
+        )
+    archive("fig2_decision_grid.txt", table.render())
+
+    # Both usages low -> ZC everywhere.
+    for board in ("tx2", "xavier"):
+        assert decisions[(False, False, board)].recommendation.model is \
+            RecommendedModel.ZERO_COPY
+
+    # CPU-hot only: SC stays on TX2 (no I/O coherence), ZC on Xavier.
+    assert decisions[(True, False, "tx2")].recommendation.model is \
+        RecommendedModel.NO_CHANGE
+    assert decisions[(True, False, "xavier")].recommendation.model is \
+        RecommendedModel.ZERO_COPY
+
+    # GPU-hot: never an unconditional ZC recommendation.
+    for board in ("tx2", "xavier"):
+        model = decisions[(False, True, board)].recommendation.model
+        assert model is not RecommendedModel.ZERO_COPY

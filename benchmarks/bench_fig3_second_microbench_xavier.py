@@ -1,0 +1,54 @@
+"""Fig. 3 — MB2 on the Xavier: throughput/time vs accessed fraction.
+
+Paper: ZC and SC comparable up to the threshold (16.2 % cache usage);
+a second zone with bounded difference up to 57.1 %; beyond it the ZC
+kernel is severely bottlenecked (hard bandwidth limit ~59 GB/s class).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.figures import FigureSeries
+from repro.analysis.tables import Table, reference
+from repro.microbench.second import SecondMicroBenchmark
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_gbps, to_us
+
+
+def test_fig3_series(benchmark, archive):
+    bench = SecondMicroBenchmark()
+    result = run_once(benchmark, lambda: bench.run(SoC(get_board("xavier"))))
+
+    figure = FigureSeries(
+        title="Fig 3 — MB2 on Xavier",
+        x_label="accessed fraction",
+        y_label="LL_L1 throughput (GB/s)",
+        x_values=[p.fraction for p in result.gpu_points],
+    )
+    figure.add_series("SC", [to_gbps(p.sc_throughput) for p in result.gpu_points])
+    figure.add_series("ZC", [to_gbps(p.zc_throughput) for p in result.gpu_points])
+    archive("fig3_xavier.csv", figure.to_csv())
+    archive("fig3_xavier.txt", figure.render_ascii(log_x=True))
+
+    paper = reference("fig3")
+    analysis = result.gpu_analysis
+    table = Table("Fig 3 — extracted thresholds (cache usage %)",
+                  ["quantity", "paper", "measured"])
+    table.add_row("GPU_Cache_Threshold", paper["threshold_pct"],
+                  analysis.threshold_pct)
+    table.add_row("zone-2 upper bound", paper["zone2_pct"],
+                  analysis.zone2_pct)
+    archive("fig3_thresholds.txt", table.render())
+
+    # Shape assertions: the paper's three zones exist in order.
+    assert analysis.zone2_pct is not None
+    assert 0 < analysis.threshold_pct < analysis.zone2_pct < 100
+
+    # ZC throughput saturates at the I/O-coherent path's ceiling.
+    ceiling = max(to_gbps(p.zc_throughput) for p in result.gpu_points)
+    assert ceiling == pytest.approx(32.29, rel=0.15)
+
+    # Runtime difference "sensibly increases" beyond the second zone.
+    last = result.gpu_points[-1]
+    assert last.runtime_ratio > 3.0

@@ -1,0 +1,52 @@
+"""Fig. 6 — MB2 on the TX2.
+
+Paper: ZC and SC comparable only at very small fractions; the threshold
+is 2.7 % of the peak cache throughput, and the divergence grows
+steeply beyond it (no usable second zone without I/O coherence).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.figures import FigureSeries
+from repro.analysis.tables import Table, reference
+from repro.microbench.second import SecondMicroBenchmark
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_gbps
+
+
+def test_fig6_series(benchmark, archive):
+    bench = SecondMicroBenchmark()
+    result = run_once(benchmark, lambda: bench.run(SoC(get_board("tx2"))))
+
+    figure = FigureSeries(
+        title="Fig 6 — MB2 on TX2",
+        x_label="accessed fraction",
+        y_label="LL_L1 throughput (GB/s)",
+        x_values=[p.fraction for p in result.gpu_points],
+    )
+    figure.add_series("SC", [to_gbps(p.sc_throughput) for p in result.gpu_points])
+    figure.add_series("ZC", [to_gbps(p.zc_throughput) for p in result.gpu_points])
+    archive("fig6_tx2.csv", figure.to_csv())
+    archive("fig6_tx2.txt", figure.render_ascii(log_x=True))
+
+    analysis = result.gpu_analysis
+    table = Table("Fig 6 — extracted threshold (cache usage %)",
+                  ["quantity", "paper", "measured"])
+    table.add_row("GPU_Cache_Threshold", reference("fig6")["threshold_pct"],
+                  analysis.threshold_pct)
+    table.add_row("CPU_Cache_Threshold", 15.6,
+                  result.cpu_analysis.threshold_pct)
+    archive("fig6_thresholds.txt", table.render())
+
+    # The threshold is a few percent and there is no second zone.
+    assert 0.5 < analysis.threshold_pct < 6.0
+    assert analysis.zone2_pct is None
+
+    # The ZC ceiling is the TX2's uncached path (~1.28 GB/s).
+    ceiling = max(to_gbps(p.zc_throughput) for p in result.gpu_points)
+    assert ceiling == pytest.approx(1.28, rel=0.15)
+
+    # Steep divergence beyond the threshold.
+    assert result.gpu_points[-1].runtime_ratio > 10.0

@@ -1,0 +1,64 @@
+"""Fig. 7 — MB3: overlapped ZC vs SC/UM with 2^27 floats (512 MB).
+
+Paper: the CPU and GPU tasks are comparable and fully overlapped;
+transfer times are significant at this size; ZC is up to 164 % faster
+than UM and 152 % faster than SC (on the I/O-coherent device).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table, reference
+from repro.microbench.third import ThirdMicroBenchmark
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_ms
+
+
+def test_fig7_xavier(benchmark, archive):
+    bench = ThirdMicroBenchmark()  # paper scale: 2^27 floats
+    result = run_once(benchmark, lambda: bench.run(SoC(get_board("xavier"))))
+    paper = reference("fig7")
+
+    table = Table("Fig 7 [xavier] — MB3 totals (ms) and ZC gains",
+                  ["quantity", "paper", "measured"])
+    table.add_row("data set (MB)", paper["elements"] * 4 / 1e6,
+                  result.data_bytes / 1e6)
+    table.add_row("SC total (ms)", "-", to_ms(result.total_times["SC"]))
+    table.add_row("UM total (ms)", "-", to_ms(result.total_times["UM"]))
+    table.add_row("ZC total (ms)", "-", to_ms(result.total_times["ZC"]))
+    table.add_row("ZC faster than SC (%)", paper["zc_vs_sc_pct"],
+                  result.zc_faster_than("SC"))
+    table.add_row("ZC faster than UM (%)", paper["zc_vs_um_pct"],
+                  result.zc_faster_than("UM"))
+    archive("fig7_xavier.txt", table.render())
+
+    assert result.data_bytes == 2 ** 27 * 4
+    # Shape: ZC wins big, and beats UM by more than it beats SC.
+    assert result.zc_faster_than("SC") > 60.0
+    assert result.zc_faster_than("UM") > result.zc_faster_than("SC")
+    # Magnitude band around the paper's 152 % / 164 %.
+    assert result.zc_faster_than("SC") == pytest.approx(152.0, abs=80.0)
+
+
+def test_fig7_transfer_dominance(benchmark, archive):
+    """Transfer time is a significant share of the SC total."""
+    bench = ThirdMicroBenchmark()
+    result = run_once(benchmark, lambda: bench.run(SoC(get_board("xavier"))))
+    share = result.copy_times["SC"] / result.total_times["SC"]
+    table = Table("Fig 7 — SC transfer share", ["quantity", "value"])
+    table.add_row("copy time / total", f"{share * 100:.0f} %")
+    archive("fig7_transfer_share.txt", table.render())
+    assert share > 0.25
+
+
+def test_fig7_tx2_has_no_zc_gain(benchmark, archive):
+    """On the TX2 the slow uncached GPU path erases MB3's overlap gain
+    — consistent with Table II publishing no SC/ZC speedup there."""
+    bench = ThirdMicroBenchmark()
+    result = run_once(benchmark, lambda: bench.run(SoC(get_board("tx2"))))
+    table = Table("Fig 7 [tx2] — MB3 totals (ms)", ["model", "total"])
+    for model in ("SC", "UM", "ZC"):
+        table.add_row(model, to_ms(result.total_times[model]))
+    archive("fig7_tx2.txt", table.render())
+    assert result.sc_zc_max_speedup <= 1.05

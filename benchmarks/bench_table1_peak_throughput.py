@@ -1,0 +1,50 @@
+"""Table I — Maximum throughput of the GPU cache (ZC / SC / UM).
+
+Paper values (GB/s):  TX2 1.28 / 97.34 / 104.15,
+                      Xavier 32.29 / 214.64 / 231.14.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table, reference
+from repro.microbench.first import FirstMicroBenchmark
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_gbps
+
+
+@pytest.mark.parametrize("board_name", ["tx2", "xavier"])
+def test_table1_row(benchmark, archive, board_name):
+    bench = FirstMicroBenchmark()
+    result = run_once(benchmark, lambda: bench.run(SoC(get_board(board_name))))
+    paper = reference("table1")[board_name]
+
+    table = Table(
+        f"Table I [{board_name}] — GPU cache max throughput (GB/s)",
+        ["model", "paper", "measured", "ratio"],
+    )
+    for model in ("ZC", "SC", "UM"):
+        measured = to_gbps(result.gpu_max_throughput[model])
+        table.add_row(model, paper[model], measured,
+                      f"{measured / paper[model]:.2f}x")
+        assert measured == pytest.approx(paper[model], rel=0.05)
+    archive(f"table1_{board_name}.txt", table.render())
+
+
+def test_table1_gap_ratios(benchmark, archive, devices):
+    """The SC/ZC throughput gap: ~77x on TX2 vs ~7x on Xavier."""
+    def gaps():
+        return {
+            name: devices[name].zc_sc_throughput_ratio
+            for name in ("tx2", "xavier")
+        }
+
+    measured = run_once(benchmark, gaps)
+    table = Table("Table I — SC/ZC throughput gap",
+                  ["board", "paper", "measured"])
+    table.add_row("tx2", "76x", f"{measured['tx2']:.0f}x")
+    table.add_row("xavier", "6.6x", f"{measured['xavier']:.1f}x")
+    archive("table1_gaps.txt", table.render())
+    assert 60 < measured["tx2"] < 90
+    assert 5 < measured["xavier"] < 9

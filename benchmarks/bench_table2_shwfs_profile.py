@@ -1,0 +1,72 @@
+"""Table II — Profiling results of the SH-WFS application.
+
+Paper rows (per board): CPU/GPU cache usage vs thresholds, kernel and
+copy times, and the predicted SC→ZC speedup (only Xavier: up to
+69.3 %).  The decisive outputs are the classifications: Nano/TX2 are
+CPU-cache-dependent (keep SC), Xavier is not (switch to ZC).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table, reference
+from repro.apps.shwfs import ShwfsPipeline
+from repro.model.decision import RecommendedModel
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+from repro.units import to_us
+
+
+def test_table2(benchmark, archive, suite):
+    framework = Framework(suite=suite)
+    pipeline = ShwfsPipeline()
+
+    def tune_all():
+        return {
+            name: pipeline.tune(framework, get_board(name))
+            for name in ("nano", "tx2", "xavier")
+        }
+
+    reports = run_once(benchmark, tune_all)
+    paper_rows = reference("table2")["rows"]
+
+    table = Table(
+        "Table II — SH-WFS profiling (paper value in parentheses)",
+        ["board", "CPU usage %", "CPU thr %", "GPU usage %", "GPU thr %",
+         "kernel us", "copy us", "SC/ZC est %", "recommendation"],
+    )
+    for name, report in reports.items():
+        paper = paper_rows[name]
+        rec = report.recommendation
+        estimate = rec.estimated_speedup_pct
+        table.add_row(
+            name,
+            f"{report.cpu_cache_usage_pct:.1f} ({paper['cpu_usage']})",
+            f"{rec.cpu_threshold_pct:.1f} ({paper['cpu_thresh']})",
+            f"{report.gpu_cache_usage_pct:.1f} ({paper['gpu_usage']})",
+            f"{rec.gpu_threshold_pct:.1f} ({paper['gpu_thresh']})",
+            f"{to_us(report.kernel_time_s):.1f} ({paper['kernel_us']})",
+            f"{to_us(report.copy_time_s):.1f} ({paper['copy_us']})",
+            "-" if estimate is None else f"{estimate:.0f} ({paper['sczc_pct'] or '-'})",
+            rec.model.value,
+        )
+    archive("table2_shwfs_profile.txt", table.render())
+
+    # Classification outcomes (the framework's actual deliverable).
+    assert reports["nano"].recommendation.model is RecommendedModel.NO_CHANGE
+    assert reports["tx2"].recommendation.model is RecommendedModel.NO_CHANGE
+    assert reports["xavier"].recommendation.model is RecommendedModel.ZERO_COPY
+
+    # Kernel and copy times land on the paper's values.
+    for name, report in reports.items():
+        paper = paper_rows[name]
+        assert to_us(report.kernel_time_s) == pytest.approx(
+            paper["kernel_us"], rel=0.15
+        )
+        assert to_us(report.copy_time_s) == pytest.approx(
+            paper["copy_us"], rel=0.25
+        )
+
+    # Xavier's predicted gain is substantial (paper: up to 69.3 %).
+    xavier_est = reports["xavier"].recommendation.estimated_speedup_pct
+    assert xavier_est is not None and xavier_est > 30.0

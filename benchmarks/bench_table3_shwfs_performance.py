@@ -1,0 +1,82 @@
+"""Table III — SH-WFS measured performance under SC / UM / ZC.
+
+Paper: SC totals 1070.1 / 765.04 / 304.57 µs on Nano / TX2 / Xavier;
+ZC yields −67 % / −5 % / +38 %; UM within ±5 % of SC everywhere.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table, paper_speedup_pct, reference
+from repro.apps.shwfs import ShwfsPipeline
+from repro.comm.base import get_model
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_us
+
+
+def test_table3(benchmark, archive):
+    pipeline = ShwfsPipeline()
+
+    def run_all():
+        out = {}
+        for name in ("nano", "tx2", "xavier"):
+            workload = pipeline.workload(board_name=name)
+            soc = SoC(get_board(name))
+            out[name] = {
+                model: get_model(model).execute(workload, soc)
+                for model in ("SC", "UM", "ZC")
+            }
+        return out
+
+    results = run_once(benchmark, run_all)
+    paper_rows = reference("table3")["rows"]
+
+    table = Table(
+        "Table III — SH-WFS performance (us; paper in parentheses)",
+        ["board", "SC total", "SC cpu", "SC kernel", "UM total",
+         "ZC total", "ZC cpu", "ZC kernel", "ZC vs SC %"],
+    )
+    for name, by_model in results.items():
+        paper = paper_rows[name]
+        sc, um, zc = by_model["SC"], by_model["UM"], by_model["ZC"]
+        speedup = paper_speedup_pct(sc.time_per_iteration_s,
+                                    zc.time_per_iteration_s)
+        table.add_row(
+            name,
+            f"{to_us(sc.time_per_iteration_s):.0f} ({paper['sc_us']})",
+            f"{to_us(sc.cpu_time_s):.0f} ({paper['sc_cpu_us']})",
+            f"{to_us(sc.kernel_time_s):.0f} ({paper['sc_kernel_us']})",
+            f"{to_us(um.time_per_iteration_s):.0f} ({paper['um_us']})",
+            f"{to_us(zc.time_per_iteration_s):.0f} ({paper['zc_us']})",
+            f"{to_us(zc.cpu_time_s):.0f} ({paper['zc_cpu_us']})",
+            f"{to_us(zc.kernel_time_s):.0f} ({paper['zc_kernel_us']})",
+            f"{speedup:.0f} ({paper['zc_speedup_pct']})",
+        )
+    archive("table3_shwfs_performance.txt", table.render())
+
+    # SC totals reproduce the paper closely.
+    for name, by_model in results.items():
+        assert to_us(by_model["SC"].time_per_iteration_s) == pytest.approx(
+            paper_rows[name]["sc_us"], rel=0.15
+        )
+
+    # Winner per board matches the paper.
+    assert results["nano"]["ZC"].speedup_vs(results["nano"]["SC"]) < -0.10
+    tx2 = results["tx2"]["ZC"].speedup_vs(results["tx2"]["SC"])
+    assert -0.15 < tx2 < 0.0
+    xavier = results["xavier"]["ZC"].speedup_vs(results["xavier"]["SC"])
+    assert xavier == pytest.approx(0.38, abs=0.15)
+
+    # UM within the paper's envelope everywhere.
+    for by_model in results.values():
+        ratio = (by_model["UM"].time_per_iteration_s
+                 / by_model["SC"].time_per_iteration_s)
+        assert 0.92 < ratio < 1.08
+
+    # ZC CPU time degradation: Nano ~4.7x, TX2 ~3.9x, Xavier ~1x.
+    assert results["nano"]["ZC"].cpu_time_s / results["nano"]["SC"].cpu_time_s > 3.0
+    assert results["tx2"]["ZC"].cpu_time_s / results["tx2"]["SC"].cpu_time_s > 2.5
+    assert results["xavier"]["ZC"].cpu_time_s == pytest.approx(
+        results["xavier"]["SC"].cpu_time_s, rel=0.1
+    )

@@ -1,0 +1,76 @@
+"""Table IV — Profiling results of the ORB-SLAM application.
+
+Paper: CPU usage 0 on both boards; GPU usage 25.3 % (TX2) and 20.1 %
+(Xavier) — both GPU-cache-dependent, with the Xavier landing in the
+second zone of Fig. 3; kernel times 93.56 / 24.22 µs, copies 1.57 /
+1.35 µs.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table, reference
+from repro.apps.orbslam import OrbPipeline
+from repro.model.decision import RecommendedModel, Zone
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+from repro.units import to_us
+
+
+def test_table4(benchmark, archive, suite):
+    framework = Framework(suite=suite)
+    pipeline = OrbPipeline()
+
+    def tune_all():
+        return {
+            name: pipeline.tune(framework, get_board(name))
+            for name in ("tx2", "xavier")
+        }
+
+    reports = run_once(benchmark, tune_all)
+    paper_rows = reference("table4")["rows"]
+
+    table = Table(
+        "Table IV — ORB-SLAM profiling (paper value in parentheses)",
+        ["board", "CPU usage %", "GPU usage %", "GPU thr %", "zone",
+         "kernel us", "copy us", "recommendation"],
+    )
+    for name, report in reports.items():
+        paper = paper_rows[name]
+        rec = report.recommendation
+        table.add_row(
+            name,
+            f"{report.cpu_cache_usage_pct:.1f} ({paper['cpu_usage']})",
+            f"{report.gpu_cache_usage_pct:.1f} ({paper['gpu_usage']})",
+            f"{rec.gpu_threshold_pct:.1f} ({paper['gpu_thresh']})",
+            int(rec.zone),
+            f"{to_us(report.kernel_time_s):.2f} ({paper['kernel_us']})",
+            f"{to_us(report.copy_time_s):.2f} ({paper['copy_us']})",
+            rec.model.value,
+        )
+    archive("table4_orbslam_profile.txt", table.render())
+
+    # Classifications match the paper.
+    for report in reports.values():
+        assert report.cpu_cache_usage_pct == pytest.approx(0.0, abs=1.0)
+        assert report.gpu_cache_usage_pct > \
+            report.recommendation.gpu_threshold_pct
+    assert reports["tx2"].recommendation.zone is Zone.BOTTLENECKED
+    assert reports["tx2"].recommendation.model is RecommendedModel.NO_CHANGE
+    assert reports["xavier"].recommendation.zone is Zone.CONDITIONAL
+    assert reports["xavier"].recommendation.model is \
+        RecommendedModel.ZERO_COPY_CONDITIONAL
+
+    # Kernel and copy times in band.
+    for name, report in reports.items():
+        paper = paper_rows[name]
+        assert to_us(report.kernel_time_s) == pytest.approx(
+            paper["kernel_us"], rel=0.15
+        )
+        assert to_us(report.copy_time_s) == pytest.approx(
+            paper["copy_us"], rel=0.35
+        )
+
+    # GPU usage magnitudes in the paper's band.
+    assert reports["tx2"].gpu_cache_usage_pct == pytest.approx(25.3, abs=8.0)
+    assert reports["xavier"].gpu_cache_usage_pct == pytest.approx(20.1, abs=8.0)

@@ -1,0 +1,73 @@
+"""Table V — ORB-SLAM performance under SC vs ZC.
+
+Paper: TX2 collapses under ZC (70 ms → 521 ms, kernel 93.56 → 824 µs);
+Xavier matches SC (30 ms → 30 ms, kernel −10 %).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table, paper_speedup_pct, reference
+from repro.apps.orbslam import OrbPipeline
+from repro.comm.base import get_model
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_ms, to_us
+
+
+def test_table5(benchmark, archive):
+    pipeline = OrbPipeline()
+
+    def run_all():
+        out = {}
+        for name in ("tx2", "xavier"):
+            workload = pipeline.workload(board_name=name)
+            soc = SoC(get_board(name))
+            out[name] = {
+                model: get_model(model).execute(workload, soc)
+                for model in ("SC", "ZC")
+            }
+        return out
+
+    results = run_once(benchmark, run_all)
+    paper_rows = reference("table5")["rows"]
+
+    table = Table(
+        "Table V — ORB-SLAM performance (paper in parentheses)",
+        ["board", "SC ms", "SC kernel us", "ZC ms", "ZC kernel us",
+         "ZC speedup %"],
+    )
+    for name, by_model in results.items():
+        paper = paper_rows[name]
+        sc, zc = by_model["SC"], by_model["ZC"]
+        table.add_row(
+            name,
+            f"{to_ms(sc.total_time_s):.0f} ({paper['sc_ms']:.0f})",
+            f"{to_us(sc.kernel_time_s):.2f} ({paper['sc_kernel_us']})",
+            f"{to_ms(zc.total_time_s):.0f} ({paper['zc_ms']:.0f})",
+            f"{to_us(zc.kernel_time_s):.2f} ({paper['zc_kernel_us']})",
+            f"{paper_speedup_pct(sc.total_time_s, zc.total_time_s):.0f} "
+            f"({paper['zc_speedup_pct']:.0f})",
+        )
+    archive("table5_orbslam_performance.txt", table.render())
+
+    # SC frame times and kernels in band.
+    assert to_ms(results["tx2"]["SC"].total_time_s) == pytest.approx(70, rel=0.35)
+    assert to_ms(results["xavier"]["SC"].total_time_s) == pytest.approx(30, rel=0.35)
+    assert to_us(results["tx2"]["SC"].kernel_time_s) == pytest.approx(93.56, rel=0.15)
+    assert to_us(results["xavier"]["SC"].kernel_time_s) == pytest.approx(24.22, rel=0.15)
+
+    # Shape: catastrophic on TX2, parity-class on Xavier.
+    tx2_ratio = results["tx2"]["ZC"].total_time_s / results["tx2"]["SC"].total_time_s
+    xavier_ratio = (results["xavier"]["ZC"].total_time_s
+                    / results["xavier"]["SC"].total_time_s)
+    assert tx2_ratio > 3.0
+    assert 0.75 < xavier_ratio < 1.25
+
+    # Kernel blow-up ordering matches Table V.
+    tx2_kernel = (results["tx2"]["ZC"].kernel_time_s
+                  / results["tx2"]["SC"].kernel_time_s)
+    xavier_kernel = (results["xavier"]["ZC"].kernel_time_s
+                     / results["xavier"]["SC"].kernel_time_s)
+    assert tx2_kernel > 5.0
+    assert xavier_kernel < 1.6

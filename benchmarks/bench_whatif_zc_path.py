@@ -1,0 +1,55 @@
+"""Extension — what-if design-space sweep of the zero-copy path.
+
+Beyond the paper: use the framework at *design time*.  How much faster
+would a TX2-class coherence fabric have to be before each case-study
+application should adopt zero-copy?  The Xavier's path is ~25× the
+TX2's — the sweep shows that gap is exactly what separates the two
+boards' recommendations.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.apps.orbslam import OrbPipeline
+from repro.apps.shwfs import ShwfsPipeline
+from repro.model.whatif import zc_bandwidth_sweep
+from repro.soc.board import get_board
+from repro.units import to_gbps
+
+FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+@pytest.mark.parametrize("app_name,pipeline_cls", [
+    ("shwfs", ShwfsPipeline),
+    ("orbslam", OrbPipeline),
+])
+def test_zc_path_sweep_tx2(benchmark, archive, app_name, pipeline_cls):
+    pipeline = pipeline_cls()
+    workload = pipeline.workload(board_name="tx2")
+
+    result = run_once(
+        benchmark,
+        lambda: zc_bandwidth_sweep(workload, get_board("tx2"),
+                                   factors=FACTORS),
+    )
+
+    table = Table(
+        f"What-if — {app_name} on TX2 vs ZC-path scaling",
+        ["factor", "ZC path GB/s", "ZC vs SC %", "winner"],
+    )
+    for point in result.points:
+        table.add_row(point.factor, to_gbps(point.gpu_zc_bandwidth),
+                      point.zc_vs_sc_pct, point.winner)
+    crossover = result.crossover_factor
+    footer = (f"crossover at ~{crossover:g}x" if crossover is not None
+              else "no crossover in range")
+    archive(f"whatif_zc_path_{app_name}_tx2.txt",
+            table.render() + "\n" + footer)
+
+    # At 1x (the real TX2) SC wins for both apps.
+    at_one = next(p for p in result.points if p.factor == 1.0)
+    assert at_one.winner == "SC"
+    # Within Xavier-class scaling (~25x) ZC becomes viable.
+    assert crossover is not None
+    assert crossover <= 32.0

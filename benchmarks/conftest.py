@@ -1,0 +1,54 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints a measured-vs-paper comparison, and archives the rendered
+artefact under ``benchmarks/results/``.  Timing is collected with
+pytest-benchmark in single-shot pedantic mode — the simulations are
+deterministic, so statistical rounds add nothing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.soc.board import get_board
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_SUITE = MicrobenchmarkSuite()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """Session-wide micro-benchmark suite (cached characterizations)."""
+    return _SUITE
+
+
+@pytest.fixture(scope="session")
+def devices(suite):
+    """Characterizations of all three boards."""
+    return {
+        name: suite.characterize(get_board(name))
+        for name in ("nano", "tx2", "xavier")
+    }
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Write one artefact (rendered table / CSV) to results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def writer(name: str, text: str) -> None:
+        path = RESULTS_DIR / name
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return writer
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under the timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

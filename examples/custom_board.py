@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Characterize a hypothetical board (what-if analysis).
+
+Run:  python examples/custom_board.py
+
+The framework's value on new silicon is answering "would our app want
+zero-copy on a device like X?" before X exists.  This example builds a
+fictional next-generation board — Xavier-class compute with an
+improved I/O-coherent zero-copy path — registers it, characterizes it,
+and compares the SH-WFS and ORB recommendations against the real
+Xavier.  The ORB flip (zone 2 → zone 1) is exactly the kind of design
+insight the paper's decision flow enables.
+"""
+
+from dataclasses import replace
+
+from repro import Framework, get_board
+from repro.apps.orbslam import OrbPipeline
+from repro.apps.shwfs import ShwfsPipeline
+from repro.soc.board import register_board
+from repro.soc.coherence import CoherenceMode, ZeroCopyBehavior
+from repro.units import gbps, to_gbps
+
+
+def future_board():
+    """Xavier with a 3x faster I/O-coherent zero-copy path."""
+    xavier = get_board("xavier")
+    zero_copy = ZeroCopyBehavior(
+        mode=CoherenceMode.ZC_IO_COHERENT,
+        gpu_zc_bandwidth=xavier.zero_copy.gpu_zc_bandwidth * 3.0,
+        cpu_zc_bandwidth=xavier.zero_copy.cpu_zc_bandwidth,
+        gpu_llc_disabled=True,
+        cpu_llc_disabled=False,
+        snoop_latency_s=xavier.zero_copy.snoop_latency_s / 2.0,
+    )
+    return replace(
+        xavier,
+        name="xavier-next",
+        display_name="Hypothetical Xavier-Next (3x ZC path)",
+        zero_copy=zero_copy,
+    )
+
+
+def main() -> None:
+    try:
+        register_board("xavier-next", future_board)
+    except Exception:
+        pass  # already registered on a re-run in the same process
+
+    framework = Framework()
+    shwfs = ShwfsPipeline()
+    orb = OrbPipeline()
+
+    for name in ("xavier", "xavier-next"):
+        board = get_board(name)
+        device = framework.characterize(board)
+        print(f"== {board.display_name} ==")
+        print(f"  ZC GPU path: {to_gbps(device.gpu_zc_throughput):.1f} GB/s "
+              f"(SC peak {to_gbps(device.gpu_peak_throughput):.1f})")
+        print(f"  GPU threshold {device.gpu_threshold_pct:.1f} %, "
+              f"zone 2 up to {device.gpu_zone2_pct:.1f} %")
+        for label, pipeline in (("SH-WFS", shwfs), ("ORB", orb)):
+            report = pipeline.tune(framework, board)
+            rec = report.recommendation
+            estimate = (f", est. +{rec.estimated_speedup_pct:.0f} %"
+                        if rec.estimated_speedup_pct is not None else "")
+            print(f"  {label}: GPU usage {report.gpu_cache_usage_pct:.1f} % "
+                  f"(zone {int(rec.zone)}) -> {rec.model.value}{estimate}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Quickstart: characterize a device and tune a workload in ~40 lines.
+
+Run:  python examples/quickstart.py [board]
+
+Steps:
+1. pick a board preset (Jetson Nano / TX2 / AGX Xavier);
+2. run the micro-benchmark suite to characterize it (Table I numbers,
+   cache-usage thresholds, device max speedups);
+3. define a small producer-consumer workload;
+4. ask the framework which communication model to use and what speedup
+   to expect; then validate by actually executing all three models.
+"""
+
+import sys
+
+from repro import (
+    BufferSpec,
+    CpuTask,
+    Framework,
+    GpuKernel,
+    OpMix,
+    SoC,
+    Workload,
+    get_board,
+    get_model,
+)
+from repro.kernels import LinearPattern
+from repro.kernels.workload import Direction
+from repro.units import to_gbps, to_us
+
+
+def build_workload() -> Workload:
+    """A CPU-produces / GPU-consumes streaming workload (64 K floats)."""
+    frame = BufferSpec(
+        name="frame",
+        num_elements=64 * 1024,
+        element_size=4,
+        shared=True,
+        direction=Direction.TO_GPU,
+    )
+    producer = CpuTask(
+        name="produce",
+        ops=OpMix.per_element({"mul": 1.0, "add": 1.0}, 64 * 1024),
+        pattern=LinearPattern(buffer="frame", read_write_pairs=True),
+    )
+    consumer = GpuKernel(
+        name="consume",
+        ops=OpMix.per_element({"fma": 4.0}, 64 * 1024),
+        pattern=LinearPattern(buffer="frame", read_write_pairs=False),
+    )
+    return Workload(
+        name="quickstart",
+        buffers=(frame,),
+        cpu_task=producer,
+        gpu_kernel=consumer,
+        iterations=100,
+        overlappable=True,
+    )
+
+
+def main() -> None:
+    board_name = sys.argv[1] if len(sys.argv) > 1 else "xavier"
+    board = get_board(board_name)
+    print(f"== Characterizing {board.display_name} ==")
+    framework = Framework()
+    device = framework.characterize(board)
+    for model, value in sorted(device.gpu_cache_throughput.items()):
+        print(f"  GPU LL-L1 peak throughput [{model}]: {to_gbps(value):7.2f} GB/s")
+    print(f"  GPU cache threshold: {device.gpu_threshold_pct:.1f} % "
+          f"(zone 2 up to {device.gpu_zone2_pct:.1f} %)")
+    print(f"  CPU cache threshold: {device.cpu_threshold_pct:.1f} %")
+    print(f"  SC->ZC max speedup: {device.sc_zc_max_speedup:.2f}x, "
+          f"ZC->SC max: {device.zc_sc_max_speedup:.1f}x")
+
+    workload = build_workload()
+    report = framework.tune(workload, board, current_model="SC")
+    rec = report.recommendation
+    print(f"\n== Tuning {workload.name!r} (currently SC) ==")
+    print(f"  CPU cache usage: {report.cpu_cache_usage_pct:.1f} % "
+          f"| GPU cache usage: {report.gpu_cache_usage_pct:.1f} %")
+    print(f"  Recommendation: {rec.model.value} — {rec.reason}")
+    if rec.estimated_speedup_pct is not None:
+        print(f"  Estimated speedup: up to {rec.estimated_speedup_pct:.0f} %")
+
+    print("\n== Validation (actual execution) ==")
+    soc = SoC(board)
+    results = {m: get_model(m).execute(workload, soc) for m in ("SC", "UM", "ZC")}
+    for model, result in results.items():
+        print(f"  {model}: {to_us(result.time_per_iteration_s):8.1f} us/iteration "
+              f"(cpu {to_us(result.cpu_time_s):6.1f}, kernel "
+              f"{to_us(result.kernel_time_s):6.1f}, copy {to_us(result.copy_time_s):5.1f})")
+    actual = results["ZC"].speedup_vs(results["SC"]) * 100.0
+    print(f"  Measured ZC vs SC: {actual:+.0f} %")
+
+
+if __name__ == "__main__":
+    main()

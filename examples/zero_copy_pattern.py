@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The Fig-4 tiled zero-copy communication pattern, hands on.
+
+Run:  python examples/zero_copy_pattern.py
+
+Shows:
+1. how a shared buffer is tiled (tile size = smaller LLC block size);
+2. the race-freedom invariant: the CPU's even tiles and the iGPU's odd
+   tiles never overlap within a phase — verified on the materialized
+   access streams, and shown to *fail* when both processors are
+   (incorrectly) given the same parity;
+3. how the pattern's phase-wise overlap compares with a naive serial
+   zero-copy port on the Xavier, and how the tile size affects the
+   barrier overhead (the ablation DESIGN.md calls out).
+"""
+
+from repro.comm.tiling import (
+    TiledZeroCopyPattern,
+    TilingPlan,
+    check_race_free,
+)
+from repro.errors import RaceConditionError
+from repro.kernels.workload import BufferSpec, Direction
+from repro.soc import SoC, get_board
+from repro.soc.address import RegionKind
+from repro.soc.events import OverlapJob
+from repro.units import to_us
+
+
+def main() -> None:
+    board = get_board("xavier")
+    spec = BufferSpec(
+        name="image",
+        num_elements=256 * 1024,
+        element_size=4,
+        shared=True,
+        direction=Direction.BIDIRECTIONAL,
+    )
+    plan = TilingPlan.for_buffer(spec, board)
+    print("== Tiling plan (Fig. 4) ==")
+    print(f"  buffer: {spec.size_bytes} bytes, tile: {plan.tile_bytes} bytes "
+          f"(min of CPU/GPU LLC line sizes)")
+    print(f"  tiles: {plan.num_tiles}, phases: {plan.num_phases}, "
+          f"barrier: {to_us(plan.barrier_overhead_s):.1f} us")
+
+    # Materialize phase-0 streams and verify disjointness.
+    soc = SoC(board)
+    region = soc.make_region("pinned", spec.size_bytes * 2, RegionKind.PINNED)
+    buffer = region.allocate(spec.name, spec.size_bytes, element_size=4)
+    cpu_spec, gpu_spec = plan.phase_patterns(phase=0)
+    cpu_stream = cpu_spec.build({spec.name: buffer}, line_size=64)
+    gpu_stream = gpu_spec.build({spec.name: buffer}, line_size=64)
+    check_race_free(cpu_stream, gpu_stream, granularity=plan.tile_bytes)
+    print("  phase 0: CPU tiles and GPU tiles are disjoint (race-free) ✔")
+
+    bad_stream = cpu_spec.build({spec.name: buffer}, line_size=64)
+    try:
+        check_race_free(cpu_stream, bad_stream, granularity=plan.tile_bytes)
+    except RaceConditionError as error:
+        print(f"  same-parity misuse detected as expected: {error}")
+
+    # Timing: overlapped pattern vs naive serial ZC.
+    print("\n== Overlap vs serial (Xavier, balanced jobs) ==")
+    cpu_job = OverlapJob(
+        name="cpu", compute_time_s=40e-6, memory_bytes=512 * 1024,
+        solo_bandwidth=board.zero_copy.cpu_zc_bandwidth,
+        overlap_compute_memory=False,
+    )
+    gpu_job = OverlapJob(
+        name="gpu", compute_time_s=35e-6, memory_bytes=512 * 1024,
+        solo_bandwidth=board.zero_copy.gpu_zc_bandwidth,
+    )
+    pattern = TiledZeroCopyPattern(plan)
+    execution = pattern.overlapped_execution(cpu_job, gpu_job, board.interconnect)
+    serial = (cpu_job.compute_time_s
+              + cpu_job.memory_bytes / cpu_job.solo_bandwidth
+              + max(gpu_job.compute_time_s,
+                    gpu_job.memory_bytes / gpu_job.solo_bandwidth))
+    print(f"  serial zero-copy:     {to_us(serial):7.1f} us")
+    print(f"  tiled overlapped:     {to_us(execution.total_time_s):7.1f} us "
+          f"(sync overhead {to_us(execution.sync_overhead_s):.1f} us)")
+    print(f"  gain: {100.0 * (serial / execution.total_time_s - 1.0):+.0f} %")
+
+    print("\n== Tile-size ablation ==")
+    print("  (sub-line tiles split coalesced transactions and waste bandwidth)")
+    for tile_bytes in (8, 16, 32, 64, 256, 4096):
+        ablated = TilingPlan.for_buffer(spec, board, tile_bytes=tile_bytes)
+        execution = TiledZeroCopyPattern(ablated).overlapped_execution(
+            cpu_job, gpu_job, board.interconnect
+        )
+        print(f"  tile {tile_bytes:5d} B -> {ablated.num_tiles:6d} tiles, "
+              f"coalescing {ablated.coalescing_efficiency * 100:5.1f} %, "
+              f"iteration {to_us(execution.total_time_s):7.1f} us")
+
+
+if __name__ == "__main__":
+    main()

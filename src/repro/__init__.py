@@ -1,0 +1,84 @@
+"""repro — a reproduction of *A Framework for Optimizing CPU-iGPU
+Communication on Embedded Platforms* (Lumpp, Patel, Bombieri, DAC 2021).
+
+The package provides:
+
+- a transaction-level simulator of embedded CPU+iGPU SoCs with shared
+  DRAM, calibrated Jetson Nano/TX2/AGX-Xavier presets (:mod:`repro.soc`);
+- the paper's three communication models — standard copy, unified
+  memory, zero-copy — as executors (:mod:`repro.comm`), including the
+  tiled zero-copy pattern of Fig. 4;
+- the micro-benchmarks (:mod:`repro.microbench`), performance model and
+  decision flow (:mod:`repro.model`), and profiler
+  (:mod:`repro.profiling`);
+- the two case-study applications: Shack-Hartmann wavefront-sensor
+  centroid extraction and an ORB feature pipeline (:mod:`repro.apps`).
+
+Quick start::
+
+    from repro import Framework, get_board
+
+    framework = Framework()
+    device = framework.characterize(get_board("xavier"))
+    print(device.gpu_threshold_pct, device.zc_sc_throughput_ratio)
+"""
+
+from repro.comm import ExecutionReport, get_model
+from repro.kernels import (
+    BufferSpec,
+    CpuTask,
+    GpuKernel,
+    OpMix,
+    Workload,
+)
+from repro.microbench import (
+    FirstMicroBenchmark,
+    MicrobenchmarkSuite,
+    SecondMicroBenchmark,
+    ThirdMicroBenchmark,
+)
+from repro.model import Framework, Recommendation, TuningReport, decide
+from repro.model.device import DeviceCharacterization
+from repro.profiling import AppProfile, Profiler
+from repro.soc import (
+    AccessStream,
+    BoardConfig,
+    SoC,
+    available_boards,
+    get_board,
+    jetson_nano,
+    jetson_tx2,
+    jetson_xavier,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionReport",
+    "get_model",
+    "BufferSpec",
+    "CpuTask",
+    "GpuKernel",
+    "OpMix",
+    "Workload",
+    "FirstMicroBenchmark",
+    "SecondMicroBenchmark",
+    "ThirdMicroBenchmark",
+    "MicrobenchmarkSuite",
+    "Framework",
+    "Recommendation",
+    "TuningReport",
+    "decide",
+    "DeviceCharacterization",
+    "AppProfile",
+    "Profiler",
+    "AccessStream",
+    "BoardConfig",
+    "SoC",
+    "available_boards",
+    "get_board",
+    "jetson_nano",
+    "jetson_tx2",
+    "jetson_xavier",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Result formatting and paper-reference comparison.
+
+- :mod:`repro.analysis.tables` — renders the paper's tables from
+  simulation results and carries the paper's published values for
+  side-by-side comparison;
+- :mod:`repro.analysis.figures` — extracts the series behind the
+  paper's figures (CSV rows / ASCII plots for terminals).
+"""
+
+from repro.analysis.tables import (
+    PAPER_REFERENCE,
+    Table,
+    format_table,
+    paper_speedup_pct,
+)
+from repro.analysis.figures import FigureSeries, ascii_chart
+from repro.analysis.validation import (
+    ReproductionCheck,
+    Verdict,
+    run_reproduction_checks,
+    summarize,
+)
+
+__all__ = [
+    "PAPER_REFERENCE",
+    "Table",
+    "format_table",
+    "paper_speedup_pct",
+    "FigureSeries",
+    "ascii_chart",
+    "ReproductionCheck",
+    "Verdict",
+    "run_reproduction_checks",
+    "summarize",
+]

@@ -1,0 +1,112 @@
+"""Aggregate benchmark artefacts into a single report.
+
+``pytest benchmarks/ --benchmark-only`` archives each regenerated table
+under ``benchmarks/results/``.  :func:`build_report` stitches them into
+one markdown document (per-experiment sections in the paper's order),
+so a single file shows the whole reproduction.
+
+Used by ``python -m repro`` consumers and the test suite; the report is
+a rendering of existing artefacts — it never recomputes anything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+
+class ExportError(ReproError):
+    """Missing or malformed artefact directory."""
+
+
+#: Experiment order and the artefact stems belonging to each section.
+REPORT_SECTIONS: Sequence[tuple] = (
+    ("Table I — peak GPU cache throughput",
+     ("table1_tx2", "table1_xavier", "table1_gaps")),
+    ("Fig. 5 — MB1 execution times",
+     ("fig5_tx2", "fig5_xavier", "fig5_nano_vs_tx2")),
+    ("Fig. 3 — MB2 on Xavier", ("fig3_thresholds", "fig3_xavier")),
+    ("Fig. 6 — MB2 on TX2", ("fig6_thresholds", "fig6_tx2")),
+    ("Fig. 7 — MB3 overlap ceiling",
+     ("fig7_xavier", "fig7_transfer_share", "fig7_tx2")),
+    ("Table II — SH-WFS profiling", ("table2_shwfs_profile",)),
+    ("Table III — SH-WFS performance", ("table3_shwfs_performance",)),
+    ("Table IV — ORB-SLAM profiling", ("table4_orbslam_profile",)),
+    ("Table V — ORB-SLAM performance", ("table5_orbslam_performance",)),
+    ("Fig. 2 — decision flow", ("fig2_decision_grid",)),
+    ("Fig. 4 — tiled zero-copy pattern",
+     ("fig4_overlap_vs_serial", "fig4_race_freedom")),
+    ("Energy", ("energy_shwfs", "energy_copy_elimination")),
+    ("Ablations",
+     ("ablation_tile_size", "ablation_overlap", "ablation_um_envelope",
+      "ablation_io_coherence", "ablation_io_coherence_decision",
+      "ablation_power_modes", "ablation_flush_cost")),
+    ("Extensions",
+     ("whatif_zc_path_shwfs_tx2", "whatif_zc_path_orbslam_tx2",
+      "sensitivity_resolution")),
+    ("Scorecard", ("reproduction_summary",)),
+)
+
+
+@dataclass(frozen=True)
+class ReportStatus:
+    """What the builder found."""
+
+    included: List[str]
+    missing: List[str]
+
+    @property
+    def complete(self) -> bool:
+        """True when every expected artefact was present."""
+        return not self.missing
+
+
+def build_report(
+    results_dir: Union[str, pathlib.Path],
+    output_path: Optional[Union[str, pathlib.Path]] = None,
+    title: str = "Reproduction report",
+) -> ReportStatus:
+    """Assemble the artefacts in ``results_dir`` into one markdown file.
+
+    Args:
+        results_dir: the ``benchmarks/results`` directory.
+        output_path: where to write (defaults to ``REPORT.md`` inside
+            ``results_dir``).
+
+    Returns which artefacts were included and which were missing (a
+    missing artefact simply means its benchmark has not been run).
+    """
+    directory = pathlib.Path(results_dir)
+    if not directory.is_dir():
+        raise ExportError(f"no results directory at {directory}")
+    output = pathlib.Path(output_path) if output_path else directory / "REPORT.md"
+
+    included: List[str] = []
+    missing: List[str] = []
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(
+        "Generated from the artefacts archived by "
+        "`pytest benchmarks/ --benchmark-only`."
+    )
+    for section_title, stems in REPORT_SECTIONS:
+        body: List[str] = []
+        for stem in stems:
+            path = directory / f"{stem}.txt"
+            if path.is_file():
+                included.append(stem)
+                body.append("```")
+                body.append(path.read_text().rstrip())
+                body.append("```")
+                body.append("")
+            else:
+                missing.append(stem)
+        if body:
+            lines.append("")
+            lines.append(f"## {section_title}")
+            lines.append("")
+            lines.extend(body)
+    output.write_text("\n".join(lines) + "\n")
+    return ReportStatus(included=included, missing=missing)

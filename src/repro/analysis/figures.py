@@ -1,0 +1,102 @@
+"""Figure-series extraction and terminal plotting.
+
+The paper's figures are line/bar charts; benchmarks regenerate the
+underlying series.  :class:`FigureSeries` holds one named series and
+renders to CSV; :func:`ascii_chart` draws a quick log-friendly chart so
+`pytest benchmarks/` output shows the curve shapes directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class FigureError(ReproError):
+    """Malformed figure series."""
+
+
+@dataclass
+class FigureSeries:
+    """One or more named series over a shared x axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x_values: Sequence[float]
+    series: Dict[str, Sequence[float]] = field(default_factory=dict)
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        """Attach a series (must match the x-axis length)."""
+        if len(values) != len(self.x_values):
+            raise FigureError(
+                f"series {name!r} has {len(values)} points, x axis has "
+                f"{len(self.x_values)}"
+            )
+        self.series[name] = list(values)
+
+    def to_csv(self) -> str:
+        """CSV text: x column then one column per series."""
+        header = ",".join([self.x_label] + list(self.series))
+        lines = [header]
+        for i, x in enumerate(self.x_values):
+            cells = [f"{x:g}"] + [f"{self.series[name][i]:g}" for name in self.series]
+            lines.append(",".join(cells))
+        return "\n".join(lines)
+
+    def render_ascii(self, width: int = 64, height: int = 12,
+                     log_x: bool = False) -> str:
+        """All series on one terminal chart."""
+        lines = [f"{self.title}  [y: {self.y_label}, x: {self.x_label}]"]
+        lines.append(
+            ascii_chart(self.x_values, self.series, width=width, height=height,
+                        log_x=log_x)
+        )
+        return "\n".join(lines)
+
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    log_x: bool = False,
+) -> str:
+    """A minimal multi-series scatter chart for terminals."""
+    if not series:
+        raise FigureError("ascii_chart needs at least one series")
+    if len(x_values) < 2:
+        raise FigureError("ascii_chart needs at least two x points")
+    xs = [math.log10(x) if log_x else x for x in x_values]
+    all_y = [y for values in series.values() for y in values]
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(xs), max(xs)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        raise FigureError("x axis has zero span")
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in zip(xs, values):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    lines.append(f"{y_max:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_values[0]:<12g}{'':>{max(0, width - 26)}}{x_values[-1]:>12g}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

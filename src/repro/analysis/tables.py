@@ -1,0 +1,204 @@
+"""Table rendering and the paper's published reference values.
+
+``PAPER_REFERENCE`` transcribes the numbers the paper reports (Tables
+I-V plus the headline figure statements) so benchmarks and
+EXPERIMENTS.md can print measured-vs-paper rows without re-reading the
+PDF.  :class:`Table` is a minimal monospace table renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+class TableError(ReproError):
+    """Malformed table construction."""
+
+
+@dataclass
+class Table:
+    """A monospace table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the header width)."""
+        if len(values) != len(self.headers):
+            raise TableError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """The table as a monospace string."""
+        return format_table(self.title, self.headers, self.rows)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a monospace table with a title rule."""
+    if not headers:
+        raise TableError("a table needs at least one column")
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise TableError("all rows must match the header width")
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(sep)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+#: The paper's published values, keyed by experiment id.  Units follow
+#: the paper (GB/s, µs, ms, %).
+PAPER_REFERENCE: Dict[str, Dict] = {
+    "table1": {
+        "description": "Max throughput of the GPU cache (GB/s)",
+        "tx2": {"ZC": 1.28, "SC": 97.34, "UM": 104.15},
+        "xavier": {"ZC": 32.29, "SC": 214.64, "UM": 231.14},
+    },
+    "fig3": {
+        "description": "MB2 on Xavier: threshold and zones",
+        "threshold_pct": 16.2,
+        "zone2_pct": 57.1,
+        "plateau_gbps": 59.0,
+    },
+    "fig6": {
+        "description": "MB2 on TX2: threshold",
+        "threshold_pct": 2.7,
+    },
+    "fig5": {
+        "description": "MB1 execution times: ZC slower than SC/UM; TX2 "
+                       "difference up to 70% (CPU cache disabled too)",
+        "tx2_cpu_zc_penalty_pct": 70.0,
+    },
+    "fig7": {
+        "description": "MB3: ZC vs UM/SC with 2^27 floats",
+        "zc_vs_um_pct": 164.0,
+        "zc_vs_sc_pct": 152.0,
+        "elements": 2 ** 27,
+    },
+    "table2": {
+        "description": "SH-WFS profiling",
+        "rows": {
+            "nano": {"cpu_usage": 19.8, "cpu_thresh": 15.6, "gpu_usage": 1.7,
+                     "gpu_thresh": 2.5, "kernel_us": 453.5, "copy_us": 44.8,
+                     "sczc_pct": None},
+            "tx2": {"cpu_usage": 19.8, "cpu_thresh": 15.6, "gpu_usage": 3.7,
+                    "gpu_thresh": 2.7, "kernel_us": 175.2, "copy_us": 22.4,
+                    "sczc_pct": None},
+            "xavier": {"cpu_usage": 6.1, "cpu_thresh": 100.0, "gpu_usage": 7.0,
+                       "gpu_thresh": 16.2, "gpu_zone2": 57.1, "kernel_us": 41.2,
+                       "copy_us": 16.88, "sczc_pct": 69.3},
+        },
+    },
+    "table3": {
+        "description": "SH-WFS performance (µs; speedups vs SC)",
+        "rows": {
+            "nano": {"sc_us": 1070.1, "sc_cpu_us": 238.6, "sc_kernel_us": 453.54,
+                     "um_us": 1021.5, "zc_us": 1796.1, "zc_cpu_us": 1120.7,
+                     "zc_kernel_us": 467.21, "zc_speedup_pct": -67.0,
+                     "um_speedup_pct": 5.0},
+            "tx2": {"sc_us": 765.04, "sc_cpu_us": 79.6, "sc_kernel_us": 175.18,
+                    "um_us": 783.67, "zc_us": 801.24, "zc_cpu_us": 307.4,
+                    "zc_kernel_us": 244.17, "zc_speedup_pct": -5.0,
+                    "um_speedup_pct": -2.0},
+            "xavier": {"sc_us": 304.57, "sc_cpu_us": 41.9, "sc_kernel_us": 41.24,
+                       "um_us": 305.80, "zc_us": 220.15, "zc_cpu_us": 45.4,
+                       "zc_kernel_us": 47.14, "zc_speedup_pct": 38.0,
+                       "um_speedup_pct": 0.0},
+        },
+    },
+    "table4": {
+        "description": "ORB-SLAM profiling",
+        "rows": {
+            "tx2": {"cpu_usage": 0.0, "cpu_thresh": 15.6, "gpu_usage": 25.3,
+                    "gpu_thresh": 2.7, "kernel_us": 93.56, "copy_us": 1.57,
+                    "sczc_pct": None},
+            "xavier": {"cpu_usage": 0.0, "cpu_thresh": 100.0, "gpu_usage": 20.1,
+                       "gpu_thresh": 16.2, "gpu_zone2": 57.1, "kernel_us": 24.22,
+                       "copy_us": 1.35, "sczc_pct": 5.9},
+        },
+    },
+    "table5": {
+        "description": "ORB-SLAM performance",
+        "rows": {
+            "tx2": {"sc_ms": 70.0, "sc_kernel_us": 93.56, "zc_ms": 521.0,
+                    "zc_kernel_us": 824.20, "zc_speedup_pct": -744.0,
+                    "zc_kernel_speedup_pct": -880.0},
+            "xavier": {"sc_ms": 30.0, "sc_kernel_us": 24.22, "zc_ms": 30.0,
+                       "zc_kernel_us": 26.99, "zc_speedup_pct": 0.0,
+                       "zc_kernel_speedup_pct": -10.0},
+        },
+    },
+    "energy": {
+        "description": "Energy savings of ZC vs SC (J per second)",
+        "shwfs": {"xavier": 0.12, "tx2": 0.09},
+        "orbslam": {"xavier": 0.17},
+    },
+}
+
+
+def reference(experiment: str) -> Dict:
+    """The paper's values for one experiment id (e.g. "table1")."""
+    try:
+        return PAPER_REFERENCE[experiment]
+    except KeyError:
+        raise TableError(
+            f"no paper reference {experiment!r}; known: {sorted(PAPER_REFERENCE)}"
+        ) from None
+
+
+def paper_speedup_pct(reference_time_s: float, new_time_s: float) -> float:
+    """The paper's asymmetric speedup convention.
+
+    Positive when the new configuration is faster (``ref/new - 1``),
+    negative as a *slowdown factor* when slower (``-(new/ref - 1)``) —
+    this is how Table V can report −744 % (ZC 7.4× slower than SC).
+    """
+    if reference_time_s <= 0 or new_time_s <= 0:
+        raise TableError("times must be positive")
+    if new_time_s <= reference_time_s:
+        return (reference_time_s / new_time_s - 1.0) * 100.0
+    return -(new_time_s / reference_time_s - 1.0) * 100.0
+
+
+def comparison_row(
+    label: str, paper_value: Optional[float], measured_value: Optional[float]
+) -> List[object]:
+    """A (label, paper, measured, ratio) row for EXPERIMENTS-style
+    tables; ratio is '-' when either side is missing or zero."""
+    ratio: object = "-"
+    if paper_value and measured_value:
+        ratio = f"{measured_value / paper_value:.2f}x"
+    return [
+        label,
+        "-" if paper_value is None else _cell(paper_value),
+        "-" if measured_value is None else _cell(measured_value),
+        ratio,
+    ]

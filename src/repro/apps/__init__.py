@@ -1,0 +1,13 @@
+"""Case-study applications (paper §IV).
+
+Two real edge-computing applications, each present in two forms:
+
+1. a **functional** numpy implementation (tested for numerical
+   correctness) — :mod:`repro.apps.shwfs` implements Shack-Hartmann
+   wavefront-sensor centroid extraction [Kong et al., Applied Optics
+   2017]; :mod:`repro.apps.orbslam` implements the ORB feature pipeline
+   of ORB-SLAM2 [Mur-Artal & Tardós, T-RO 2017];
+2. a **simulator workload** whose operation counts and memory
+   footprints are derived from the functional implementation, used by
+   the framework to profile and tune communication models.
+"""

@@ -1,0 +1,31 @@
+"""ORB feature pipeline (the ORB-SLAM2 front end of paper §IV-C).
+
+The paper's second case study offloads ORB-SLAM2's feature extraction
+to the iGPU.  This package implements the pipeline functionally in
+numpy and provides the calibrated simulator workload:
+
+- :mod:`repro.apps.orbslam.fast` — FAST-9 corner detection;
+- :mod:`repro.apps.orbslam.brief` — oriented rBRIEF descriptors;
+- :mod:`repro.apps.orbslam.orb` — scale pyramid + end-to-end extractor;
+- :mod:`repro.apps.orbslam.matching` — Hamming matching with ratio test;
+- :mod:`repro.apps.orbslam.workload` — the tuning-framework workload;
+- :mod:`repro.apps.orbslam.pipeline` — functional pipeline object.
+"""
+
+from repro.apps.orbslam.brief import compute_orientations, rbrief_descriptors
+from repro.apps.orbslam.fast import fast_corners
+from repro.apps.orbslam.matching import match_descriptors
+from repro.apps.orbslam.orb import OrbExtractor, OrbFeatures
+from repro.apps.orbslam.pipeline import OrbPipeline
+from repro.apps.orbslam.workload import build_orbslam_workload
+
+__all__ = [
+    "fast_corners",
+    "compute_orientations",
+    "rbrief_descriptors",
+    "match_descriptors",
+    "OrbExtractor",
+    "OrbFeatures",
+    "OrbPipeline",
+    "build_orbslam_workload",
+]

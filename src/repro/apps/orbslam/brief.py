@@ -1,0 +1,124 @@
+"""Oriented rBRIEF descriptors.
+
+ORB's descriptor is BRIEF-256 made rotation-aware: each keypoint gets
+an orientation from the intensity centroid of its patch, and the BRIEF
+sampling pattern is rotated by that angle before the pairwise intensity
+comparisons.  The sampling pattern here is a deterministic Gaussian
+pattern seeded once, shared by extractor and matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Descriptor length in bits.
+DESCRIPTOR_BITS = 256
+
+#: Half-size of the square patch used for orientation and sampling.
+PATCH_RADIUS = 15
+
+
+class BriefError(ReproError):
+    """Invalid input to the descriptor stage."""
+
+
+def brief_pattern(
+    bits: int = DESCRIPTOR_BITS,
+    radius: int = PATCH_RADIUS,
+    seed: int = 1234,
+) -> np.ndarray:
+    """The (bits, 4) sampling pattern (x1, y1, x2, y2), clipped to the
+    patch."""
+    rng = np.random.default_rng(seed)
+    sigma = radius / 2.0
+    pattern = rng.normal(0.0, sigma, size=(bits, 4))
+    return np.clip(np.round(pattern), -radius + 1, radius - 1).astype(np.int32)
+
+
+def compute_orientations(
+    image: np.ndarray, keypoints: np.ndarray, radius: int = PATCH_RADIUS
+) -> np.ndarray:
+    """Intensity-centroid orientation per keypoint (radians).
+
+    ``theta = atan2(m01, m10)`` over the circular patch moments.
+    Keypoints too close to the border get orientation 0.
+    """
+    frame = np.asarray(image, dtype=np.float64)
+    h, w = frame.shape
+    ys_rel, xs_rel = np.mgrid[-radius : radius + 1, -radius : radius + 1]
+    disk = (xs_rel ** 2 + ys_rel ** 2) <= radius ** 2
+    angles = np.zeros(len(keypoints))
+    for i, (x, y) in enumerate(np.asarray(keypoints, dtype=int)):
+        if not (radius <= x < w - radius and radius <= y < h - radius):
+            continue
+        patch = frame[y - radius : y + radius + 1, x - radius : x + radius + 1]
+        masked = np.where(disk, patch, 0.0)
+        m10 = float((xs_rel * masked).sum())
+        m01 = float((ys_rel * masked).sum())
+        angles[i] = np.arctan2(m01, m10)
+    return angles
+
+
+def rbrief_descriptors(
+    image: np.ndarray,
+    keypoints: np.ndarray,
+    orientations: Optional[np.ndarray] = None,
+    pattern: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute rotation-aware BRIEF descriptors.
+
+    Args:
+        image: 2-D grayscale array.
+        keypoints: (N, 2) integer (x, y) positions.
+        orientations: per-keypoint angles; computed if omitted.
+        pattern: sampling pattern from :func:`brief_pattern`.
+
+    Returns:
+        ``(descriptors, valid)`` — descriptors as an (M, bits/8) uint8
+        array for the M keypoints far enough from the border, and the
+        boolean validity mask over the N inputs.
+    """
+    frame = np.asarray(image, dtype=np.float64)
+    if frame.ndim != 2:
+        raise BriefError(f"expected a 2-D image, got shape {frame.shape}")
+    keypoints = np.asarray(keypoints, dtype=int)
+    if keypoints.ndim != 2 or keypoints.shape[1] != 2:
+        raise BriefError(f"keypoints must be (N, 2), got {keypoints.shape}")
+    if pattern is None:
+        pattern = brief_pattern()
+    if orientations is None:
+        orientations = compute_orientations(frame, keypoints)
+
+    h, w = frame.shape
+    margin = PATCH_RADIUS + 1
+    valid = (
+        (keypoints[:, 0] >= margin)
+        & (keypoints[:, 0] < w - margin)
+        & (keypoints[:, 1] >= margin)
+        & (keypoints[:, 1] < h - margin)
+    )
+    kept = keypoints[valid]
+    kept_angles = np.asarray(orientations)[valid]
+    if not len(kept):
+        return np.zeros((0, DESCRIPTOR_BITS // 8), dtype=np.uint8), valid
+
+    cos = np.cos(kept_angles)[:, None]
+    sin = np.sin(kept_angles)[:, None]
+    x1, y1, x2, y2 = (pattern[:, i][None, :] for i in range(4))
+    # Rotate the pattern per keypoint.
+    rx1 = np.clip(np.round(cos * x1 - sin * y1), -margin + 1, margin - 1).astype(int)
+    ry1 = np.clip(np.round(sin * x1 + cos * y1), -margin + 1, margin - 1).astype(int)
+    rx2 = np.clip(np.round(cos * x2 - sin * y2), -margin + 1, margin - 1).astype(int)
+    ry2 = np.clip(np.round(sin * x2 + cos * y2), -margin + 1, margin - 1).astype(int)
+
+    px = kept[:, 0][:, None]
+    py = kept[:, 1][:, None]
+    first = frame[py + ry1, px + rx1]
+    second = frame[py + ry2, px + rx2]
+    bits = (first < second).astype(np.uint8)
+    descriptors = np.packbits(bits, axis=1)
+    return descriptors, valid

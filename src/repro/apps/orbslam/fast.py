@@ -1,0 +1,119 @@
+"""FAST corner detection (FAST-9, vectorized numpy).
+
+A pixel is a FAST-9 corner when at least 9 contiguous pixels of the
+16-pixel Bresenham circle around it are all brighter than
+``center + threshold`` or all darker than ``center - threshold``.
+Non-maximum suppression uses the standard score (sum of absolute
+differences of the contiguous arc).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class FastError(ReproError):
+    """Invalid input to the FAST detector."""
+
+
+#: Bresenham circle of radius 3: 16 (dy, dx) offsets in circle order.
+CIRCLE_OFFSETS: Tuple[Tuple[int, int], ...] = (
+    (-3, 0), (-3, 1), (-2, 2), (-1, 3), (0, 3), (1, 3), (2, 2), (3, 1),
+    (3, 0), (3, -1), (2, -2), (1, -3), (0, -3), (-1, -3), (-2, -2), (-3, -1),
+)
+
+#: Contiguous-arc length for FAST-9.
+ARC_LENGTH = 9
+
+_BORDER = 3
+
+
+def _circle_stack(image: np.ndarray) -> np.ndarray:
+    """(16, H-6, W-6) stack of the circle pixels around each interior
+    pixel."""
+    h, w = image.shape
+    views = []
+    for dy, dx in CIRCLE_OFFSETS:
+        views.append(
+            image[
+                _BORDER + dy : h - _BORDER + dy,
+                _BORDER + dx : w - _BORDER + dx,
+            ]
+        )
+    return np.stack(views, axis=0)
+
+
+def _contiguous_arc(mask: np.ndarray, length: int) -> np.ndarray:
+    """True where ``mask`` (16, ...) has a circular run of ``length``."""
+    # Wrap the circle so runs crossing position 0 are found.
+    wrapped = np.concatenate([mask, mask[: length - 1]], axis=0)
+    window = wrapped[0 : mask.shape[0]].copy()
+    result = np.zeros(mask.shape[1:], dtype=bool)
+    for start in range(mask.shape[0]):
+        run = np.all(wrapped[start : start + length], axis=0)
+        result |= run
+    del window
+    return result
+
+
+def fast_corners(
+    image: np.ndarray,
+    threshold: float = 20.0,
+    nonmax_suppression: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Detect FAST-9 corners.
+
+    Args:
+        image: 2-D grayscale array.
+        threshold: intensity difference for the brighter/darker tests.
+        nonmax_suppression: apply 3×3 non-maximum suppression on the
+            corner score.
+
+    Returns:
+        ``(keypoints, scores)`` — keypoints as an (N, 2) array of
+        (x, y) pixel coordinates, scores as (N,).
+    """
+    frame = np.asarray(image, dtype=np.float64)
+    if frame.ndim != 2:
+        raise FastError(f"expected a 2-D image, got shape {frame.shape}")
+    if frame.shape[0] <= 2 * _BORDER or frame.shape[1] <= 2 * _BORDER:
+        raise FastError(f"image {frame.shape} too small for the FAST circle")
+    if threshold <= 0:
+        raise FastError(f"threshold must be positive, got {threshold}")
+
+    center = frame[_BORDER:-_BORDER, _BORDER:-_BORDER]
+    circle = _circle_stack(frame)
+    brighter = circle > center + threshold
+    darker = circle < center - threshold
+    is_corner = _contiguous_arc(brighter, ARC_LENGTH) | _contiguous_arc(
+        darker, ARC_LENGTH
+    )
+
+    diff = np.abs(circle - center) - threshold
+    score = np.where(brighter | darker, np.maximum(diff, 0.0), 0.0).sum(axis=0)
+    score = np.where(is_corner, score, 0.0)
+
+    if nonmax_suppression:
+        padded = np.pad(score, 1, mode="constant")
+        neighborhood = np.stack(
+            [
+                padded[1 + dy : padded.shape[0] - 1 + dy,
+                       1 + dx : padded.shape[1] - 1 + dx]
+                for dy in (-1, 0, 1)
+                for dx in (-1, 0, 1)
+                if (dy, dx) != (0, 0)
+            ],
+            axis=0,
+        )
+        is_corner &= score >= neighborhood.max(axis=0)
+        # Break ties deterministically: require strict superiority over
+        # earlier neighbours in scan order.
+        is_corner &= score > 0
+
+    ys, xs = np.nonzero(is_corner)
+    keypoints = np.stack([xs + _BORDER, ys + _BORDER], axis=1)
+    return keypoints, score[ys, xs]

@@ -1,0 +1,87 @@
+"""Hamming-distance descriptor matching with Lowe's ratio test.
+
+The tracking half of the SLAM loop: binary descriptors are matched by
+Hamming distance, and ambiguous matches (best within ``ratio`` of the
+second best) are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class MatchingError(ReproError):
+    """Invalid matcher input."""
+
+
+_POPCOUNT = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+
+def hamming_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(len(a), len(b)) Hamming distances between packed descriptors."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or (len(a) and len(b) and a.shape[1] != b.shape[1]):
+        raise MatchingError(
+            f"descriptor arrays must be 2-D with equal width, got "
+            f"{a.shape} and {b.shape}"
+        )
+    if not len(a) or not len(b):
+        return np.zeros((len(a), len(b)), dtype=np.int32)
+    xors = np.bitwise_xor(a[:, None, :], b[None, :, :])
+    return _POPCOUNT[xors].sum(axis=2).astype(np.int32)
+
+
+@dataclass(frozen=True)
+class Match:
+    """One accepted correspondence."""
+
+    query_index: int
+    train_index: int
+    distance: int
+
+
+def match_descriptors(
+    query: np.ndarray,
+    train: np.ndarray,
+    max_distance: int = 64,
+    ratio: float = 0.8,
+    cross_check: bool = True,
+) -> List[Match]:
+    """Match ``query`` descriptors against ``train``.
+
+    Args:
+        query / train: (N, 32) packed binary descriptors.
+        max_distance: reject matches beyond this Hamming distance.
+        ratio: Lowe's ratio threshold (best < ratio * second-best).
+        cross_check: also require the match to be mutual.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise MatchingError(f"ratio must be in (0, 1], got {ratio}")
+    distances = hamming_distance_matrix(query, train)
+    if distances.size == 0:
+        return []
+    best = distances.argmin(axis=1)
+    best_d = distances[np.arange(len(query)), best]
+    matches: List[Match] = []
+    reverse_best = distances.argmin(axis=0) if cross_check else None
+    for qi in range(len(query)):
+        ti = int(best[qi])
+        d = int(best_d[qi])
+        if d > max_distance:
+            continue
+        if distances.shape[1] > 1:
+            row = distances[qi].copy()
+            row[ti] = np.iinfo(np.int32).max
+            second = int(row.min())
+            if second > 0 and d >= ratio * second:
+                continue
+        if cross_check and int(reverse_best[ti]) != qi:
+            continue
+        matches.append(Match(query_index=qi, train_index=ti, distance=d))
+    return matches

@@ -1,0 +1,141 @@
+"""ORB extractor: scale pyramid + FAST + orientation + rBRIEF.
+
+Mirrors ORB-SLAM2's extractor structure: an image pyramid with a fixed
+scale factor, per-level FAST detection with per-level thresholds, a
+per-level feature budget (strongest first), orientation assignment, and
+rBRIEF descriptors computed at the detection scale with keypoints
+reported in level-0 coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.apps.orbslam.brief import (
+    brief_pattern,
+    compute_orientations,
+    rbrief_descriptors,
+)
+from repro.apps.orbslam.fast import fast_corners
+
+
+class OrbError(ReproError):
+    """Invalid extractor configuration or input."""
+
+
+def downscale(image: np.ndarray, factor: float) -> np.ndarray:
+    """Area-style downscale by ``factor`` (> 1) using block-mean over a
+    nearest-resampled grid — dependency-free and alias-resistant enough
+    for feature work."""
+    if factor <= 1.0:
+        return image
+    h, w = image.shape
+    new_h = max(8, int(round(h / factor)))
+    new_w = max(8, int(round(w / factor)))
+    ys = np.linspace(0, h - 1, new_h).astype(int)
+    xs = np.linspace(0, w - 1, new_w).astype(int)
+    return image[np.ix_(ys, xs)]
+
+
+@dataclass
+class OrbFeatures:
+    """Extraction result in level-0 coordinates."""
+
+    keypoints: np.ndarray  # (N, 2) float (x, y)
+    scores: np.ndarray  # (N,)
+    levels: np.ndarray  # (N,) pyramid level per keypoint
+    angles: np.ndarray  # (N,) orientation (radians)
+    descriptors: np.ndarray  # (N, 32) uint8
+
+    def __len__(self) -> int:
+        return len(self.keypoints)
+
+
+@dataclass
+class OrbExtractor:
+    """Configurable ORB feature extractor."""
+
+    num_features: int = 500
+    num_levels: int = 4
+    scale_factor: float = 1.2
+    fast_threshold: float = 20.0
+    min_fast_threshold: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.num_features <= 0:
+            raise OrbError("num_features must be positive")
+        if self.num_levels < 1:
+            raise OrbError("need at least one pyramid level")
+        if self.scale_factor <= 1.0:
+            raise OrbError("scale factor must exceed 1.0")
+        self._pattern = brief_pattern()
+
+    def build_pyramid(self, image: np.ndarray) -> List[np.ndarray]:
+        """The scale pyramid (level 0 is the input)."""
+        frame = np.asarray(image, dtype=np.float64)
+        if frame.ndim != 2:
+            raise OrbError(f"expected a 2-D image, got shape {frame.shape}")
+        pyramid = [frame]
+        for level in range(1, self.num_levels):
+            pyramid.append(downscale(frame, self.scale_factor ** level))
+        return pyramid
+
+    def _level_budget(self, level: int) -> int:
+        """Feature budget per level, decaying with the pyramid area."""
+        inv = 1.0 / self.scale_factor
+        weights = np.array([inv ** (2 * k) for k in range(self.num_levels)])
+        share = weights[level] / weights.sum()
+        return max(1, int(round(self.num_features * share)))
+
+    def extract(self, image: np.ndarray) -> OrbFeatures:
+        """Run the full extractor on one frame."""
+        pyramid = self.build_pyramid(image)
+        all_kp: List[np.ndarray] = []
+        all_scores: List[np.ndarray] = []
+        all_levels: List[np.ndarray] = []
+        all_angles: List[np.ndarray] = []
+        all_desc: List[np.ndarray] = []
+        for level, frame in enumerate(pyramid):
+            keypoints, scores = fast_corners(frame, self.fast_threshold)
+            if not len(keypoints):
+                keypoints, scores = fast_corners(frame, self.min_fast_threshold)
+            if not len(keypoints):
+                continue
+            budget = self._level_budget(level)
+            if len(keypoints) > budget:
+                order = np.argsort(scores)[::-1][:budget]
+                keypoints, scores = keypoints[order], scores[order]
+            angles = compute_orientations(frame, keypoints)
+            descriptors, valid = rbrief_descriptors(
+                frame, keypoints, orientations=angles, pattern=self._pattern
+            )
+            keypoints = keypoints[valid]
+            scores = scores[valid]
+            angles = angles[valid]
+            if not len(keypoints):
+                continue
+            scale = self.scale_factor ** level
+            all_kp.append(keypoints.astype(np.float64) * scale)
+            all_scores.append(scores)
+            all_levels.append(np.full(len(keypoints), level, dtype=np.int32))
+            all_angles.append(angles)
+            all_desc.append(descriptors)
+        if not all_kp:
+            return OrbFeatures(
+                keypoints=np.zeros((0, 2)),
+                scores=np.zeros(0),
+                levels=np.zeros(0, dtype=np.int32),
+                angles=np.zeros(0),
+                descriptors=np.zeros((0, 32), dtype=np.uint8),
+            )
+        return OrbFeatures(
+            keypoints=np.concatenate(all_kp),
+            scores=np.concatenate(all_scores),
+            levels=np.concatenate(all_levels),
+            angles=np.concatenate(all_angles),
+            descriptors=np.concatenate(all_desc),
+        )

@@ -1,0 +1,229 @@
+"""Centroid extraction for Shack-Hartmann frames.
+
+Implements the algorithms the paper's case study offloads to the iGPU
+(Kong, Polo & Lambert, *Centroid estimation for a Shack-Hartmann
+wavefront sensor based on stream processing*, Applied Optics 2017):
+
+- plain center of gravity (CoG),
+- thresholded CoG (background-robust),
+- iterative windowed CoG (two passes: coarse estimate, then a refined
+  window around it — the stream-processing variant).
+
+Also provides slope conversion and a least-squares modal wavefront
+reconstruction onto the Zernike basis, completing the adaptive-optics
+loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.apps.shwfs.optics import ShwfsOptics, reference_centers, zernike
+
+
+class CentroidError(ReproError):
+    """Malformed frame or grid for centroid extraction."""
+
+
+class CentroidMethod(enum.Enum):
+    """Which estimator to run per subaperture."""
+
+    COG = "cog"
+    THRESHOLDED_COG = "thresholded"
+    WINDOWED_COG = "windowed"
+
+
+@dataclass(frozen=True)
+class SubapertureGrid:
+    """Partition of a frame into square subapertures."""
+
+    rows: int
+    cols: int
+    size_px: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0 or self.size_px <= 0:
+            raise CentroidError("grid dimensions must be positive")
+
+    @classmethod
+    def from_optics(cls, optics: ShwfsOptics) -> "SubapertureGrid":
+        """Grid matching an optics description."""
+        return cls(
+            rows=optics.grid_rows, cols=optics.grid_cols, size_px=optics.subaperture_px
+        )
+
+    @property
+    def count(self) -> int:
+        """Total subapertures."""
+        return self.rows * self.cols
+
+    def validate(self, image: np.ndarray) -> None:
+        """Check the frame matches the grid."""
+        expected = (self.rows * self.size_px, self.cols * self.size_px)
+        if image.shape != expected:
+            raise CentroidError(
+                f"frame shape {image.shape} does not match grid {expected}"
+            )
+
+
+@dataclass
+class CentroidResult:
+    """Output of one extraction."""
+
+    centroids: np.ndarray  # (count, 2) absolute (x, y) pixels
+    displacements: np.ndarray  # (count, 2) relative to reference centers
+    intensities: np.ndarray  # (count,) total windowed intensity
+    method: CentroidMethod
+
+
+def _cog(window: np.ndarray) -> Tuple[float, float]:
+    """Center of gravity of one window; the window center on an empty
+    window (the reference position is the unbiased fallback)."""
+    total = float(window.sum())
+    if total <= 0:
+        half = (window.shape[1] - 1) / 2.0, (window.shape[0] - 1) / 2.0
+        return half
+    ys, xs = np.mgrid[0 : window.shape[0], 0 : window.shape[1]]
+    return (
+        float((xs * window).sum() / total),
+        float((ys * window).sum() / total),
+    )
+
+
+def _windowed_cog(window: np.ndarray, radius: int) -> Tuple[float, float]:
+    """Two-pass CoG: coarse estimate, then CoG of a window of
+    ``radius`` around it (the stream-processing refinement)."""
+    cx, cy = _cog(window)
+    x0 = max(0, int(round(cx)) - radius)
+    x1 = min(window.shape[1], int(round(cx)) + radius + 1)
+    y0 = max(0, int(round(cy)) - radius)
+    y1 = min(window.shape[0], int(round(cy)) + radius + 1)
+    sub = window[y0:y1, x0:x1]
+    scx, scy = _cog(sub)
+    return scx + x0, scy + y0
+
+
+def extract_centroids(
+    image: np.ndarray,
+    grid: SubapertureGrid,
+    method: CentroidMethod = CentroidMethod.THRESHOLDED_COG,
+    threshold_fraction: float = 0.15,
+    window_radius: int = 4,
+    reference: Optional[np.ndarray] = None,
+) -> CentroidResult:
+    """Extract one centroid per subaperture.
+
+    Args:
+        image: the sensor frame (rows*size, cols*size).
+        grid: subaperture partition.
+        method: estimator variant.
+        threshold_fraction: for the thresholded/windowed variants,
+            pixels below this fraction of the window maximum are zeroed.
+        window_radius: refinement radius of the windowed variant.
+        reference: (count, 2) reference centers; defaults to window
+            centers.
+    """
+    grid.validate(image)
+    if not 0.0 <= threshold_fraction < 1.0:
+        raise CentroidError(
+            f"threshold fraction must be in [0, 1), got {threshold_fraction}"
+        )
+    size = grid.size_px
+    centroids = np.zeros((grid.count, 2))
+    intensities = np.zeros(grid.count)
+    frame = np.asarray(image, dtype=np.float64)
+    for row in range(grid.rows):
+        for col in range(grid.cols):
+            window = frame[
+                row * size : (row + 1) * size, col * size : (col + 1) * size
+            ]
+            if method is not CentroidMethod.COG:
+                peak = window.max()
+                cleaned = np.where(
+                    window >= threshold_fraction * peak, window, 0.0
+                )
+            else:
+                cleaned = window
+            if method is CentroidMethod.WINDOWED_COG:
+                cx, cy = _windowed_cog(cleaned, window_radius)
+            else:
+                cx, cy = _cog(cleaned)
+            index = row * grid.cols + col
+            centroids[index] = (cx + col * size, cy + row * size)
+            intensities[index] = cleaned.sum()
+    if reference is None:
+        half = size / 2.0 - 0.5
+        reference = np.array(
+            [
+                (col * size + half, row * size + half)
+                for row in range(grid.rows)
+                for col in range(grid.cols)
+            ]
+        )
+    if reference.shape != (grid.count, 2):
+        raise CentroidError(
+            f"reference centers shape {reference.shape} != ({grid.count}, 2)"
+        )
+    return CentroidResult(
+        centroids=centroids,
+        displacements=centroids - reference,
+        intensities=intensities,
+        method=method,
+    )
+
+
+def displacements_to_slopes(
+    displacements: np.ndarray, gradient_gain_px: float
+) -> np.ndarray:
+    """Invert the sensor's displacement model back to wavefront slopes."""
+    if gradient_gain_px == 0:
+        raise CentroidError("gradient gain cannot be zero")
+    return np.asarray(displacements, dtype=np.float64) / gradient_gain_px
+
+
+def zernike_slope_basis(
+    optics: ShwfsOptics, modes: Sequence[int], surface_size: int = 64
+) -> np.ndarray:
+    """Matrix mapping Zernike coefficients to stacked (dx, dy) slopes.
+
+    Column *k* holds the per-subaperture mean gradients of mode
+    ``modes[k]``; rows are all x-slopes then all y-slopes.
+    """
+    from repro.apps.shwfs.optics import wavefront_slopes, zernike_surface
+
+    columns = []
+    for mode in modes:
+        coeffs = [0.0] * mode
+        coeffs[mode - 1] = 1.0
+        surface = zernike_surface(coeffs, surface_size)
+        gx, gy = wavefront_slopes(surface, optics)
+        columns.append(np.concatenate([gx.reshape(-1), gy.reshape(-1)]))
+    return np.stack(columns, axis=1)
+
+
+def reconstruct_modes(
+    slopes: np.ndarray,
+    optics: ShwfsOptics,
+    modes: Sequence[int],
+    surface_size: int = 64,
+) -> np.ndarray:
+    """Least-squares modal reconstruction.
+
+    Args:
+        slopes: (count, 2) per-subaperture slopes (x, y).
+        optics: sensor geometry.
+        modes: Noll indices to fit (piston is unobservable — exclude 1).
+
+    Returns the fitted coefficient per mode.
+    """
+    if 1 in modes:
+        raise CentroidError("piston (Noll 1) is unobservable from slopes")
+    basis = zernike_slope_basis(optics, modes, surface_size)
+    stacked = np.concatenate([slopes[:, 0], slopes[:, 1]])
+    coeffs, *_ = np.linalg.lstsq(basis, stacked, rcond=None)
+    return coeffs

@@ -1,0 +1,131 @@
+"""End-to-end SH-WFS pipeline: functional truth + framework hooks.
+
+:class:`ShwfsPipeline` ties the optics simulation, the centroid
+extraction, and the modal reconstruction together, and exposes the
+calibrated simulator workload so one object serves both purposes:
+
+- ``process_frame`` — run the real algorithm on a synthetic frame and
+  validate recovered displacements against the injected ground truth;
+- ``workload`` / ``tune`` — profile and tune the application's
+  communication model on a simulated board, exactly as the paper does
+  in §IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.shwfs.centroid import (
+    CentroidMethod,
+    CentroidResult,
+    SubapertureGrid,
+    displacements_to_slopes,
+    extract_centroids,
+    reconstruct_modes,
+)
+from repro.apps.shwfs.optics import (
+    ShwfsOptics,
+    reference_centers,
+    simulate_shwfs_image,
+    zernike_surface,
+)
+from repro.apps.shwfs.workload import ShwfsWorkloadConfig, build_shwfs_workload
+from repro.kernels.workload import Workload
+
+
+@dataclass
+class FrameResult:
+    """Outcome of processing one synthetic frame."""
+
+    centroids: CentroidResult
+    true_displacements: np.ndarray
+    slopes: np.ndarray
+    recovered_modes: Optional[np.ndarray]
+
+    @property
+    def displacement_rmse_px(self) -> float:
+        """RMS error of the recovered spot displacements (pixels)."""
+        err = self.centroids.displacements - self.true_displacements
+        return float(np.sqrt(np.mean(err ** 2)))
+
+
+class ShwfsPipeline:
+    """Functional Shack-Hartmann pipeline with tuning hooks."""
+
+    def __init__(
+        self,
+        optics: Optional[ShwfsOptics] = None,
+        method: CentroidMethod = CentroidMethod.THRESHOLDED_COG,
+        modes: Sequence[int] = (2, 3, 4, 5, 6),
+    ) -> None:
+        self.optics = optics or ShwfsOptics()
+        self.method = method
+        self.modes = tuple(modes)
+        self.grid = SubapertureGrid.from_optics(self.optics)
+        self._reference = reference_centers(self.optics)
+
+    # ------------------------------------------------------------------
+    # functional path
+    # ------------------------------------------------------------------
+
+    def make_frame(
+        self,
+        zernike_coefficients: Sequence[float],
+        noise_rms: float = 0.0,
+        seed: int = 0,
+    ):
+        """Synthesize a sensor frame for the given aberration."""
+        surface = zernike_surface(zernike_coefficients, size=64)
+        rng = np.random.default_rng(seed)
+        return simulate_shwfs_image(
+            surface, self.optics, noise_rms=noise_rms, rng=rng
+        )
+
+    def process_frame(
+        self,
+        image: np.ndarray,
+        true_displacements: Optional[np.ndarray] = None,
+        reconstruct: bool = True,
+    ) -> FrameResult:
+        """Run the centroid pipeline on one frame."""
+        result = extract_centroids(
+            image, self.grid, method=self.method, reference=self._reference
+        )
+        slopes = displacements_to_slopes(
+            result.displacements, self.optics.gradient_gain_px
+        )
+        recovered = None
+        if reconstruct:
+            recovered = reconstruct_modes(slopes, self.optics, self.modes)
+        if true_displacements is None:
+            true_displacements = np.zeros_like(result.displacements)
+        return FrameResult(
+            centroids=result,
+            true_displacements=true_displacements,
+            slopes=slopes,
+            recovered_modes=recovered,
+        )
+
+    # ------------------------------------------------------------------
+    # tuning path
+    # ------------------------------------------------------------------
+
+    def workload(self, frames: int = 100, board_name: str = "") -> Workload:
+        """The calibrated simulator workload for this geometry."""
+        config = ShwfsWorkloadConfig(
+            width=self.optics.image_width,
+            height=self.optics.image_height,
+            subaperture_px=self.optics.subaperture_px,
+            frames=frames,
+            board_name=board_name,
+        )
+        return build_shwfs_workload(config)
+
+    def tune(self, framework, board, current_model: str = "SC"):
+        """Run the paper's Fig-2 flow on this application."""
+        return framework.tune(
+            self.workload(board_name=board.name), board, current_model=current_model
+        )

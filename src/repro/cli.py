@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the framework without writing
+code:
+
+- ``boards`` — list available board presets;
+- ``characterize <board>`` — run the micro-benchmark suite and print
+  the device characterization (Table-I row, thresholds, max speedups);
+- ``tune <app> <board> [--model SC]`` — run the Fig-2 flow on one of
+  the bundled case studies (``shwfs`` or ``orbslam``);
+- ``compare <app> <board>`` — execute the application under all three
+  communication models and print the measured times;
+- ``sweep <app> <board>`` — what-if sensitivity sweep of the ZC path
+  bandwidth (see :mod:`repro.model.whatif`);
+- ``report [results_dir]`` — aggregate archived benchmark artefacts
+  into one ``REPORT.md`` (see :mod:`repro.analysis.export`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.tables import Table, paper_speedup_pct
+from repro.errors import ReproError
+from repro.model.framework import Framework
+from repro.soc.board import available_boards, get_board
+from repro.units import to_gbps, to_us
+
+
+def _get_pipeline(app: str):
+    if app == "shwfs":
+        from repro.apps.shwfs import ShwfsPipeline
+
+        return ShwfsPipeline()
+    if app == "orbslam":
+        from repro.apps.orbslam import OrbPipeline
+
+        return OrbPipeline()
+    raise ReproError(f"unknown application {app!r}; available: shwfs, orbslam")
+
+
+def cmd_boards(args: argparse.Namespace) -> str:
+    """List board presets."""
+    table = Table("Available boards", ["name", "display name", "I/O coherent"])
+    for name in available_boards():
+        board = get_board(name)
+        table.add_row(name, board.display_name,
+                      "yes" if board.io_coherent else "no")
+    return table.render()
+
+
+def cmd_characterize(args: argparse.Namespace) -> str:
+    """Characterize one board with the micro-benchmark suite."""
+    board = get_board(args.board)
+    device = Framework().characterize(board)
+    table = Table(f"Device characterization — {board.display_name}",
+                  ["quantity", "value"])
+    for model in ("ZC", "SC", "UM"):
+        table.add_row(f"GPU LL-L1 peak throughput [{model}] (GB/s)",
+                      to_gbps(device.gpu_cache_throughput[model]))
+    table.add_row("GPU cache threshold (%)", device.gpu_threshold_pct)
+    table.add_row("GPU zone-2 bound (%)", device.gpu_zone2_pct)
+    table.add_row("CPU cache threshold (%)", device.cpu_threshold_pct)
+    table.add_row("SC->ZC max speedup", device.sc_zc_max_speedup)
+    table.add_row("ZC->SC max speedup", device.zc_sc_max_speedup)
+    return table.render()
+
+
+def cmd_tune(args: argparse.Namespace) -> str:
+    """Run the decision flow for a bundled application."""
+    board = get_board(args.board)
+    pipeline = _get_pipeline(args.app)
+    report = pipeline.tune(Framework(), board, current_model=args.model)
+    rec = report.recommendation
+    table = Table(
+        f"Tuning {args.app} on {board.display_name} (currently {args.model})",
+        ["quantity", "value"],
+    )
+    table.add_row("CPU cache usage (%)", report.cpu_cache_usage_pct)
+    table.add_row("CPU cache threshold (%)", rec.cpu_threshold_pct)
+    table.add_row("GPU cache usage (%)", report.gpu_cache_usage_pct)
+    table.add_row("GPU cache threshold (%)", rec.gpu_threshold_pct)
+    table.add_row("zone", int(rec.zone))
+    table.add_row("kernel time (us)", to_us(report.kernel_time_s))
+    table.add_row("copy time (us)", to_us(report.copy_time_s))
+    table.add_row("recommendation", rec.model.value)
+    if rec.estimated_speedup_pct is not None:
+        table.add_row("estimated speedup (%)", rec.estimated_speedup_pct)
+    return table.render() + f"\n\nreason: {rec.reason}"
+
+
+def cmd_compare(args: argparse.Namespace) -> str:
+    """Execute an application under SC, UM and ZC."""
+    board = get_board(args.board)
+    pipeline = _get_pipeline(args.app)
+    workload = pipeline.workload(board_name=board.name)
+    results = Framework().compare_models(workload, board)
+    table = Table(
+        f"{args.app} on {board.display_name} — measured per iteration (us)",
+        ["model", "total", "CPU", "kernel", "copy", "vs SC (%)"],
+    )
+    sc = results["SC"]
+    for model in ("SC", "UM", "ZC"):
+        report = results[model]
+        table.add_row(
+            model,
+            to_us(report.time_per_iteration_s),
+            to_us(report.cpu_time_s),
+            to_us(report.kernel_time_s),
+            to_us(report.copy_time_s),
+            paper_speedup_pct(sc.time_per_iteration_s,
+                              report.time_per_iteration_s),
+        )
+    return table.render()
+
+
+def cmd_sweep(args: argparse.Namespace) -> str:
+    """ZC-path sensitivity sweep (what-if analysis)."""
+    from repro.model.whatif import zc_bandwidth_sweep
+
+    board = get_board(args.board)
+    pipeline = _get_pipeline(args.app)
+    result = zc_bandwidth_sweep(
+        pipeline.workload(board_name=board.name), board,
+        factors=tuple(args.factors),
+    )
+    table = Table(
+        f"What-if — ZC path bandwidth scaling on {board.display_name}",
+        ["factor", "ZC GB/s", "ZC vs SC (%)", "winner"],
+    )
+    for point in result.points:
+        table.add_row(point.factor, to_gbps(point.gpu_zc_bandwidth),
+                      point.zc_vs_sc_pct, point.winner)
+    crossover = result.crossover_factor
+    footer = (f"\nZC starts winning at ~{crossover:.2f}x the current path"
+              if crossover is not None else
+              "\nno crossover inside the swept range")
+    return table.render() + footer
+
+
+def cmd_report(args: argparse.Namespace) -> str:
+    """Aggregate archived benchmark artefacts into one markdown file."""
+    from repro.analysis.export import build_report
+
+    status = build_report(args.results_dir, output_path=args.output)
+    output = args.output or f"{args.results_dir}/REPORT.md"
+    lines = [f"report written to {output}",
+             f"included {len(status.included)} artefacts"]
+    if status.missing:
+        lines.append(
+            f"missing {len(status.missing)} artefacts (run "
+            f"`pytest benchmarks/ --benchmark-only` first): "
+            + ", ".join(status.missing[:6])
+            + ("…" if len(status.missing) > 6 else "")
+        )
+    return "\n".join(lines)
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "boards": cmd_boards,
+    "characterize": cmd_characterize,
+    "tune": cmd_tune,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "report": cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CPU-iGPU communication tuning framework (DAC 2021 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("boards", help="list board presets")
+
+    p = sub.add_parser("characterize", help="run the micro-benchmark suite")
+    p.add_argument("board", choices=available_boards())
+
+    for name, extra in (("tune", True), ("compare", False)):
+        p = sub.add_parser(name, help=f"{name} a bundled application")
+        p.add_argument("app", choices=["shwfs", "orbslam"])
+        p.add_argument("board", choices=available_boards())
+        if extra:
+            p.add_argument("--model", default="SC", choices=["SC", "UM", "ZC"],
+                           help="the application's current model")
+
+    p = sub.add_parser("sweep", help="ZC-path what-if sensitivity sweep")
+    p.add_argument("app", choices=["shwfs", "orbslam"])
+    p.add_argument("board", choices=available_boards())
+    p.add_argument("--factors", nargs="+", type=float,
+                   default=[0.25, 0.5, 1.0, 2.0, 4.0, 8.0])
+
+    p = sub.add_parser("report",
+                       help="aggregate benchmark artefacts into REPORT.md")
+    p.add_argument("results_dir", nargs="?", default="benchmarks/results")
+    p.add_argument("--output", default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(_COMMANDS[args.command](args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

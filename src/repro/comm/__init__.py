@@ -1,0 +1,37 @@
+"""Communication-model executors.
+
+Each executor runs a :class:`~repro.kernels.workload.Workload` on a
+:class:`~repro.soc.soc.SoC` under one of the paper's three CPU-iGPU
+communication models and returns an :class:`ExecutionReport` with the
+timing/energy breakdown the profiler and the performance model consume:
+
+- :class:`StandardCopyModel` (SC) — explicit copies, caches on,
+  software flushes around kernels, serialized tasks.
+- :class:`UnifiedMemoryModel` (UM) — on-demand page migration instead
+  of copies; performance within a small driver delta of SC.
+- :class:`ZeroCopyModel` (ZC) — pinned concurrent access, caches
+  disabled or I/O-coherent per board, optional overlapped execution via
+  the Fig-4 tiled pattern in :mod:`repro.comm.tiling`.
+"""
+
+from repro.comm.base import CommModel, get_model
+from repro.comm.report import ExecutionReport, IterationBreakdown
+from repro.comm.standard_copy import StandardCopyModel
+from repro.comm.tiling import TiledZeroCopyPattern, TilingPlan
+from repro.comm.tiling2d import Checkerboard2DPattern, TilingPlan2D
+from repro.comm.unified_memory import UnifiedMemoryModel
+from repro.comm.zero_copy import ZeroCopyModel
+
+__all__ = [
+    "CommModel",
+    "get_model",
+    "ExecutionReport",
+    "IterationBreakdown",
+    "StandardCopyModel",
+    "UnifiedMemoryModel",
+    "ZeroCopyModel",
+    "TiledZeroCopyPattern",
+    "TilingPlan",
+    "TilingPlan2D",
+    "Checkerboard2DPattern",
+]

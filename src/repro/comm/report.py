@@ -1,0 +1,124 @@
+"""Execution reports: what one workload run produced.
+
+The paper's tables report, per board and model: the total (system)
+time, the CPU-only time, the GPU kernel time, and the copy time per
+kernel.  :class:`IterationBreakdown` carries exactly those components
+for one workload iteration; :class:`ExecutionReport` aggregates the
+cold first iteration, the warm steady-state iteration, totals, cache
+statistics, and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.soc.energy import EnergyBreakdown
+from repro.soc.phase import PhaseResult
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Per-iteration timing components (seconds)."""
+
+    cpu_time_s: float = 0.0
+    kernel_time_s: float = 0.0
+    copy_time_s: float = 0.0
+    flush_time_s: float = 0.0
+    migration_time_s: float = 0.0
+    sync_overhead_s: float = 0.0
+    other_time_s: float = 0.0
+    overlapped_time_s: Optional[float] = None
+
+    @property
+    def total_s(self) -> float:
+        """Iteration wall-clock time.
+
+        When the CPU and GPU ran overlapped (zero-copy tiled pattern),
+        ``overlapped_time_s`` already combines their concurrent
+        execution and replaces the cpu+kernel sum.
+        """
+        fixed = (
+            self.copy_time_s
+            + self.flush_time_s
+            + self.migration_time_s
+            + self.sync_overhead_s
+            + self.other_time_s
+        )
+        if self.overlapped_time_s is not None:
+            return self.overlapped_time_s + fixed
+        return self.cpu_time_s + self.kernel_time_s + fixed
+
+    @property
+    def is_overlapped(self) -> bool:
+        """True when CPU and GPU executed concurrently."""
+        return self.overlapped_time_s is not None
+
+
+@dataclass
+class ExecutionReport:
+    """Complete outcome of running a workload under one model."""
+
+    workload_name: str
+    model: str
+    board_name: str
+    iterations: int
+    first_iteration: IterationBreakdown
+    steady_iteration: IterationBreakdown
+    cpu_phase: Optional[PhaseResult]
+    gpu_phase: Optional[PhaseResult]
+    copied_bytes_per_iteration: int
+    energy: Optional[EnergyBreakdown] = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ModelError("report must cover at least one iteration")
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall-clock time across all iterations (cold + warm)."""
+        if self.iterations == 1:
+            return self.first_iteration.total_s
+        return (
+            self.first_iteration.total_s
+            + (self.iterations - 1) * self.steady_iteration.total_s
+        )
+
+    @property
+    def time_per_iteration_s(self) -> float:
+        """Steady-state time per iteration (what the paper's tables
+        report for streaming applications)."""
+        return self.steady_iteration.total_s
+
+    @property
+    def kernel_time_s(self) -> float:
+        """Steady-state GPU kernel time."""
+        return self.steady_iteration.kernel_time_s
+
+    @property
+    def cpu_time_s(self) -> float:
+        """Steady-state CPU-only time."""
+        return self.steady_iteration.cpu_time_s
+
+    @property
+    def copy_time_s(self) -> float:
+        """Steady-state copy (or migration) time per iteration."""
+        return self.steady_iteration.copy_time_s + self.steady_iteration.migration_time_s
+
+    @property
+    def energy_per_second_w(self) -> float:
+        """Average power (J/s) over the run, if energy was modelled."""
+        if self.energy is None or self.total_time_s <= 0:
+            return 0.0
+        return self.energy.total_j / self.total_time_s
+
+    def speedup_vs(self, other: "ExecutionReport") -> float:
+        """Steady-state speedup of ``self`` relative to ``other``.
+
+        Positive values mean ``self`` is faster; the paper quotes this
+        as a percentage (e.g. +38 % for ZC vs SC on Xavier).
+        """
+        if self.time_per_iteration_s <= 0:
+            raise ModelError("cannot compute speedup of a zero-time run")
+        return other.time_per_iteration_s / self.time_per_iteration_s - 1.0

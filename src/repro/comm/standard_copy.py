@@ -1,0 +1,101 @@
+"""Standard-copy (SC) communication model.
+
+The physically shared memory is partitioned into CPU and GPU logical
+spaces (paper Fig. 1c).  Every iteration:
+
+1. the CPU routine runs on its partition (all caches enabled),
+2. the shared input buffers are copied CPU→GPU by the copy engine,
+3. the CPU caches are flushed (software coherence before the kernel),
+4. the GPU kernel runs on the GPU partition,
+5. the GPU caches are flushed and shared outputs are copied back.
+
+CPU routines and GPU kernels are implicitly synchronized — no overlap.
+The caches hide the copy overhead, which is why SC remains the best
+model for cache-dependent applications.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import CommModel, PlacedWorkload, register_model
+from repro.comm.report import ExecutionReport, IterationBreakdown
+from repro.kernels.workload import Workload
+from repro.soc.address import RegionKind
+from repro.soc.soc import MODEL_SC, SoC
+
+
+@register_model
+class StandardCopyModel(CommModel):
+    """Explicit-copy executor."""
+
+    name = MODEL_SC
+
+    def _place(self, workload: Workload, soc: SoC) -> PlacedWorkload:
+        size = self._region_size(workload)
+        cpu_region = soc.make_region("cpu_partition", size, RegionKind.CPU_PARTITION)
+        gpu_region = soc.make_region("gpu_partition", size, RegionKind.GPU_PARTITION)
+        return PlacedWorkload(
+            workload=workload,
+            cpu_buffers=self._allocate_all(cpu_region, workload),
+            gpu_buffers=self._allocate_all(gpu_region, workload),
+        )
+
+    def _iteration(
+        self, placed: PlacedWorkload, soc: SoC, mode: str
+    ) -> IterationBreakdown:
+        workload = placed.workload
+        cpu_phase = None
+        gpu_phase = None
+        copy_time = 0.0
+        flush_time = 0.0
+
+        if workload.cpu_task is not None:
+            stream = workload.cpu_task.build_streams(
+                placed.cpu_buffers, soc.board.cpu.l1.line_size
+            )
+            cpu_phase = soc.run_cpu(
+                workload.cpu_task.name,
+                workload.cpu_task.compute_cycles(),
+                stream,
+                mode=mode,
+            )
+        copy_time += soc.copy(workload.bytes_to_gpu).time_s
+        flush_time += soc.flush_cpu_caches().time_s
+        if workload.gpu_kernel is not None:
+            stream = workload.gpu_kernel.build_streams(
+                placed.gpu_buffers, soc.board.gpu.l1.line_size
+            )
+            gpu_phase = soc.run_gpu(
+                workload.gpu_kernel.name,
+                workload.gpu_kernel.total_flops(),
+                stream,
+                mode=mode,
+            )
+        flush_time += soc.flush_gpu_caches().time_s
+        copy_time += soc.copy(workload.bytes_to_cpu).time_s
+
+        self._last_phases = (cpu_phase, gpu_phase)
+        return IterationBreakdown(
+            cpu_time_s=cpu_phase.time_s if cpu_phase else 0.0,
+            kernel_time_s=gpu_phase.time_s if gpu_phase else 0.0,
+            copy_time_s=copy_time,
+            flush_time_s=flush_time,
+            other_time_s=workload.fixed_iteration_overhead_s,
+        )
+
+    def execute(self, workload: Workload, soc: SoC,
+                mode: str = "auto") -> ExecutionReport:
+        """Run ``workload`` under SC and report timing/energy."""
+        placed = self.place(workload, soc)
+        with soc.communication(self.name):
+            first = self._iteration(placed, soc, mode)
+            steady = self._iteration(placed, soc, mode)
+        cpu_phase, gpu_phase = self._last_phases
+        return self._finalize(
+            workload,
+            soc,
+            first,
+            steady,
+            cpu_phase,
+            gpu_phase,
+            copied_per_iteration=workload.copied_bytes_per_iteration,
+        )

@@ -1,0 +1,161 @@
+"""Zero-copy (ZC) communication model.
+
+All shared data lives in one pinned region both processors address
+directly (paper Fig. 1a/1b); the copies and kernel-boundary flushes of
+SC/UM disappear.  The price is paid in cache state:
+
+- on boards without hardware I/O coherence (Nano, TX2), the GPU *and*
+  CPU caches are disabled, and the GPU streams the pinned data at the
+  slow uncached bandwidth (Table I: 1.28 GB/s on TX2 vs 97.34 under SC);
+- on I/O-coherent boards (Xavier), the CPU caches stay enabled, the GPU
+  LLC is disabled, and the GPU snoops the CPU cache at a much better
+  rate (32.29 GB/s).
+
+The reward is *overlap*: because nothing synchronizes the processors
+implicitly, an overlappable workload runs CPU routine and GPU kernel
+concurrently using the Fig-4 tiled pattern (:mod:`repro.comm.tiling`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.comm.base import CommModel, PlacedWorkload, register_model
+from repro.errors import ConfigurationError
+from repro.comm.report import ExecutionReport, IterationBreakdown
+from repro.comm.tiling import TiledZeroCopyPattern, TilingPlan
+from repro.kernels.workload import Workload
+from repro.soc.address import RegionKind
+from repro.soc.events import OverlapJob
+from repro.soc.phase import PhaseResult
+from repro.soc.soc import MODEL_ZC, SoC
+
+
+@register_model
+class ZeroCopyModel(CommModel):
+    """Pinned-memory concurrent-access executor."""
+
+    name = MODEL_ZC
+
+    def _place(self, workload: Workload, soc: SoC) -> PlacedWorkload:
+        """Shared buffers go to the pinned region (uncacheable under
+        ZC); non-shared buffers stay in a private, cacheable region."""
+        size = self._region_size(workload)
+        pinned = soc.make_region("pinned", size, RegionKind.PINNED)
+        private = soc.make_region("zc_private", size, RegionKind.PRIVATE)
+        buffers = {}
+        for spec in workload.buffers:
+            region = pinned if spec.shared else private
+            buffers[spec.name] = region.allocate(
+                spec.name, spec.size_bytes, element_size=spec.element_size
+            )
+        return PlacedWorkload(
+            workload=workload, cpu_buffers=buffers, gpu_buffers=buffers
+        )
+
+    # ------------------------------------------------------------------
+    # overlap machinery
+    # ------------------------------------------------------------------
+
+    def _fabric_bandwidths(self, soc: SoC) -> Tuple[float, float]:
+        """(CPU, GPU) private port rates onto the shared fabric."""
+        zc = soc.board.zero_copy
+        if zc.cpu_llc_disabled:
+            cpu_bw = zc.cpu_zc_bandwidth
+        else:
+            cpu_bw = soc.dram.config.effective_bandwidth
+        return cpu_bw, zc.gpu_zc_bandwidth
+
+    @staticmethod
+    def _job_from_phase(
+        phase: PhaseResult, bandwidth: float, overlap: bool
+    ) -> OverlapJob:
+        """Recast a standalone phase as a fabric-sharing job.
+
+        The job's memory demand is sized so that, alone, it replays the
+        phase's standalone memory time at its private port rate; under
+        contention the arbiter stretches it.
+        """
+        return OverlapJob(
+            name=phase.processor,
+            compute_time_s=phase.time_s - phase.memory_time_s
+            if not overlap
+            else phase.compute_time_s,
+            memory_bytes=phase.memory_time_s * bandwidth,
+            solo_bandwidth=bandwidth,
+            overlap_compute_memory=overlap,
+        )
+
+    def _overlapped_iteration(
+        self,
+        workload: Workload,
+        soc: SoC,
+        cpu_phase: PhaseResult,
+        gpu_phase: PhaseResult,
+    ) -> IterationBreakdown:
+        """One iteration with the tiled pattern overlapping the tasks.
+
+        Falls back to serialized execution when no shared buffer is
+        large enough to tile (the pattern needs at least two tiles).
+        """
+        shared = workload.shared_buffers
+        plan_buffer = max(shared, key=lambda b: b.size_bytes) if shared \
+            else max(workload.buffers, key=lambda b: b.size_bytes)
+        try:
+            plan = TilingPlan.for_buffer(plan_buffer, soc.board)
+        except ConfigurationError:
+            return IterationBreakdown(
+                cpu_time_s=cpu_phase.time_s,
+                kernel_time_s=gpu_phase.time_s,
+                other_time_s=workload.fixed_iteration_overhead_s,
+            )
+        pattern = TiledZeroCopyPattern(plan)
+        cpu_bw, gpu_bw = self._fabric_bandwidths(soc)
+        execution = pattern.overlapped_execution(
+            self._job_from_phase(cpu_phase, cpu_bw, overlap=False),
+            self._job_from_phase(gpu_phase, gpu_bw, overlap=True),
+            soc.board.interconnect,
+        )
+        return IterationBreakdown(
+            cpu_time_s=cpu_phase.time_s,
+            kernel_time_s=gpu_phase.time_s,
+            sync_overhead_s=execution.sync_overhead_s,
+            other_time_s=workload.fixed_iteration_overhead_s,
+            overlapped_time_s=execution.overlapped_time_s,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _iteration(
+        self, placed: PlacedWorkload, soc: SoC, mode: str
+    ) -> IterationBreakdown:
+        workload = placed.workload
+        cpu_phase, gpu_phase = self._run_phases(placed, soc, mode=mode)
+        self._last_phases = (cpu_phase, gpu_phase)
+        if workload.overlappable and cpu_phase is not None and gpu_phase is not None:
+            return self._overlapped_iteration(workload, soc, cpu_phase, gpu_phase)
+        return IterationBreakdown(
+            cpu_time_s=cpu_phase.time_s if cpu_phase else 0.0,
+            kernel_time_s=gpu_phase.time_s if gpu_phase else 0.0,
+            other_time_s=workload.fixed_iteration_overhead_s,
+        )
+
+    def execute(self, workload: Workload, soc: SoC,
+                mode: str = "auto") -> ExecutionReport:
+        """Run ``workload`` under ZC and report timing/energy."""
+        placed = self.place(workload, soc)
+        with soc.communication(self.name):
+            first = self._iteration(placed, soc, mode)
+            steady = self._iteration(placed, soc, mode)
+        cpu_phase, gpu_phase = self._last_phases
+        return self._finalize(
+            workload,
+            soc,
+            first,
+            steady,
+            cpu_phase,
+            gpu_phase,
+            copied_per_iteration=0,
+        )

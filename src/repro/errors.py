@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError` so
+that callers can catch framework problems without masking unrelated
+bugs.  The subclasses mirror the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A board, cache, or model configuration is inconsistent.
+
+    Raised eagerly at construction time (e.g. a cache whose size is not
+    a multiple of ``line_size * ways``) so that invalid hardware
+    descriptions never reach the simulator.
+    """
+
+
+class AddressError(ReproError):
+    """An address or buffer operation is out of range or misaligned."""
+
+
+class AllocationError(ReproError):
+    """A memory region cannot satisfy an allocation request."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent runtime state."""
+
+
+class CoherenceError(SimulationError):
+    """A coherence invariant was violated (e.g. dirty lines at a
+    zero-copy handoff on a board without hardware I/O coherence)."""
+
+
+class RaceConditionError(SimulationError):
+    """The concurrency checker detected CPU and iGPU touching the same
+    tile inside one phase of the zero-copy communication pattern."""
+
+
+class ProfilingError(ReproError):
+    """A profile is missing counters required by the performance model."""
+
+
+class ModelError(ReproError):
+    """The performance model was given inconsistent measurements
+    (e.g. a copy time larger than the total runtime)."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed (unknown buffer, empty task
+    graph, mismatched footprint)."""
+
+
+class MicrobenchmarkError(ReproError):
+    """A micro-benchmark could not produce a usable characterization
+    (e.g. a sweep too short to locate a threshold)."""

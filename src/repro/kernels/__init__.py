@@ -1,0 +1,60 @@
+"""Workload intermediate representation.
+
+The paper's micro-benchmarks and applications are defined by their
+*operation mixes* (``fma.rn``, ``sqrt``, ``div`` …) and *memory access
+shapes* (``ld.global``/``st.global`` over linear, fractional, or sparse
+index spaces).  This subpackage expresses both, independent of any
+communication model or board:
+
+- :mod:`repro.kernels.ops` — operation cost table and :class:`OpMix`.
+- :mod:`repro.kernels.patterns` — declarative access-pattern specs that
+  materialize into :class:`repro.soc.stream.AccessStream` once buffers
+  are placed.
+- :mod:`repro.kernels.task` — :class:`CpuTask` and :class:`GpuKernel`.
+- :mod:`repro.kernels.workload` — :class:`Workload`, the unit the
+  communication models execute and the profiler profiles.
+"""
+
+from repro.kernels.builders import (
+    gpu_offload,
+    ping_pong,
+    producer_consumer,
+    streaming_reduction,
+)
+from repro.kernels.ops import OpMix, OpSpec, op_table
+from repro.kernels.patterns import (
+    FractionPattern,
+    LinearPattern,
+    PatternSpec,
+    SingleAddressPattern,
+    SparsePattern,
+    StridedPattern,
+    TiledPattern,
+    VirtualLinearPattern,
+    VirtualSparsePattern,
+)
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Workload
+
+__all__ = [
+    "producer_consumer",
+    "ping_pong",
+    "gpu_offload",
+    "streaming_reduction",
+    "OpMix",
+    "OpSpec",
+    "op_table",
+    "PatternSpec",
+    "LinearPattern",
+    "SingleAddressPattern",
+    "FractionPattern",
+    "SparsePattern",
+    "StridedPattern",
+    "TiledPattern",
+    "VirtualLinearPattern",
+    "VirtualSparsePattern",
+    "CpuTask",
+    "GpuKernel",
+    "BufferSpec",
+    "Workload",
+]

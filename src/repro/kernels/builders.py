@@ -1,0 +1,185 @@
+"""High-level workload templates.
+
+The paper's motivating applications share a handful of structures
+(§I: "camera- or sensor-based applications, in which the CPU offloads
+streams of data to the GPU").  These builders capture them so a user
+can describe an application in one call instead of assembling buffers,
+tasks, and patterns by hand:
+
+- :func:`producer_consumer` — CPU produces a frame, GPU consumes it
+  (the SH-WFS shape);
+- :func:`ping_pong` — both processors read and write the same buffer
+  each iteration (the Fig-4 shape, overlappable);
+- :func:`gpu_offload` — a GPU-dominant kernel with a small result
+  copy-back and a hot reuse tile (the ORB shape);
+- :func:`streaming_reduction` — large input streamed once, tiny output
+  (classic sensor fusion / statistics).
+
+Each knob maps to a profile-visible property: footprints drive cache
+usage, per-element ops drive compute/memory balance, reuse factors
+drive GPU cache dependence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise WorkloadError(f"{name} must be positive, got {value}")
+
+
+def producer_consumer(
+    name: str,
+    frame_elements: int,
+    cpu_ops_per_element: float = 2.0,
+    gpu_ops_per_element: float = 4.0,
+    iterations: int = 100,
+    overlappable: bool = True,
+    element_size: int = 4,
+) -> Workload:
+    """CPU writes a frame, the GPU reads it (one copy per iteration
+    under SC)."""
+    _check_positive(frame_elements=frame_elements, iterations=iterations,
+                    element_size=element_size)
+    frame = BufferSpec("frame", frame_elements, element_size=element_size,
+                       shared=True, direction=Direction.TO_GPU)
+    return Workload(
+        name=name,
+        buffers=(frame,),
+        cpu_task=CpuTask(
+            name=f"{name}-produce",
+            ops=OpMix.per_element({"mul": cpu_ops_per_element / 2,
+                                   "add": cpu_ops_per_element / 2},
+                                  frame_elements),
+            pattern=LinearPattern(buffer="frame", read_write_pairs=True),
+        ),
+        gpu_kernel=GpuKernel(
+            name=f"{name}-consume",
+            ops=OpMix.per_element({"fma": gpu_ops_per_element / 2},
+                                  frame_elements),
+            pattern=LinearPattern(buffer="frame", read_write_pairs=False),
+        ),
+        iterations=iterations,
+        overlappable=overlappable,
+    )
+
+
+def ping_pong(
+    name: str,
+    elements: int,
+    cpu_ops_per_element: float = 2.0,
+    gpu_ops_per_element: float = 2.0,
+    iterations: int = 100,
+    element_size: int = 4,
+) -> Workload:
+    """Both processors read and write the shared structure each
+    iteration — the natural fit for the Fig-4 tiled pattern."""
+    _check_positive(elements=elements, iterations=iterations)
+    shared = BufferSpec("shared", elements, element_size=element_size,
+                        shared=True, direction=Direction.BIDIRECTIONAL)
+    return Workload(
+        name=name,
+        buffers=(shared,),
+        cpu_task=CpuTask(
+            name=f"{name}-cpu",
+            ops=OpMix.per_element({"mul": cpu_ops_per_element},
+                                  elements // 2),
+            pattern=LinearPattern(buffer="shared", read_write_pairs=True),
+        ),
+        gpu_kernel=GpuKernel(
+            name=f"{name}-gpu",
+            ops=OpMix.per_element({"fma": gpu_ops_per_element / 2},
+                                  elements // 2),
+            pattern=LinearPattern(buffer="shared", read_write_pairs=True),
+        ),
+        iterations=iterations,
+        overlappable=True,
+    )
+
+
+def gpu_offload(
+    name: str,
+    result_elements: int,
+    hot_tile_bytes: int = 96 * 1024,
+    reuse_passes: int = 8,
+    gpu_flops: float = 10e6,
+    cpu_cycles: float = 100e3,
+    iterations: int = 100,
+) -> Workload:
+    """A GPU-cache-dependent offload with a small result copy-back.
+
+    ``hot_tile_bytes``/``reuse_passes`` set the kernel's GPU cache
+    dependence; the result buffer is the only per-iteration copy.
+    """
+    _check_positive(result_elements=result_elements,
+                    hot_tile_bytes=hot_tile_bytes,
+                    reuse_passes=reuse_passes, iterations=iterations)
+    hot = BufferSpec("hot", hot_tile_bytes // 4, element_size=4,
+                     shared=True, direction=Direction.RESIDENT)
+    result = BufferSpec("result", result_elements, element_size=4,
+                        shared=True, direction=Direction.TO_CPU)
+    state = BufferSpec("state", 4096, element_size=4, shared=False)
+    return Workload(
+        name=name,
+        buffers=(hot, result, state),
+        cpu_task=CpuTask(
+            name=f"{name}-host",
+            ops=OpMix({"add": cpu_cycles}),
+            pattern=LinearPattern(buffer="state", read_write_pairs=True),
+        ),
+        gpu_kernel=GpuKernel(
+            name=f"{name}-kernel",
+            ops=OpMix({"fma": gpu_flops / 2.0}),
+            pattern=LinearPattern(buffer="hot", read_write_pairs=False,
+                                  repeats=reuse_passes),
+            extra_patterns=(
+                LinearPattern(buffer="result", read_write_pairs=False,
+                              write=True),
+            ),
+        ),
+        iterations=iterations,
+        overlappable=False,
+    )
+
+
+def streaming_reduction(
+    name: str,
+    input_elements: int,
+    output_elements: int = 64,
+    gpu_ops_per_element: float = 2.0,
+    iterations: int = 50,
+    element_size: int = 4,
+) -> Workload:
+    """Stream a large input once, emit a tiny reduction result."""
+    _check_positive(input_elements=input_elements,
+                    output_elements=output_elements, iterations=iterations)
+    if output_elements >= input_elements:
+        raise WorkloadError("a reduction must shrink its input")
+    data = BufferSpec("data", input_elements, element_size=element_size,
+                      shared=True, direction=Direction.TO_GPU)
+    result = BufferSpec("result", output_elements, element_size=element_size,
+                        shared=True, direction=Direction.TO_CPU)
+    return Workload(
+        name=name,
+        buffers=(data, result),
+        gpu_kernel=GpuKernel(
+            name=f"{name}-reduce",
+            ops=OpMix.per_element({"add": gpu_ops_per_element},
+                                  input_elements),
+            pattern=LinearPattern(buffer="data", read_write_pairs=False),
+            extra_patterns=(
+                LinearPattern(buffer="result", read_write_pairs=False,
+                              write=True),
+            ),
+        ),
+        iterations=iterations,
+    )

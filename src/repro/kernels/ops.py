@@ -1,0 +1,105 @@
+"""Operation cost table and operation mixes.
+
+The paper describes its micro-benchmark routines at the instruction
+level: the CPU routine performs "square roots as well as divisions and
+multiplications", the GPU kernels combine ``ld.global``/``st.global``
+with ``add.s32`` or ``fma.rn``.  :class:`OpMix` captures such a recipe
+as operation counts; the cost table converts the mix into CPU cycles or
+GPU FLOPs for the timing models.
+
+Costs are architectural estimates for ARM Cortex-class CPUs and
+CUDA-class GPUs: what matters for the reproduction is the *relative*
+weight of expensive operations (sqrt, div) versus cheap ones (add,
+fma), which shapes the compute/memory balance of each benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Cost of one operation class."""
+
+    name: str
+    cpu_cycles: float
+    gpu_flops: float
+    description: str = ""
+
+
+_OP_TABLE: Dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in (
+        OpSpec("add", 1.0, 1.0, "integer/float add (add.s32 / fadd)"),
+        OpSpec("mul", 1.0, 1.0, "multiply"),
+        OpSpec("fma", 1.0, 2.0, "fused multiply-add (fma.rn)"),
+        OpSpec("div", 12.0, 8.0, "floating-point division"),
+        OpSpec("sqrt", 14.0, 8.0, "square root"),
+        OpSpec("cmp", 1.0, 1.0, "compare / select"),
+        OpSpec("abs", 1.0, 1.0, "absolute value"),
+        OpSpec("exp", 20.0, 16.0, "exponential (SFU-class)"),
+        OpSpec("atan2", 24.0, 20.0, "two-argument arctangent"),
+    )
+}
+
+
+def op_table() -> Mapping[str, OpSpec]:
+    """The immutable operation cost table."""
+    return dict(_OP_TABLE)
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Total operation counts of one task.
+
+    Counts are absolute (per task execution, all elements included).
+    Use :meth:`scaled` to derive per-size variants.
+    """
+
+    counts: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, count in self.counts.items():
+            if name not in _OP_TABLE:
+                raise WorkloadError(
+                    f"unknown operation {name!r}; known: {sorted(_OP_TABLE)}"
+                )
+            if count < 0:
+                raise WorkloadError(f"operation {name!r} has negative count {count}")
+
+    @classmethod
+    def per_element(cls, element_counts: Mapping[str, float], num_elements: int) -> "OpMix":
+        """Build a mix from per-element op counts."""
+        if num_elements < 0:
+            raise WorkloadError("num_elements cannot be negative")
+        return cls({name: c * num_elements for name, c in element_counts.items()})
+
+    @property
+    def total_ops(self) -> float:
+        """Total operation count, unweighted."""
+        return sum(self.counts.values())
+
+    def cpu_cycles(self) -> float:
+        """Cycles this mix costs on a CPU core."""
+        return sum(_OP_TABLE[name].cpu_cycles * c for name, c in self.counts.items())
+
+    def gpu_flops(self) -> float:
+        """FLOPs this mix costs on the GPU (normalized to fma=2)."""
+        return sum(_OP_TABLE[name].gpu_flops * c for name, c in self.counts.items())
+
+    def scaled(self, factor: float) -> "OpMix":
+        """A mix with every count multiplied by ``factor``."""
+        if factor < 0:
+            raise WorkloadError("scale factor cannot be negative")
+        return OpMix({name: c * factor for name, c in self.counts.items()})
+
+    def merged(self, other: "OpMix") -> "OpMix":
+        """Element-wise sum of two mixes."""
+        merged = dict(self.counts)
+        for name, c in other.counts.items():
+            merged[name] = merged.get(name, 0.0) + c
+        return OpMix(merged)

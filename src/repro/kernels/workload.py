@@ -1,0 +1,134 @@
+"""Workloads: the unit the communication models execute.
+
+A :class:`Workload` couples a CPU task and a GPU kernel around a set of
+logical buffers, plus the communication contract between them: which
+buffers cross the CPU→GPU boundary each iteration (the copies SC must
+perform), and whether the two tasks may legally overlap under the
+zero-copy tiled pattern (producer-consumer structure, paper §III-C).
+
+Workloads are repeated ``iterations`` times — this models streaming
+applications (frames from a camera, wavefront sensor exposures) whose
+steady-state per-iteration cost is what the paper's tables report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.kernels.task import CpuTask, GpuKernel
+
+
+class Direction(enum.Enum):
+    """Which way a shared buffer crosses the CPU/GPU boundary."""
+
+    TO_GPU = "to_gpu"  # CPU produces, GPU consumes
+    TO_CPU = "to_cpu"  # GPU produces, CPU consumes
+    BIDIRECTIONAL = "both"  # ping-pong (tiled ZC pattern)
+    #: Lives in the shared space (pinned under ZC) but is not copied
+    #: per iteration under SC — e.g. a pyramid produced and consumed on
+    #: the GPU side across kernels.
+    RESIDENT = "resident"
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """A logical buffer of the workload."""
+
+    name: str
+    num_elements: int
+    element_size: int = 4
+    shared: bool = False
+    direction: Direction = Direction.TO_GPU
+
+    def __post_init__(self) -> None:
+        if self.num_elements <= 0:
+            raise WorkloadError(f"buffer {self.name!r}: num_elements must be positive")
+        if self.element_size <= 0:
+            raise WorkloadError(f"buffer {self.name!r}: element_size must be positive")
+
+    @property
+    def size_bytes(self) -> int:
+        """Buffer size in bytes."""
+        return self.num_elements * self.element_size
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete CPU+iGPU workload."""
+
+    name: str
+    buffers: Tuple[BufferSpec, ...]
+    cpu_task: Optional[CpuTask] = None
+    gpu_kernel: Optional[GpuKernel] = None
+    iterations: int = 1
+    overlappable: bool = False
+    #: Time per iteration spent in application stages outside the
+    #: profiled CPU routine / GPU kernel / transfers (identical under
+    #: every communication model).  The paper's system totals include
+    #: such stages; modelling them keeps speedup percentages comparable.
+    fixed_iteration_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fixed_iteration_overhead_s < 0:
+            raise WorkloadError(
+                f"workload {self.name!r}: fixed overhead cannot be negative"
+            )
+        if not self.buffers:
+            raise WorkloadError(f"workload {self.name!r} declares no buffers")
+        names = [b.name for b in self.buffers]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"workload {self.name!r} has duplicate buffer names")
+        if self.cpu_task is None and self.gpu_kernel is None:
+            raise WorkloadError(f"workload {self.name!r} has no tasks")
+        if self.iterations < 1:
+            raise WorkloadError(f"workload {self.name!r}: iterations must be >= 1")
+
+    @property
+    def buffer_map(self) -> Dict[str, BufferSpec]:
+        """Logical name → spec."""
+        return {b.name: b for b in self.buffers}
+
+    def buffer(self, name: str) -> BufferSpec:
+        """Look up a buffer spec by name."""
+        try:
+            return self.buffer_map[name]
+        except KeyError:
+            raise WorkloadError(
+                f"workload {self.name!r} has no buffer {name!r}"
+            ) from None
+
+    @property
+    def shared_buffers(self) -> List[BufferSpec]:
+        """Buffers that cross the CPU/GPU boundary each iteration."""
+        return [b for b in self.buffers if b.shared]
+
+    @property
+    def bytes_to_gpu(self) -> int:
+        """Bytes SC copies host→device per iteration."""
+        return sum(
+            b.size_bytes
+            for b in self.shared_buffers
+            if b.direction in (Direction.TO_GPU, Direction.BIDIRECTIONAL)
+        )
+
+    @property
+    def bytes_to_cpu(self) -> int:
+        """Bytes SC copies device→host per iteration."""
+        return sum(
+            b.size_bytes
+            for b in self.shared_buffers
+            if b.direction in (Direction.TO_CPU, Direction.BIDIRECTIONAL)
+        )
+
+    @property
+    def copied_bytes_per_iteration(self) -> int:
+        """Total SC copy payload per iteration."""
+        return self.bytes_to_gpu + self.bytes_to_cpu
+
+    @property
+    def total_footprint_bytes(self) -> int:
+        """Sum of all buffer sizes."""
+        return sum(b.size_bytes for b in self.buffers)

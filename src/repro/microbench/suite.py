@@ -1,0 +1,87 @@
+"""Micro-benchmark suite: one-call device characterization.
+
+Runs MB1→MB3 in order (MB2 consumes MB1's peak throughputs, the
+characterization consumes all three) and assembles the
+:class:`~repro.model.device.DeviceCharacterization` the decision flow
+needs.  Characterizations are cached per board name — the paper's
+workflow characterizes a device once and reuses the result across
+applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.microbench.first import FirstBenchResult, FirstMicroBenchmark
+from repro.microbench.second import SecondBenchResult, SecondMicroBenchmark
+from repro.microbench.third import ThirdBenchResult, ThirdMicroBenchmark
+from repro.model.device import DeviceCharacterization
+from repro.soc.board import BoardConfig
+from repro.soc.soc import SoC
+
+#: MB3's paper-scale data set is 2^27 floats; characterization runs use
+#: the same virtual-stream machinery, so the full size is affordable.
+_SUITE_MB3_ELEMENTS = 2 ** 27
+
+
+@dataclass
+class SuiteResults:
+    """Raw results of the three micro-benchmarks."""
+
+    first: FirstBenchResult
+    second: SecondBenchResult
+    third: ThirdBenchResult
+
+
+class MicrobenchmarkSuite:
+    """Runs the three micro-benchmarks and builds characterizations."""
+
+    def __init__(
+        self,
+        first: Optional[FirstMicroBenchmark] = None,
+        second: Optional[SecondMicroBenchmark] = None,
+        third: Optional[ThirdMicroBenchmark] = None,
+    ) -> None:
+        self.first = first or FirstMicroBenchmark()
+        self.second = second or SecondMicroBenchmark()
+        self.third = third or ThirdMicroBenchmark(num_elements=_SUITE_MB3_ELEMENTS)
+        self._cache: Dict[str, DeviceCharacterization] = {}
+        self._raw: Dict[str, SuiteResults] = {}
+
+    def run_all(self, board: BoardConfig) -> SuiteResults:
+        """Run MB1-MB3 on a fresh SoC for ``board``."""
+        soc = SoC(board)
+        first = self.first.run(soc)
+        second = self.second.run(
+            soc,
+            gpu_peak_throughput=first.gpu_max_throughput["SC"],
+            cpu_peak_throughput=first.cpu_max_throughput["SC"],
+        )
+        third = self.third.run(soc)
+        results = SuiteResults(first=first, second=second, third=third)
+        self._raw[board.name] = results
+        return results
+
+    def characterize(self, board: BoardConfig,
+                     force: bool = False) -> DeviceCharacterization:
+        """Characterize ``board`` (cached by board name)."""
+        if not force and board.name in self._cache:
+            return self._cache[board.name]
+        results = self.run_all(board)
+        characterization = DeviceCharacterization(
+            board_name=board.name,
+            io_coherent=board.io_coherent,
+            gpu_cache_throughput=results.first.gpu_max_throughput,
+            cpu_cache_throughput=results.first.cpu_max_throughput,
+            gpu_thresholds=results.second.gpu_analysis,
+            cpu_thresholds=results.second.cpu_analysis,
+            sc_zc_max_speedup=max(1.0, results.third.sc_zc_max_speedup),
+            zc_sc_max_speedup=max(1.0, results.first.zc_sc_kernel_ratio),
+        )
+        self._cache[board.name] = characterization
+        return characterization
+
+    def raw_results(self, board_name: str) -> Optional[SuiteResults]:
+        """Raw micro-benchmark results of the last run on a board."""
+        return self._raw.get(board_name)

@@ -1,0 +1,35 @@
+"""The paper's performance model and decision framework.
+
+- :mod:`repro.model.speedup` — the potential-speedup estimators
+  (eqns 3-4) with their device-level caps.
+- :mod:`repro.model.thresholds` — extraction of the cache-usage
+  thresholds and recommendation zones from micro-benchmark-2 sweeps.
+- :mod:`repro.model.decision` — the Fig-2 decision flow.
+- :mod:`repro.model.framework` — the user-facing façade combining
+  device characterization, profiling, and recommendation.
+"""
+
+from repro.model.decision import Recommendation, RecommendedModel, Zone, decide
+from repro.model.framework import Framework, TuningReport
+from repro.model.speedup import (
+    sc_to_zc_speedup,
+    zc_to_sc_speedup,
+)
+from repro.model.thresholds import SweepPoint, ThresholdAnalysis, analyze_sweep
+from repro.model.whatif import SweepResult, zc_bandwidth_sweep
+
+__all__ = [
+    "SweepResult",
+    "zc_bandwidth_sweep",
+    "Recommendation",
+    "RecommendedModel",
+    "Zone",
+    "decide",
+    "Framework",
+    "TuningReport",
+    "sc_to_zc_speedup",
+    "zc_to_sc_speedup",
+    "SweepPoint",
+    "ThresholdAnalysis",
+    "analyze_sweep",
+]

@@ -1,0 +1,212 @@
+"""The Fig-2 decision flow.
+
+Given an application profile (cache usages, task times) and a device
+characterization (thresholds, zones, max speedups), recommend the
+communication model and estimate the potential speedup of switching:
+
+1. GPU cache usage above the device's zone-2 bound → the GPU is
+   severely bottlenecked without its cache: **SC/UM**.
+2. GPU cache usage between the threshold and the zone-2 bound (only
+   I/O-coherent devices have this zone) → **ZC conditionally**: the
+   eliminated copies and task overlap must outweigh the (bounded)
+   kernel slowdown.
+3. GPU cache usage below the threshold:
+   a. CPU cache usage above its threshold → ZC only pays on devices
+      whose coherence keeps the CPU caches on (**ZC** on Xavier-class,
+      **SC/UM** otherwise);
+   b. both usages low → **ZC**: at least equivalent performance and
+      lower energy (no copy traffic).
+
+If the application is cache-dependent and already on SC, the framework
+suggests no change (paper §III-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.model.device import DeviceCharacterization
+from repro.model.speedup import SpeedupEstimate, sc_to_zc_speedup, zc_to_sc_speedup
+from repro.profiling.counters import AppProfile
+from repro.profiling.metrics import profile_cpu_cache_usage, profile_gpu_cache_usage
+
+
+class RecommendedModel(enum.Enum):
+    """What the framework suggests."""
+
+    ZERO_COPY = "ZC"
+    STANDARD_COPY_OR_UM = "SC/UM"
+    ZERO_COPY_CONDITIONAL = "ZC (zone 2)"
+    NO_CHANGE = "keep current"
+
+
+class Zone(enum.IntEnum):
+    """GPU cache-usage zone (Fig. 3's three regions)."""
+
+    BELOW_THRESHOLD = 1
+    CONDITIONAL = 2
+    BOTTLENECKED = 3
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of the decision flow for one application on one board."""
+
+    model: RecommendedModel
+    zone: Zone
+    cpu_cache_usage_pct: float
+    gpu_cache_usage_pct: float
+    cpu_threshold_pct: float
+    gpu_threshold_pct: float
+    gpu_zone2_pct: float
+    reason: str
+    estimate: Optional[SpeedupEstimate] = None
+    energy_motivated: bool = False
+
+    @property
+    def suggests_switch(self) -> bool:
+        """True when the recommendation differs from the current model."""
+        return self.model is not RecommendedModel.NO_CHANGE
+
+    @property
+    def estimated_speedup_pct(self) -> Optional[float]:
+        """Predicted "up to X %" speedup of following the advice."""
+        return self.estimate.percent if self.estimate is not None else None
+
+
+def decide(
+    profile: AppProfile,
+    device: DeviceCharacterization,
+) -> Recommendation:
+    """Run the Fig-2 decision flow."""
+    if profile.board_name != device.board_name:
+        raise ModelError(
+            f"profile is for board {profile.board_name!r} but the "
+            f"characterization is for {device.board_name!r}"
+        )
+    current = profile.model.upper()
+    cpu_usage = profile_cpu_cache_usage(profile)
+    gpu_usage = profile_gpu_cache_usage(profile, device.gpu_peak_throughput)
+    zone = Zone(device.gpu_thresholds.zone_of(gpu_usage))
+
+    common = dict(
+        zone=zone,
+        cpu_cache_usage_pct=cpu_usage,
+        gpu_cache_usage_pct=gpu_usage,
+        cpu_threshold_pct=device.cpu_threshold_pct,
+        gpu_threshold_pct=device.gpu_threshold_pct,
+        gpu_zone2_pct=device.gpu_zone2_pct,
+    )
+
+    gpu_dependent = zone is not Zone.BELOW_THRESHOLD
+    cpu_dependent = cpu_usage > device.cpu_threshold_pct
+
+    if zone is Zone.BOTTLENECKED or (gpu_dependent and zone is not Zone.CONDITIONAL):
+        return _recommend_copy_models(profile, device, current, common,
+                                      "GPU cache usage exceeds the device zones; "
+                                      "zero-copy would bottleneck the kernel")
+    if zone is Zone.CONDITIONAL:
+        if current in ("SC", "UM"):
+            estimate = _estimate_sc_to_zc(profile, device)
+            return Recommendation(
+                model=RecommendedModel.ZERO_COPY_CONDITIONAL,
+                reason=(
+                    "GPU cache usage falls in the device's second zone: "
+                    "zero-copy may still win if copy elimination and task "
+                    "overlap recover the bounded kernel slowdown"
+                ),
+                estimate=estimate,
+                **common,
+            )
+        return Recommendation(
+            model=RecommendedModel.NO_CHANGE,
+            reason=(
+                "already on zero-copy inside the conditional zone; the "
+                "kernel slowdown is bounded and the copies stay eliminated"
+            ),
+            **common,
+        )
+    # GPU cache usage is low.
+    if cpu_dependent:
+        if device.io_coherent:
+            return _recommend_zero_copy(profile, device, current, common,
+                                        "CPU-cache-dependent, but the device's "
+                                        "hardware I/O coherence keeps the CPU "
+                                        "caches enabled under zero-copy")
+        return _recommend_copy_models(profile, device, current, common,
+                                      "CPU-cache-dependent and zero-copy "
+                                      "disables the CPU caches on this device")
+    return _recommend_zero_copy(
+        profile, device, current, common,
+        "both cache usages are low: zero-copy gives at least equivalent "
+        "performance and saves the copy energy",
+        energy_motivated=True,
+    )
+
+
+def _estimate_sc_to_zc(
+    profile: AppProfile, device: DeviceCharacterization
+) -> Optional[SpeedupEstimate]:
+    if profile.total_runtime_s <= 0 or profile.kernel_runtime_s <= 0:
+        return None
+    if profile.copy_time_s >= profile.total_runtime_s:
+        return None
+    return sc_to_zc_speedup(
+        sc_runtime_s=profile.total_runtime_s,
+        copy_time_s=profile.copy_time_s,
+        cpu_time_s=profile.cpu_time_s,
+        gpu_time_s=profile.kernel_runtime_s,
+        max_speedup=device.sc_zc_max_speedup,
+    )
+
+
+def _estimate_zc_to_sc(
+    profile: AppProfile, device: DeviceCharacterization
+) -> Optional[SpeedupEstimate]:
+    if profile.total_runtime_s <= 0 or profile.kernel_runtime_s <= 0:
+        return None
+    return zc_to_sc_speedup(
+        zc_runtime_s=profile.total_runtime_s,
+        copy_time_s=profile.copy_time_s,
+        cpu_time_s=profile.cpu_time_s,
+        gpu_time_s=profile.kernel_runtime_s,
+        max_speedup=device.zc_sc_max_speedup,
+    )
+
+
+def _recommend_copy_models(profile, device, current, common, reason):
+    if current in ("SC", "UM"):
+        # Cache-dependent and already on a copy model: no change, no
+        # further potential speedup (paper §III-A).
+        return Recommendation(
+            model=RecommendedModel.NO_CHANGE,
+            reason=reason + " — already on a copy-based model",
+            **common,
+        )
+    return Recommendation(
+        model=RecommendedModel.STANDARD_COPY_OR_UM,
+        reason=reason,
+        estimate=_estimate_zc_to_sc(profile, device),
+        **common,
+    )
+
+
+def _recommend_zero_copy(profile, device, current, common, reason,
+                         energy_motivated=False):
+    if current == "ZC":
+        return Recommendation(
+            model=RecommendedModel.NO_CHANGE,
+            reason=reason + " — already on zero-copy",
+            energy_motivated=energy_motivated,
+            **common,
+        )
+    return Recommendation(
+        model=RecommendedModel.ZERO_COPY,
+        reason=reason,
+        estimate=_estimate_sc_to_zc(profile, device),
+        energy_motivated=energy_motivated,
+        **common,
+    )

@@ -1,0 +1,86 @@
+"""Device characterization: what the micro-benchmarks learn about a board.
+
+This is the device-side input of the Fig-2 decision flow.  It is
+produced by :class:`repro.microbench.suite.MicrobenchmarkSuite` and is
+application-independent: characterize a board once, tune any number of
+applications against it (exactly the workflow the paper proposes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ModelError
+from repro.model.thresholds import ThresholdAnalysis
+
+
+@dataclass(frozen=True)
+class DeviceCharacterization:
+    """Micro-benchmark-extracted characteristics of one board."""
+
+    board_name: str
+    io_coherent: bool
+
+    #: GPU LL-L1 peak throughput per communication model (Table I),
+    #: keyed by "SC" / "UM" / "ZC", in bytes/s.
+    gpu_cache_throughput: Dict[str, float]
+
+    #: CPU LLC peak throughput per model, same keys.
+    cpu_cache_throughput: Dict[str, float]
+
+    #: MB2 analyses.
+    gpu_thresholds: ThresholdAnalysis
+    cpu_thresholds: ThresholdAnalysis
+
+    #: MB3 device-level caps for eqns (3)-(4).
+    sc_zc_max_speedup: float
+    zc_sc_max_speedup: float
+
+    def __post_init__(self) -> None:
+        for name, table in (
+            ("gpu_cache_throughput", self.gpu_cache_throughput),
+            ("cpu_cache_throughput", self.cpu_cache_throughput),
+        ):
+            missing = {"SC", "ZC"} - set(table)
+            if missing:
+                raise ModelError(f"{name} missing models: {sorted(missing)}")
+            for model, value in table.items():
+                if value <= 0:
+                    raise ModelError(f"{name}[{model}] must be positive, got {value}")
+        if self.sc_zc_max_speedup <= 0 or self.zc_sc_max_speedup <= 0:
+            raise ModelError("max speedups must be positive")
+
+    @property
+    def gpu_peak_throughput(self) -> float:
+        """Peak LL-L1 GPU throughput (SC) — eqn (2) normalizer."""
+        return self.gpu_cache_throughput["SC"]
+
+    @property
+    def gpu_zc_throughput(self) -> float:
+        """GPU throughput on the zero-copy path."""
+        return self.gpu_cache_throughput["ZC"]
+
+    @property
+    def gpu_threshold_pct(self) -> float:
+        """``GPU_Cache_Threshold`` in percent."""
+        return self.gpu_thresholds.threshold_pct
+
+    @property
+    def cpu_threshold_pct(self) -> float:
+        """``CPU_Cache_Threshold`` in percent."""
+        return self.cpu_thresholds.threshold_pct
+
+    @property
+    def gpu_zone2_pct(self) -> float:
+        """Upper bound of the conditional zone (equals the threshold on
+        devices without one)."""
+        if self.gpu_thresholds.zone2_pct is not None:
+            return self.gpu_thresholds.zone2_pct
+        return self.gpu_thresholds.threshold_pct
+
+    @property
+    def zc_sc_throughput_ratio(self) -> float:
+        """How much slower the GPU cache path is under ZC (e.g. ~77 on
+        the TX2, ~7 on Xavier)."""
+        return self.gpu_cache_throughput["SC"] / self.gpu_cache_throughput["ZC"]

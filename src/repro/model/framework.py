@@ -1,0 +1,126 @@
+"""The user-facing framework façade (paper Fig. 2, end to end).
+
+Typical use::
+
+    from repro import Framework, get_board
+    from repro.apps.shwfs import build_shwfs_workload
+
+    framework = Framework()
+    report = framework.tune(build_shwfs_workload(), get_board("xavier"),
+                            current_model="SC")
+    print(report.recommendation.model, report.recommendation.estimated_speedup_pct)
+
+``tune`` characterizes the device with the micro-benchmarks (cached per
+board), profiles the application under its current communication model,
+computes the cache-usage metrics, runs the decision flow, and returns
+everything in one :class:`TuningReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ModelError
+from repro.kernels.workload import Workload
+from repro.model.decision import Recommendation, decide
+
+if TYPE_CHECKING:  # avoid a circular import with repro.microbench
+    from repro.microbench.suite import MicrobenchmarkSuite
+from repro.model.device import DeviceCharacterization
+from repro.profiling.counters import AppProfile
+from repro.profiling.metrics import profile_cpu_cache_usage, profile_gpu_cache_usage
+from repro.profiling.profiler import Profiler
+from repro.soc.board import BoardConfig
+from repro.soc.soc import ALL_MODELS, SoC
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """Everything the framework learned about one application on one
+    board: the Table II / Table IV row plus the recommendation."""
+
+    workload_name: str
+    board_name: str
+    current_model: str
+    profile: AppProfile
+    device: DeviceCharacterization
+    cpu_cache_usage_pct: float
+    gpu_cache_usage_pct: float
+    recommendation: Recommendation
+
+    @property
+    def kernel_time_s(self) -> float:
+        """Profiled kernel time (Table II "Kernel times" column)."""
+        return self.profile.kernel_runtime_s
+
+    @property
+    def copy_time_s(self) -> float:
+        """Profiled copy time per kernel (Table II column)."""
+        return self.profile.copy_time_s
+
+
+class Framework:
+    """Device characterization + profiling + recommendation."""
+
+    def __init__(self, suite: Optional["MicrobenchmarkSuite"] = None) -> None:
+        if suite is None:
+            # Imported here to keep repro.model importable from the
+            # micro-benchmarks without a cycle.
+            from repro.microbench.suite import MicrobenchmarkSuite
+
+            suite = MicrobenchmarkSuite()
+        self.suite = suite
+
+    # ------------------------------------------------------------------
+    # pieces
+    # ------------------------------------------------------------------
+
+    def characterize(self, board: BoardConfig,
+                     force: bool = False) -> DeviceCharacterization:
+        """Run (or reuse) the micro-benchmark characterization."""
+        return self.suite.characterize(board, force=force)
+
+    def profile(self, workload: Workload, board: BoardConfig,
+                model: str = "SC") -> AppProfile:
+        """Profile the application under one communication model."""
+        soc = SoC(board)
+        return Profiler(soc).profile(workload, model=model)
+
+    # ------------------------------------------------------------------
+    # the full flow
+    # ------------------------------------------------------------------
+
+    def tune(self, workload: Workload, board: BoardConfig,
+             current_model: str = "SC") -> TuningReport:
+        """Run the complete Fig-2 flow for one application."""
+        if current_model.upper() not in ALL_MODELS:
+            raise ModelError(
+                f"unknown communication model {current_model!r}; "
+                f"expected one of {ALL_MODELS}"
+            )
+        device = self.characterize(board)
+        profile = self.profile(workload, board, model=current_model.upper())
+        recommendation = decide(profile, device)
+        return TuningReport(
+            workload_name=workload.name,
+            board_name=board.name,
+            current_model=current_model.upper(),
+            profile=profile,
+            device=device,
+            cpu_cache_usage_pct=profile_cpu_cache_usage(profile),
+            gpu_cache_usage_pct=profile_gpu_cache_usage(
+                profile, device.gpu_peak_throughput
+            ),
+            recommendation=recommendation,
+        )
+
+    def compare_models(self, workload: Workload, board: BoardConfig) -> Dict[str, object]:
+        """Measure the workload under all three models (validation runs,
+        Table III / Table V)."""
+        from repro.comm.base import get_model
+
+        soc = SoC(board)
+        return {model: get_model(model).execute(workload, soc) for model in ALL_MODELS}

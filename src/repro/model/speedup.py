@@ -1,0 +1,136 @@
+"""Potential-speedup estimators (paper eqns 3-4).
+
+Eqn (3) — application currently on **SC**, classified *not*
+cache-dependent; what can ZC buy?
+
+``SC/ZC_speedup = SC_runtime / ((SC_runtime - copy_time) / (1 + CPU/GPU))``
+
+The numerator is the measured SC runtime; the denominator is the
+estimated ZC runtime: the copies disappear and the CPU routine overlaps
+the GPU kernel (a task ratio of r = CPU_time/GPU_time lets the pair
+compress by up to 1 + r when the shorter side hides under the longer).
+The estimate is capped by the device's ``SC/ZC_Max_speedup`` from
+micro-benchmark 3.
+
+Eqn (4) — application currently on **ZC**, classified cache-dependent;
+what does moving to SC cost/gain?
+
+``ZC/SC_speedup = ZC_runtime / (ZC_runtime * (1 + CPU/GPU) + copy_time)``
+
+The denominator is the estimated SC runtime built pessimistically from
+the ZC runtime: the overlapped tasks serialize (factor 1 + r) and the
+copies come back.  The gain of re-enabled caches is captured by the
+``ZC/SC_Max_speedup`` cap measured by the micro-benchmarks: the final
+estimate is ``min(formula, cap)`` on the SC→ZC side and the cap bounds
+the achievable kernel acceleration on the ZC→SC side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+def _validate_times(runtime_s: float, copy_time_s: float,
+                    cpu_time_s: float, gpu_time_s: float) -> None:
+    if runtime_s <= 0:
+        raise ModelError(f"runtime must be positive, got {runtime_s}")
+    if copy_time_s < 0:
+        raise ModelError(f"copy time cannot be negative, got {copy_time_s}")
+    if copy_time_s >= runtime_s:
+        raise ModelError(
+            f"copy time ({copy_time_s}) must be smaller than the runtime "
+            f"({runtime_s})"
+        )
+    if cpu_time_s < 0:
+        raise ModelError(f"CPU time cannot be negative, got {cpu_time_s}")
+    if gpu_time_s <= 0:
+        raise ModelError(f"GPU time must be positive, got {gpu_time_s}")
+
+
+@dataclass(frozen=True)
+class SpeedupEstimate:
+    """One potential-speedup estimate."""
+
+    raw: float
+    capped: float
+    cap: float
+    direction: str  # "SC->ZC" or "ZC->SC"
+
+    @property
+    def percent(self) -> float:
+        """Capped speedup as the paper's "up to X %" figure."""
+        return (self.capped - 1.0) * 100.0
+
+
+def sc_to_zc_speedup(
+    sc_runtime_s: float,
+    copy_time_s: float,
+    cpu_time_s: float,
+    gpu_time_s: float,
+    max_speedup: float,
+) -> SpeedupEstimate:
+    """Eqn (3): potential speedup of switching SC → ZC.
+
+    Args:
+        sc_runtime_s: measured total runtime under SC.
+        copy_time_s: measured CPU-iGPU transfer time within it.
+        cpu_time_s / gpu_time_s: runtimes of the CPU-only task and the
+            GPU kernel.
+        max_speedup: device-level ``SC/ZC_Max_speedup`` (MB3).
+    """
+    _validate_times(sc_runtime_s, copy_time_s, cpu_time_s, gpu_time_s)
+    if max_speedup <= 0:
+        raise ModelError(f"max speedup must be positive, got {max_speedup}")
+    overlap_factor = 1.0 + cpu_time_s / gpu_time_s
+    estimated_zc_runtime = (sc_runtime_s - copy_time_s) / overlap_factor
+    raw = sc_runtime_s / estimated_zc_runtime
+    return SpeedupEstimate(
+        raw=raw,
+        capped=min(raw, max_speedup),
+        cap=max_speedup,
+        direction="SC->ZC",
+    )
+
+
+def zc_to_sc_speedup(
+    zc_runtime_s: float,
+    copy_time_s: float,
+    cpu_time_s: float,
+    gpu_time_s: float,
+    max_speedup: float,
+) -> SpeedupEstimate:
+    """Eqn (4): potential speedup of switching ZC → SC.
+
+    The formula's denominator is the estimated SC runtime: overlapped
+    tasks serialize and the copies return.  A value below 1 means the
+    serialization/copy costs exceed what re-enabled caches can recover;
+    ``max_speedup`` (the device's ``ZC/SC_Max_speedup``) bounds the
+    cache-side gain.
+    """
+    if zc_runtime_s <= 0:
+        raise ModelError(f"runtime must be positive, got {zc_runtime_s}")
+    if copy_time_s < 0:
+        raise ModelError(f"copy time cannot be negative, got {copy_time_s}")
+    if cpu_time_s < 0:
+        raise ModelError(f"CPU time cannot be negative, got {cpu_time_s}")
+    if gpu_time_s <= 0:
+        raise ModelError(f"GPU time must be positive, got {gpu_time_s}")
+    if max_speedup <= 0:
+        raise ModelError(f"max speedup must be positive, got {max_speedup}")
+    serialization = 1.0 + cpu_time_s / gpu_time_s
+    estimated_sc_runtime = zc_runtime_s * serialization + copy_time_s
+    # Re-enabled caches can accelerate the kernel part by at most the
+    # device cap; apply it to the serialized estimate.
+    accelerated = max(
+        estimated_sc_runtime / max_speedup, copy_time_s + cpu_time_s
+    )
+    raw = zc_runtime_s / estimated_sc_runtime
+    capped = zc_runtime_s / accelerated if accelerated > 0 else raw
+    return SpeedupEstimate(
+        raw=raw,
+        capped=max(raw, min(capped, max_speedup)),
+        cap=max_speedup,
+        direction="ZC->SC",
+    )

@@ -1,0 +1,140 @@
+"""Threshold and zone extraction from micro-benchmark-2 sweeps.
+
+MB2 sweeps the accessed fraction of a fixed array and measures the GPU
+LL-L1 throughput and kernel time under ZC and SC.  The paper extracts:
+
+- ``GPU_Cache_Threshold`` — the cache usage (in % of the peak LL-L1
+  throughput) at the *last comparable point*: the largest fraction at
+  which ZC and SC throughput still match within tolerance (Fig 3:
+  16.2 % on Xavier, Fig 6: 2.7 % on TX2).
+- On I/O-coherent devices, a **second zone** up to the usage where the
+  ZC/SC *runtime* difference reaches 200 % (Fig 3: 57.1 % on Xavier);
+  inside it ZC may still win overall thanks to eliminated copies and
+  task overlap.
+
+The same machinery extracts ``CPU_Cache_Threshold`` from the CPU-side
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import MicrobenchmarkError
+
+#: ZC and SC throughputs are "comparable" within this relative tolerance.
+COMPARABLE_TOLERANCE = 0.10
+
+#: Zone-2 upper bound: ZC runtime up to (1 + this) times the SC runtime.
+ZONE2_RUNTIME_RATIO = 3.0  # "performance difference below 200 %"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an MB2 sweep."""
+
+    fraction: float
+    zc_throughput: float
+    sc_throughput: float
+    zc_time_s: float
+    sc_time_s: float
+
+    @property
+    def throughput_comparable(self) -> bool:
+        """ZC throughput within tolerance of SC throughput."""
+        if self.sc_throughput <= 0:
+            return self.zc_throughput <= 0
+        return abs(self.zc_throughput / self.sc_throughput - 1.0) <= COMPARABLE_TOLERANCE
+
+    @property
+    def runtime_ratio(self) -> float:
+        """ZC time over SC time."""
+        if self.sc_time_s <= 0:
+            raise MicrobenchmarkError("SC time must be positive")
+        return self.zc_time_s / self.sc_time_s
+
+
+@dataclass(frozen=True)
+class ThresholdAnalysis:
+    """Thresholds and zones extracted from one sweep."""
+
+    threshold_pct: float
+    threshold_fraction: float
+    zone2_pct: Optional[float]
+    zone2_fraction: Optional[float]
+    peak_throughput: float
+    points: Sequence[SweepPoint]
+
+    def zone_of(self, cache_usage_pct: float) -> int:
+        """Recommendation zone (1, 2 or 3) of a cache-usage value.
+
+        Zone 1: below the threshold — ZC matches SC.
+        Zone 2: up to the 200 %-difference bound — ZC may still win.
+        Zone 3: beyond — the GPU is severely bottlenecked, use SC/UM.
+        Devices without a second zone collapse zones 2 and 3.
+        """
+        if cache_usage_pct < 0:
+            raise MicrobenchmarkError("cache usage cannot be negative")
+        if cache_usage_pct <= self.threshold_pct:
+            return 1
+        if self.zone2_pct is not None and cache_usage_pct <= self.zone2_pct:
+            return 2
+        return 3
+
+
+def analyze_sweep(
+    points: Sequence[SweepPoint],
+    peak_throughput: float,
+    detect_zone2: bool = False,
+) -> ThresholdAnalysis:
+    """Extract thresholds from an MB2 sweep.
+
+    Args:
+        points: sweep points ordered by increasing fraction.
+        peak_throughput: the device's peak LL-L1 throughput under SC
+            (MB1) used to normalize usage percentages.
+        detect_zone2: look for the 200 %-runtime-difference bound
+            (meaningful on I/O-coherent devices).
+    """
+    if len(points) < 2:
+        raise MicrobenchmarkError(
+            f"a sweep needs at least 2 points to locate a threshold, got {len(points)}"
+        )
+    if peak_throughput <= 0:
+        raise MicrobenchmarkError("peak throughput must be positive")
+    fractions = [p.fraction for p in points]
+    if any(b <= a for a, b in zip(fractions, fractions[1:])):
+        raise MicrobenchmarkError("sweep points must have increasing fractions")
+
+    # The threshold is the last comparable point (the paper: "the last
+    # comparable value of the throughput over the peak cache throughput").
+    threshold_point = points[0]
+    for point in points:
+        if point.throughput_comparable:
+            threshold_point = point
+        else:
+            break
+    threshold_pct = 100.0 * threshold_point.sc_throughput / peak_throughput
+
+    zone2_pct = None
+    zone2_fraction = None
+    if detect_zone2:
+        last_inside = None
+        for point in points:
+            if point.runtime_ratio <= ZONE2_RUNTIME_RATIO:
+                last_inside = point
+            else:
+                break
+        if last_inside is not None and last_inside.fraction > threshold_point.fraction:
+            zone2_pct = min(100.0, 100.0 * last_inside.sc_throughput / peak_throughput)
+            zone2_fraction = last_inside.fraction
+
+    return ThresholdAnalysis(
+        threshold_pct=min(100.0, threshold_pct),
+        threshold_fraction=threshold_point.fraction,
+        zone2_pct=zone2_pct,
+        zone2_fraction=zone2_fraction,
+        peak_throughput=peak_throughput,
+        points=list(points),
+    )

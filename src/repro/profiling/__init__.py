@@ -1,0 +1,31 @@
+"""Profiling: the "standard profiler" stage of the framework (Fig. 2).
+
+On hardware the paper uses nvprof-class counters; here the profiler
+extracts the same counters from simulator runs:
+
+- CPU L1 and LLC miss rates,
+- GPU L1 hit rate, transaction count and size,
+- kernel runtime, CPU-only time, copy time.
+
+:mod:`repro.profiling.metrics` turns the counters into the paper's
+cache-usage metrics (eqns 1-2).
+"""
+
+from repro.profiling.counters import AppProfile
+from repro.profiling.metrics import cpu_cache_usage, gpu_cache_usage
+from repro.profiling.profiler import Profiler
+from repro.profiling.trace import (
+    RecordedTrace,
+    TracePattern,
+    workload_from_trace,
+)
+
+__all__ = [
+    "AppProfile",
+    "Profiler",
+    "cpu_cache_usage",
+    "gpu_cache_usage",
+    "RecordedTrace",
+    "TracePattern",
+    "workload_from_trace",
+]

@@ -1,0 +1,68 @@
+"""Profiler counter records.
+
+:class:`AppProfile` is everything the paper's performance model needs
+about one (application, board, communication model) run — the output of
+the "standard profiling tool" box in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ProfilingError
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Counters of one profiled application run."""
+
+    workload_name: str
+    board_name: str
+    model: str
+
+    # CPU-side counters
+    cpu_l1_miss_rate: float
+    cpu_llc_miss_rate: float
+    cpu_time_s: float
+
+    # GPU-side counters
+    gpu_l1_hit_rate: float
+    gpu_transactions: int
+    gpu_transaction_size: float
+    kernel_runtime_s: float
+
+    # communication
+    copy_time_s: float
+    total_runtime_s: float
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_l1_miss_rate", "cpu_llc_miss_rate", "gpu_l1_hit_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ProfilingError(f"{name} must be a rate in [0, 1], got {value}")
+        if self.gpu_transactions < 0:
+            raise ProfilingError("transaction count cannot be negative")
+        if self.gpu_transaction_size < 0:
+            raise ProfilingError("transaction size cannot be negative")
+        for name in ("cpu_time_s", "kernel_runtime_s", "copy_time_s", "total_runtime_s"):
+            if getattr(self, name) < 0:
+                raise ProfilingError(f"{name} cannot be negative")
+        if self.copy_time_s > self.total_runtime_s > 0:
+            raise ProfilingError(
+                f"copy time ({self.copy_time_s}) exceeds total runtime "
+                f"({self.total_runtime_s})"
+            )
+
+    @property
+    def gpu_bytes_requested(self) -> float:
+        """Kernel memory demand: ``t_n * t_size`` (bytes)."""
+        return self.gpu_transactions * self.gpu_transaction_size
+
+    @property
+    def cpu_gpu_time_ratio(self) -> float:
+        """``CPU_time / GPU_time`` — the overlap potential used by the
+        speedup equations (3)-(4)."""
+        if self.kernel_runtime_s <= 0:
+            raise ProfilingError("kernel runtime must be positive for the time ratio")
+        return self.cpu_time_s / self.kernel_runtime_s

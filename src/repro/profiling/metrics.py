@@ -1,0 +1,76 @@
+"""The paper's cache-usage metrics (eqns 1-2).
+
+Both metrics express, as a percentage, how much of the data the
+processor requests is served by its last-level cache:
+
+- **Eqn (1)**: ``CPU_Cache_usage = miss_rate_L1 * (1 - miss_rate_LL)``
+  — the fraction of CPU requests that miss L1 but hit the LLC, i.e.
+  the work the LLC performs.  Disabling the LLC (zero-copy on TX2/Nano)
+  removes exactly this service.
+
+- **Eqn (2)**: ``GPU_Cache_usage = (t_n * t_size * (1 - hit_rate_L1)) /
+  kernel_runtime / GPU_Cache_LL_L1_max_throughput`` — the LLC bandwidth
+  demand of the kernel, normalized by the device's peak LL-L1
+  throughput (measured by micro-benchmark 1).
+
+Inputs are rates in [0, 1]; outputs are percentages to match the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.profiling.counters import AppProfile
+
+
+def cpu_cache_usage(l1_miss_rate: float, llc_miss_rate: float) -> float:
+    """Eqn (1): CPU LLC usage, in percent."""
+    for name, rate in (("l1_miss_rate", l1_miss_rate), ("llc_miss_rate", llc_miss_rate)):
+        if not 0.0 <= rate <= 1.0:
+            raise ModelError(f"{name} must be in [0, 1], got {rate}")
+    return 100.0 * l1_miss_rate * (1.0 - llc_miss_rate)
+
+
+def gpu_cache_usage(
+    transactions: float,
+    transaction_size: float,
+    l1_hit_rate: float,
+    kernel_runtime_s: float,
+    max_throughput: float,
+) -> float:
+    """Eqn (2): GPU LLC usage, in percent.
+
+    Args:
+        transactions: kernel memory transactions (``t_n``).
+        transaction_size: bytes per transaction (``t_size``).
+        l1_hit_rate: GPU L1 hit rate in [0, 1].
+        kernel_runtime_s: kernel runtime in seconds.
+        max_throughput: the device's peak LL-L1 cache throughput in
+            bytes/s (micro-benchmark 1, Table I "Standard Copy").
+    """
+    if not 0.0 <= l1_hit_rate <= 1.0:
+        raise ModelError(f"l1_hit_rate must be in [0, 1], got {l1_hit_rate}")
+    if transactions < 0 or transaction_size < 0:
+        raise ModelError("transaction counts/sizes cannot be negative")
+    if kernel_runtime_s <= 0:
+        raise ModelError(f"kernel runtime must be positive, got {kernel_runtime_s}")
+    if max_throughput <= 0:
+        raise ModelError(f"max throughput must be positive, got {max_throughput}")
+    demand = transactions * transaction_size * (1.0 - l1_hit_rate) / kernel_runtime_s
+    return 100.0 * demand / max_throughput
+
+
+def profile_cpu_cache_usage(profile: AppProfile) -> float:
+    """Eqn (1) from an :class:`AppProfile`."""
+    return cpu_cache_usage(profile.cpu_l1_miss_rate, profile.cpu_llc_miss_rate)
+
+
+def profile_gpu_cache_usage(profile: AppProfile, max_throughput: float) -> float:
+    """Eqn (2) from an :class:`AppProfile`."""
+    return gpu_cache_usage(
+        transactions=profile.gpu_transactions,
+        transaction_size=profile.gpu_transaction_size,
+        l1_hit_rate=profile.gpu_l1_hit_rate,
+        kernel_runtime_s=profile.kernel_runtime_s,
+        max_throughput=max_throughput,
+    )

@@ -1,0 +1,73 @@
+"""Profiler: extract nvprof-class counters from simulator runs.
+
+On hardware the framework consumes whatever the standard profiling tool
+reports; here :class:`Profiler` executes the workload under a
+communication model on the simulated SoC and reads the counters off the
+execution report's phase results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.comm.base import get_model
+from repro.comm.report import ExecutionReport
+from repro.errors import ProfilingError
+from repro.kernels.workload import Workload
+from repro.profiling.counters import AppProfile
+from repro.soc.soc import SoC
+
+
+class Profiler:
+    """Profiles workloads on a simulated SoC."""
+
+    def __init__(self, soc: SoC) -> None:
+        self.soc = soc
+
+    def profile(
+        self,
+        workload: Workload,
+        model: str = "SC",
+        mode: str = "auto",
+    ) -> AppProfile:
+        """Run ``workload`` under ``model`` and extract its counters."""
+        report = get_model(model).execute(workload, self.soc, mode=mode)
+        return self.from_report(report)
+
+    @staticmethod
+    def from_report(report: ExecutionReport) -> AppProfile:
+        """Build an :class:`AppProfile` from an execution report."""
+        cpu = report.cpu_phase
+        gpu = report.gpu_phase
+        if gpu is None:
+            raise ProfilingError(
+                f"workload {report.workload_name!r} has no GPU kernel; the "
+                f"framework tunes CPU-iGPU communication"
+            )
+        gpu_l1 = gpu.memory.l1
+        transactions = gpu.memory.transactions
+        transaction_size = (
+            gpu.memory.bytes_requested / transactions if transactions else 0.0
+        )
+        if cpu is not None:
+            cpu_l1_miss = cpu.memory.l1.miss_rate
+            cpu_llc_miss = cpu.memory.llc.miss_rate
+            cpu_time = report.cpu_time_s
+        else:
+            cpu_l1_miss = 0.0
+            cpu_llc_miss = 0.0
+            cpu_time = 0.0
+        return AppProfile(
+            workload_name=report.workload_name,
+            board_name=report.board_name,
+            model=report.model,
+            cpu_l1_miss_rate=cpu_l1_miss,
+            cpu_llc_miss_rate=cpu_llc_miss,
+            cpu_time_s=cpu_time,
+            gpu_l1_hit_rate=gpu_l1.hit_rate,
+            gpu_transactions=transactions,
+            gpu_transaction_size=transaction_size,
+            kernel_runtime_s=report.kernel_time_s,
+            copy_time_s=report.copy_time_s,
+            total_runtime_s=report.time_per_iteration_s,
+        )

@@ -1,0 +1,258 @@
+"""Trace-driven workloads: bring your own memory trace.
+
+The paper's flow consumes *counters* from a standard profiler.  Real
+tuning sessions often have more: a memory access trace of the hot
+kernel (from a binary instrumentation tool or a simulator dump).  This
+module turns such traces into first-class workloads so the framework
+can classify and tune applications it has never seen:
+
+1. load a trace (in-memory arrays, CSV, or ``.npz``),
+2. normalize it into a buffer-relative :class:`RecordedTrace`,
+3. build a :class:`~repro.kernels.workload.Workload` whose GPU kernel
+   (and optionally CPU routine) replays the trace.
+
+Replayed streams use the CUSTOM pattern, so they always run through the
+exact cache simulator — trace-driven tuning trades speed for fidelity.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import PatternSpec
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.soc.address import Buffer
+from repro.soc.stream import AccessStream, PatternKind
+
+
+@dataclass(frozen=True)
+class RecordedTrace:
+    """A normalized, buffer-relative access trace.
+
+    Offsets are bytes from the start of the traced allocation; the
+    allocation's extent defines the workload buffer.
+    """
+
+    offsets: np.ndarray
+    is_write: np.ndarray
+    access_size: int = 4
+
+    def __post_init__(self) -> None:
+        offsets = np.asarray(self.offsets, dtype=np.int64)
+        writes = np.asarray(self.is_write, dtype=bool)
+        if offsets.ndim != 1 or offsets.shape != writes.shape:
+            raise ProfilingError(
+                "offsets and is_write must be matching 1-D arrays"
+            )
+        if len(offsets) == 0:
+            raise ProfilingError("a trace needs at least one access")
+        if offsets.min() < 0:
+            raise ProfilingError("trace offsets cannot be negative")
+        if self.access_size <= 0:
+            raise ProfilingError("access size must be positive")
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "is_write", writes)
+
+    @property
+    def num_accesses(self) -> int:
+        """Accesses in the trace."""
+        return len(self.offsets)
+
+    @property
+    def extent_bytes(self) -> int:
+        """Bytes spanned by the traced allocation."""
+        return int(self.offsets.max()) + self.access_size
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Distinct bytes touched."""
+        return int(len(np.unique(self.offsets))) * self.access_size
+
+    @property
+    def write_fraction(self) -> float:
+        """Store share of the trace."""
+        return float(np.count_nonzero(self.is_write)) / self.num_accesses
+
+    # ------------------------------------------------------------------
+    # loaders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_addresses(
+        cls,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+        access_size: int = 4,
+    ) -> "RecordedTrace":
+        """Normalize absolute addresses (rebased to their minimum)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if len(addresses) == 0:
+            raise ProfilingError("a trace needs at least one access")
+        return cls(
+            offsets=addresses - addresses.min(),
+            is_write=np.asarray(is_write, dtype=bool),
+            access_size=access_size,
+        )
+
+    @classmethod
+    def from_csv(cls, source: Union[str, pathlib.Path, io.TextIOBase],
+                 access_size: int = 4) -> "RecordedTrace":
+        """Load ``offset,rw`` rows (rw: R/W, r/w, 0/1).
+
+        A header row is skipped automatically when its first cell is
+        not numeric.
+        """
+        if isinstance(source, (str, pathlib.Path)):
+            handle: io.TextIOBase = open(source, "r", newline="")
+            close = True
+        else:
+            handle = source
+            close = False
+        offsets = []
+        writes = []
+        try:
+            reader = csv.reader(handle)
+            for row in reader:
+                if not row:
+                    continue
+                first = row[0].strip()
+                if not first or not first.lstrip("-").isdigit():
+                    continue  # header or comment
+                if len(row) < 2:
+                    raise ProfilingError(f"trace row needs offset,rw: {row}")
+                offsets.append(int(first))
+                flag = row[1].strip().lower()
+                writes.append(flag in ("w", "1", "true", "write", "st"))
+        finally:
+            if close:
+                handle.close()
+        if not offsets:
+            raise ProfilingError("the CSV contained no trace rows")
+        return cls(
+            offsets=np.array(offsets, dtype=np.int64),
+            is_write=np.array(writes, dtype=bool),
+            access_size=access_size,
+        )
+
+    @classmethod
+    def from_npz(cls, path: Union[str, pathlib.Path]) -> "RecordedTrace":
+        """Load a trace saved with :meth:`save_npz`."""
+        with np.load(path) as data:
+            missing = {"offsets", "is_write"} - set(data.files)
+            if missing:
+                raise ProfilingError(
+                    f"trace file {path} missing arrays: {sorted(missing)}"
+                )
+            access_size = int(data["access_size"]) if "access_size" in data.files else 4
+            return cls(
+                offsets=data["offsets"],
+                is_write=data["is_write"],
+                access_size=access_size,
+            )
+
+    def save_npz(self, path: Union[str, pathlib.Path]) -> None:
+        """Persist the trace for later replays."""
+        np.savez_compressed(
+            path,
+            offsets=self.offsets,
+            is_write=self.is_write,
+            access_size=np.int64(self.access_size),
+        )
+
+
+@dataclass(frozen=True)
+class TracePattern(PatternSpec):
+    """Pattern spec replaying a recorded trace against a buffer."""
+
+    buffer: str
+    trace: RecordedTrace
+    repeats: int = 1
+
+    def _build(self, buffer: Buffer, line_size: int) -> AccessStream:
+        if self.trace.extent_bytes > buffer.size:
+            raise ProfilingError(
+                f"trace extent ({self.trace.extent_bytes} B) exceeds buffer "
+                f"{buffer.name!r} ({buffer.size} B)"
+            )
+        return AccessStream(
+            addresses=buffer.base + self.trace.offsets,
+            is_write=self.trace.is_write,
+            transaction_size=self.trace.access_size,
+            repeats=self.repeats,
+            pattern=PatternKind.CUSTOM,
+            footprint_bytes=self.trace.footprint_bytes,
+        )
+
+
+def workload_from_trace(
+    name: str,
+    gpu_trace: RecordedTrace,
+    gpu_flops_per_access: float = 2.0,
+    cpu_trace: Optional[RecordedTrace] = None,
+    cpu_cycles_per_access: float = 1.0,
+    iterations: int = 10,
+    shared_direction: Direction = Direction.TO_GPU,
+    trace_repeats: int = 1,
+) -> Workload:
+    """Wrap recorded traces into a tunable workload.
+
+    Args:
+        name: workload label.
+        gpu_trace: the offloaded kernel's memory trace (required).
+        gpu_flops_per_access: compute density accompanying the trace
+            (folds the kernel's arithmetic into an effective figure).
+        cpu_trace: optional trace of the CPU routine.
+        cpu_cycles_per_access: CPU compute density.
+        iterations: streaming iterations to model.
+        shared_direction: how the traced buffer crosses the boundary
+            each iteration (drives SC copy accounting).
+        trace_repeats: replays of the trace per kernel launch.
+    """
+    if iterations < 1:
+        raise ProfilingError("iterations must be >= 1")
+    element = gpu_trace.access_size
+    gpu_buffer = BufferSpec(
+        name="traced",
+        num_elements=-(-gpu_trace.extent_bytes // element),
+        element_size=element,
+        shared=True,
+        direction=shared_direction,
+    )
+    buffers = [gpu_buffer]
+    cpu_task = None
+    if cpu_trace is not None:
+        cpu_buffer = BufferSpec(
+            name="cpu_traced",
+            num_elements=-(-cpu_trace.extent_bytes // cpu_trace.access_size),
+            element_size=cpu_trace.access_size,
+            shared=False,
+        )
+        buffers.append(cpu_buffer)
+        cpu_task = CpuTask(
+            name=f"{name}-cpu-replay",
+            ops=OpMix({"add": cpu_cycles_per_access * cpu_trace.num_accesses}),
+            pattern=TracePattern(buffer="cpu_traced", trace=cpu_trace,
+                                 repeats=trace_repeats),
+        )
+    gpu_kernel = GpuKernel(
+        name=f"{name}-gpu-replay",
+        ops=OpMix({"fma": gpu_flops_per_access * gpu_trace.num_accesses / 2.0}),
+        pattern=TracePattern(buffer="traced", trace=gpu_trace,
+                             repeats=trace_repeats),
+    )
+    return Workload(
+        name=name,
+        buffers=tuple(buffers),
+        cpu_task=cpu_task,
+        gpu_kernel=gpu_kernel,
+        iterations=iterations,
+    )

@@ -1,0 +1,49 @@
+"""Simulated embedded SoC substrate.
+
+This subpackage models the hardware the paper measures on real Jetson
+boards: a CPU complex and an integrated GPU sharing one DRAM through a
+coherent interconnect, each with private caches.  The communication
+models in :mod:`repro.comm` and the micro-benchmarks in
+:mod:`repro.microbench` execute against this substrate.
+
+Public entry points:
+
+- :class:`repro.soc.board.BoardConfig` and the Jetson presets
+  (:func:`repro.soc.board.jetson_nano`, ``jetson_tx2``, ``jetson_xavier``)
+- :class:`repro.soc.soc.SoC` — an instantiated board ready to run tasks
+- :class:`repro.soc.stream.AccessStream` — memory access traces
+"""
+
+from repro.soc.address import AddressSpace, Buffer, MemoryRegion, RegionKind
+from repro.soc.board import (
+    BoardConfig,
+    available_boards,
+    get_board,
+    jetson_nano,
+    jetson_tx2,
+    jetson_xavier,
+)
+from repro.soc.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.soc.coherence import CoherenceMode, ZeroCopyBehavior
+from repro.soc.soc import SoC
+from repro.soc.stream import AccessStream
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "MemoryRegion",
+    "RegionKind",
+    "BoardConfig",
+    "available_boards",
+    "get_board",
+    "jetson_nano",
+    "jetson_tx2",
+    "jetson_xavier",
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CoherenceMode",
+    "ZeroCopyBehavior",
+    "SoC",
+    "AccessStream",
+]

@@ -1,0 +1,258 @@
+"""Physical address space, regions, and buffer allocation.
+
+On the Jetson boards the CPU and iGPU physically share one DRAM.  The
+communication models differ in how that space is *logically* organized:
+
+- **Standard copy (SC)** partitions it into a CPU region and a GPU
+  region and copies buffers between them.
+- **Unified memory (UM)** presents one virtual space whose pages
+  migrate on demand.
+- **Zero-copy (ZC)** pins a region that both processors address
+  directly.
+
+:class:`AddressSpace` models the physical space with a simple bump
+allocator per region; :class:`Buffer` is a typed allocation within a
+region.  Addresses are plain integers (byte granularity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AddressError, AllocationError
+from repro.units import is_power_of_two
+
+#: Default allocation alignment.  Matches the largest cache line we
+#: model so that no buffer straddles a line it does not own.
+DEFAULT_ALIGNMENT = 128
+
+
+class RegionKind(enum.Enum):
+    """Logical role of a memory region under a communication model."""
+
+    CPU_PARTITION = "cpu_partition"
+    GPU_PARTITION = "gpu_partition"
+    PINNED = "pinned"
+    UNIFIED = "unified"
+    #: Non-shared allocations of a zero-copy application: they stay
+    #: cacheable even while the pinned mapping is uncacheable.
+    PRIVATE = "private"
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0 or not is_power_of_two(alignment):
+        raise AddressError(f"alignment must be a positive power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass
+class MemoryRegion:
+    """A contiguous span of the physical address space.
+
+    Allocation is a bump pointer: buffers are never freed individually,
+    only the whole region is reset.  This mirrors how the benchmarks and
+    applications use memory (allocate once, reuse every iteration).
+    """
+
+    name: str
+    base: int
+    size: int
+    kind: RegionKind
+    _cursor: int = field(default=0, init=False, repr=False)
+    _buffers: Dict[str, "Buffer"] = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise AddressError(
+                f"region {self.name!r} must have base >= 0 and size > 0, "
+                f"got base={self.base}, size={self.size}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    @property
+    def bytes_used(self) -> int:
+        """Bytes consumed by allocations (including alignment padding)."""
+        return self._cursor
+
+    @property
+    def bytes_free(self) -> int:
+        """Bytes still available for allocation."""
+        return self.size - self._cursor
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` falls inside this region."""
+        return self.base <= address < self.end
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        element_size: int = 4,
+        alignment: int = DEFAULT_ALIGNMENT,
+    ) -> "Buffer":
+        """Allocate a named buffer of ``size`` bytes.
+
+        Raises :class:`AllocationError` when the region is full and
+        :class:`AddressError` for malformed requests.
+        """
+        if size <= 0:
+            raise AddressError(f"buffer {name!r}: size must be positive, got {size}")
+        if element_size <= 0 or size % element_size:
+            raise AddressError(
+                f"buffer {name!r}: size {size} is not a multiple of "
+                f"element_size {element_size}"
+            )
+        if name in self._buffers:
+            raise AllocationError(f"buffer {name!r} already allocated in region {self.name!r}")
+        start = align_up(self.base + self._cursor, alignment)
+        if start + size > self.end:
+            raise AllocationError(
+                f"region {self.name!r} cannot fit buffer {name!r}: "
+                f"need {size} bytes at {start:#x}, region ends at {self.end:#x}"
+            )
+        buffer = Buffer(name=name, base=start, size=size, element_size=element_size, region=self)
+        self._cursor = start + size - self.base
+        self._buffers[name] = buffer
+        return buffer
+
+    def buffer(self, name: str) -> "Buffer":
+        """Look up a previously allocated buffer by name."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise AllocationError(f"no buffer {name!r} in region {self.name!r}") from None
+
+    def reset(self) -> None:
+        """Drop all allocations and rewind the bump pointer."""
+        self._cursor = 0
+        self._buffers.clear()
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A typed, contiguous allocation inside a :class:`MemoryRegion`."""
+
+    name: str
+    base: int
+    size: int
+    element_size: int
+    region: MemoryRegion
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the buffer."""
+        return self.base + self.size
+
+    @property
+    def num_elements(self) -> int:
+        """Number of ``element_size``-byte elements in the buffer."""
+        return self.size // self.element_size
+
+    def element_address(self, index: int) -> int:
+        """Byte address of element ``index`` (bounds-checked)."""
+        if not 0 <= index < self.num_elements:
+            raise AddressError(
+                f"buffer {self.name!r}: element {index} out of range "
+                f"[0, {self.num_elements})"
+            )
+        return self.base + index * self.element_size
+
+    def sub_range(self, start_element: int, count: int) -> "BufferRange":
+        """A contiguous element range within this buffer."""
+        if count <= 0:
+            raise AddressError(f"buffer {self.name!r}: range count must be positive")
+        if start_element < 0 or start_element + count > self.num_elements:
+            raise AddressError(
+                f"buffer {self.name!r}: range [{start_element}, "
+                f"{start_element + count}) exceeds {self.num_elements} elements"
+            )
+        return BufferRange(buffer=self, start_element=start_element, count=count)
+
+    def overlaps(self, other: "Buffer") -> bool:
+        """True when the two buffers share any byte."""
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass(frozen=True)
+class BufferRange:
+    """A contiguous slice of a buffer, used to build tiled accesses."""
+
+    buffer: Buffer
+    start_element: int
+    count: int
+
+    @property
+    def base(self) -> int:
+        """Byte address of the first element in the range."""
+        return self.buffer.base + self.start_element * self.buffer.element_size
+
+    @property
+    def size(self) -> int:
+        """Size of the range in bytes."""
+        return self.count * self.buffer.element_size
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range."""
+        return self.base + self.size
+
+    def overlaps(self, other: "BufferRange") -> bool:
+        """True when the two ranges share any byte."""
+        return self.base < other.end and other.base < self.end
+
+
+class AddressSpace:
+    """The shared physical address space of an embedded SoC.
+
+    The space is carved into named regions; which regions exist depends
+    on the communication model being simulated (the executors in
+    :mod:`repro.comm` create the layout they need).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise AddressError(f"address space size must be positive, got {size}")
+        self.size = size
+        self._regions: Dict[str, MemoryRegion] = {}
+        self._cursor = 0
+
+    @property
+    def regions(self) -> List[MemoryRegion]:
+        """All regions, in creation order."""
+        return list(self._regions.values())
+
+    def add_region(self, name: str, size: int, kind: RegionKind) -> MemoryRegion:
+        """Carve a new region off the unallocated tail of the space."""
+        if name in self._regions:
+            raise AllocationError(f"region {name!r} already exists")
+        base = align_up(self._cursor, DEFAULT_ALIGNMENT)
+        if base + size > self.size:
+            raise AllocationError(
+                f"address space cannot fit region {name!r} "
+                f"({size} bytes at {base:#x}, space ends at {self.size:#x})"
+            )
+        region = MemoryRegion(name=name, base=base, size=size, kind=kind)
+        self._regions[name] = region
+        self._cursor = base + size
+        return region
+
+    def region(self, name: str) -> MemoryRegion:
+        """Look up a region by name."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise AllocationError(f"no region named {name!r}") from None
+
+    def region_of(self, address: int) -> Optional[MemoryRegion]:
+        """The region containing ``address``, or ``None``."""
+        for region in self._regions.values():
+            if region.contains(address):
+                return region
+        return None

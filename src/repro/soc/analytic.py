@@ -1,0 +1,312 @@
+"""Closed-form cache behaviour estimators for regular access patterns.
+
+Exact set-associative simulation costs O(accesses) in Python; the
+paper's third micro-benchmark streams 2^27 floats, which would take
+minutes per run.  For the regular patterns the micro-benchmarks use
+(linear sweeps, single-address loops, max-miss sparse walks), LRU
+behaviour has a well-known closed form:
+
+- a cyclic sweep whose footprint fits in the cache hits on every warm
+  access and misses once per line on the cold pass;
+- a cyclic sweep larger than the cache thrashes: with true LRU every
+  line misses on *every* pass;
+- a single-address loop misses once, then always hits;
+- a distinct-line random walk misses everywhere (until the footprint
+  fits and the pass repeats).
+
+These estimators are cross-validated against the exact simulator in
+``tests/soc/test_analytic.py`` — that validation tolerance is the
+contract letting the benchmarks trust the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.soc.cache import CacheConfig
+from repro.soc.stream import AccessStream, PatternKind
+
+#: Fraction of nominal capacity a sweep can occupy before conflict
+#: misses appear.  1.0 is the fully-associative ideal; the exact
+#: simulator shows sequential sweeps suffer no set imbalance, so the
+#: ideal is also the correct value here.
+CAPACITY_FACTOR = 1.0
+
+_SWEEP_PATTERNS = (
+    PatternKind.LINEAR,
+    PatternKind.FRACTION,
+    PatternKind.TILED,
+    PatternKind.STRIDED,
+)
+
+
+def supports(pattern: PatternKind) -> bool:
+    """True when the analytic path can handle ``pattern``."""
+    return pattern in _SWEEP_PATTERNS or pattern in (
+        PatternKind.SINGLE_ADDRESS,
+        PatternKind.SPARSE,
+    )
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """The shape parameters the estimators need, without addresses.
+
+    Summaries chain: the miss traffic one cache level emits is itself a
+    summary (see :func:`derive_miss_summary`), which is how the
+    hierarchy estimates multi-level behaviour without materializing
+    intermediate traces.
+    """
+
+    pattern: PatternKind
+    per_pass: int
+    repeats: int
+    footprint_bytes: int
+    write_fraction: float
+    transaction_size: int
+
+    @classmethod
+    def from_stream(cls, stream: AccessStream) -> "StreamSummary":
+        """Summarize a materialized :class:`AccessStream`."""
+        return cls(
+            pattern=stream.pattern,
+            per_pass=stream.transactions_per_pass,
+            repeats=stream.repeats,
+            footprint_bytes=stream.footprint_bytes or 0,
+            write_fraction=stream.write_fraction,
+            transaction_size=stream.transaction_size,
+        )
+
+    @property
+    def total(self) -> int:
+        """Transactions across all replays."""
+        return self.per_pass * self.repeats
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved across all replays."""
+        return self.total * self.transaction_size
+
+
+@dataclass(frozen=True)
+class LevelEstimate:
+    """Estimated behaviour of one cache level for one stream.
+
+    Counts are totals across every replay.  ``cold_misses`` and
+    ``warm_misses_per_pass`` decompose the total so the next level's
+    incoming traffic can be derived.
+    """
+
+    accesses: int
+    hits: int
+    misses: int
+    writeback_lines: int
+    cold_misses: int
+    warm_misses_per_pass: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over accesses (0 when idle)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over accesses (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+def _estimate_disabled(summary: StreamSummary) -> LevelEstimate:
+    total = summary.total
+    return LevelEstimate(
+        accesses=total,
+        hits=0,
+        misses=total,
+        writeback_lines=0,
+        cold_misses=summary.per_pass,
+        warm_misses_per_pass=summary.per_pass,
+    )
+
+
+def _estimate_single_address(summary: StreamSummary, cold_start: bool) -> LevelEstimate:
+    total = summary.total
+    misses = 1 if cold_start else 0
+    return LevelEstimate(
+        accesses=total,
+        hits=total - misses,
+        misses=misses,
+        writeback_lines=0,
+        cold_misses=misses,
+        warm_misses_per_pass=0,
+    )
+
+
+def _estimate_sparse(
+    summary: StreamSummary, config: CacheConfig, cold_start: bool
+) -> LevelEstimate:
+    total = summary.total
+    footprint = summary.footprint_bytes
+    lines = -(-footprint // config.line_size) if footprint else 0
+    fits = footprint <= config.size_bytes * CAPACITY_FACTOR
+    if fits:
+        cold = min(summary.per_pass, lines) if cold_start else 0
+        misses = cold
+        warm = 0
+        writebacks = 0
+    else:
+        misses = total
+        cold = summary.per_pass
+        warm = summary.per_pass
+        writebacks = (
+            int(total * summary.write_fraction) if config.write_back else 0
+        )
+    return LevelEstimate(
+        accesses=total,
+        hits=total - misses,
+        misses=misses,
+        writeback_lines=writebacks,
+        cold_misses=cold,
+        warm_misses_per_pass=warm,
+    )
+
+
+def _estimate_sweep(
+    summary: StreamSummary, config: CacheConfig, cold_start: bool
+) -> LevelEstimate:
+    total = summary.total
+    footprint = summary.footprint_bytes
+    lines = min(summary.per_pass, max(1, -(-footprint // config.line_size))) \
+        if footprint else 0
+    has_writes = summary.write_fraction > 0.0 and config.write_back
+
+    # A sequential sweep spreads its lines uniformly over the sets.
+    # A set holding more lines than its ways thrashes under true LRU
+    # (every one of its lines misses every pass); a set within its ways
+    # keeps them all resident after the cold pass.  Near the capacity
+    # boundary only the ceil-loaded sets thrash — the exact simulator
+    # confirms this per-set granularity.
+    sets = config.num_sets
+    ways = config.ways
+    floor_lines = lines // sets
+    overfull_sets = lines % sets
+    if floor_lines + (1 if overfull_sets else 0) <= ways:
+        thrashing_lines = 0
+        thrashing_sets = 0
+    elif floor_lines > ways:
+        thrashing_lines = lines
+        thrashing_sets = sets
+    else:  # floor_lines == ways and some sets hold ways + 1 lines
+        thrashing_lines = overfull_sets * (floor_lines + 1)
+        thrashing_sets = overfull_sets
+
+    cold = lines if cold_start else thrashing_lines
+    warm = thrashing_lines
+    misses = cold + warm * (summary.repeats - 1)
+    if has_writes and thrashing_lines:
+        # Each thrashing dirty line is evicted before reuse; the lines
+        # still resident in the thrashing sets when the run ends (ways
+        # per set) are flushed later, not written back here.
+        resident_at_end = thrashing_sets * ways
+        writebacks = max(
+            0, thrashing_lines * summary.repeats - resident_at_end
+        )
+    else:
+        writebacks = 0
+    misses = min(misses, total)
+    return LevelEstimate(
+        accesses=total,
+        hits=total - misses,
+        misses=misses,
+        writeback_lines=writebacks,
+        cold_misses=cold,
+        warm_misses_per_pass=warm,
+    )
+
+
+def estimate_level(
+    summary: StreamSummary,
+    config: CacheConfig,
+    enabled: bool = True,
+    cold_start: bool = True,
+) -> LevelEstimate:
+    """Estimate one cache level's response to a stream summary."""
+    if not supports(summary.pattern):
+        raise SimulationError(
+            f"analytic estimator does not support pattern {summary.pattern}"
+        )
+    if summary.total == 0:
+        return LevelEstimate(0, 0, 0, 0, 0, 0)
+    if not enabled:
+        return _estimate_disabled(summary)
+    if summary.pattern is PatternKind.SINGLE_ADDRESS:
+        return _estimate_single_address(summary, cold_start)
+    if summary.pattern is PatternKind.SPARSE:
+        return _estimate_sparse(summary, config, cold_start)
+    return _estimate_sweep(summary, config, cold_start)
+
+
+def derive_miss_summaries(
+    summary: StreamSummary,
+    estimate: LevelEstimate,
+    level_config: CacheConfig,
+    level_enabled: bool,
+) -> List[StreamSummary]:
+    """The stream(s) a level's misses present to the level below.
+
+    An enabled cache refills at line granularity, so the downstream
+    transaction size is its line size.  A partially-thrashing footprint
+    emits two distinct components: the *recurring* traffic of the
+    overfull sets (small footprint, repeats every pass — it will hit in
+    the next level once warm) and the *one-shot* cold fills of the
+    lines that stay resident afterwards.  Returns an empty list when
+    there are no misses; a disabled cache passes the summary through
+    unchanged.
+    """
+    if estimate.misses == 0:
+        return []
+    if not level_enabled:
+        return [summary]
+    line = level_config.line_size
+    # Refills are reads; dirty evictions are tracked separately as
+    # writeback traffic by the hierarchy.
+    pattern = summary.pattern
+    if pattern is PatternKind.SINGLE_ADDRESS:
+        pattern = PatternKind.LINEAR
+
+    def component(per_pass: int, repeats: int) -> StreamSummary:
+        return replace(
+            summary,
+            pattern=pattern,
+            per_pass=per_pass,
+            repeats=repeats,
+            footprint_bytes=per_pass * line,
+            write_fraction=0.0,
+            transaction_size=line,
+        )
+
+    components: List[StreamSummary] = []
+    warm = estimate.warm_misses_per_pass
+    if warm > 0:
+        components.append(component(warm, summary.repeats))
+    cold_only = estimate.cold_misses - warm
+    if cold_only > 0:
+        components.append(component(cold_only, 1))
+    return components
+
+
+def derive_miss_summary(
+    summary: StreamSummary,
+    estimate: LevelEstimate,
+    level_config: CacheConfig,
+    level_enabled: bool,
+) -> Optional[StreamSummary]:
+    """Dominant component of :func:`derive_miss_summaries`.
+
+    Kept for callers that only need the homogeneous cases (fully
+    fitting or fully thrashing footprints); the hierarchy uses the
+    multi-component form.
+    """
+    components = derive_miss_summaries(summary, estimate, level_config,
+                                       level_enabled)
+    return components[0] if components else None

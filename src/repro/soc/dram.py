@@ -1,0 +1,77 @@
+"""DRAM timing and traffic model.
+
+The shared LPDDR of a Jetson board is modelled as a bandwidth resource
+with a fixed access latency and a utilization efficiency (row-buffer and
+refresh overheads folded into one factor).  Concurrent agents share the
+effective bandwidth through :mod:`repro.soc.interconnect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Datasheet-level DRAM description.
+
+    Attributes:
+        peak_bandwidth: bytes/s at the pins.
+        efficiency: achievable fraction of peak for streaming traffic.
+        latency_s: idle-system access latency (seconds).
+    """
+
+    peak_bandwidth: float
+    efficiency: float = 0.75
+    latency_s: float = 120e-9
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth <= 0:
+            raise ConfigurationError("DRAM peak bandwidth must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"DRAM efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError("DRAM latency cannot be negative")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustainable streaming bandwidth in bytes/s."""
+        return self.peak_bandwidth * self.efficiency
+
+
+@dataclass
+class DRAMModel:
+    """Stateful DRAM: accumulates traffic and answers timing queries."""
+
+    config: DRAMConfig
+    bytes_read: int = field(default=0, init=False)
+    bytes_written: int = field(default=0, init=False)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved through DRAM so far."""
+        return self.bytes_read + self.bytes_written
+
+    def record(self, read_bytes: int, written_bytes: int) -> None:
+        """Account traffic (used by the hierarchy and the copy engine)."""
+        if read_bytes < 0 or written_bytes < 0:
+            raise ConfigurationError("traffic cannot be negative")
+        self.bytes_read += read_bytes
+        self.bytes_written += written_bytes
+
+    def transfer_time(self, num_bytes: int, bandwidth_cap: float = float("inf")) -> float:
+        """Time to stream ``num_bytes`` at the effective bandwidth,
+        optionally capped by a narrower requester port."""
+        if num_bytes <= 0:
+            return 0.0
+        rate = min(self.config.effective_bandwidth, bandwidth_cap)
+        return self.config.latency_s + num_bytes / rate
+
+    def reset(self) -> None:
+        """Clear traffic counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0

@@ -1,0 +1,133 @@
+"""DVFS operating points (an extension beyond the paper).
+
+Real Jetson boards expose power modes (``nvpmodel``): MAXN, 15 W,
+10 W …, each capping CPU/GPU/EMC clocks.  Because the paper's decision
+depends on the *ratio* of compute speed to the communication paths,
+the best communication model can change with the power mode — this
+module makes that explorable.
+
+An :class:`OperatingPoint` scales the clock domains of a board preset:
+
+- the CPU domain (core frequency and its cache bandwidths),
+- the GPU domain (SM frequency and its cache bandwidths),
+- the memory domain (DRAM/EMC bandwidth, the interconnect, the
+  zero-copy paths, and the copy engine),
+
+plus the active-power rails (dynamic power ≈ linear in frequency here;
+voltage scaling is folded into the per-point power factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.soc.board import BoardConfig
+from repro.soc.dram import DRAMConfig
+from repro.soc.interconnect import InterconnectConfig
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS point, as scalings of the MAXN preset."""
+
+    name: str
+    cpu_scale: float = 1.0
+    gpu_scale: float = 1.0
+    memory_scale: float = 1.0
+    power_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("cpu_scale", "gpu_scale", "memory_scale",
+                           "power_scale"):
+            value = getattr(self, field_name)
+            if not 0.05 <= value <= 2.0:
+                raise ConfigurationError(
+                    f"{self.name}: {field_name} must be in [0.05, 2.0], "
+                    f"got {value}"
+                )
+
+
+#: Representative nvpmodel-style points (clock ratios approximate the
+#: published mode tables; MAXN is the calibrated preset).
+JETSON_POWER_MODES: Dict[str, OperatingPoint] = {
+    "maxn": OperatingPoint(name="maxn"),
+    "15w": OperatingPoint(name="15w", cpu_scale=0.75, gpu_scale=0.65,
+                          memory_scale=0.80, power_scale=0.55),
+    "10w": OperatingPoint(name="10w", cpu_scale=0.55, gpu_scale=0.45,
+                          memory_scale=0.60, power_scale=0.35),
+}
+
+
+def available_power_modes() -> List[str]:
+    """Names accepted by :func:`apply_operating_point`."""
+    return sorted(JETSON_POWER_MODES)
+
+
+def get_power_mode(name: str) -> OperatingPoint:
+    """Look up a predefined operating point."""
+    try:
+        return JETSON_POWER_MODES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown power mode {name!r}; "
+            f"available: {', '.join(available_power_modes())}"
+        ) from None
+
+
+def apply_operating_point(board: BoardConfig,
+                          point: OperatingPoint) -> BoardConfig:
+    """A board variant running at ``point``.
+
+    Every clock-domain-derived quantity scales with its domain; the
+    cache geometries, coherence behaviour, and IPC stay fixed.
+    """
+    cpu = replace(
+        board.cpu,
+        frequency_hz=board.cpu.frequency_hz * point.cpu_scale,
+        l1_bandwidth=board.cpu.l1_bandwidth * point.cpu_scale,
+        llc_bandwidth=board.cpu.llc_bandwidth * point.cpu_scale,
+    )
+    gpu = replace(
+        board.gpu,
+        frequency_hz=board.gpu.frequency_hz * point.gpu_scale,
+        l1_bandwidth=board.gpu.l1_bandwidth * point.gpu_scale,
+        llc_bandwidth=board.gpu.llc_bandwidth * point.gpu_scale,
+    )
+    dram = DRAMConfig(
+        peak_bandwidth=board.dram.peak_bandwidth * point.memory_scale,
+        efficiency=board.dram.efficiency,
+        latency_s=board.dram.latency_s / point.memory_scale,
+    )
+    interconnect = InterconnectConfig(
+        total_bandwidth=board.interconnect.total_bandwidth * point.memory_scale,
+        arbitration_overhead=board.interconnect.arbitration_overhead,
+    )
+    zero_copy = replace(
+        board.zero_copy,
+        gpu_zc_bandwidth=board.zero_copy.gpu_zc_bandwidth * point.memory_scale,
+        cpu_zc_bandwidth=board.zero_copy.cpu_zc_bandwidth * point.memory_scale,
+        cpu_uncached_latency_s=(
+            board.zero_copy.cpu_uncached_latency_s / point.memory_scale
+        ),
+    )
+    energy = replace(
+        board.energy,
+        cpu_active_power_w=board.energy.cpu_active_power_w * point.power_scale,
+        gpu_active_power_w=board.energy.gpu_active_power_w * point.power_scale,
+        static_power_w=board.energy.static_power_w
+        * (0.5 + 0.5 * point.power_scale),
+    )
+    return replace(
+        board,
+        name=f"{board.name}@{point.name}",
+        display_name=f"{board.display_name} [{point.name}]",
+        cpu=cpu,
+        gpu=gpu,
+        dram=dram,
+        interconnect=interconnect,
+        zero_copy=zero_copy,
+        energy=energy,
+        copy_engine_bandwidth=board.copy_engine_bandwidth * point.memory_scale,
+    )

@@ -1,0 +1,502 @@
+"""Multi-level cache hierarchy with a streaming timing model.
+
+A :class:`CacheHierarchy` chains cache levels over a DRAM model and
+answers the question the processor models need: *how long does this
+access stream take, and which level served how much of it?*
+
+Timing model
+------------
+
+The hierarchy treats the levels as pipeline stages.  Stage *i* must move
+the bytes that reach it (requests arriving at that level, plus dirty
+writeback traffic from the levels above); for a streaming workload the
+elapsed time is set by the slowest stage:
+
+``streaming_time = max_i(stage_bytes_i / stage_bandwidth_i)``
+
+This reproduces the behaviours the paper measures: when a kernel hits in
+the LL-L1 caches its throughput is the cache bandwidth; once the
+footprint spills, DRAM becomes the bottleneck; and when zero-copy
+disables the caches every access streams at the (much lower) uncached
+path bandwidth.
+
+Exposed latency (for processors that cannot hide it) is reported
+separately as ``dram_transactions * dram_latency``; the CPU/GPU models
+decide how much of it to charge.
+
+Exact vs analytic
+-----------------
+
+Small traces replay access-by-access through the exact LRU simulator;
+large regular traces use :mod:`repro.soc.analytic`.  ``mode="auto"``
+switches on trace size; both paths produce the same
+:class:`MemoryResult` shape and are cross-validated in the tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.soc import analytic
+from repro.soc.cache import CacheConfig, SetAssociativeCache
+from repro.soc.coherence import FlushCostModel
+from repro.soc.dram import DRAMModel
+from repro.soc.stream import AccessStream
+
+#: Above this many transactions, ``mode="auto"`` uses the analytic path
+#: (when the pattern supports it).
+EXACT_SIMULATION_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One cache level plus its service characteristics."""
+
+    config: CacheConfig
+    bandwidth: float  # bytes/s this level can serve
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"level {self.config.name}: bandwidth must be positive"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(
+                f"level {self.config.name}: latency cannot be negative"
+            )
+
+
+@dataclass
+class LevelTraffic:
+    """Traffic observed at one level while serving a stream."""
+
+    name: str
+    enabled: bool
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writeback_lines: int = 0
+    bytes_in: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over accesses (0 when idle)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over accesses (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class MemoryResult:
+    """Outcome of serving one access stream."""
+
+    transactions: int
+    bytes_requested: int
+    levels: List[LevelTraffic]
+    dram_read_bytes: int
+    dram_write_bytes: int
+    dram_transactions: int
+    stage_times: Dict[str, float]
+    streaming_time_s: float
+    exposed_latency_s: float
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DRAM traffic in bytes."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def throughput(self) -> float:
+        """Requested bytes over streaming time (bytes/s)."""
+        if self.streaming_time_s <= 0:
+            return 0.0
+        return self.bytes_requested / self.streaming_time_s
+
+    def level(self, name: str) -> LevelTraffic:
+        """Traffic record for the level called ``name``."""
+        for lv in self.levels:
+            if lv.name == name:
+                return lv
+        raise SimulationError(f"no level named {name!r} in result")
+
+    @property
+    def l1(self) -> LevelTraffic:
+        """First (innermost) level."""
+        return self.levels[0]
+
+    @property
+    def llc(self) -> LevelTraffic:
+        """Last (outermost) cache level."""
+        return self.levels[-1]
+
+
+class CacheHierarchy:
+    """A chain of cache levels in front of DRAM for one processor."""
+
+    def __init__(
+        self,
+        specs: Sequence[LevelSpec],
+        dram: DRAMModel,
+        memory_port_bandwidth: float = float("inf"),
+        name: str = "hierarchy",
+    ) -> None:
+        if not specs:
+            raise ConfigurationError("a hierarchy needs at least one cache level")
+        self.name = name
+        self.specs = list(specs)
+        self.caches = [SetAssociativeCache(spec.config) for spec in self.specs]
+        self.dram = dram
+        self.memory_port_bandwidth = memory_port_bandwidth
+        for i in range(1, len(self.specs)):
+            inner, outer = self.specs[i - 1].config, self.specs[i].config
+            if outer.line_size < inner.line_size:
+                raise ConfigurationError(
+                    f"{outer.name} line ({outer.line_size}) smaller than "
+                    f"{inner.name} line ({inner.line_size})"
+                )
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def l1(self) -> SetAssociativeCache:
+        """Innermost cache."""
+        return self.caches[0]
+
+    @property
+    def llc(self) -> SetAssociativeCache:
+        """Outermost (last-level) cache."""
+        return self.caches[-1]
+
+    def set_level_enabled(self, name: str, enabled: bool) -> None:
+        """Enable or disable one level by its config name."""
+        for cache in self.caches:
+            if cache.config.name == name:
+                if not enabled and cache.enabled:
+                    cache.invalidate()
+                cache.enabled = enabled
+                return
+        raise ConfigurationError(f"no cache level named {name!r}")
+
+    def set_llc_enabled(self, enabled: bool) -> None:
+        """Enable or disable the last-level cache."""
+        if not enabled and self.llc.enabled:
+            self.llc.invalidate()
+        self.llc.enabled = enabled
+
+    def set_all_enabled(self, enabled: bool) -> None:
+        """Enable or disable every level (zero-copy on TX2/Nano
+        disables the whole CPU hierarchy's coherent levels)."""
+        for cache in self.caches:
+            if not enabled and cache.enabled:
+                cache.invalidate()
+            cache.enabled = enabled
+
+    def reset(self) -> None:
+        """Clear all cache contents and statistics."""
+        for cache in self.caches:
+            cache.reset()
+
+    @contextlib.contextmanager
+    def scaled_bandwidths(self, factor: float) -> Iterator[None]:
+        """Temporarily scale every level's service bandwidth.
+
+        The unified-memory executor uses this to apply the small
+        driver-dependent throughput delta the paper measures between UM
+        and SC (Table I: within ±8 %).
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"bandwidth factor must be positive, got {factor}")
+        saved = self.specs
+        self.specs = [replace(spec, bandwidth=spec.bandwidth * factor) for spec in saved]
+        try:
+            yield
+        finally:
+            self.specs = saved
+
+    def invalidate_all(self) -> None:
+        """Drop all lines in every level without writing back."""
+        for cache in self.caches:
+            cache.invalidate()
+
+    def flush(self, cost_model: FlushCostModel) -> "FlushResult":
+        """Flush every level (software coherence around GPU kernels).
+
+        Returns the elapsed time and the dirty bytes written to DRAM.
+        """
+        total_time = 0.0
+        total_bytes = 0
+        dram_bw = min(self.memory_port_bandwidth, self.dram.config.effective_bandwidth)
+        for cache in self.caches:
+            if not cache.enabled:
+                continue
+            resident = cache.resident_lines
+            dirty = cache.dirty_lines
+            line = cache.config.line_size
+            total_time += cost_model.flush_time(resident, dirty, line, dram_bw)
+            total_bytes += dirty * line
+            cache.flush()
+        self.dram.record(0, total_bytes)
+        return FlushResult(time_s=total_time, writeback_bytes=total_bytes)
+
+    # ------------------------------------------------------------------
+    # stream processing
+    # ------------------------------------------------------------------
+
+    def process(self, stream: AccessStream, mode: str = "auto") -> MemoryResult:
+        """Serve ``stream`` and report traffic and timing.
+
+        Args:
+            stream: the access trace.
+            mode: ``"exact"``, ``"analytic"`` or ``"auto"``.
+        """
+        if mode not in ("auto", "exact", "analytic"):
+            raise SimulationError(f"unknown processing mode {mode!r}")
+        if stream.is_virtual:
+            if mode == "exact":
+                raise SimulationError(
+                    "virtual streams carry no addresses and cannot be "
+                    "simulated exactly; use mode='analytic' or 'auto'"
+                )
+            return self._process_analytic(stream)
+        if mode == "analytic" or (
+            mode == "auto"
+            and stream.total_transactions > EXACT_SIMULATION_LIMIT
+            and analytic.supports(stream.pattern)
+        ):
+            return self._process_analytic(stream)
+        return self._process_exact(stream)
+
+    # -- exact path -----------------------------------------------------
+
+    def _run_pass(self, addresses: np.ndarray, writes: np.ndarray,
+                  transaction_size: int) -> dict:
+        """Replay one pass; returns raw per-level numbers."""
+        per_level = []
+        current_addrs = addresses
+        current_writes = writes
+        granularity = transaction_size
+        writeback_bytes_from_above = 0
+        stage_bytes: List[int] = []
+        for cache in self.caches:
+            n = len(current_addrs)
+            result = cache.access_trace(current_addrs, current_writes)
+            bytes_in = n * granularity
+            per_level.append(
+                dict(
+                    accesses=n,
+                    hits=result.num_hits,
+                    misses=result.num_misses,
+                    writebacks=result.writeback_lines,
+                    bytes_in=bytes_in,
+                )
+            )
+            stage_bytes.append(bytes_in + writeback_bytes_from_above)
+            writeback_bytes_from_above += result.writeback_lines * cache.config.line_size
+            if cache.enabled:
+                granularity = cache.config.line_size
+                current_addrs = result.miss_line_addresses
+                current_writes = np.zeros(len(current_addrs), dtype=bool)
+            else:
+                current_addrs = result.miss_line_addresses
+                # writes pass through a disabled cache unchanged
+                current_writes = current_writes[~result.hits] \
+                    if result.num_hits else current_writes
+        dram_transactions = len(current_addrs)
+        passthrough_writes = int(np.count_nonzero(current_writes))
+        dram_read = (dram_transactions - passthrough_writes) * granularity
+        dram_write = passthrough_writes * granularity + writeback_bytes_from_above
+        return dict(
+            levels=per_level,
+            stage_bytes=stage_bytes,
+            dram_read=dram_read,
+            dram_write=dram_write,
+            dram_transactions=dram_transactions,
+        )
+
+    def _process_exact(self, stream: AccessStream) -> MemoryResult:
+        repeats = stream.repeats
+        passes = [self._run_pass(stream.addresses, stream.is_write,
+                                 stream.transaction_size)]
+        multipliers = [1.0]
+        if repeats > 1:
+            passes.append(self._run_pass(stream.addresses, stream.is_write,
+                                         stream.transaction_size))
+            multipliers.append(float(repeats - 1))
+        return self._combine(stream, passes, multipliers)
+
+    # -- analytic path ---------------------------------------------------
+
+    def _process_analytic(self, stream: AccessStream) -> MemoryResult:
+        summaries: List[analytic.StreamSummary] = [
+            analytic.StreamSummary.from_stream(stream)
+        ]
+        per_level = []
+        stage_bytes: List[float] = []
+        writeback_bytes_from_above = 0.0
+        dram_read = 0.0
+        dram_write = 0.0
+        dram_transactions = 0
+        for cache in self.caches:
+            level = dict(accesses=0, hits=0, misses=0, writebacks=0,
+                         bytes_in=0)
+            next_summaries: List[analytic.StreamSummary] = []
+            for summary in summaries:
+                est = analytic.estimate_level(summary, cache.config,
+                                              cache.enabled)
+                level["accesses"] += est.accesses
+                level["hits"] += est.hits
+                level["misses"] += est.misses
+                level["writebacks"] += est.writeback_lines
+                level["bytes_in"] += summary.total * summary.transaction_size
+                next_summaries.extend(
+                    analytic.derive_miss_summaries(
+                        summary, est, cache.config, cache.enabled
+                    )
+                )
+            per_level.append(level)
+            stage_bytes.append(level["bytes_in"] + writeback_bytes_from_above)
+            writeback_bytes_from_above += (
+                level["writebacks"] * cache.config.line_size
+            )
+            summaries = next_summaries
+        for summary in summaries:
+            dram_transactions += summary.total
+            write_txns = int(summary.total * summary.write_fraction)
+            dram_read += (summary.total - write_txns) * summary.transaction_size
+            dram_write += write_txns * summary.transaction_size
+        dram_write += writeback_bytes_from_above
+        raw = dict(
+            levels=per_level,
+            stage_bytes=stage_bytes,
+            dram_read=dram_read,
+            dram_write=dram_write,
+            dram_transactions=dram_transactions,
+        )
+        return self._combine(stream, [raw], [1.0])
+
+    # -- shared assembly ---------------------------------------------------
+
+    def _combine(self, stream: AccessStream, passes: List[dict],
+                 multipliers: List[float]) -> MemoryResult:
+        num_levels = len(self.caches)
+        levels = [
+            LevelTraffic(name=c.config.name, enabled=c.enabled)
+            for c in self.caches
+        ]
+        stage_bytes = [0.0] * num_levels
+        dram_read = 0.0
+        dram_write = 0.0
+        dram_transactions = 0.0
+        for raw, mult in zip(passes, multipliers):
+            for i, lv in enumerate(raw["levels"]):
+                levels[i].accesses += int(lv["accesses"] * mult)
+                levels[i].hits += int(lv["hits"] * mult)
+                levels[i].misses += int(lv["misses"] * mult)
+                levels[i].writeback_lines += int(lv["writebacks"] * mult)
+                levels[i].bytes_in += int(lv["bytes_in"] * mult)
+                stage_bytes[i] += raw["stage_bytes"][i] * mult
+            dram_read += raw["dram_read"] * mult
+            dram_write += raw["dram_write"] * mult
+            dram_transactions += raw["dram_transactions"] * mult
+
+        dram_bandwidth = min(
+            self.memory_port_bandwidth, self.dram.config.effective_bandwidth
+        )
+        stage_times: Dict[str, float] = {}
+        for i, cache in enumerate(self.caches):
+            if cache.enabled and stage_bytes[i] > 0:
+                stage_times[cache.config.name] = stage_bytes[i] / self.specs[i].bandwidth
+        dram_bytes = dram_read + dram_write
+        if dram_bytes > 0:
+            stage_times["dram"] = dram_bytes / dram_bandwidth
+        streaming_time = max(stage_times.values()) if stage_times else 0.0
+        # Streaming workloads pipeline DRAM accesses, so latency is a
+        # one-time pipeline-fill cost per phase, not a per-transaction
+        # charge (per-transaction costs live in the bandwidth terms).
+        exposed_latency = self.dram.config.latency_s if dram_transactions > 0 else 0.0
+
+        self.dram.record(int(dram_read), int(dram_write))
+        return MemoryResult(
+            transactions=stream.total_transactions,
+            bytes_requested=stream.total_bytes,
+            levels=levels,
+            dram_read_bytes=int(dram_read),
+            dram_write_bytes=int(dram_write),
+            dram_transactions=int(dram_transactions),
+            stage_times=stage_times,
+            streaming_time_s=streaming_time,
+            exposed_latency_s=exposed_latency,
+        )
+
+
+@dataclass(frozen=True)
+class FlushResult:
+    """Outcome of a software cache flush."""
+
+    time_s: float
+    writeback_bytes: int
+
+
+def merge_memory_results(results: Sequence[MemoryResult]) -> MemoryResult:
+    """Combine the results of sequentially-served streams.
+
+    Tasks may present several access streams (e.g. a hot working set
+    plus a streaming pass); the hierarchy serves them back to back, so
+    traffic adds and streaming times add.
+    """
+    if not results:
+        raise SimulationError("cannot merge zero memory results")
+    if len(results) == 1:
+        return results[0]
+    first = results[0]
+    levels = [
+        LevelTraffic(name=lv.name, enabled=lv.enabled) for lv in first.levels
+    ]
+    stage_times: Dict[str, float] = {}
+    transactions = 0
+    bytes_requested = 0
+    dram_read = 0
+    dram_write = 0
+    dram_transactions = 0
+    streaming = 0.0
+    latency = 0.0
+    for result in results:
+        if len(result.levels) != len(levels):
+            raise SimulationError("cannot merge results from different hierarchies")
+        for target, lv in zip(levels, result.levels):
+            target.accesses += lv.accesses
+            target.hits += lv.hits
+            target.misses += lv.misses
+            target.writeback_lines += lv.writeback_lines
+            target.bytes_in += lv.bytes_in
+        for key, value in result.stage_times.items():
+            stage_times[key] = stage_times.get(key, 0.0) + value
+        transactions += result.transactions
+        bytes_requested += result.bytes_requested
+        dram_read += result.dram_read_bytes
+        dram_write += result.dram_write_bytes
+        dram_transactions += result.dram_transactions
+        streaming += result.streaming_time_s
+        latency = max(latency, result.exposed_latency_s)
+    return MemoryResult(
+        transactions=transactions,
+        bytes_requested=bytes_requested,
+        levels=levels,
+        dram_read_bytes=dram_read,
+        dram_write_bytes=dram_write,
+        dram_transactions=dram_transactions,
+        stage_times=stage_times,
+        streaming_time_s=streaming,
+        exposed_latency_s=latency,
+    )

@@ -1,0 +1,84 @@
+"""Shared-interconnect bandwidth arbitration.
+
+When the zero-copy model overlaps a CPU phase with a GPU phase, both
+stream through the same memory fabric.  :func:`allocate_bandwidth`
+computes a max-min fair (water-filling) split of the shared bandwidth
+among concurrent demands, respecting each requester's private port cap.
+The discrete-event engine (:mod:`repro.soc.events`) calls it every time
+the set of active jobs changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Fabric description.
+
+    Attributes:
+        total_bandwidth: bytes/s the fabric can move in aggregate.
+        arbitration_overhead: fractional throughput loss per extra
+            concurrent requester (models arbitration turnaround).
+    """
+
+    total_bandwidth: float
+    arbitration_overhead: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.total_bandwidth <= 0:
+            raise ConfigurationError("interconnect bandwidth must be positive")
+        if not 0.0 <= self.arbitration_overhead < 0.5:
+            raise ConfigurationError(
+                f"arbitration overhead must be in [0, 0.5), got {self.arbitration_overhead}"
+            )
+
+    def usable_bandwidth(self, num_requesters: int) -> float:
+        """Aggregate bandwidth available to ``num_requesters`` agents."""
+        if num_requesters <= 0:
+            return self.total_bandwidth
+        penalty = self.arbitration_overhead * (num_requesters - 1)
+        return self.total_bandwidth * max(0.5, 1.0 - penalty)
+
+
+def allocate_bandwidth(
+    demands: Mapping[str, float],
+    config: InterconnectConfig,
+) -> Dict[str, float]:
+    """Max-min fair allocation of shared bandwidth.
+
+    Args:
+        demands: requester name → private port cap (bytes/s); this is
+            the fastest rate the requester could consume alone.
+        config: the fabric being shared.
+
+    Returns:
+        requester name → granted bytes/s.  The grants never exceed the
+        private caps and sum to at most the usable fabric bandwidth.
+    """
+    active = {k: v for k, v in demands.items() if v > 0}
+    if not active:
+        return {k: 0.0 for k in demands}
+    budget = config.usable_bandwidth(len(active))
+    grants: Dict[str, float] = {k: 0.0 for k in demands}
+    remaining = dict(active)
+    # Water-filling: repeatedly give every unsatisfied requester an even
+    # share; requesters capped below the share release the surplus.
+    while remaining and budget > 1e-9:
+        share = budget / len(remaining)
+        satisfied = {k: cap for k, cap in remaining.items() if cap <= share}
+        if satisfied:
+            for name, cap in satisfied.items():
+                grants[name] = cap
+                budget -= cap
+                del remaining[name]
+        else:
+            for name in remaining:
+                grants[name] = share
+            budget = 0.0
+            remaining.clear()
+    return grants

@@ -1,0 +1,59 @@
+"""Shared phase-execution result type for the processor models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.hierarchy import MemoryResult
+
+
+@dataclass
+class PhaseResult:
+    """Timing of one processor phase (a CPU routine or a GPU kernel)
+    executed standalone on its hierarchy.
+
+    ``time_s`` is the standalone duration.  When phases run overlapped
+    under zero-copy the event engine recombines ``compute_time_s`` and
+    the memory demand instead of using ``time_s`` directly.
+    """
+
+    name: str
+    processor: str
+    compute_time_s: float
+    memory_time_s: float
+    time_s: float
+    memory: MemoryResult
+
+    @property
+    def cache_served_bytes(self) -> int:
+        """Bytes served by any enabled cache level."""
+        total = 0
+        for level in self.memory.levels:
+            if level.enabled:
+                # hits at this level were served here
+                total += int(level.hits * (level.bytes_in / level.accesses)) \
+                    if level.accesses else 0
+        return total
+
+    @property
+    def effective_throughput(self) -> float:
+        """Requested bytes over the phase's memory time (bytes/s)."""
+        if self.memory_time_s <= 0:
+            return 0.0
+        return self.memory.bytes_requested / self.memory_time_s
+
+
+def combine_compute_memory(
+    compute_s: float, memory_s: float, hide_factor: float
+) -> float:
+    """Combine compute and memory time with partial overlap.
+
+    ``hide_factor`` is the fraction of the shorter component hidden
+    under the longer one: 1.0 gives ``max`` (perfect latency hiding, the
+    GPU model), 0.0 gives the serial sum.
+    """
+    if not 0.0 <= hide_factor <= 1.0:
+        raise ValueError(f"hide_factor must be in [0, 1], got {hide_factor}")
+    longer = max(compute_s, memory_s)
+    shorter = min(compute_s, memory_s)
+    return longer + (1.0 - hide_factor) * shorter

@@ -1,0 +1,460 @@
+"""Memory access streams.
+
+An :class:`AccessStream` is the trace a task presents to a cache
+hierarchy: a sequence of (address, read/write) transactions of a uniform
+transaction size.  Streams carry a *pattern tag* so that very large
+logical streams can be evaluated by the closed-form estimators in
+:mod:`repro.soc.analytic` instead of access-by-access simulation; the
+two paths are cross-validated in the test suite.
+
+Builders cover the access shapes the paper's micro-benchmarks use:
+
+- ``linear`` — sequential sweep (MB1's GPU 2D reduction loads)
+- ``single_address`` — repeated hits on one location (MB1's CPU routine)
+- ``fraction`` — a leading fraction of a fixed array (MB2's sweep)
+- ``strided`` — constant-stride walk
+- ``sparse`` — maximally cache-hostile pseudo-random walk (MB3)
+- ``tiled`` — per-tile sweeps for the Fig-4 zero-copy pattern
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.soc.address import Buffer, BufferRange, RegionKind
+
+
+class PatternKind(enum.Enum):
+    """Shape tag used by the analytic estimators."""
+
+    LINEAR = "linear"
+    SINGLE_ADDRESS = "single_address"
+    STRIDED = "strided"
+    SPARSE = "sparse"
+    TILED = "tiled"
+    FRACTION = "fraction"
+    CUSTOM = "custom"
+
+
+@dataclass
+class AccessStream:
+    """A uniform-size transaction trace.
+
+    Attributes:
+        addresses: int64 byte addresses, one per transaction.
+        is_write: boolean per transaction (True = store).
+        transaction_size: bytes moved per transaction.
+        repeats: how many times the whole trace is replayed.  Replays
+            model steady-state loops without materializing the full
+            trace; the hierarchy simulates one cold pass and one warm
+            pass and extrapolates the remaining ``repeats - 2`` passes
+            from the warm one.
+        pattern: shape tag for the analytic fast path.
+        footprint_bytes: distinct bytes the stream touches per pass.
+        virtual_per_pass: when set, the stream is *virtual*: no address
+            arrays are materialized and only the shape parameters exist.
+            Virtual streams model workloads too large to trace (the
+            paper's MB3 uses 2^27 floats) and can only be processed by
+            the analytic path.
+        virtual_write_fraction: store fraction of a virtual stream.
+        region_kind: logical role of the memory the stream touches
+            (pinned / partition / unified).  Zero-copy treats pinned
+            pages as uncacheable while private buffers stay cached; a
+            ``None`` value is treated conservatively as pinned.
+    """
+
+    addresses: np.ndarray
+    is_write: np.ndarray
+    transaction_size: int = 4
+    repeats: int = 1
+    pattern: PatternKind = PatternKind.CUSTOM
+    footprint_bytes: Optional[int] = None
+    virtual_per_pass: Optional[int] = None
+    virtual_write_fraction: float = 0.0
+    region_kind: Optional["RegionKind"] = None
+
+    def __post_init__(self) -> None:
+        self.addresses = np.ascontiguousarray(self.addresses, dtype=np.int64)
+        self.is_write = np.ascontiguousarray(self.is_write, dtype=bool)
+        if self.addresses.shape != self.is_write.shape:
+            raise AddressError(
+                f"addresses ({self.addresses.shape}) and is_write "
+                f"({self.is_write.shape}) must have identical shapes"
+            )
+        if self.addresses.ndim != 1:
+            raise AddressError("access stream arrays must be one-dimensional")
+        if self.transaction_size <= 0:
+            raise AddressError(f"transaction_size must be positive, got {self.transaction_size}")
+        if self.repeats < 1:
+            raise AddressError(f"repeats must be >= 1, got {self.repeats}")
+        if self.virtual_per_pass is not None:
+            if len(self.addresses):
+                raise AddressError("virtual streams cannot carry addresses")
+            if self.virtual_per_pass <= 0:
+                raise AddressError("virtual_per_pass must be positive")
+            if self.footprint_bytes is None:
+                raise AddressError("virtual streams must declare footprint_bytes")
+            if not 0.0 <= self.virtual_write_fraction <= 1.0:
+                raise AddressError("virtual_write_fraction must be in [0, 1]")
+        if self.footprint_bytes is None:
+            if len(self.addresses):
+                unique = np.unique(self.addresses)
+                self.footprint_bytes = int(len(unique)) * self.transaction_size
+            else:
+                self.footprint_bytes = 0
+
+    def __len__(self) -> int:
+        return self.transactions_per_pass
+
+    @property
+    def is_virtual(self) -> bool:
+        """True when the stream carries only shape parameters."""
+        return self.virtual_per_pass is not None
+
+    @property
+    def transactions_per_pass(self) -> int:
+        """Transactions in one replay of the trace."""
+        if self.virtual_per_pass is not None:
+            return self.virtual_per_pass
+        return len(self.addresses)
+
+    @property
+    def total_transactions(self) -> int:
+        """Transactions across all replays."""
+        return self.transactions_per_pass * self.repeats
+
+    @property
+    def bytes_per_pass(self) -> int:
+        """Bytes moved in one replay."""
+        return self.transactions_per_pass * self.transaction_size
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved across all replays."""
+        return self.bytes_per_pass * self.repeats
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of transactions that are stores."""
+        if self.is_virtual:
+            return self.virtual_write_fraction
+        if not len(self.is_write):
+            return 0.0
+        return float(np.count_nonzero(self.is_write)) / len(self.is_write)
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, transaction_size: int = 4) -> "AccessStream":
+        """A stream with no transactions."""
+        return cls(
+            addresses=np.empty(0, dtype=np.int64),
+            is_write=np.empty(0, dtype=bool),
+            transaction_size=transaction_size,
+        )
+
+    @classmethod
+    def linear(
+        cls,
+        buffer: Buffer,
+        write: bool = False,
+        repeats: int = 1,
+        read_write_pairs: bool = False,
+    ) -> "AccessStream":
+        """Sequential element-order sweep over ``buffer``.
+
+        With ``read_write_pairs`` each element is read then written,
+        matching the paper's ``ld.global``/``st.global`` kernels.
+        """
+        count = buffer.num_elements
+        base = np.arange(count, dtype=np.int64) * buffer.element_size + buffer.base
+        if read_write_pairs:
+            addresses = np.repeat(base, 2)
+            is_write = np.tile(np.array([False, True]), count)
+        else:
+            addresses = base
+            is_write = np.full(count, write)
+        return cls(
+            addresses=addresses,
+            is_write=is_write,
+            transaction_size=buffer.element_size,
+            repeats=repeats,
+            pattern=PatternKind.LINEAR,
+            footprint_bytes=buffer.size,
+            region_kind=buffer.region.kind,
+        )
+
+    @classmethod
+    def single_address(
+        cls,
+        buffer: Buffer,
+        count: int,
+        write_every: int = 2,
+        element_index: int = 0,
+    ) -> "AccessStream":
+        """Repeated accesses to one element.
+
+        Models MB1's CPU routine: floating-point operations whose data
+        is read and written from a single memory address.  Every
+        ``write_every``-th access is a store.
+        """
+        if count <= 0:
+            raise AddressError(f"count must be positive, got {count}")
+        address = buffer.element_address(element_index)
+        addresses = np.full(count, address, dtype=np.int64)
+        is_write = np.zeros(count, dtype=bool)
+        if write_every > 0:
+            is_write[write_every - 1 :: write_every] = True
+        return cls(
+            addresses=addresses,
+            is_write=is_write,
+            transaction_size=buffer.element_size,
+            pattern=PatternKind.SINGLE_ADDRESS,
+            footprint_bytes=buffer.element_size,
+            region_kind=buffer.region.kind,
+        )
+
+    @classmethod
+    def strided(
+        cls,
+        buffer: Buffer,
+        stride_elements: int,
+        write: bool = False,
+        repeats: int = 1,
+    ) -> "AccessStream":
+        """Constant-stride walk over the buffer."""
+        if stride_elements <= 0:
+            raise AddressError(f"stride must be positive, got {stride_elements}")
+        indices = np.arange(0, buffer.num_elements, stride_elements, dtype=np.int64)
+        addresses = indices * buffer.element_size + buffer.base
+        # The line-level footprint is the swept span: sub-line strides
+        # touch every line even though they skip bytes.
+        span = int(addresses[-1] - addresses[0]) + buffer.element_size \
+            if len(addresses) else 0
+        return cls(
+            addresses=addresses,
+            is_write=np.full(len(addresses), write),
+            transaction_size=buffer.element_size,
+            repeats=repeats,
+            pattern=PatternKind.STRIDED,
+            footprint_bytes=min(buffer.size, span),
+            region_kind=buffer.region.kind,
+        )
+
+    @classmethod
+    def fraction(
+        cls,
+        buffer: Buffer,
+        fraction: float,
+        repeats: int = 1,
+        read_write_pairs: bool = True,
+    ) -> "AccessStream":
+        """Sweep only the leading ``fraction`` of the buffer.
+
+        This is MB2's knob: accessing sections of different length of a
+        fixed-size array (1/4000 … 1/2) with one load, one store, and a
+        fused multiply-add per element.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise AddressError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(buffer.num_elements * fraction))
+        sub = buffer.sub_range(0, count)
+        base = np.arange(count, dtype=np.int64) * buffer.element_size + sub.base
+        if read_write_pairs:
+            addresses = np.repeat(base, 2)
+            is_write = np.tile(np.array([False, True]), count)
+        else:
+            addresses = base
+            is_write = np.zeros(count, dtype=bool)
+        return cls(
+            addresses=addresses,
+            is_write=is_write,
+            transaction_size=buffer.element_size,
+            repeats=repeats,
+            pattern=PatternKind.FRACTION,
+            footprint_bytes=count * buffer.element_size,
+            region_kind=buffer.region.kind,
+        )
+
+    @classmethod
+    def sparse(
+        cls,
+        buffer: Buffer,
+        count: int,
+        line_size: int,
+        seed: int = 0,
+        write_fraction: float = 0.5,
+    ) -> "AccessStream":
+        """Maximally cache-hostile walk: each access lands on a distinct
+        line chosen pseudo-randomly, guaranteeing the maximum miss rate
+        (MB3's kernel: sufficiently sparse single read and single write).
+        """
+        if count <= 0:
+            raise AddressError(f"count must be positive, got {count}")
+        lines_available = buffer.size // line_size
+        if lines_available <= 0:
+            raise AddressError(
+                f"buffer {buffer.name!r} smaller than one line ({line_size} bytes)"
+            )
+        rng = np.random.default_rng(seed)
+        # Stride through lines with a large co-prime step, then shuffle
+        # in blocks: distinct lines, no spatial locality.
+        line_idx = rng.permutation(lines_available)[: min(count, lines_available)]
+        if count > lines_available:
+            extra = rng.integers(0, lines_available, size=count - lines_available)
+            line_idx = np.concatenate([line_idx, extra])
+        addresses = buffer.base + line_idx.astype(np.int64) * line_size
+        is_write = rng.random(count) < write_fraction
+        return cls(
+            addresses=addresses,
+            is_write=is_write,
+            transaction_size=min(buffer.element_size, line_size),
+            pattern=PatternKind.SPARSE,
+            footprint_bytes=min(count, lines_available) * line_size,
+            region_kind=buffer.region.kind,
+        )
+
+    @classmethod
+    def over_ranges(
+        cls,
+        ranges: Sequence[BufferRange],
+        read_write_pairs: bool = True,
+        repeats: int = 1,
+    ) -> "AccessStream":
+        """Sweep a sequence of buffer ranges (tiles) in order.
+
+        Used by the Fig-4 zero-copy pattern: each range is a tile and is
+        read then written element by element.
+        """
+        if not ranges:
+            raise AddressError("over_ranges requires at least one range")
+        element_size = ranges[0].buffer.element_size
+        pieces: List[np.ndarray] = []
+        for rng_ in ranges:
+            if rng_.buffer.element_size != element_size:
+                raise AddressError("all ranges must share one element size")
+            pieces.append(
+                np.arange(rng_.count, dtype=np.int64) * element_size + rng_.base
+            )
+        base = np.concatenate(pieces)
+        if read_write_pairs:
+            addresses = np.repeat(base, 2)
+            is_write = np.tile(np.array([False, True]), len(base))
+        else:
+            addresses = base
+            is_write = np.zeros(len(base), dtype=bool)
+        footprint = sum(r.size for r in ranges)
+        return cls(
+            addresses=addresses,
+            is_write=is_write,
+            transaction_size=element_size,
+            repeats=repeats,
+            pattern=PatternKind.TILED,
+            footprint_bytes=footprint,
+            region_kind=ranges[0].buffer.region.kind,
+        )
+
+    @classmethod
+    def concat(cls, streams: Iterable["AccessStream"]) -> "AccessStream":
+        """Concatenate streams (all must share a transaction size and
+        have ``repeats == 1``)."""
+        streams = list(streams)
+        if not streams:
+            raise AddressError("concat requires at least one stream")
+        size = streams[0].transaction_size
+        for s in streams:
+            if s.transaction_size != size:
+                raise AddressError("cannot concat streams with differing transaction sizes")
+            if s.repeats != 1:
+                raise AddressError("cannot concat streams with repeats > 1")
+        return cls(
+            addresses=np.concatenate([s.addresses for s in streams]),
+            is_write=np.concatenate([s.is_write for s in streams]),
+            transaction_size=size,
+            pattern=PatternKind.CUSTOM,
+        )
+
+    @classmethod
+    def virtual_stream(
+        cls,
+        pattern: PatternKind,
+        per_pass: int,
+        footprint_bytes: int,
+        transaction_size: int = 4,
+        repeats: int = 1,
+        write_fraction: float = 0.0,
+    ) -> "AccessStream":
+        """A shape-only stream for workloads too large to trace.
+
+        Virtual streams are processed analytically; the exact simulator
+        rejects them.
+        """
+        return cls(
+            addresses=np.empty(0, dtype=np.int64),
+            is_write=np.empty(0, dtype=bool),
+            transaction_size=transaction_size,
+            repeats=repeats,
+            pattern=pattern,
+            footprint_bytes=footprint_bytes,
+            virtual_per_pass=per_pass,
+            virtual_write_fraction=write_fraction,
+        )
+
+    @classmethod
+    def virtual_linear(
+        cls,
+        num_elements: int,
+        element_size: int = 4,
+        read_write_pairs: bool = True,
+        repeats: int = 1,
+    ) -> "AccessStream":
+        """Virtual sequential sweep over ``num_elements`` elements."""
+        per_pass = num_elements * (2 if read_write_pairs else 1)
+        return cls.virtual_stream(
+            pattern=PatternKind.LINEAR,
+            per_pass=per_pass,
+            footprint_bytes=num_elements * element_size,
+            transaction_size=element_size,
+            repeats=repeats,
+            write_fraction=0.5 if read_write_pairs else 0.0,
+        )
+
+    @classmethod
+    def virtual_sparse(
+        cls,
+        num_accesses: int,
+        footprint_bytes: int,
+        element_size: int = 4,
+        repeats: int = 1,
+        write_fraction: float = 0.5,
+    ) -> "AccessStream":
+        """Virtual maximally cache-hostile walk (MB3's kernel shape)."""
+        return cls.virtual_stream(
+            pattern=PatternKind.SPARSE,
+            per_pass=num_accesses,
+            footprint_bytes=footprint_bytes,
+            transaction_size=element_size,
+            repeats=repeats,
+            write_fraction=write_fraction,
+        )
+
+    def with_repeats(self, repeats: int) -> "AccessStream":
+        """A copy of this stream replayed ``repeats`` times."""
+        return AccessStream(
+            addresses=self.addresses,
+            is_write=self.is_write,
+            transaction_size=self.transaction_size,
+            repeats=repeats,
+            pattern=self.pattern,
+            footprint_bytes=self.footprint_bytes,
+            virtual_per_pass=self.virtual_per_pass,
+            virtual_write_fraction=self.virtual_write_fraction,
+            region_kind=self.region_kind,
+        )

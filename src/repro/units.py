@@ -1,0 +1,98 @@
+"""Unit constants and conversion helpers.
+
+All simulator-internal quantities use SI base units: **bytes**,
+**seconds**, **joules**, **hertz**.  Human-facing inputs and outputs
+(board datasheets, paper tables) use the units the paper uses — GB/s,
+microseconds, KiB — and convert at the boundary through this module so
+unit mistakes cannot hide inside the core.
+
+The paper reports throughput in GB/s (decimal, 1e9 bytes/s, matching
+NVIDIA's convention) while cache and memory *sizes* use binary units
+(KiB/MiB).  We keep both families explicit.
+"""
+
+from __future__ import annotations
+
+# --- sizes (binary) -------------------------------------------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- throughput (decimal, as in vendor datasheets and the paper) ----------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# --- time ------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# --- frequency --------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def gbps(value: float) -> float:
+    """Convert a GB/s figure (paper/datasheet convention) to bytes/s."""
+    return value * GB
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes/s to GB/s for reporting."""
+    return bytes_per_second / GB
+
+
+def kib(value: float) -> int:
+    """Convert KiB to bytes."""
+    return int(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Convert MiB to bytes."""
+    return int(value * MIB)
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds for reporting."""
+    return seconds / US
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds for reporting."""
+    return seconds / MS
+
+
+def ghz(value: float) -> float:
+    """Convert GHz to Hz."""
+    return value * GHZ
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Time taken by ``cycles`` clock cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Clock cycles elapsed in ``seconds`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

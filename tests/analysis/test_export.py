@@ -1,0 +1,59 @@
+"""Report aggregation from benchmark artefacts."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.export import ExportError, build_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table1_tx2.txt").write_text("Table I tx2 content\n")
+    (directory / "fig7_xavier.txt").write_text("Fig 7 content\n")
+    return directory
+
+
+class TestBuildReport:
+    def test_includes_present_artefacts(self, results_dir):
+        status = build_report(results_dir)
+        assert "table1_tx2" in status.included
+        assert "fig7_xavier" in status.included
+        report = (results_dir / "REPORT.md").read_text()
+        assert "Table I tx2 content" in report
+        assert "Fig 7 content" in report
+        assert "## Table I — peak GPU cache throughput" in report
+
+    def test_reports_missing(self, results_dir):
+        status = build_report(results_dir)
+        assert "reproduction_summary" in status.missing
+        assert not status.complete
+
+    def test_skips_empty_sections(self, results_dir):
+        report = build_report(results_dir) and \
+            (results_dir / "REPORT.md").read_text()
+        assert "## Energy" not in report
+
+    def test_custom_output_path(self, results_dir, tmp_path):
+        target = tmp_path / "custom.md"
+        build_report(results_dir, output_path=target)
+        assert target.is_file()
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            build_report(tmp_path / "nope")
+
+
+class TestAgainstRealArtefacts:
+    def test_full_report_from_benchmark_run(self):
+        """When the benchmarks have run, the real results directory
+        assembles into a complete-enough report."""
+        real = pathlib.Path(__file__).parent.parent.parent / "benchmarks" / "results"
+        if not real.is_dir() or not any(real.glob("*.txt")):
+            pytest.skip("benchmarks have not been run")
+        status = build_report(real)
+        assert len(status.included) >= 10
+        report = (real / "REPORT.md").read_text()
+        assert "Reproduction report" in report

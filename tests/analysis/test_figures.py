@@ -1,0 +1,57 @@
+"""Figure series and terminal charts."""
+
+import pytest
+
+from repro.analysis.figures import FigureError, FigureSeries, ascii_chart
+
+
+@pytest.fixture
+def series():
+    fig = FigureSeries(
+        title="demo", x_label="fraction", y_label="GB/s",
+        x_values=[0.01, 0.1, 0.25, 0.5],
+    )
+    fig.add_series("SC", [10.0, 50.0, 90.0, 97.0])
+    fig.add_series("ZC", [10.0, 32.0, 32.0, 32.0])
+    return fig
+
+
+class TestFigureSeries:
+    def test_csv_layout(self, series):
+        csv = series.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "fraction,SC,ZC"
+        assert len(lines) == 5
+        assert lines[1].startswith("0.01,")
+
+    def test_length_mismatch_rejected(self, series):
+        with pytest.raises(FigureError):
+            series.add_series("bad", [1.0])
+
+    def test_ascii_render_contains_legend(self, series):
+        text = series.render_ascii()
+        assert "SC" in text
+        assert "ZC" in text
+        assert "GB/s" in text
+
+
+class TestAsciiChart:
+    def test_requires_series(self):
+        with pytest.raises(FigureError):
+            ascii_chart([1, 2], {})
+
+    def test_requires_points(self):
+        with pytest.raises(FigureError):
+            ascii_chart([1], {"a": [1.0]})
+
+    def test_log_x_mode(self, series):
+        text = series.render_ascii(log_x=True)
+        assert text  # renders without error
+
+    def test_flat_series_renders(self):
+        text = ascii_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "*" in text
+
+    def test_zero_x_span_rejected(self):
+        with pytest.raises(FigureError):
+            ascii_chart([2, 2], {"a": [1.0, 2.0]})

@@ -1,0 +1,92 @@
+"""Table rendering and paper-reference data."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_REFERENCE,
+    Table,
+    TableError,
+    comparison_row,
+    format_table,
+    paper_speedup_pct,
+    reference,
+)
+
+
+class TestTableRendering:
+    def test_basic_render(self):
+        table = Table("Demo", ["board", "value"])
+        table.add_row("tx2", 97.34)
+        text = table.render()
+        assert "Demo" in text
+        assert "tx2" in text
+        assert "97.3" in text
+
+    def test_row_width_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(TableError):
+            table.add_row(1)
+
+    def test_format_validates(self):
+        with pytest.raises(TableError):
+            format_table("t", [], [])
+        with pytest.raises(TableError):
+            format_table("t", ["a"], [[1, 2]])
+
+    def test_number_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(1234.5)
+        table.add_row(0.012)
+        text = table.render()
+        assert "1,234" in text or "1,235" in text
+        assert "0.01" in text
+
+
+class TestPaperReference:
+    def test_table1_values(self):
+        table1 = reference("table1")
+        assert table1["tx2"]["ZC"] == 1.28
+        assert table1["xavier"]["SC"] == 214.64
+
+    def test_all_experiments_present(self):
+        for key in ("table1", "table2", "table3", "table4", "table5",
+                    "fig3", "fig5", "fig6", "fig7", "energy"):
+            assert key in PAPER_REFERENCE
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TableError):
+            reference("table9")
+
+    def test_table3_totals_consistent(self):
+        rows = reference("table3")["rows"]
+        assert rows["xavier"]["zc_speedup_pct"] == 38.0
+        assert rows["nano"]["zc_speedup_pct"] == -67.0
+
+
+class TestPaperSpeedupConvention:
+    def test_faster_is_ratio_minus_one(self):
+        # 304.57 -> 220.15: the paper quotes +38 %
+        assert paper_speedup_pct(304.57e-6, 220.15e-6) == pytest.approx(38.3, abs=0.5)
+
+    def test_slower_is_negative_slowdown(self):
+        # 70 ms -> 521 ms: the paper quotes -744 %
+        assert paper_speedup_pct(70e-3, 521e-3) == pytest.approx(-644.3, abs=1.0)
+
+    def test_equal_times(self):
+        assert paper_speedup_pct(1.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TableError):
+            paper_speedup_pct(0.0, 1.0)
+
+
+class TestComparisonRow:
+    def test_complete_row(self):
+        row = comparison_row("kernel", 100.0, 110.0)
+        assert row[0] == "kernel"
+        assert row[3] == "1.10x"
+
+    def test_missing_values(self):
+        row = comparison_row("x", None, 5.0)
+        assert row[1] == "-"
+        assert row[3] == "-"

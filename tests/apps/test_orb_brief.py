@@ -1,0 +1,100 @@
+"""Oriented rBRIEF descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.apps.orbslam.brief import (
+    BriefError,
+    brief_pattern,
+    compute_orientations,
+    rbrief_descriptors,
+)
+
+
+def textured_image(seed=0, size=96):
+    rng = np.random.default_rng(seed)
+    image = rng.uniform(0, 255, size=(size, size))
+    # Smooth slightly so gradients are meaningful.
+    return (image + np.roll(image, 1, 0) + np.roll(image, 1, 1)) / 3.0
+
+
+class TestPattern:
+    def test_deterministic(self):
+        assert np.array_equal(brief_pattern(seed=7), brief_pattern(seed=7))
+
+    def test_shape_and_bounds(self):
+        pattern = brief_pattern(bits=256, radius=15)
+        assert pattern.shape == (256, 4)
+        assert pattern.max() <= 14
+        assert pattern.min() >= -14
+
+
+class TestOrientation:
+    def test_gradient_direction_recovered(self):
+        # Brightness increasing along +x -> centroid points along +x.
+        image = np.tile(np.arange(64, dtype=float), (64, 1))
+        angles = compute_orientations(image, np.array([[32, 32]]))
+        assert abs(angles[0]) < 0.1
+
+    def test_rotated_gradient(self):
+        image = np.tile(np.arange(64, dtype=float)[:, None], (1, 64))  # +y
+        angles = compute_orientations(image, np.array([[32, 32]]))
+        assert angles[0] == pytest.approx(np.pi / 2, abs=0.1)
+
+    def test_border_keypoints_get_zero(self):
+        image = textured_image()
+        angles = compute_orientations(image, np.array([[1, 1]]))
+        assert angles[0] == 0.0
+
+
+class TestDescriptors:
+    def test_shape_is_packed_256_bits(self):
+        image = textured_image()
+        keypoints = np.array([[40, 40], [50, 50]])
+        descriptors, valid = rbrief_descriptors(image, keypoints)
+        assert descriptors.shape == (2, 32)
+        assert descriptors.dtype == np.uint8
+        assert valid.all()
+
+    def test_deterministic(self):
+        image = textured_image()
+        keypoints = np.array([[40, 40]])
+        a, _ = rbrief_descriptors(image, keypoints)
+        b, _ = rbrief_descriptors(image, keypoints)
+        assert np.array_equal(a, b)
+
+    def test_border_keypoints_filtered(self):
+        image = textured_image()
+        keypoints = np.array([[2, 2], [48, 48]])
+        descriptors, valid = rbrief_descriptors(image, keypoints)
+        assert list(valid) == [False, True]
+        assert descriptors.shape[0] == 1
+
+    def test_different_points_differ(self):
+        image = textured_image()
+        keypoints = np.array([[30, 30], [60, 60]])
+        descriptors, _ = rbrief_descriptors(image, keypoints)
+        assert not np.array_equal(descriptors[0], descriptors[1])
+
+    def test_same_texture_matches_across_images(self):
+        """A descriptor should be stable when the patch translates."""
+        base = textured_image(seed=2, size=120)
+        shifted = np.roll(base, 10, axis=1)
+        kp_a = np.array([[50, 60]])
+        kp_b = np.array([[60, 60]])
+        da, _ = rbrief_descriptors(base, kp_a)
+        db, _ = rbrief_descriptors(shifted, kp_b)
+        distance = np.unpackbits(np.bitwise_xor(da[0], db[0])).sum()
+        assert distance < 40  # same patch: small Hamming distance
+
+    def test_empty_keypoints(self):
+        descriptors, valid = rbrief_descriptors(
+            textured_image(), np.zeros((0, 2), dtype=int)
+        )
+        assert descriptors.shape == (0, 32)
+
+    def test_validation(self):
+        with pytest.raises(BriefError):
+            rbrief_descriptors(np.zeros((10, 10, 3)), np.zeros((1, 2), dtype=int))
+        with pytest.raises(BriefError):
+            rbrief_descriptors(textured_image(), np.zeros((3,), dtype=int))

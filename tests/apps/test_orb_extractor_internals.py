@@ -1,0 +1,76 @@
+"""ORB extractor internals: pyramid, budgets, downscaling."""
+
+import numpy as np
+import pytest
+
+from repro.apps.orbslam.orb import OrbExtractor, downscale
+from repro.apps.orbslam.pipeline import synthetic_scene
+
+
+class TestDownscale:
+    def test_factor_one_is_identity(self):
+        image = synthetic_scene(seed=2)
+        assert downscale(image, 1.0) is image
+
+    def test_shape_shrinks_by_factor(self):
+        image = np.zeros((120, 160))
+        small = downscale(image, 2.0)
+        assert small.shape == (60, 80)
+
+    def test_floor_dimension(self):
+        image = np.zeros((16, 16))
+        tiny = downscale(image, 100.0)
+        assert min(tiny.shape) >= 8
+
+    def test_preserves_intensity_range(self):
+        image = synthetic_scene(seed=4)
+        small = downscale(image, 1.7)
+        assert small.min() >= image.min()
+        assert small.max() <= image.max()
+
+
+class TestLevelBudgets:
+    def test_budgets_sum_close_to_total(self):
+        extractor = OrbExtractor(num_features=500, num_levels=4)
+        budgets = [extractor._level_budget(level) for level in range(4)]
+        assert sum(budgets) == pytest.approx(500, abs=4)
+
+    def test_budgets_decay_with_level(self):
+        extractor = OrbExtractor(num_features=500, num_levels=4)
+        budgets = [extractor._level_budget(level) for level in range(4)]
+        assert budgets == sorted(budgets, reverse=True)
+        assert budgets[-1] >= 1
+
+    def test_single_level_gets_everything(self):
+        extractor = OrbExtractor(num_features=100, num_levels=1)
+        assert extractor._level_budget(0) == 100
+
+
+class TestExtractionDetails:
+    @pytest.fixture(scope="class")
+    def features(self):
+        return OrbExtractor(num_features=300).extract(synthetic_scene(seed=8))
+
+    def test_arrays_consistent(self, features):
+        n = len(features)
+        assert features.scores.shape == (n,)
+        assert features.levels.shape == (n,)
+        assert features.angles.shape == (n,)
+        assert features.descriptors.shape == (n, 32)
+
+    def test_angles_in_range(self, features):
+        assert np.all(features.angles >= -np.pi)
+        assert np.all(features.angles <= np.pi)
+
+    def test_scores_positive(self, features):
+        assert np.all(features.scores > 0)
+
+    def test_levels_valid(self, features):
+        assert features.levels.min() >= 0
+        assert features.levels.max() < 4
+
+    def test_stronger_threshold_fewer_features(self):
+        scene = synthetic_scene(seed=8)
+        loose = OrbExtractor(fast_threshold=10.0).extract(scene)
+        strict = OrbExtractor(fast_threshold=60.0).extract(scene)
+        assert len(strict) <= len(loose)

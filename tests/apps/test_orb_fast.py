@@ -1,0 +1,83 @@
+"""FAST-9 corner detector."""
+
+import numpy as np
+import pytest
+
+from repro.apps.orbslam.fast import FastError, fast_corners
+
+
+def blank(h=64, w=64, value=50.0):
+    return np.full((h, w), value)
+
+
+def add_square(image, x, y, size, value=200.0):
+    image[y:y + size, x:x + size] = value
+    return image
+
+
+class TestDetection:
+    def test_uniform_image_has_no_corners(self):
+        keypoints, _ = fast_corners(blank())
+        assert len(keypoints) == 0
+
+    def test_square_corners_detected(self):
+        image = add_square(blank(), 20, 20, 16)
+        keypoints, scores = fast_corners(image)
+        assert len(keypoints) >= 4
+        assert len(scores) == len(keypoints)
+        # detections cluster near the square's vertices
+        corners = np.array([[20, 20], [35, 20], [20, 35], [35, 35]])
+        for corner in corners:
+            distances = np.linalg.norm(keypoints - corner, axis=1)
+            assert distances.min() <= 2.5
+
+    def test_dark_square_also_detected(self):
+        image = add_square(blank(value=200.0), 20, 20, 16, value=30.0)
+        keypoints, _ = fast_corners(image)
+        assert len(keypoints) >= 4
+
+    def test_straight_edge_is_not_a_corner(self):
+        image = blank()
+        image[:, 32:] = 200.0  # vertical edge through the image
+        keypoints, _ = fast_corners(image)
+        # Interior edge pixels have an 8-pixel bright arc: below FAST-9.
+        for x, y in keypoints:
+            assert not (10 < y < 54 and abs(x - 32) <= 1)
+
+    def test_threshold_controls_sensitivity(self):
+        image = add_square(blank(), 20, 20, 16, value=75.0)  # weak contrast
+        strong, _ = fast_corners(image, threshold=50.0)
+        weak, _ = fast_corners(image, threshold=10.0)
+        assert len(weak) > len(strong)
+
+    def test_nonmax_suppression_thins_detections(self):
+        image = add_square(blank(), 20, 20, 16)
+        with_nms, _ = fast_corners(image, nonmax_suppression=True)
+        without, _ = fast_corners(image, nonmax_suppression=False)
+        assert len(with_nms) <= len(without)
+
+    def test_keypoints_respect_border(self):
+        image = add_square(blank(), 0, 0, 10)
+        keypoints, _ = fast_corners(image)
+        if len(keypoints):
+            assert keypoints[:, 0].min() >= 3
+            assert keypoints[:, 1].min() >= 3
+
+    def test_scores_positive(self):
+        image = add_square(blank(), 20, 20, 16)
+        _, scores = fast_corners(image)
+        assert np.all(scores > 0)
+
+
+class TestValidation:
+    def test_rejects_3d_input(self):
+        with pytest.raises(FastError):
+            fast_corners(np.zeros((10, 10, 3)))
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(FastError):
+            fast_corners(np.zeros((5, 5)))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(FastError):
+            fast_corners(blank(), threshold=0.0)

@@ -1,0 +1,87 @@
+"""Hamming matcher with ratio test and cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.apps.orbslam.matching import (
+    MatchingError,
+    hamming_distance_matrix,
+    match_descriptors,
+)
+
+
+def descriptor(*byte_values):
+    d = np.zeros(32, dtype=np.uint8)
+    for i, v in enumerate(byte_values):
+        d[i] = v
+    return d
+
+
+class TestHammingMatrix:
+    def test_identical_is_zero(self):
+        a = np.stack([descriptor(0xFF, 0x0F)])
+        assert hamming_distance_matrix(a, a)[0, 0] == 0
+
+    def test_known_distance(self):
+        a = np.stack([descriptor(0b1111_0000)])
+        b = np.stack([descriptor(0b0000_1111)])
+        assert hamming_distance_matrix(a, b)[0, 0] == 8
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, size=(5, 32), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(7, 32), dtype=np.uint8)
+        d = hamming_distance_matrix(a, b)
+        assert d.shape == (5, 7)
+        assert np.array_equal(d, hamming_distance_matrix(b, a).T)
+
+    def test_empty_inputs(self):
+        empty = np.zeros((0, 32), dtype=np.uint8)
+        some = np.zeros((3, 32), dtype=np.uint8)
+        assert hamming_distance_matrix(empty, some).shape == (0, 3)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(MatchingError):
+            hamming_distance_matrix(
+                np.zeros((2, 32), dtype=np.uint8),
+                np.zeros((2, 16), dtype=np.uint8),
+            )
+
+
+class TestMatching:
+    def test_exact_matches_found(self):
+        rng = np.random.default_rng(1)
+        train = rng.integers(0, 256, size=(10, 32), dtype=np.uint8)
+        query = train[[3, 7]]
+        matches = match_descriptors(query, train)
+        assert {(m.query_index, m.train_index) for m in matches} == {(0, 3), (1, 7)}
+        assert all(m.distance == 0 for m in matches)
+
+    def test_max_distance_rejects_weak_matches(self):
+        query = np.stack([descriptor(0xFF, 0xFF, 0xFF, 0xFF)])
+        train = np.stack([descriptor()])  # 32 bits away
+        assert match_descriptors(query, train, max_distance=10) == []
+
+    def test_ratio_test_rejects_ambiguous(self):
+        # Two train descriptors both 1 bit from the query: ambiguous.
+        query = np.stack([descriptor(0b11)])
+        train = np.stack([descriptor(0b01), descriptor(0b10)])
+        assert match_descriptors(query, train, ratio=0.8,
+                                 cross_check=False) == []
+
+    def test_cross_check_requires_mutual_best(self):
+        # q0 and q1 both closest to t0; only one survives cross-check.
+        query = np.stack([descriptor(0x00), descriptor(0x01)])
+        train = np.stack([descriptor(0x00), descriptor(0xF0, 0xFF)])
+        matches = match_descriptors(query, train, ratio=1.0, cross_check=True)
+        pairs = {(m.query_index, m.train_index) for m in matches}
+        assert pairs == {(0, 0)}
+
+    def test_empty_inputs(self):
+        empty = np.zeros((0, 32), dtype=np.uint8)
+        assert match_descriptors(empty, empty) == []
+
+    def test_ratio_validated(self):
+        with pytest.raises(MatchingError):
+            match_descriptors(np.zeros((1, 32), dtype=np.uint8),
+                              np.zeros((1, 32), dtype=np.uint8), ratio=0.0)

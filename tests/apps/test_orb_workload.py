@@ -1,0 +1,107 @@
+"""ORB-SLAM simulator workload: calibration against Table IV/V."""
+
+import pytest
+
+from repro.apps.orbslam.workload import (
+    OrbWorkloadConfig,
+    build_orbslam_workload,
+)
+from repro.comm.base import get_model
+from repro.kernels.workload import Direction
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_ms, to_us
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in ("tx2", "xavier"):
+        workload = build_orbslam_workload(OrbWorkloadConfig(board_name=name))
+        soc = SoC(get_board(name))
+        out[name] = {
+            model: get_model(model).execute(workload, soc)
+            for model in ("SC", "ZC")
+        }
+    return out
+
+
+class TestWorkloadShape:
+    def test_only_features_copied(self):
+        workload = build_orbslam_workload()
+        assert workload.bytes_to_gpu == 0
+        assert workload.bytes_to_cpu == 22 * 1024
+
+    def test_pyramid_is_resident_shared(self):
+        workload = build_orbslam_workload()
+        pyramid = workload.buffer("pyramid")
+        assert pyramid.shared
+        assert pyramid.direction is Direction.RESIDENT
+
+    def test_staging_is_private(self):
+        workload = build_orbslam_workload()
+        assert not workload.buffer("staging").shared
+
+    def test_not_overlappable(self):
+        # the extraction feeds the tracking: no cross-task overlap
+        assert not build_orbslam_workload().overlappable
+
+
+class TestTable4Calibration:
+    PAPER_KERNEL_US = {"tx2": 93.56, "xavier": 24.22}
+    PAPER_COPY_US = {"tx2": 1.57, "xavier": 1.35}
+
+    @pytest.mark.parametrize("board", ["tx2", "xavier"])
+    def test_sc_kernel_time(self, results, board):
+        measured = to_us(results[board]["SC"].kernel_time_s)
+        assert measured == pytest.approx(self.PAPER_KERNEL_US[board], rel=0.15)
+
+    @pytest.mark.parametrize("board", ["tx2", "xavier"])
+    def test_copy_time(self, results, board):
+        measured = to_us(results[board]["SC"].copy_time_s)
+        assert measured == pytest.approx(self.PAPER_COPY_US[board], rel=0.35)
+
+
+class TestTable5Outcomes:
+    def test_sc_frame_times_in_band(self, results):
+        """Paper: 70 ms on TX2, 30 ms on Xavier per frame batch."""
+        assert to_ms(results["tx2"]["SC"].total_time_s) == pytest.approx(70, rel=0.35)
+        assert to_ms(results["xavier"]["SC"].total_time_s) == pytest.approx(30, rel=0.35)
+
+    def test_zc_catastrophic_on_tx2(self, results):
+        """Paper: 70 ms -> 521 ms (-744 %)."""
+        ratio = (results["tx2"]["ZC"].total_time_s
+                 / results["tx2"]["SC"].total_time_s)
+        assert ratio > 3.0
+
+    def test_zc_kernel_blowup_on_tx2(self, results):
+        """Paper: kernel 93.56 us -> 824 us (-880 %)."""
+        ratio = (results["tx2"]["ZC"].kernel_time_s
+                 / results["tx2"]["SC"].kernel_time_s)
+        assert ratio > 5.0
+
+    def test_zc_parity_class_on_xavier(self, results):
+        """Paper: 30 ms -> 30 ms (0 %)."""
+        ratio = (results["xavier"]["ZC"].total_time_s
+                 / results["xavier"]["SC"].total_time_s)
+        assert 0.75 < ratio < 1.25
+
+    def test_zc_kernel_penalty_small_on_xavier(self, results):
+        """Paper: kernel -10 % under ZC on Xavier."""
+        ratio = (results["xavier"]["ZC"].kernel_time_s
+                 / results["xavier"]["SC"].kernel_time_s)
+        assert 1.0 <= ratio < 1.6
+
+    def test_zc_eliminates_copy_energy_on_xavier(self, results):
+        """ZC removes the copy-engine energy entirely.
+
+        Note a documented deviation (EXPERIMENTS.md): the paper reports
+        a net 0.17 J/s saving for ORB on Xavier, while this model's ZC
+        spends *more* DRAM energy because the uncached pyramid traffic
+        re-reads DRAM on every pass that the SC caches would have
+        served.  The copy-side saving itself reproduces.
+        """
+        sc = results["xavier"]["SC"]
+        zc = results["xavier"]["ZC"]
+        assert zc.energy.copy_j == 0.0
+        assert sc.energy.copy_j > 0.0

@@ -1,0 +1,123 @@
+"""Centroid extraction: accuracy against injected ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.apps.shwfs.centroid import (
+    CentroidError,
+    CentroidMethod,
+    SubapertureGrid,
+    displacements_to_slopes,
+    extract_centroids,
+    reconstruct_modes,
+)
+from repro.apps.shwfs.optics import (
+    ShwfsOptics,
+    reference_centers,
+    simulate_shwfs_image,
+    zernike_surface,
+)
+
+OPTICS = ShwfsOptics()
+GRID = SubapertureGrid.from_optics(OPTICS)
+COEFFS = [0.0, 0.35, -0.25, 0.4, 0.1, -0.15]
+
+
+def make_frame(noise=0.0, seed=0):
+    surface = zernike_surface(COEFFS, size=64)
+    return simulate_shwfs_image(surface, OPTICS, noise_rms=noise,
+                                rng=np.random.default_rng(seed))
+
+
+class TestGrid:
+    def test_from_optics(self):
+        assert GRID.rows == 12
+        assert GRID.cols == 16
+        assert GRID.count == 192
+
+    def test_frame_validation(self):
+        with pytest.raises(CentroidError):
+            GRID.validate(np.zeros((100, 100)))
+
+    def test_invalid_grid(self):
+        with pytest.raises(CentroidError):
+            SubapertureGrid(rows=0, cols=4, size_px=20)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("method", list(CentroidMethod))
+    def test_clean_frame_recovers_displacements(self, method):
+        image, truth = make_frame()
+        result = extract_centroids(image, GRID, method=method,
+                                   reference=reference_centers(OPTICS))
+        error = result.displacements - truth
+        rmse = np.sqrt(np.mean(error ** 2))
+        assert rmse < 0.1, method
+
+    def test_thresholded_beats_plain_cog_under_noise(self):
+        image, truth = make_frame(noise=25.0)
+        reference = reference_centers(OPTICS)
+        plain = extract_centroids(image, GRID, method=CentroidMethod.COG,
+                                  reference=reference)
+        robust = extract_centroids(
+            image, GRID, method=CentroidMethod.THRESHOLDED_COG,
+            reference=reference,
+        )
+        rmse_plain = np.sqrt(np.mean((plain.displacements - truth) ** 2))
+        rmse_robust = np.sqrt(np.mean((robust.displacements - truth) ** 2))
+        assert rmse_robust < rmse_plain
+
+    def test_windowed_accurate_under_noise(self):
+        image, truth = make_frame(noise=15.0, seed=3)
+        result = extract_centroids(
+            image, GRID, method=CentroidMethod.WINDOWED_COG,
+            reference=reference_centers(OPTICS),
+        )
+        rmse = np.sqrt(np.mean((result.displacements - truth) ** 2))
+        assert rmse < 0.5
+
+    def test_empty_subaperture_falls_back_to_center(self):
+        image = np.zeros((GRID.rows * GRID.size_px, GRID.cols * GRID.size_px),
+                         dtype=np.float32)
+        result = extract_centroids(image, GRID)
+        assert np.allclose(result.displacements, 0.0)
+        assert np.allclose(result.intensities, 0.0)
+
+
+class TestValidation:
+    def test_threshold_fraction_range(self):
+        image, _ = make_frame()
+        with pytest.raises(CentroidError):
+            extract_centroids(image, GRID, threshold_fraction=1.0)
+
+    def test_reference_shape_checked(self):
+        image, _ = make_frame()
+        with pytest.raises(CentroidError):
+            extract_centroids(image, GRID, reference=np.zeros((3, 2)))
+
+
+class TestSlopesAndReconstruction:
+    def test_slope_conversion_inverts_gain(self):
+        displacements = np.array([[4.0, -2.0]])
+        slopes = displacements_to_slopes(displacements, gradient_gain_px=8.0)
+        assert slopes[0, 0] == pytest.approx(0.5)
+        assert slopes[0, 1] == pytest.approx(-0.25)
+
+    def test_zero_gain_rejected(self):
+        with pytest.raises(CentroidError):
+            displacements_to_slopes(np.zeros((1, 2)), 0.0)
+
+    def test_modal_reconstruction_recovers_coefficients(self):
+        image, _ = make_frame()
+        result = extract_centroids(image, GRID,
+                                   reference=reference_centers(OPTICS))
+        slopes = displacements_to_slopes(result.displacements,
+                                         OPTICS.gradient_gain_px)
+        modes = (2, 3, 4, 5, 6)
+        recovered = reconstruct_modes(slopes, OPTICS, modes)
+        injected = np.array(COEFFS[1:6])
+        assert np.allclose(recovered, injected, atol=0.05)
+
+    def test_piston_rejected(self):
+        with pytest.raises(CentroidError):
+            reconstruct_modes(np.zeros((GRID.count, 2)), OPTICS, modes=(1, 2))

@@ -1,0 +1,140 @@
+"""Shack-Hartmann optics: Zernike math and frame synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.apps.shwfs.optics import (
+    OpticsError,
+    ShwfsOptics,
+    noll_to_nm,
+    reference_centers,
+    simulate_shwfs_image,
+    wavefront_slopes,
+    zernike,
+    zernike_surface,
+)
+
+
+class TestNollIndexing:
+    @pytest.mark.parametrize("j,expected", [
+        (1, (0, 0)),    # piston
+        (2, (1, 1)),    # tip
+        (3, (1, -1)),   # tilt
+        (4, (2, 0)),    # defocus
+        (5, (2, -2)),   # oblique astigmatism
+        (6, (2, 2)),    # vertical astigmatism
+        (7, (3, -1)),   # vertical coma
+        (8, (3, 1)),    # horizontal coma
+        (11, (4, 0)),   # spherical
+    ])
+    def test_standard_mapping(self, j, expected):
+        assert noll_to_nm(j) == expected
+
+    def test_invalid_index(self):
+        with pytest.raises(OpticsError):
+            noll_to_nm(0)
+
+
+class TestZernikePolynomials:
+    @pytest.fixture
+    def grid(self):
+        ys, xs = np.mgrid[0:65, 0:65]
+        x = (xs - 32) / 32.0
+        y = (ys - 32) / 32.0
+        rho = np.sqrt(x * x + y * y)
+        theta = np.arctan2(y, x)
+        mask = rho <= 1.0
+        return rho, theta, mask
+
+    def test_piston_is_constant(self, grid):
+        rho, theta, mask = grid
+        values = zernike(1, rho, theta)
+        assert np.allclose(values[mask], values[mask][0])
+
+    def test_orthogonality_on_disk(self, grid):
+        """Distinct low-order modes are (numerically) orthogonal over
+        the unit disk."""
+        rho, theta, mask = grid
+        pairs = [(2, 3), (2, 4), (4, 6), (5, 6), (3, 7)]
+        for a, b in pairs:
+            za = zernike(a, rho, theta)[mask]
+            zb = zernike(b, rho, theta)[mask]
+            correlation = abs(np.sum(za * zb)) / np.sqrt(
+                np.sum(za ** 2) * np.sum(zb ** 2)
+            )
+            assert correlation < 0.02, (a, b)
+
+    def test_defocus_is_radially_symmetric(self, grid):
+        rho, theta, mask = grid
+        values = zernike(4, rho, theta)
+        rotated = zernike(4, rho, theta + 1.3)
+        assert np.allclose(values, rotated)
+
+    def test_surface_zero_outside_disk(self):
+        surface = zernike_surface([0.0, 1.0], size=33)
+        assert surface[0, 0] == 0.0  # corner is outside the unit disk
+
+    def test_surface_size_validated(self):
+        with pytest.raises(OpticsError):
+            zernike_surface([1.0], size=1)
+
+
+class TestOpticsGeometry:
+    def test_grid_dimensions(self):
+        optics = ShwfsOptics(image_width=320, image_height=240,
+                             subaperture_px=20)
+        assert optics.grid_cols == 16
+        assert optics.grid_rows == 12
+        assert optics.num_subapertures == 192
+
+    def test_misaligned_geometry_rejected(self):
+        with pytest.raises(OpticsError):
+            ShwfsOptics(image_width=321, image_height=240, subaperture_px=20)
+
+    def test_reference_centers_inside_subapertures(self):
+        optics = ShwfsOptics()
+        centers = reference_centers(optics)
+        assert centers.shape == (optics.num_subapertures, 2)
+        assert centers[:, 0].max() < optics.image_width
+        assert centers[:, 1].max() < optics.image_height
+
+
+class TestFrameSynthesis:
+    def test_flat_wavefront_centers_spots(self):
+        optics = ShwfsOptics()
+        image, displacements = simulate_shwfs_image(np.zeros((64, 64)), optics)
+        assert image.shape == (optics.image_height, optics.image_width)
+        assert np.allclose(displacements, 0.0)
+
+    def test_uniform_ramp_displaces_all_spots_equally(self):
+        optics = ShwfsOptics()
+        # A pure linear ramp has a constant gradient everywhere (a
+        # Zernike tilt would be clipped at the unit-disk boundary).
+        surface = np.tile(np.arange(64, dtype=float) * 0.05, (64, 1))
+        _, displacements = simulate_shwfs_image(surface, optics)
+        dx = displacements[:, 0]
+        assert np.all(dx > 0.05)
+        assert np.std(dx) < 0.1 * np.abs(np.mean(dx))
+        assert np.allclose(displacements[:, 1], 0.0, atol=1e-6)
+
+    def test_displacements_clamped_inside_subapertures(self):
+        optics = ShwfsOptics()
+        surface = zernike_surface([0.0, 50.0], size=64)  # huge tilt
+        _, displacements = simulate_shwfs_image(surface, optics)
+        limit = optics.subaperture_px / 2.0
+        assert np.all(np.abs(displacements) < limit)
+
+    def test_noise_is_deterministic_by_rng(self):
+        optics = ShwfsOptics()
+        surface = np.zeros((64, 64))
+        a, _ = simulate_shwfs_image(surface, optics, noise_rms=3.0,
+                                    rng=np.random.default_rng(5))
+        b, _ = simulate_shwfs_image(surface, optics, noise_rms=3.0,
+                                    rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_slopes_pool_to_grid(self):
+        optics = ShwfsOptics()
+        gx, gy = wavefront_slopes(np.zeros((64, 64)), optics)
+        assert gx.shape == (optics.grid_rows, optics.grid_cols)
+        assert gy.shape == (optics.grid_rows, optics.grid_cols)

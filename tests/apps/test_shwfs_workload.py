@@ -1,0 +1,128 @@
+"""SH-WFS simulator workload: calibration against Table II/III."""
+
+import pytest
+
+from repro.apps.shwfs.workload import (
+    FIXED_OVERHEAD_S,
+    ShwfsWorkloadConfig,
+    build_shwfs_workload,
+)
+from repro.comm.base import get_model
+from repro.kernels.workload import Direction
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+from repro.units import to_us
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in ("nano", "tx2", "xavier"):
+        workload = build_shwfs_workload(ShwfsWorkloadConfig(board_name=name))
+        soc = SoC(get_board(name))
+        out[name] = {
+            model: get_model(model).execute(workload, soc)
+            for model in ("SC", "UM", "ZC")
+        }
+    return out
+
+
+class TestWorkloadShape:
+    def test_camera_frame_is_half_megabyte_class(self):
+        workload = build_shwfs_workload()
+        frame = workload.buffer("frame")
+        assert frame.size_bytes == 320 * 240 * 4
+        assert frame.direction is Direction.TO_GPU
+
+    def test_copied_payload(self):
+        workload = build_shwfs_workload()
+        # frame + calibration table to the GPU, centroids back
+        assert workload.bytes_to_gpu == 320 * 240 * 4 + 48 * 1024
+        assert workload.bytes_to_cpu == workload.buffer("centroids").size_bytes
+
+    def test_overlappable_producer_consumer(self):
+        assert build_shwfs_workload().overlappable
+
+    def test_board_overhead_applied(self):
+        for name, overhead in FIXED_OVERHEAD_S.items():
+            workload = build_shwfs_workload(ShwfsWorkloadConfig(board_name=name))
+            assert workload.fixed_iteration_overhead_s == overhead
+        assert build_shwfs_workload().fixed_iteration_overhead_s == 0.0
+
+
+class TestTable3Calibration:
+    """Measured values against the paper's Table III (loose bands)."""
+
+    PAPER_SC_TOTAL_US = {"nano": 1070.1, "tx2": 765.04, "xavier": 304.57}
+    PAPER_SC_KERNEL_US = {"nano": 453.54, "tx2": 175.18, "xavier": 41.24}
+    PAPER_SC_CPU_US = {"nano": 238.6, "tx2": 79.6, "xavier": 41.9}
+    PAPER_COPY_US = {"nano": 44.8, "tx2": 22.4, "xavier": 16.88}
+
+    @pytest.mark.parametrize("board", ["nano", "tx2", "xavier"])
+    def test_sc_total(self, results, board):
+        measured = to_us(results[board]["SC"].time_per_iteration_s)
+        assert measured == pytest.approx(self.PAPER_SC_TOTAL_US[board], rel=0.15)
+
+    @pytest.mark.parametrize("board", ["nano", "tx2", "xavier"])
+    def test_sc_kernel(self, results, board):
+        measured = to_us(results[board]["SC"].kernel_time_s)
+        assert measured == pytest.approx(self.PAPER_SC_KERNEL_US[board], rel=0.15)
+
+    @pytest.mark.parametrize("board", ["nano", "tx2", "xavier"])
+    def test_sc_cpu(self, results, board):
+        measured = to_us(results[board]["SC"].cpu_time_s)
+        assert measured == pytest.approx(self.PAPER_SC_CPU_US[board], rel=0.15)
+
+    @pytest.mark.parametrize("board", ["nano", "tx2", "xavier"])
+    def test_copy_time(self, results, board):
+        measured = to_us(results[board]["SC"].copy_time_s)
+        assert measured == pytest.approx(self.PAPER_COPY_US[board], rel=0.25)
+
+    @pytest.mark.parametrize("board", ["nano", "tx2", "xavier"])
+    def test_um_within_envelope(self, results, board):
+        ratio = (results[board]["UM"].time_per_iteration_s
+                 / results[board]["SC"].time_per_iteration_s)
+        assert 0.92 < ratio < 1.08
+
+
+class TestTable3Outcomes:
+    """The headline: who wins on which board."""
+
+    def test_zc_loses_on_nano(self, results):
+        assert results["nano"]["ZC"].speedup_vs(results["nano"]["SC"]) < -0.10
+
+    def test_zc_slightly_worse_on_tx2(self, results):
+        speedup = results["tx2"]["ZC"].speedup_vs(results["tx2"]["SC"])
+        assert -0.15 < speedup < 0.0
+
+    def test_zc_wins_on_xavier(self, results):
+        speedup = results["xavier"]["ZC"].speedup_vs(results["xavier"]["SC"])
+        assert 0.20 < speedup < 0.60  # paper: +38 %
+
+    def test_zc_cpu_degradation_ranks_nano_worst(self, results):
+        """Table III: ZC CPU time 4.7x on Nano, 3.9x on TX2, ~1x Xavier."""
+        def penalty(board):
+            return (results[board]["ZC"].cpu_time_s
+                    / results[board]["SC"].cpu_time_s)
+
+        assert penalty("nano") > penalty("tx2") > 1.5
+        assert penalty("xavier") < 1.1
+
+    def test_zc_kernel_penalty_tx2_matches_paper(self, results):
+        """Paper: TX2 ZC kernel 244 µs vs 175 µs SC (-39 %)."""
+        ratio = (results["tx2"]["ZC"].kernel_time_s
+                 / results["tx2"]["SC"].kernel_time_s)
+        assert 1.2 < ratio < 1.6
+
+    def test_zc_kernel_penalty_small_on_nano(self, results):
+        """Paper: Nano's kernel is compute-bound, ZC only -3 %."""
+        ratio = (results["nano"]["ZC"].kernel_time_s
+                 / results["nano"]["SC"].kernel_time_s)
+        assert ratio < 1.15
+
+    def test_energy_saving_on_xavier(self, results):
+        """Same frames processed, less energy: the paper's ZC energy
+        argument (copy traffic eliminated)."""
+        sc = results["xavier"]["SC"]
+        zc = results["xavier"]["ZC"]
+        assert zc.energy.total_j < sc.energy.total_j

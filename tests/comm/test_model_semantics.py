@@ -1,0 +1,201 @@
+"""Fig-1 semantics: what each communication model must and must not do.
+
+These are the behavioural contracts of the three models, independent of
+calibration: SC copies and flushes, UM migrates instead of copying, ZC
+does neither but pays the cache penalty.
+"""
+
+import pytest
+
+from repro.comm.base import get_model
+from repro.errors import ConfigurationError
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern, SingleAddressPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.soc.board import jetson_tx2, jetson_xavier
+from repro.soc.soc import SoC
+
+
+def make_workload(elements=64 * 1024, overlappable=False, iterations=4):
+    frame = BufferSpec("frame", elements, shared=True,
+                       direction=Direction.TO_GPU)
+    result = BufferSpec("result", 256, shared=True, direction=Direction.TO_CPU)
+    cpu = CpuTask(
+        name="produce",
+        ops=OpMix.per_element({"mul": 1.0}, elements),
+        pattern=LinearPattern(buffer="frame", read_write_pairs=True),
+    )
+    gpu = GpuKernel(
+        name="consume",
+        ops=OpMix.per_element({"fma": 2.0}, elements),
+        pattern=LinearPattern(buffer="frame", read_write_pairs=False),
+    )
+    return Workload(
+        name="semantics",
+        buffers=(frame, result),
+        cpu_task=cpu,
+        gpu_kernel=gpu,
+        iterations=iterations,
+        overlappable=overlappable,
+    )
+
+
+@pytest.fixture
+def soc():
+    return SoC(jetson_tx2())
+
+
+class TestRegistry:
+    def test_known_models(self):
+        for name in ("SC", "UM", "ZC", "sc", "zc"):
+            assert get_model(name) is not None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_model("PCIE")
+
+
+class TestStandardCopySemantics:
+    def test_copies_performed(self, soc):
+        workload = make_workload()
+        report = get_model("SC").execute(workload, soc)
+        assert report.steady_iteration.copy_time_s > 0
+        assert report.copied_bytes_per_iteration == \
+            workload.copied_bytes_per_iteration
+
+    def test_flushes_performed(self, soc):
+        report = get_model("SC").execute(make_workload(), soc)
+        assert report.steady_iteration.flush_time_s > 0
+
+    def test_no_migration(self, soc):
+        report = get_model("SC").execute(make_workload(), soc)
+        assert report.steady_iteration.migration_time_s == 0
+
+    def test_tasks_serialized(self, soc):
+        report = get_model("SC").execute(make_workload(overlappable=True), soc)
+        assert not report.steady_iteration.is_overlapped
+
+
+class TestUnifiedMemorySemantics:
+    def test_migration_instead_of_copy(self, soc):
+        report = get_model("UM").execute(make_workload(), soc)
+        assert report.steady_iteration.migration_time_s > 0
+        assert report.steady_iteration.copy_time_s == 0
+
+    def test_within_sc_envelope(self, soc):
+        """UM total within the paper's ±8 % of SC."""
+        workload = make_workload()
+        sc = get_model("SC").execute(workload, soc)
+        soc.reset()
+        um = get_model("UM").execute(workload, soc)
+        ratio = um.time_per_iteration_s / sc.time_per_iteration_s
+        assert 0.92 <= ratio <= 1.08
+
+    def test_tasks_serialized(self, soc):
+        report = get_model("UM").execute(make_workload(overlappable=True), soc)
+        assert not report.steady_iteration.is_overlapped
+
+
+class TestZeroCopySemantics:
+    def test_no_copies_no_flushes(self, soc):
+        report = get_model("ZC").execute(make_workload(), soc)
+        assert report.steady_iteration.copy_time_s == 0
+        assert report.steady_iteration.flush_time_s == 0
+        assert report.copied_bytes_per_iteration == 0
+
+    def test_overlappable_workload_overlaps(self, soc):
+        report = get_model("ZC").execute(make_workload(overlappable=True), soc)
+        assert report.steady_iteration.is_overlapped
+        assert report.steady_iteration.sync_overhead_s > 0
+
+    def test_overlap_bounded_by_components(self, soc):
+        report = get_model("ZC").execute(make_workload(overlappable=True), soc)
+        steady = report.steady_iteration
+        assert steady.overlapped_time_s <= steady.cpu_time_s + steady.kernel_time_s
+        # The overlapped time may shed per-launch overheads, so the
+        # lower bound is slightly loose.
+        assert steady.overlapped_time_s >= max(
+            steady.cpu_time_s, steady.kernel_time_s
+        ) * 0.95
+
+    def test_kernel_slower_than_sc_on_tx2(self, soc):
+        workload = make_workload()
+        sc = get_model("SC").execute(workload, soc)
+        soc.reset()
+        zc = get_model("ZC").execute(workload, soc)
+        assert zc.kernel_time_s > sc.kernel_time_s
+
+    def test_kernel_penalty_small_on_xavier(self):
+        soc = SoC(jetson_xavier())
+        workload = make_workload()
+        sc = get_model("SC").execute(workload, soc)
+        soc.reset()
+        zc = get_model("ZC").execute(workload, soc)
+        tx2 = SoC(jetson_tx2())
+        sc_tx2 = get_model("SC").execute(workload, tx2)
+        tx2.reset()
+        zc_tx2 = get_model("ZC").execute(workload, tx2)
+        xavier_penalty = zc.kernel_time_s / sc.kernel_time_s
+        tx2_penalty = zc_tx2.kernel_time_s / sc_tx2.kernel_time_s
+        assert xavier_penalty < tx2_penalty
+
+
+class TestEnergySemantics:
+    def test_zc_saves_energy_when_time_comparable(self):
+        """The paper's energy claim: ZC saves J/s versus SC on Xavier
+        (copy traffic is gone)."""
+        soc = SoC(jetson_xavier())
+        workload = make_workload(overlappable=True)
+        sc = get_model("SC").execute(workload, soc)
+        soc.reset()
+        zc = get_model("ZC").execute(workload, soc)
+        assert zc.energy is not None and sc.energy is not None
+        # energy per unit of work done
+        sc_j_per_iter = sc.energy.total_j / workload.iterations
+        zc_j_per_iter = zc.energy.total_j / workload.iterations
+        assert zc_j_per_iter < sc_j_per_iter
+
+
+class TestReportShape:
+    def test_iterations_accumulate(self, soc):
+        workload = make_workload(iterations=10)
+        report = get_model("SC").execute(workload, soc)
+        assert report.total_time_s == pytest.approx(
+            report.first_iteration.total_s
+            + 9 * report.steady_iteration.total_s
+        )
+
+    def test_phases_attached(self, soc):
+        report = get_model("SC").execute(make_workload(), soc)
+        assert report.cpu_phase is not None
+        assert report.gpu_phase is not None
+        assert report.cpu_phase.processor == "cpu"
+        assert report.gpu_phase.processor == "gpu"
+
+
+class TestUnifiedMemoryColdFaults:
+    def test_resident_buffers_fault_only_once(self, soc):
+        """GPU-resident shared buffers migrate on first touch only:
+        the cold iteration pays more migration than steady state."""
+        from repro.kernels.workload import BufferSpec, Direction, Workload
+        from repro.kernels.ops import OpMix
+        from repro.kernels.patterns import LinearPattern
+        from repro.kernels.task import GpuKernel
+
+        pyramid = BufferSpec("pyramid", 64 * 1024, shared=True,
+                             direction=Direction.RESIDENT)
+        out = BufferSpec("out", 256, shared=True, direction=Direction.TO_CPU)
+        workload = Workload(
+            name="resident-um",
+            buffers=(pyramid, out),
+            gpu_kernel=GpuKernel(
+                name="k", ops=OpMix({"fma": 1000.0}),
+                pattern=LinearPattern(buffer="pyramid",
+                                      read_write_pairs=False),
+            ),
+            iterations=4,
+        )
+        report = get_model("UM").execute(workload, soc)
+        assert report.first_iteration.migration_time_s > \
+            report.steady_iteration.migration_time_s

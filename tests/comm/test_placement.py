@@ -1,0 +1,65 @@
+"""Buffer placement per communication model."""
+
+import pytest
+
+from repro.comm.base import get_model
+from repro.kernels.ops import OpMix
+from repro.kernels.task import GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.soc.address import RegionKind
+from repro.soc.board import jetson_tx2
+from repro.soc.soc import SoC
+
+
+def make_workload():
+    return Workload(
+        name="placement",
+        buffers=(
+            BufferSpec("shared_in", 1024, shared=True,
+                       direction=Direction.TO_GPU),
+            BufferSpec("resident", 2048, shared=True,
+                       direction=Direction.RESIDENT),
+            BufferSpec("private", 512),
+        ),
+        gpu_kernel=GpuKernel(name="k", ops=OpMix({"add": 1})),
+    )
+
+
+@pytest.fixture
+def soc():
+    return SoC(jetson_tx2())
+
+
+class TestStandardCopyPlacement:
+    def test_two_partitions(self, soc):
+        placed = get_model("SC").place(make_workload(), soc)
+        for name in ("shared_in", "resident", "private"):
+            cpu_buf = placed.cpu_buffers[name]
+            gpu_buf = placed.gpu_buffers[name]
+            assert cpu_buf.region.kind is RegionKind.CPU_PARTITION
+            assert gpu_buf.region.kind is RegionKind.GPU_PARTITION
+            assert not cpu_buf.overlaps(gpu_buf)
+
+
+class TestUnifiedMemoryPlacement:
+    def test_single_unified_view(self, soc):
+        placed = get_model("UM").place(make_workload(), soc)
+        for name in placed.cpu_buffers:
+            assert placed.cpu_buffers[name] is placed.gpu_buffers[name]
+            assert placed.cpu_buffers[name].region.kind is RegionKind.UNIFIED
+
+
+class TestZeroCopyPlacement:
+    def test_shared_buffers_pinned(self, soc):
+        placed = get_model("ZC").place(make_workload(), soc)
+        assert placed.cpu_buffers["shared_in"].region.kind is RegionKind.PINNED
+        assert placed.cpu_buffers["resident"].region.kind is RegionKind.PINNED
+
+    def test_private_buffers_stay_cacheable(self, soc):
+        placed = get_model("ZC").place(make_workload(), soc)
+        assert placed.cpu_buffers["private"].region.kind is RegionKind.PRIVATE
+
+    def test_one_view_for_both_processors(self, soc):
+        placed = get_model("ZC").place(make_workload(), soc)
+        for name in placed.cpu_buffers:
+            assert placed.cpu_buffers[name] is placed.gpu_buffers[name]

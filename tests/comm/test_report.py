@@ -1,0 +1,76 @@
+"""Execution report arithmetic."""
+
+import pytest
+
+from repro.comm.report import ExecutionReport, IterationBreakdown
+from repro.errors import ModelError
+
+
+def breakdown(**kwargs):
+    defaults = dict(cpu_time_s=100e-6, kernel_time_s=50e-6,
+                    copy_time_s=10e-6, flush_time_s=5e-6)
+    defaults.update(kwargs)
+    return IterationBreakdown(**defaults)
+
+
+def report(first=None, steady=None, iterations=10):
+    return ExecutionReport(
+        workload_name="w", model="SC", board_name="tx2",
+        iterations=iterations,
+        first_iteration=first or breakdown(),
+        steady_iteration=steady or breakdown(),
+        cpu_phase=None, gpu_phase=None,
+        copied_bytes_per_iteration=4096,
+    )
+
+
+class TestIterationBreakdown:
+    def test_serial_total(self):
+        b = breakdown()
+        assert b.total_s == pytest.approx(165e-6)
+        assert not b.is_overlapped
+
+    def test_overlapped_total_replaces_task_sum(self):
+        b = breakdown(overlapped_time_s=120e-6, sync_overhead_s=4e-6)
+        assert b.is_overlapped
+        assert b.total_s == pytest.approx(120e-6 + 10e-6 + 5e-6 + 4e-6)
+
+    def test_other_time_included(self):
+        b = breakdown(other_time_s=200e-6)
+        assert b.total_s == pytest.approx(365e-6)
+
+    def test_migration_included(self):
+        b = breakdown(migration_time_s=20e-6, copy_time_s=0.0)
+        assert b.total_s == pytest.approx(175e-6)
+
+
+class TestExecutionReport:
+    def test_total_time_weights_cold_and_warm(self):
+        cold = breakdown(cpu_time_s=200e-6)
+        warm = breakdown()
+        r = report(first=cold, steady=warm, iterations=5)
+        assert r.total_time_s == pytest.approx(cold.total_s + 4 * warm.total_s)
+
+    def test_single_iteration(self):
+        r = report(iterations=1)
+        assert r.total_time_s == pytest.approx(r.first_iteration.total_s)
+
+    def test_steady_accessors(self):
+        r = report()
+        assert r.kernel_time_s == pytest.approx(50e-6)
+        assert r.cpu_time_s == pytest.approx(100e-6)
+        assert r.copy_time_s == pytest.approx(10e-6)
+        assert r.time_per_iteration_s == pytest.approx(165e-6)
+
+    def test_speedup_vs(self):
+        fast = report(steady=breakdown(cpu_time_s=50e-6))
+        slow = report()
+        assert fast.speedup_vs(slow) > 0
+        assert slow.speedup_vs(fast) < 0
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ModelError):
+            report(iterations=0)
+
+    def test_energy_per_second_without_energy(self):
+        assert report().energy_per_second_w == 0.0

@@ -1,0 +1,162 @@
+"""2-D checkerboard zero-copy pattern."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.tiling import check_race_free
+from repro.comm.tiling2d import Checkerboard2DPattern, TilingPlan2D
+from repro.errors import ConfigurationError, RaceConditionError, WorkloadError
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.board import jetson_tx2
+
+
+def make_plan(width=64, height=32, tile_width=16, tile_height=1):
+    return TilingPlan2D(
+        buffer_name="matrix", width=width, height=height, element_size=4,
+        tile_width=tile_width, tile_height=tile_height,
+    )
+
+
+def place(plan):
+    region = MemoryRegion(name="p", base=0x8000, size=1 << 22,
+                          kind=RegionKind.PINNED)
+    size = plan.width * plan.height * plan.element_size
+    return {plan.buffer_name: region.allocate(plan.buffer_name, size,
+                                              element_size=plan.element_size)}
+
+
+class TestPlanGeometry:
+    def test_counts(self):
+        plan = make_plan()
+        assert plan.tiles_x == 4
+        assert plan.tiles_y == 32
+        assert plan.num_tiles == 128
+        assert plan.tile_bytes == 64
+
+    def test_checkerboard_parity(self):
+        plan = make_plan()
+        assert plan.tile_parity(0, 0) == 0
+        assert plan.tile_parity(1, 0) == 1
+        assert plan.tile_parity(0, 1) == 1
+        assert plan.tile_parity(1, 1) == 0
+
+    def test_parities_partition_all_tiles(self):
+        plan = make_plan()
+        black = set(plan.tiles_of_parity(0))
+        white = set(plan.tiles_of_parity(1))
+        assert not black & white
+        assert len(black) + len(white) == plan.num_tiles
+
+    def test_for_matrix_uses_block_size(self):
+        board = jetson_tx2()
+        plan = TilingPlan2D.for_matrix("m", width=320, height=240,
+                                       element_size=4, board=board)
+        assert plan.tile_width * plan.element_size == 64  # min LLC block
+
+    def test_for_matrix_override(self):
+        board = jetson_tx2()
+        plan = TilingPlan2D.for_matrix("m", width=320, height=240,
+                                       element_size=4, board=board,
+                                       tiles_x=10)
+        assert plan.tile_width == 32
+
+    def test_sub_block_override_rejected(self):
+        board = jetson_tx2()
+        with pytest.raises(ConfigurationError):
+            TilingPlan2D.for_matrix("m", width=320, height=240,
+                                    element_size=4, board=board, tiles_x=40)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_plan(width=60, tile_width=16)  # not divisible
+        with pytest.raises(ConfigurationError):
+            make_plan(width=16, height=1, tile_width=16, tile_height=1)
+
+
+class TestPatternStreams:
+    def test_colours_cover_matrix(self):
+        plan = make_plan()
+        buffers = place(plan)
+        black = Checkerboard2DPattern(buffer="matrix", plan=plan, parity=0,
+                                      read_write_pairs=False)
+        white = Checkerboard2DPattern(buffer="matrix", plan=plan, parity=1,
+                                      read_write_pairs=False)
+        a = black.build(buffers, 64).addresses
+        b = white.build(buffers, 64).addresses
+        combined = set(a.tolist()) | set(b.tolist())
+        buffer = buffers["matrix"]
+        expected = set(range(buffer.base, buffer.base + buffer.size, 4))
+        assert combined == expected
+        assert not set(a.tolist()) & set(b.tolist())
+
+    def test_phase_streams_race_free(self):
+        plan = make_plan()
+        buffers = place(plan)
+        for phase in (0, 1, 2):
+            cpu_spec, gpu_spec = plan.phase_patterns(phase)
+            cpu = cpu_spec.build(buffers, 64)
+            gpu = gpu_spec.build(buffers, 64)
+            check_race_free(cpu, gpu, granularity=plan.tile_bytes)
+
+    def test_same_colour_conflicts(self):
+        plan = make_plan()
+        buffers = place(plan)
+        spec = Checkerboard2DPattern(buffer="matrix", plan=plan, parity=0)
+        stream = spec.build(buffers, 64)
+        with pytest.raises(RaceConditionError):
+            check_race_free(stream, stream, granularity=plan.tile_bytes)
+
+    def test_read_write_pairs(self):
+        plan = make_plan()
+        buffers = place(plan)
+        spec = Checkerboard2DPattern(buffer="matrix", plan=plan, parity=0)
+        stream = spec.build(buffers, 64)
+        assert stream.write_fraction == pytest.approx(0.5)
+
+    def test_small_buffer_rejected(self):
+        plan = make_plan()
+        region = MemoryRegion(name="p", base=0, size=1 << 20,
+                              kind=RegionKind.PINNED)
+        tiny = {"matrix": region.allocate("matrix", 64, element_size=4)}
+        with pytest.raises(WorkloadError):
+            Checkerboard2DPattern(buffer="matrix", plan=plan,
+                                  parity=0).build(tiny, 64)
+
+    def test_element_size_mismatch_rejected(self):
+        plan = make_plan()
+        region = MemoryRegion(name="p", base=0, size=1 << 22,
+                              kind=RegionKind.PINNED)
+        wrong = {"matrix": region.allocate(
+            "matrix", plan.width * plan.height * 8, element_size=8
+        )}
+        with pytest.raises(WorkloadError):
+            Checkerboard2DPattern(buffer="matrix", plan=plan,
+                                  parity=0).build(wrong, 64)
+
+
+@given(
+    tiles_x_exp=st.integers(min_value=1, max_value=4),
+    height=st.integers(min_value=2, max_value=16),
+    phase=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_checkerboard_race_free(tiles_x_exp, height, phase):
+    """Any checkerboard geometry keeps the two colours block-disjoint
+    in every phase."""
+    tiles_x = 2 ** tiles_x_exp
+    tile_width = 16  # 64 B rows
+    plan = TilingPlan2D(
+        buffer_name="matrix",
+        width=tiles_x * tile_width,
+        height=height,
+        element_size=4,
+        tile_width=tile_width,
+        tile_height=1,
+    )
+    buffers = place(plan)
+    cpu_spec, gpu_spec = plan.phase_patterns(phase)
+    cpu = cpu_spec.build(buffers, 64)
+    gpu = gpu_spec.build(buffers, 64)
+    check_race_free(cpu, gpu, granularity=plan.tile_bytes)

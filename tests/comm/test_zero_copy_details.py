@@ -1,0 +1,104 @@
+"""Zero-copy executor internals and edge cases."""
+
+import pytest
+
+from repro.comm.base import get_model
+from repro.comm.zero_copy import ZeroCopyModel
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.soc.board import jetson_tx2, jetson_xavier
+from repro.soc.phase import PhaseResult
+from repro.soc.soc import SoC
+
+
+def tiny_overlappable_workload():
+    """Shared buffer below two tiles: the tiled plan cannot be built."""
+    crumb = BufferSpec("crumb", 16, element_size=4, shared=True,
+                       direction=Direction.TO_GPU)
+    return Workload(
+        name="tiny",
+        buffers=(crumb,),
+        cpu_task=CpuTask(
+            name="cpu", ops=OpMix({"add": 1000.0}),
+            pattern=LinearPattern(buffer="crumb", read_write_pairs=True),
+        ),
+        gpu_kernel=GpuKernel(
+            name="gpu", ops=OpMix({"fma": 1000.0}),
+            pattern=LinearPattern(buffer="crumb", read_write_pairs=False),
+        ),
+        iterations=2,
+        overlappable=True,
+    )
+
+
+class TestFallbacks:
+    def test_untileable_workload_runs_serial(self):
+        soc = SoC(jetson_tx2())
+        report = get_model("ZC").execute(tiny_overlappable_workload(), soc)
+        assert not report.steady_iteration.is_overlapped
+        assert report.total_time_s > 0
+
+    def test_gpu_only_workload_never_overlaps(self):
+        frame = BufferSpec("frame", 4096, shared=True,
+                           direction=Direction.TO_GPU)
+        workload = Workload(
+            name="gpu-only",
+            buffers=(frame,),
+            gpu_kernel=GpuKernel(
+                name="k", ops=OpMix({"fma": 100.0}),
+                pattern=LinearPattern(buffer="frame", read_write_pairs=False),
+            ),
+            iterations=2,
+            overlappable=True,
+        )
+        report = get_model("ZC").execute(workload, SoC(jetson_tx2()))
+        assert not report.steady_iteration.is_overlapped
+        assert report.cpu_time_s == 0.0
+
+
+class TestFabricBandwidths:
+    def test_tx2_cpu_rides_zc_path(self):
+        soc = SoC(jetson_tx2())
+        cpu_bw, gpu_bw = ZeroCopyModel()._fabric_bandwidths(soc)
+        assert cpu_bw == soc.board.zero_copy.cpu_zc_bandwidth
+        assert gpu_bw == soc.board.zero_copy.gpu_zc_bandwidth
+
+    def test_xavier_cpu_keeps_full_fabric(self):
+        soc = SoC(jetson_xavier())
+        cpu_bw, _ = ZeroCopyModel()._fabric_bandwidths(soc)
+        assert cpu_bw == soc.dram.config.effective_bandwidth
+
+
+class TestJobConversion:
+    def make_phase(self, compute=1e-3, memory=2e-3, total=None,
+                   processor="gpu"):
+        from repro.soc.hierarchy import LevelTraffic, MemoryResult
+
+        result = MemoryResult(
+            transactions=0, bytes_requested=0,
+            levels=[LevelTraffic(name="l1", enabled=True)],
+            dram_read_bytes=0, dram_write_bytes=0, dram_transactions=0,
+            stage_times={}, streaming_time_s=memory, exposed_latency_s=0.0,
+        )
+        return PhaseResult(
+            name="p", processor=processor, compute_time_s=compute,
+            memory_time_s=memory,
+            time_s=total if total is not None else max(compute, memory),
+            memory=result,
+        )
+
+    def test_gpu_job_preserves_solo_time(self):
+        phase = self.make_phase(compute=1e-3, memory=2e-3)
+        job = ZeroCopyModel._job_from_phase(phase, bandwidth=1e9, overlap=True)
+        solo = max(job.compute_time_s, job.memory_bytes / job.solo_bandwidth)
+        assert solo == pytest.approx(2e-3)
+
+    def test_cpu_job_preserves_solo_time(self):
+        phase = self.make_phase(compute=1e-3, memory=0.5e-3, total=1.2e-3,
+                                processor="cpu")
+        job = ZeroCopyModel._job_from_phase(phase, bandwidth=1e9,
+                                            overlap=False)
+        solo = job.compute_time_s + job.memory_bytes / job.solo_bandwidth
+        assert solo == pytest.approx(1.2e-3)

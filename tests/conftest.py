@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+Board presets and SoC instances are cheap to build, but the
+micro-benchmark characterization is not — it is cached per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.soc.board import get_board, jetson_nano, jetson_tx2, jetson_xavier
+from repro.soc.soc import SoC
+
+
+@pytest.fixture
+def tx2_board():
+    """Fresh TX2 preset."""
+    return jetson_tx2()
+
+
+@pytest.fixture
+def xavier_board():
+    """Fresh Xavier preset."""
+    return jetson_xavier()
+
+
+@pytest.fixture
+def nano_board():
+    """Fresh Nano preset."""
+    return jetson_nano()
+
+
+@pytest.fixture
+def tx2_soc(tx2_board):
+    """Instantiated TX2."""
+    return SoC(tx2_board)
+
+
+@pytest.fixture
+def xavier_soc(xavier_board):
+    """Instantiated Xavier."""
+    return SoC(xavier_board)
+
+
+@pytest.fixture
+def nano_soc(nano_board):
+    """Instantiated Nano."""
+    return SoC(nano_board)
+
+
+_SUITE = MicrobenchmarkSuite()
+
+
+@pytest.fixture(scope="session")
+def characterization_suite():
+    """Session-wide micro-benchmark suite (characterizations cached)."""
+    return _SUITE
+
+
+@pytest.fixture(scope="session")
+def tx2_device(characterization_suite):
+    """Cached TX2 characterization."""
+    return characterization_suite.characterize(get_board("tx2"))
+
+
+@pytest.fixture(scope="session")
+def xavier_device(characterization_suite):
+    """Cached Xavier characterization."""
+    return characterization_suite.characterize(get_board("xavier"))
+
+
+@pytest.fixture(scope="session")
+def nano_device(characterization_suite):
+    """Cached Nano characterization."""
+    return characterization_suite.characterize(get_board("nano"))

@@ -1,0 +1,83 @@
+"""Workload templates."""
+
+import pytest
+
+from repro.comm.base import get_model
+from repro.errors import WorkloadError
+from repro.kernels.builders import (
+    gpu_offload,
+    ping_pong,
+    producer_consumer,
+    streaming_reduction,
+)
+from repro.kernels.workload import Direction
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+
+
+class TestProducerConsumer:
+    def test_structure(self):
+        workload = producer_consumer("pc", 64 * 1024)
+        assert workload.bytes_to_gpu == 64 * 1024 * 4
+        assert workload.bytes_to_cpu == 0
+        assert workload.overlappable
+
+    def test_runs_under_every_model(self):
+        workload = producer_consumer("pc", 16 * 1024, iterations=3)
+        soc = SoC(get_board("tx2"))
+        for model in ("SC", "UM", "ZC"):
+            report = get_model(model).execute(workload, soc)
+            assert report.total_time_s > 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            producer_consumer("bad", 0)
+
+
+class TestPingPong:
+    def test_bidirectional_copies(self):
+        workload = ping_pong("pp", 32 * 1024)
+        assert workload.bytes_to_gpu == workload.bytes_to_cpu > 0
+
+    def test_tiled_overlap_under_zc(self):
+        workload = ping_pong("pp", 32 * 1024, iterations=3)
+        report = get_model("ZC").execute(workload, SoC(get_board("xavier")))
+        assert report.steady_iteration.is_overlapped
+
+
+class TestGpuOffload:
+    def test_only_result_copied(self):
+        workload = gpu_offload("off", result_elements=1024)
+        assert workload.bytes_to_gpu == 0
+        assert workload.bytes_to_cpu == 1024 * 4
+        assert workload.buffer("hot").direction is Direction.RESIDENT
+
+    def test_reuse_creates_gpu_cache_dependence(self):
+        light = gpu_offload("light", 1024, reuse_passes=1, iterations=3)
+        heavy = gpu_offload("heavy", 1024, reuse_passes=32, iterations=3)
+        framework = Framework()
+        board = get_board("tx2")
+        usage_light = framework.tune(light, board).gpu_cache_usage_pct
+        usage_heavy = framework.tune(heavy, board).gpu_cache_usage_pct
+        assert usage_heavy > usage_light
+
+
+class TestStreamingReduction:
+    def test_structure(self):
+        workload = streaming_reduction("red", 256 * 1024)
+        assert workload.cpu_task is None
+        assert workload.bytes_to_cpu == 64 * 4
+
+    def test_must_shrink(self):
+        with pytest.raises(WorkloadError):
+            streaming_reduction("bad", 100, output_elements=100)
+
+    def test_profiles_as_not_cache_dependent(self):
+        """A single-pass stream never looks GPU-cache-dependent on the
+        Xavier (demand far below the zone-2 bound)."""
+        workload = streaming_reduction("red", 128 * 1024, iterations=3,
+                                       gpu_ops_per_element=64.0)
+        report = Framework().tune(workload, get_board("xavier"))
+        assert report.gpu_cache_usage_pct < \
+            report.recommendation.gpu_zone2_pct

@@ -1,0 +1,71 @@
+"""Operation cost table and mixes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kernels.ops import OpMix, op_table
+
+
+class TestOpTable:
+    def test_contains_paper_instructions(self):
+        table = op_table()
+        # The paper's micro-benchmark mixes: sqrt/div/mul (CPU), add and
+        # fused multiply-add (GPU).
+        for name in ("sqrt", "div", "mul", "add", "fma"):
+            assert name in table
+
+    def test_expensive_ops_cost_more(self):
+        table = op_table()
+        assert table["sqrt"].cpu_cycles > table["add"].cpu_cycles
+        assert table["div"].gpu_flops > table["add"].gpu_flops
+
+    def test_fma_counts_two_flops(self):
+        assert op_table()["fma"].gpu_flops == 2.0
+
+
+class TestOpMix:
+    def test_cpu_cycles(self):
+        mix = OpMix({"add": 10, "sqrt": 2})
+        table = op_table()
+        expected = 10 * table["add"].cpu_cycles + 2 * table["sqrt"].cpu_cycles
+        assert mix.cpu_cycles() == pytest.approx(expected)
+
+    def test_gpu_flops(self):
+        mix = OpMix({"fma": 100})
+        assert mix.gpu_flops() == pytest.approx(200.0)
+
+    def test_per_element(self):
+        mix = OpMix.per_element({"fma": 2.0}, 1000)
+        assert mix.counts["fma"] == pytest.approx(2000.0)
+        assert mix.total_ops == pytest.approx(2000.0)
+
+    def test_scaled(self):
+        mix = OpMix({"add": 10}).scaled(2.5)
+        assert mix.counts["add"] == pytest.approx(25.0)
+
+    def test_merged(self):
+        merged = OpMix({"add": 1, "mul": 2}).merged(OpMix({"add": 3, "div": 1}))
+        assert merged.counts["add"] == 4
+        assert merged.counts["mul"] == 2
+        assert merged.counts["div"] == 1
+
+    def test_empty_mix(self):
+        mix = OpMix()
+        assert mix.cpu_cycles() == 0.0
+        assert mix.gpu_flops() == 0.0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            OpMix({"teleport": 1})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            OpMix({"add": -1})
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            OpMix({"add": 1}).scaled(-1)
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(WorkloadError):
+            OpMix.per_element({"add": 1}, -5)

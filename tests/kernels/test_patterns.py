@@ -1,0 +1,94 @@
+"""Pattern specs materialize correctly against placed buffers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kernels.patterns import (
+    FractionPattern,
+    LinearPattern,
+    SingleAddressPattern,
+    SparsePattern,
+    StridedPattern,
+    TiledPattern,
+    VirtualLinearPattern,
+    VirtualSparsePattern,
+)
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.stream import PatternKind
+
+
+@pytest.fixture
+def buffers():
+    region = MemoryRegion(name="pinned", base=0, size=1 << 22,
+                          kind=RegionKind.PINNED)
+    return {
+        "image": region.allocate("image", 64 * 1024, element_size=4),
+        "out": region.allocate("out", 4 * 1024, element_size=4),
+    }
+
+
+class TestResolution:
+    def test_unknown_buffer_rejected(self, buffers):
+        with pytest.raises(WorkloadError):
+            LinearPattern(buffer="missing").build(buffers, 64)
+
+    def test_region_kind_tagged(self, buffers):
+        stream = LinearPattern(buffer="image").build(buffers, 64)
+        assert stream.region_kind is RegionKind.PINNED
+
+
+class TestShapes:
+    def test_linear(self, buffers):
+        stream = LinearPattern(buffer="image", read_write_pairs=False,
+                               repeats=3).build(buffers, 64)
+        assert stream.pattern is PatternKind.LINEAR
+        assert stream.repeats == 3
+        assert len(stream) == buffers["image"].num_elements
+
+    def test_single_address(self, buffers):
+        stream = SingleAddressPattern(buffer="out", count=128).build(buffers, 64)
+        assert stream.pattern is PatternKind.SINGLE_ADDRESS
+        assert len(np.unique(stream.addresses)) == 1
+
+    def test_fraction(self, buffers):
+        stream = FractionPattern(buffer="image", fraction=0.25).build(buffers, 64)
+        assert stream.footprint_bytes == buffers["image"].size // 4
+
+    def test_strided(self, buffers):
+        stream = StridedPattern(buffer="image", stride_elements=3).build(buffers, 64)
+        assert np.all(np.diff(stream.addresses) == 12)
+
+    def test_sparse_uses_processor_line_size(self, buffers):
+        stream = SparsePattern(buffer="image", count=100).build(buffers, 128)
+        lines = stream.addresses // 128
+        assert len(np.unique(lines)) == 100
+
+    def test_tiled_parities_are_disjoint(self, buffers):
+        even = TiledPattern(buffer="image", num_tiles=16, parity=0).build(buffers, 64)
+        odd = TiledPattern(buffer="image", num_tiles=16, parity=1).build(buffers, 64)
+        assert not set(even.addresses.tolist()) & set(odd.addresses.tolist())
+
+    def test_tiled_validation(self):
+        with pytest.raises(WorkloadError):
+            TiledPattern(buffer="image", num_tiles=0, parity=0)
+        with pytest.raises(WorkloadError):
+            TiledPattern(buffer="image", num_tiles=4, parity=2)
+
+    def test_tiled_too_small_buffer(self, buffers):
+        with pytest.raises(WorkloadError):
+            TiledPattern(buffer="out", num_tiles=10 ** 6, parity=0).build(buffers, 64)
+
+
+class TestVirtualPatterns:
+    def test_virtual_linear_uses_buffer_size(self, buffers):
+        stream = VirtualLinearPattern(buffer="image").build(buffers, 64)
+        assert stream.is_virtual
+        assert stream.footprint_bytes == buffers["image"].size
+        assert stream.region_kind is RegionKind.PINNED
+
+    def test_virtual_sparse_accesses(self, buffers):
+        stream = VirtualSparsePattern(
+            buffer="image", accesses_per_element=2.0
+        ).build(buffers, 64)
+        assert stream.total_transactions == 2 * buffers["image"].num_elements

@@ -1,0 +1,62 @@
+"""CPU tasks and GPU kernels."""
+
+import pytest
+
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern, SingleAddressPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.soc.address import MemoryRegion, RegionKind
+
+
+@pytest.fixture
+def buffers():
+    region = MemoryRegion(name="r", base=0, size=1 << 20, kind=RegionKind.PINNED)
+    return {"a": region.allocate("a", 8 * 1024, element_size=4)}
+
+
+class TestCpuTask:
+    def test_compute_cycles_from_mix(self):
+        task = CpuTask(name="t", ops=OpMix({"add": 100}))
+        assert task.compute_cycles() == pytest.approx(100.0)
+
+    def test_single_pattern_stream(self, buffers):
+        task = CpuTask(name="t", ops=OpMix(), pattern=LinearPattern(buffer="a"))
+        streams = task.build_streams(buffers, 64)
+        assert len(streams) == 1
+        assert len(streams[0]) > 0
+
+    def test_extra_patterns_ordered(self, buffers):
+        task = CpuTask(
+            name="t",
+            ops=OpMix(),
+            pattern=SingleAddressPattern(buffer="a", count=5),
+            extra_patterns=(LinearPattern(buffer="a", read_write_pairs=False),),
+        )
+        streams = task.build_streams(buffers, 64)
+        assert len(streams) == 2
+        assert len(streams[0]) == 5
+
+    def test_patternless_task_yields_empty_stream(self, buffers):
+        task = CpuTask(name="t", ops=OpMix({"add": 1}))
+        streams = task.build_streams(buffers, 64)
+        assert len(streams) == 1
+        assert len(streams[0]) == 0
+
+
+class TestGpuKernel:
+    def test_total_flops_from_mix(self):
+        kernel = GpuKernel(name="k", ops=OpMix({"fma": 50}))
+        assert kernel.total_flops() == pytest.approx(100.0)
+
+    def test_multi_stream_kernel(self, buffers):
+        kernel = GpuKernel(
+            name="k",
+            ops=OpMix(),
+            pattern=LinearPattern(buffer="a", read_write_pairs=False),
+            extra_patterns=(LinearPattern(buffer="a", write=True,
+                                          read_write_pairs=False),),
+        )
+        streams = kernel.build_streams(buffers, 64)
+        assert len(streams) == 2
+        assert not streams[0].is_write.any()
+        assert streams[1].is_write.all()

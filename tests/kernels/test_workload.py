@@ -1,0 +1,106 @@
+"""Workload definitions and copy accounting."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kernels.ops import OpMix
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+
+
+def simple_workload(**kwargs):
+    defaults = dict(
+        name="w",
+        buffers=(
+            BufferSpec("in", 1024, shared=True, direction=Direction.TO_GPU),
+            BufferSpec("out", 256, shared=True, direction=Direction.TO_CPU),
+            BufferSpec("scratch", 512),
+        ),
+        gpu_kernel=GpuKernel(name="k", ops=OpMix({"add": 1})),
+    )
+    defaults.update(kwargs)
+    return Workload(**defaults)
+
+
+class TestBufferSpec:
+    def test_size_bytes(self):
+        assert BufferSpec("b", 100, element_size=4).size_bytes == 400
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BufferSpec("b", 0)
+        with pytest.raises(WorkloadError):
+            BufferSpec("b", 10, element_size=0)
+
+
+class TestWorkload:
+    def test_copy_accounting(self):
+        workload = simple_workload()
+        assert workload.bytes_to_gpu == 1024 * 4
+        assert workload.bytes_to_cpu == 256 * 4
+        assert workload.copied_bytes_per_iteration == (1024 + 256) * 4
+
+    def test_bidirectional_counts_both_ways(self):
+        workload = simple_workload(
+            buffers=(BufferSpec("pp", 1024, shared=True,
+                                direction=Direction.BIDIRECTIONAL),),
+        )
+        assert workload.bytes_to_gpu == 4096
+        assert workload.bytes_to_cpu == 4096
+
+    def test_resident_buffers_not_copied(self):
+        workload = simple_workload(
+            buffers=(
+                BufferSpec("pyramid", 1024, shared=True,
+                           direction=Direction.RESIDENT),
+                BufferSpec("features", 64, shared=True,
+                           direction=Direction.TO_CPU),
+            ),
+        )
+        assert workload.bytes_to_gpu == 0
+        assert workload.bytes_to_cpu == 64 * 4
+        assert len(workload.shared_buffers) == 2
+
+    def test_private_buffers_not_shared(self):
+        workload = simple_workload()
+        assert [b.name for b in workload.shared_buffers] == ["in", "out"]
+
+    def test_total_footprint(self):
+        workload = simple_workload()
+        assert workload.total_footprint_bytes == (1024 + 256 + 512) * 4
+
+    def test_buffer_lookup(self):
+        workload = simple_workload()
+        assert workload.buffer("scratch").num_elements == 512
+        with pytest.raises(WorkloadError):
+            workload.buffer("missing")
+
+    def test_needs_some_task(self):
+        with pytest.raises(WorkloadError):
+            simple_workload(gpu_kernel=None)
+
+    def test_duplicate_buffer_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            simple_workload(
+                buffers=(BufferSpec("x", 10), BufferSpec("x", 10)),
+            )
+
+    def test_needs_buffers(self):
+        with pytest.raises(WorkloadError):
+            simple_workload(buffers=())
+
+    def test_iterations_validated(self):
+        with pytest.raises(WorkloadError):
+            simple_workload(iterations=0)
+
+    def test_fixed_overhead_validated(self):
+        with pytest.raises(WorkloadError):
+            simple_workload(fixed_iteration_overhead_s=-1.0)
+
+    def test_cpu_only_workload_allowed(self):
+        workload = simple_workload(
+            gpu_kernel=None,
+            cpu_task=CpuTask(name="t", ops=OpMix({"add": 1})),
+        )
+        assert workload.gpu_kernel is None
+        assert workload.cpu_task is not None

@@ -1,0 +1,98 @@
+"""Micro-benchmark 1: peak GPU LL-L1 throughput (Table I / Fig 5)."""
+
+import pytest
+
+from repro.microbench.first import FirstMicroBenchmark
+from repro.units import to_gbps
+
+
+@pytest.fixture(scope="module")
+def tx2_result():
+    from repro.soc.board import jetson_tx2
+    from repro.soc.soc import SoC
+
+    return FirstMicroBenchmark().run(SoC(jetson_tx2()))
+
+
+@pytest.fixture(scope="module")
+def xavier_result():
+    from repro.soc.board import jetson_xavier
+    from repro.soc.soc import SoC
+
+    return FirstMicroBenchmark().run(SoC(jetson_xavier()))
+
+
+class TestTable1Reproduction:
+    def test_tx2_row(self, tx2_result):
+        throughput = tx2_result.gpu_max_throughput
+        assert to_gbps(throughput["ZC"]) == pytest.approx(1.28, rel=0.05)
+        assert to_gbps(throughput["SC"]) == pytest.approx(97.34, rel=0.05)
+        assert to_gbps(throughput["UM"]) == pytest.approx(104.15, rel=0.05)
+
+    def test_xavier_row(self, xavier_result):
+        throughput = xavier_result.gpu_max_throughput
+        assert to_gbps(throughput["ZC"]) == pytest.approx(32.29, rel=0.05)
+        assert to_gbps(throughput["SC"]) == pytest.approx(214.64, rel=0.05)
+        assert to_gbps(throughput["UM"]) == pytest.approx(231.14, rel=0.05)
+
+    def test_tx2_zc_gap_about_77x(self, tx2_result):
+        throughput = tx2_result.gpu_max_throughput
+        assert 60 < throughput["SC"] / throughput["ZC"] < 90
+
+    def test_xavier_zc_gap_about_7x(self, xavier_result):
+        throughput = xavier_result.gpu_max_throughput
+        assert 5 < throughput["SC"] / throughput["ZC"] < 9
+
+
+class TestFig5Reproduction:
+    def test_zc_kernel_slowest_everywhere(self, tx2_result, xavier_result):
+        for result in (tx2_result, xavier_result):
+            zc = result.measurement("ZC").kernel_time_s
+            sc = result.measurement("SC").kernel_time_s
+            um = result.measurement("UM").kernel_time_s
+            assert zc > sc
+            assert zc > um
+
+    def test_tx2_cpu_routine_degrades_under_zc(self, tx2_result):
+        """TX2 disables the CPU cache too: the CPU routine slows
+        noticeably (paper: "up to 70 %")."""
+        sc = tx2_result.measurement("SC").cpu_time_s
+        zc = tx2_result.measurement("ZC").cpu_time_s
+        assert 1.2 < zc / sc < 2.2
+
+    def test_xavier_cpu_routine_unaffected(self, xavier_result):
+        sc = xavier_result.measurement("SC").cpu_time_s
+        zc = xavier_result.measurement("ZC").cpu_time_s
+        assert zc == pytest.approx(sc, rel=0.05)
+
+    def test_um_close_to_sc(self, tx2_result):
+        sc = tx2_result.measurement("SC")
+        um = tx2_result.measurement("UM")
+        assert um.kernel_time_s == pytest.approx(sc.kernel_time_s, rel=0.10)
+        assert um.cpu_time_s == pytest.approx(sc.cpu_time_s, rel=0.10)
+
+
+class TestDeviceCaps:
+    def test_zc_sc_kernel_ratio_is_upper_bound(self, tx2_result, xavier_result):
+        """The paper's Max_{ZC/SC} values: ~70 on TX2, single digits on
+        Xavier."""
+        assert 40 < tx2_result.zc_sc_kernel_ratio < 90
+        assert 2 < xavier_result.zc_sc_kernel_ratio < 9
+
+    def test_cpu_probe_measures_llc_path(self, tx2_result):
+        cpu = tx2_result.cpu_max_throughput
+        assert to_gbps(cpu["SC"]) == pytest.approx(24.0, rel=0.1)
+        assert cpu["ZC"] < cpu["SC"]
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FirstMicroBenchmark(matrix_fraction_of_llc=0.0)
+        with pytest.raises(ValueError):
+            FirstMicroBenchmark(gpu_sweep_repeats=1)
+
+    def test_matrix_sized_to_llc(self, tx2_result):
+        from repro.soc.board import jetson_tx2
+
+        assert tx2_result.matrix_bytes == jetson_tx2().gpu.llc.size_bytes // 2

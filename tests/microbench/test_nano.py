@@ -1,0 +1,62 @@
+"""Micro-benchmarks on the synthesized Nano preset.
+
+The paper omits the Nano's MB1/MB2 plots "as the results are
+equivalent to those of the TX2"; the preset must honour that claim.
+"""
+
+import pytest
+
+from repro.microbench.first import FirstMicroBenchmark
+from repro.microbench.second import SecondMicroBenchmark
+from repro.soc.board import jetson_nano, jetson_tx2
+from repro.soc.soc import SoC
+
+
+@pytest.fixture(scope="module")
+def nano_first():
+    return FirstMicroBenchmark().run(SoC(jetson_nano()))
+
+
+@pytest.fixture(scope="module")
+def tx2_first():
+    return FirstMicroBenchmark().run(SoC(jetson_tx2()))
+
+
+class TestNanoEquivalence:
+    def test_same_model_ordering(self, nano_first, tx2_first):
+        for result in (nano_first, tx2_first):
+            kernel = {m: result.measurement(m).kernel_time_s
+                      for m in ("SC", "UM", "ZC")}
+            assert kernel["ZC"] > kernel["SC"]
+            assert kernel["ZC"] > kernel["UM"]
+
+    def test_nano_gap_is_tx2_class(self, nano_first, tx2_first):
+        """Both boards show a double-digit ZC kernel blow-up (unlike
+        the Xavier's single-digit one)."""
+        assert nano_first.zc_sc_kernel_ratio > 20
+        assert tx2_first.zc_sc_kernel_ratio > 20
+
+    def test_nano_cpu_degrades_like_tx2(self, nano_first, tx2_first):
+        for result in (nano_first, tx2_first):
+            ratio = (result.measurement("ZC").cpu_time_s
+                     / result.measurement("SC").cpu_time_s)
+            assert ratio > 1.2
+
+    def test_nano_is_slower_overall(self, nano_first, tx2_first):
+        assert nano_first.measurement("SC").cpu_time_s > \
+            tx2_first.measurement("SC").cpu_time_s
+
+
+class TestNanoThresholds:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return SecondMicroBenchmark().run(SoC(jetson_nano()))
+
+    def test_small_gpu_threshold(self, sweep):
+        assert 0.5 < sweep.gpu_analysis.threshold_pct < 6.0
+
+    def test_no_second_zone(self, sweep):
+        assert sweep.gpu_analysis.zone2_pct is None
+
+    def test_finite_cpu_threshold(self, sweep):
+        assert 3.0 < sweep.cpu_analysis.threshold_pct < 25.0

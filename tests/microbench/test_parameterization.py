@@ -1,0 +1,78 @@
+"""Micro-benchmark parameterization: the suite's knobs behave sanely."""
+
+import pytest
+
+from repro.microbench.first import FirstMicroBenchmark
+from repro.microbench.second import SecondMicroBenchmark
+from repro.microbench.third import ThirdMicroBenchmark
+from repro.soc.board import jetson_tx2, jetson_xavier
+from repro.soc.soc import SoC
+
+
+class TestFirstKnobs:
+    def test_larger_matrix_spills_the_llc(self):
+        """A matrix sized beyond the LLC turns the SC measurement from
+        cache throughput into DRAM throughput — the 'selectivity'
+        property of §III-B depends on sizing it inside."""
+        inside = FirstMicroBenchmark(matrix_fraction_of_llc=0.5)
+        result_inside = inside.run(SoC(jetson_tx2()))
+        # matrix within the LLC: measured SC throughput ≈ LLC bandwidth
+        sc = result_inside.gpu_max_throughput["SC"]
+        board = jetson_tx2()
+        assert sc == pytest.approx(board.gpu.llc_bandwidth, rel=0.05)
+
+    def test_more_sweeps_do_not_change_steady_state(self):
+        short = FirstMicroBenchmark(gpu_sweep_repeats=8).run(SoC(jetson_tx2()))
+        long = FirstMicroBenchmark(gpu_sweep_repeats=32).run(SoC(jetson_tx2()))
+        assert long.gpu_max_throughput["SC"] == pytest.approx(
+            short.gpu_max_throughput["SC"], rel=0.05
+        )
+
+
+class TestSecondKnobs:
+    def test_coarse_grid_still_finds_the_knee(self):
+        coarse = SecondMicroBenchmark(
+            fractions=(1 / 4000, 1 / 400, 1 / 40, 1 / 4)
+        ).run(SoC(jetson_xavier()))
+        fine = SecondMicroBenchmark().run(SoC(jetson_xavier()))
+        # Grid resolution moves the detected threshold but keeps its
+        # order of magnitude.
+        ratio = (coarse.gpu_analysis.threshold_pct
+                 / fine.gpu_analysis.threshold_pct)
+        assert 0.2 < ratio < 5.0
+
+    def test_larger_array_same_threshold(self):
+        """The threshold is a *device* property: the array size only
+        positions the sweep, it must not move the knee much."""
+        small = SecondMicroBenchmark(array_bytes=2 * 1024 * 1024).run(
+            SoC(jetson_xavier())
+        )
+        large = SecondMicroBenchmark(array_bytes=8 * 1024 * 1024).run(
+            SoC(jetson_xavier())
+        )
+        ratio = (small.gpu_analysis.threshold_pct
+                 / large.gpu_analysis.threshold_pct)
+        assert 0.3 < ratio < 3.0
+
+
+class TestThirdKnobs:
+    def test_scaled_down_data_set_preserves_the_verdict(self):
+        """MB3's conclusion (ZC wins on Xavier) holds from 2^22 to the
+        paper's 2^27 elements — the virtual-stream path makes both
+        cheap."""
+        for exponent in (22, 27):
+            bench = ThirdMicroBenchmark(num_elements=2 ** exponent)
+            result = bench.run(SoC(jetson_xavier()))
+            assert result.zc_faster_than("SC") > 30.0, exponent
+
+    def test_cpu_balance_shifts_cpu_share(self):
+        """More CPU balance means more CPU compute; the memory part of
+        the task is balance-independent, so the effect is monotone but
+        sub-linear."""
+        light = ThirdMicroBenchmark(num_elements=2 ** 22, cpu_balance=0.5)
+        heavy = ThirdMicroBenchmark(num_elements=2 ** 22, cpu_balance=4.0)
+        soc = SoC(jetson_xavier())
+        t_light = light.run(soc).cpu_times["SC"]
+        soc.reset()
+        t_heavy = heavy.run(soc).cpu_times["SC"]
+        assert t_heavy > t_light * 1.2

@@ -1,0 +1,76 @@
+"""Micro-benchmark 2: threshold sweep (Figs 3 and 6)."""
+
+import pytest
+
+from repro.microbench.second import SecondMicroBenchmark
+
+
+@pytest.fixture(scope="module")
+def tx2_result():
+    from repro.soc.board import jetson_tx2
+    from repro.soc.soc import SoC
+
+    return SecondMicroBenchmark().run(SoC(jetson_tx2()))
+
+
+@pytest.fixture(scope="module")
+def xavier_result():
+    from repro.soc.board import jetson_xavier
+    from repro.soc.soc import SoC
+
+    return SecondMicroBenchmark().run(SoC(jetson_xavier()))
+
+
+class TestFig6TX2:
+    def test_threshold_is_small(self, tx2_result):
+        """TX2's GPU threshold is a few percent (paper: 2.7 %)."""
+        assert 0.5 < tx2_result.gpu_analysis.threshold_pct < 6.0
+
+    def test_no_second_zone(self, tx2_result):
+        assert tx2_result.gpu_analysis.zone2_pct is None
+
+    def test_divergence_grows_with_fraction(self, tx2_result):
+        points = list(tx2_result.gpu_points)
+        first_ratio = points[0].runtime_ratio
+        last_ratio = points[-1].runtime_ratio
+        assert last_ratio > 5 * first_ratio
+
+
+class TestFig3Xavier:
+    def test_threshold_in_paper_band(self, xavier_result):
+        """Xavier's threshold (paper 16.2 %) — same order of magnitude."""
+        assert 4.0 < xavier_result.gpu_analysis.threshold_pct < 30.0
+
+    def test_second_zone_exists(self, xavier_result):
+        analysis = xavier_result.gpu_analysis
+        assert analysis.zone2_pct is not None
+        assert analysis.zone2_pct > analysis.threshold_pct
+
+    def test_zone2_in_paper_band(self, xavier_result):
+        """Paper: second zone up to 57.1 %."""
+        assert 20.0 < xavier_result.gpu_analysis.zone2_pct < 75.0
+
+    def test_xavier_threshold_higher_than_tx2(self, tx2_result, xavier_result):
+        assert (xavier_result.gpu_analysis.threshold_pct
+                > tx2_result.gpu_analysis.threshold_pct)
+
+
+class TestCpuThresholds:
+    def test_tx2_cpu_threshold_in_band(self, tx2_result):
+        """Paper: 15.6 % on Nano/TX2."""
+        assert 3.0 < tx2_result.cpu_analysis.threshold_pct < 25.0
+
+    def test_xavier_cpu_threshold_saturates(self, xavier_result):
+        """I/O coherence keeps CPU caches on: threshold = 100 %
+        (Table II reports exactly this)."""
+        assert xavier_result.cpu_analysis.threshold_pct == 100.0
+
+
+class TestConstruction:
+    def test_fraction_ordering(self):
+        bench = SecondMicroBenchmark(fractions=(0.5, 0.01, 0.1))
+        assert bench.fractions == (0.01, 0.1, 0.5)
+
+    def test_needs_fractions(self):
+        with pytest.raises(ValueError):
+            SecondMicroBenchmark(fractions=())

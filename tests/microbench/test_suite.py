@@ -1,0 +1,43 @@
+"""Characterization suite: assembly and caching."""
+
+import pytest
+
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.soc.board import get_board
+
+
+class TestCharacterization:
+    def test_assembles_device(self, tx2_device):
+        assert tx2_device.board_name == "tx2"
+        assert not tx2_device.io_coherent
+        assert set(tx2_device.gpu_cache_throughput) == {"SC", "UM", "ZC"}
+        assert tx2_device.sc_zc_max_speedup >= 1.0
+        assert tx2_device.zc_sc_max_speedup > 1.0
+
+    def test_xavier_is_io_coherent(self, xavier_device):
+        assert xavier_device.io_coherent
+        assert xavier_device.gpu_zone2_pct > xavier_device.gpu_threshold_pct
+
+    def test_tx2_zones_collapse(self, tx2_device):
+        assert tx2_device.gpu_zone2_pct == tx2_device.gpu_threshold_pct
+
+    def test_throughput_ratio_property(self, tx2_device, xavier_device):
+        assert tx2_device.zc_sc_throughput_ratio > \
+            xavier_device.zc_sc_throughput_ratio
+
+    def test_caching_by_board_name(self, characterization_suite):
+        a = characterization_suite.characterize(get_board("tx2"))
+        b = characterization_suite.characterize(get_board("tx2"))
+        assert a is b
+
+    def test_force_recomputes(self):
+        suite = MicrobenchmarkSuite()
+        a = suite.characterize(get_board("nano"))
+        b = suite.characterize(get_board("nano"), force=True)
+        assert a is not b
+
+    def test_raw_results_stored(self, characterization_suite, tx2_device):
+        raw = characterization_suite.raw_results("tx2")
+        assert raw is not None
+        assert raw.first.board_name == "tx2"
+        assert raw.third.data_bytes == 2 ** 27 * 4

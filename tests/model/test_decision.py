@@ -1,0 +1,141 @@
+"""The Fig-2 decision flow."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.decision import Recommendation, RecommendedModel, Zone, decide
+from repro.model.device import DeviceCharacterization
+from repro.model.thresholds import SweepPoint, ThresholdAnalysis
+from repro.profiling.counters import AppProfile
+from repro.units import gbps, us
+
+
+def make_device(
+    io_coherent=False,
+    gpu_threshold=5.0,
+    gpu_zone2=None,
+    cpu_threshold=15.0,
+    board="tx2",
+):
+    points = [
+        SweepPoint(0.01, gbps(1), gbps(1), us(10), us(10)),
+        SweepPoint(0.5, gbps(1), gbps(30), us(300), us(10)),
+    ]
+    gpu = ThresholdAnalysis(
+        threshold_pct=gpu_threshold, threshold_fraction=0.01,
+        zone2_pct=gpu_zone2, zone2_fraction=0.2 if gpu_zone2 else None,
+        peak_throughput=gbps(100.0), points=points,
+    )
+    cpu = ThresholdAnalysis(
+        threshold_pct=cpu_threshold, threshold_fraction=0.01,
+        zone2_pct=None, zone2_fraction=None,
+        peak_throughput=gbps(24.0), points=points,
+    )
+    return DeviceCharacterization(
+        board_name=board,
+        io_coherent=io_coherent,
+        gpu_cache_throughput={"SC": gbps(100.0), "UM": gbps(105.0),
+                              "ZC": gbps(1.3)},
+        cpu_cache_throughput={"SC": gbps(24.0), "UM": gbps(24.0),
+                              "ZC": gbps(3.2)},
+        gpu_thresholds=gpu,
+        cpu_thresholds=cpu,
+        sc_zc_max_speedup=2.0,
+        zc_sc_max_speedup=70.0,
+    )
+
+
+def make_profile(cpu_usage_pct=0.0, gpu_usage_pct=0.0, model="SC",
+                 board="tx2"):
+    """Build a profile whose eqn-1/2 metrics equal the requested usage
+    percentages against ``make_device``'s 100 GB/s GPU peak."""
+    # cpu usage: l1_miss * (1 - llc_miss) * 100
+    l1_miss = cpu_usage_pct / 100.0
+    # gpu usage: t_n * t_size / runtime / peak * 100 with hit=0
+    runtime = us(100)
+    demand = gpu_usage_pct / 100.0 * gbps(100.0)
+    transactions = int(demand * runtime / 64.0)
+    return AppProfile(
+        workload_name="app", board_name=board, model=model,
+        cpu_l1_miss_rate=l1_miss, cpu_llc_miss_rate=0.0, cpu_time_s=us(50),
+        gpu_l1_hit_rate=0.0, gpu_transactions=transactions,
+        gpu_transaction_size=64.0, kernel_runtime_s=runtime,
+        copy_time_s=us(10), total_runtime_s=us(200),
+    )
+
+
+class TestLowUsagePaths:
+    def test_both_low_recommends_zc_for_energy(self):
+        rec = decide(make_profile(1.0, 1.0), make_device())
+        assert rec.model is RecommendedModel.ZERO_COPY
+        assert rec.energy_motivated
+        assert rec.zone is Zone.BELOW_THRESHOLD
+        assert rec.estimate is not None
+
+    def test_already_zc_stays(self):
+        rec = decide(make_profile(1.0, 1.0, model="ZC"), make_device())
+        assert rec.model is RecommendedModel.NO_CHANGE
+
+
+class TestCpuDependentPaths:
+    def test_no_io_coherence_recommends_copy_models(self):
+        rec = decide(make_profile(cpu_usage_pct=20.0), make_device())
+        assert rec.model is RecommendedModel.NO_CHANGE  # already on SC
+        rec_zc = decide(make_profile(cpu_usage_pct=20.0, model="ZC"),
+                        make_device())
+        assert rec_zc.model is RecommendedModel.STANDARD_COPY_OR_UM
+
+    def test_io_coherence_allows_zc(self):
+        device = make_device(io_coherent=True, cpu_threshold=15.0)
+        rec = decide(make_profile(cpu_usage_pct=20.0), device)
+        assert rec.model is RecommendedModel.ZERO_COPY
+
+
+class TestGpuDependentPaths:
+    def test_bottlenecked_zone_keeps_sc(self):
+        rec = decide(make_profile(gpu_usage_pct=40.0), make_device())
+        assert rec.zone is Zone.BOTTLENECKED
+        assert rec.model is RecommendedModel.NO_CHANGE  # paper: no change
+
+    def test_bottlenecked_zone_moves_zc_app_to_sc(self):
+        rec = decide(make_profile(gpu_usage_pct=40.0, model="ZC"),
+                     make_device())
+        assert rec.model is RecommendedModel.STANDARD_COPY_OR_UM
+        assert rec.estimate is not None
+        assert rec.estimate.direction == "ZC->SC"
+
+    def test_zone2_conditional_zc(self):
+        device = make_device(io_coherent=True, gpu_threshold=10.0,
+                             gpu_zone2=50.0)
+        rec = decide(make_profile(gpu_usage_pct=30.0), device)
+        assert rec.zone is Zone.CONDITIONAL
+        assert rec.model is RecommendedModel.ZERO_COPY_CONDITIONAL
+
+    def test_zone2_zc_app_stays(self):
+        device = make_device(io_coherent=True, gpu_threshold=10.0,
+                             gpu_zone2=50.0)
+        rec = decide(make_profile(gpu_usage_pct=30.0, model="ZC"), device)
+        assert rec.model is RecommendedModel.NO_CHANGE
+
+
+class TestRecommendationRecord:
+    def test_usage_values_recorded(self):
+        rec = decide(make_profile(12.0, 3.0), make_device())
+        assert rec.cpu_cache_usage_pct == pytest.approx(12.0, abs=0.5)
+        assert rec.gpu_cache_usage_pct == pytest.approx(3.0, abs=0.5)
+        assert rec.gpu_threshold_pct == 5.0
+
+    def test_estimated_speedup_pct(self):
+        rec = decide(make_profile(1.0, 1.0), make_device())
+        assert rec.estimated_speedup_pct is not None
+        assert rec.estimated_speedup_pct >= 0.0
+
+    def test_board_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            decide(make_profile(board="xavier"), make_device(board="tx2"))
+
+    def test_suggests_switch(self):
+        rec = decide(make_profile(1.0, 1.0), make_device())
+        assert rec.suggests_switch
+        keep = decide(make_profile(1.0, 1.0, model="ZC"), make_device())
+        assert not keep.suggests_switch

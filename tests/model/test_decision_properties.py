@@ -1,0 +1,84 @@
+"""Property-based tests of the decision flow (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.decision import RecommendedModel, Zone, decide
+from tests.model.test_decision import make_device, make_profile
+
+
+@given(
+    cpu_usage=st.floats(0.0, 60.0),
+    gpu_usage=st.floats(0.0, 95.0),
+    current=st.sampled_from(["SC", "UM", "ZC"]),
+    io_coherent=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_every_profile_gets_exactly_one_recommendation(
+    cpu_usage, gpu_usage, current, io_coherent
+):
+    device = make_device(io_coherent=io_coherent,
+                         gpu_zone2=40.0 if io_coherent else None)
+    rec = decide(make_profile(cpu_usage, gpu_usage, model=current), device)
+    assert rec.model in RecommendedModel
+    assert rec.zone in Zone
+    assert rec.reason
+
+
+@given(
+    cpu_usage=st.floats(0.0, 60.0),
+    gpu_usage=st.floats(0.0, 95.0),
+    current=st.sampled_from(["SC", "UM", "ZC"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_bottlenecked_zone_never_gets_zero_copy(cpu_usage, gpu_usage, current):
+    device = make_device()
+    rec = decide(make_profile(cpu_usage, gpu_usage, model=current), device)
+    if rec.zone is Zone.BOTTLENECKED:
+        assert rec.model not in (RecommendedModel.ZERO_COPY,
+                                 RecommendedModel.ZERO_COPY_CONDITIONAL)
+
+
+@given(
+    cpu_usage=st.floats(0.0, 60.0),
+    gpu_usage=st.floats(0.0, 95.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_no_change_iff_current_model_matches_advice(cpu_usage, gpu_usage):
+    """If the SC profile maps to NO_CHANGE, the same profile presented
+    as ZC must map to a copy-model switch or vice versa — the flow must
+    never tell *both* sides to stay unless it is truly indifferent."""
+    device = make_device()
+    rec_sc = decide(make_profile(cpu_usage, gpu_usage, model="SC"), device)
+    rec_zc = decide(make_profile(cpu_usage, gpu_usage, model="ZC"), device)
+    both_stay = (rec_sc.model is RecommendedModel.NO_CHANGE
+                 and rec_zc.model is RecommendedModel.NO_CHANGE)
+    # Both staying is only consistent in the conditional zone (where the
+    # flow tolerates either model).
+    if both_stay:
+        assert rec_sc.zone is Zone.CONDITIONAL
+
+
+@given(
+    cpu_usage=st.floats(0.0, 60.0),
+    gpu_usage=st.floats(0.0, 95.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_estimates_only_accompany_switches(cpu_usage, gpu_usage):
+    device = make_device(io_coherent=True, gpu_zone2=40.0)
+    for current in ("SC", "ZC"):
+        rec = decide(make_profile(cpu_usage, gpu_usage, model=current),
+                     device)
+        if rec.estimate is not None:
+            assert rec.model is not RecommendedModel.NO_CHANGE
+            assert rec.estimate.capped <= rec.estimate.cap + 1e-9
+
+
+@given(gpu_usage=st.floats(0.0, 95.0))
+@settings(max_examples=60, deadline=None)
+def test_zone_monotone_in_gpu_usage(gpu_usage):
+    device = make_device(io_coherent=True, gpu_threshold=10.0, gpu_zone2=50.0)
+    rec_low = decide(make_profile(0.0, 0.0), device)
+    rec = decide(make_profile(0.0, gpu_usage), device)
+    assert rec.zone >= rec_low.zone

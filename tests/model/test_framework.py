@@ -1,0 +1,71 @@
+"""Framework façade: the end-to-end Fig-2 flow."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+
+
+def streaming_workload():
+    frame = BufferSpec("frame", 64 * 1024, shared=True,
+                       direction=Direction.TO_GPU)
+    return Workload(
+        name="stream",
+        buffers=(frame,),
+        cpu_task=CpuTask(
+            name="produce",
+            ops=OpMix.per_element({"mul": 1.0}, 64 * 1024),
+            pattern=LinearPattern(buffer="frame", read_write_pairs=True),
+        ),
+        gpu_kernel=GpuKernel(
+            name="consume",
+            ops=OpMix.per_element({"fma": 2.0}, 64 * 1024),
+            pattern=LinearPattern(buffer="frame", read_write_pairs=False),
+        ),
+        iterations=10,
+        overlappable=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def framework(characterization_suite):
+    return Framework(suite=characterization_suite)
+
+
+class TestTune:
+    def test_full_flow(self, framework):
+        report = framework.tune(streaming_workload(), get_board("xavier"))
+        assert report.board_name == "xavier"
+        assert report.current_model == "SC"
+        assert report.profile.model == "SC"
+        assert 0 <= report.cpu_cache_usage_pct <= 100
+        assert 0 <= report.gpu_cache_usage_pct <= 100
+        assert report.recommendation is not None
+        assert report.kernel_time_s > 0
+
+    def test_streaming_app_gets_zc_on_xavier(self, framework):
+        report = framework.tune(streaming_workload(), get_board("xavier"))
+        assert "ZC" in report.recommendation.model.value
+
+    def test_current_model_validated(self, framework):
+        with pytest.raises(ModelError):
+            framework.tune(streaming_workload(), get_board("tx2"),
+                           current_model="PCIE")
+
+    def test_characterization_reused(self, framework):
+        a = framework.characterize(get_board("tx2"))
+        b = framework.characterize(get_board("tx2"))
+        assert a is b
+
+    def test_compare_models_runs_all_three(self, framework):
+        results = framework.compare_models(streaming_workload(),
+                                           get_board("tx2"))
+        assert set(results) == {"SC", "UM", "ZC"}
+        for model, report in results.items():
+            assert report.model == model
+            assert report.total_time_s > 0

@@ -1,0 +1,110 @@
+"""Potential-speedup estimators (eqns 3-4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.speedup import sc_to_zc_speedup, zc_to_sc_speedup
+from repro.units import us
+
+
+class TestEqn3:
+    def test_formula_value(self):
+        """Hand-computed: SC=300us, copy=60us, CPU=120us, GPU=120us.
+        ZC estimate = (300-60)/(1+1) = 120us -> speedup 2.5x."""
+        est = sc_to_zc_speedup(us(300), us(60), us(120), us(120),
+                               max_speedup=10.0)
+        assert est.raw == pytest.approx(2.5)
+        assert est.capped == pytest.approx(2.5)
+        assert est.percent == pytest.approx(150.0)
+
+    def test_cap_applies(self):
+        est = sc_to_zc_speedup(us(300), us(60), us(120), us(120),
+                               max_speedup=1.5)
+        assert est.capped == pytest.approx(1.5)
+        assert est.raw == pytest.approx(2.5)
+        assert est.cap == 1.5
+
+    def test_no_copy_no_overlap_means_no_gain(self):
+        est = sc_to_zc_speedup(us(300), 0.0, 0.0, us(300), max_speedup=10.0)
+        assert est.raw == pytest.approx(1.0)
+
+    def test_more_copy_more_gain(self):
+        small = sc_to_zc_speedup(us(300), us(10), us(100), us(100), 10.0)
+        large = sc_to_zc_speedup(us(300), us(100), us(100), us(100), 10.0)
+        assert large.raw > small.raw
+
+    def test_balanced_tasks_double_overlap_gain(self):
+        est = sc_to_zc_speedup(us(200), 0.0, us(100), us(100), 10.0)
+        assert est.raw == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            sc_to_zc_speedup(0.0, 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            sc_to_zc_speedup(us(100), us(100), us(10), us(10), 1.0)  # copy==runtime
+        with pytest.raises(ModelError):
+            sc_to_zc_speedup(us(100), us(10), us(10), 0.0, 1.0)
+        with pytest.raises(ModelError):
+            sc_to_zc_speedup(us(100), us(10), us(10), us(10), 0.0)
+
+    @given(
+        runtime=st.floats(1e-5, 1e-1),
+        copy_fraction=st.floats(0.0, 0.9),
+        ratio=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_speedup_at_least_one(self, runtime, copy_fraction, ratio):
+        """Removing copies and overlapping can never predict a slowdown."""
+        est = sc_to_zc_speedup(
+            runtime, runtime * copy_fraction, ratio * 1e-4, 1e-4,
+            max_speedup=100.0,
+        )
+        assert est.raw >= 1.0 - 1e-9
+
+
+class TestEqn4:
+    def test_serialization_penalty(self):
+        """ZC=100us overlapped with CPU=GPU: the SC estimate serializes
+        (x2) and adds the copy."""
+        est = zc_to_sc_speedup(us(100), us(20), us(100), us(100),
+                               max_speedup=1.0)
+        assert est.raw == pytest.approx(100 / 220, rel=1e-3)
+
+    def test_cache_cap_recovers_kernel_time(self):
+        """With a large ZC->SC cache gain (e.g. TX2's ~70x) the switch
+        is predicted beneficial despite serialization."""
+        est = zc_to_sc_speedup(us(800), us(20), us(50), us(800),
+                               max_speedup=70.0)
+        assert est.capped > 1.0
+
+    def test_capped_never_exceeds_cap(self):
+        est = zc_to_sc_speedup(us(800), us(20), us(50), us(800),
+                               max_speedup=70.0)
+        assert est.capped <= 70.0
+
+    def test_direction_label(self):
+        est = zc_to_sc_speedup(us(100), us(10), us(10), us(10), 2.0)
+        assert est.direction == "ZC->SC"
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            zc_to_sc_speedup(0.0, 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            zc_to_sc_speedup(us(100), -1.0, us(10), us(10), 1.0)
+        with pytest.raises(ModelError):
+            zc_to_sc_speedup(us(100), us(10), us(10), us(10), 0.0)
+
+    @given(
+        zc_runtime=st.floats(1e-5, 1e-1),
+        copy=st.floats(0.0, 1e-2),
+        cpu=st.floats(0.0, 1e-2),
+        gpu=st.floats(1e-6, 1e-2),
+        cap=st.floats(1.0, 100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_capped_bounded(self, zc_runtime, copy, cpu, gpu, cap):
+        est = zc_to_sc_speedup(zc_runtime, copy, cpu, gpu, cap)
+        assert est.capped <= cap + 1e-9
+        assert est.capped >= est.raw - 1e-9

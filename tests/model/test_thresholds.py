@@ -1,0 +1,120 @@
+"""Threshold and zone extraction from MB2-style sweeps."""
+
+import pytest
+
+from repro.errors import MicrobenchmarkError
+from repro.model.thresholds import (
+    SweepPoint,
+    ThresholdAnalysis,
+    analyze_sweep,
+)
+from repro.units import gbps, us
+
+
+def synthetic_sweep(zc_ceiling_gbps=32.0, peak_gbps=214.0, points=24):
+    """A sweep whose ZC throughput saturates at a known ceiling.
+
+    Demand grows linearly with the fraction; SC always satisfies it,
+    ZC clips at the ceiling and its time stretches correspondingly.
+    """
+    sweep = []
+    for i in range(1, points + 1):
+        fraction = i / points * 0.5
+        demand = fraction * 2.0 * peak_gbps  # reaches peak at f=0.25
+        sc_tp = min(demand, peak_gbps)
+        zc_tp = min(demand, zc_ceiling_gbps)
+        sc_time = us(100) * demand / sc_tp
+        zc_time = us(100) * demand / zc_tp
+        sweep.append(
+            SweepPoint(
+                fraction=fraction,
+                zc_throughput=gbps(zc_tp),
+                sc_throughput=gbps(sc_tp),
+                zc_time_s=zc_time,
+                sc_time_s=sc_time,
+            )
+        )
+    return sweep
+
+
+class TestSweepPoint:
+    def test_comparable_within_tolerance(self):
+        point = SweepPoint(0.1, gbps(30.0), gbps(31.0), us(10), us(10))
+        assert point.throughput_comparable
+
+    def test_not_comparable_beyond_tolerance(self):
+        point = SweepPoint(0.1, gbps(10.0), gbps(31.0), us(30), us(10))
+        assert not point.throughput_comparable
+
+    def test_runtime_ratio(self):
+        point = SweepPoint(0.1, gbps(1), gbps(1), us(30), us(10))
+        assert point.runtime_ratio == pytest.approx(3.0)
+
+
+class TestAnalyzeSweep:
+    def test_threshold_at_zc_ceiling(self):
+        sweep = synthetic_sweep(zc_ceiling_gbps=32.0, peak_gbps=214.0)
+        analysis = analyze_sweep(sweep, peak_throughput=gbps(214.0))
+        # The last comparable point sits where demand ~ the ZC ceiling:
+        # usage ~ 32/214 ~ 15 %.
+        assert analysis.threshold_pct == pytest.approx(15.0, abs=5.0)
+
+    def test_lower_ceiling_lower_threshold(self):
+        low = analyze_sweep(synthetic_sweep(zc_ceiling_gbps=4.0),
+                            peak_throughput=gbps(214.0))
+        high = analyze_sweep(synthetic_sweep(zc_ceiling_gbps=64.0),
+                             peak_throughput=gbps(214.0))
+        assert low.threshold_pct < high.threshold_pct
+
+    def test_zone2_detected_when_requested(self):
+        sweep = synthetic_sweep()
+        analysis = analyze_sweep(sweep, peak_throughput=gbps(214.0),
+                                 detect_zone2=True)
+        assert analysis.zone2_pct is not None
+        assert analysis.zone2_pct > analysis.threshold_pct
+
+    def test_zone2_absent_when_not_requested(self):
+        analysis = analyze_sweep(synthetic_sweep(),
+                                 peak_throughput=gbps(214.0))
+        assert analysis.zone2_pct is None
+
+    def test_threshold_capped_at_100(self):
+        # ZC == SC everywhere: the threshold saturates.
+        sweep = [
+            SweepPoint(f, gbps(10 * f), gbps(10 * f), us(10), us(10))
+            for f in (0.1, 0.2, 0.4)
+        ]
+        analysis = analyze_sweep(sweep, peak_throughput=gbps(1.0))
+        assert analysis.threshold_pct == 100.0
+
+    def test_validation(self):
+        sweep = synthetic_sweep()
+        with pytest.raises(MicrobenchmarkError):
+            analyze_sweep(sweep[:1], peak_throughput=gbps(1.0))
+        with pytest.raises(MicrobenchmarkError):
+            analyze_sweep(sweep, peak_throughput=0.0)
+        with pytest.raises(MicrobenchmarkError):
+            analyze_sweep(list(reversed(sweep)), peak_throughput=gbps(1.0))
+
+
+class TestZones:
+    @pytest.fixture
+    def analysis(self):
+        return analyze_sweep(synthetic_sweep(), peak_throughput=gbps(214.0),
+                             detect_zone2=True)
+
+    def test_zone_classification(self, analysis):
+        assert analysis.zone_of(analysis.threshold_pct / 2) == 1
+        mid = (analysis.threshold_pct + analysis.zone2_pct) / 2
+        assert analysis.zone_of(mid) == 2
+        assert analysis.zone_of(analysis.zone2_pct + 10) == 3
+
+    def test_zones_collapse_without_zone2(self):
+        analysis = analyze_sweep(synthetic_sweep(),
+                                 peak_throughput=gbps(214.0))
+        beyond = analysis.threshold_pct + 1.0
+        assert analysis.zone_of(beyond) == 3
+
+    def test_negative_usage_rejected(self, analysis):
+        with pytest.raises(MicrobenchmarkError):
+            analysis.zone_of(-1.0)

@@ -1,0 +1,81 @@
+"""The paper's cache-usage metrics (eqns 1-2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.profiling.metrics import cpu_cache_usage, gpu_cache_usage
+from repro.units import gbps, us
+
+
+class TestCpuCacheUsage:
+    def test_equation_form(self):
+        # 40 % L1 misses, 10 % LLC misses -> 36 % of requests served by LLC
+        assert cpu_cache_usage(0.4, 0.1) == pytest.approx(36.0)
+
+    def test_perfect_l1_means_zero_llc_usage(self):
+        assert cpu_cache_usage(0.0, 0.5) == 0.0
+
+    def test_all_miss_everywhere_means_zero(self):
+        # Every request goes to DRAM: the LLC does no useful work.
+        assert cpu_cache_usage(1.0, 1.0) == 0.0
+
+    def test_table2_tx2_point(self):
+        """The SH-WFS TX2 profile (19.8 %) corresponds to ~20 % L1
+        misses served almost entirely by the LLC."""
+        assert cpu_cache_usage(0.198, 0.0) == pytest.approx(19.8)
+
+    @pytest.mark.parametrize("l1,llc", [(-0.1, 0.0), (1.1, 0.0), (0.0, 2.0)])
+    def test_rates_validated(self, l1, llc):
+        with pytest.raises(ModelError):
+            cpu_cache_usage(l1, llc)
+
+    @given(l1=st.floats(0, 1), llc=st.floats(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded_percentage(self, l1, llc):
+        usage = cpu_cache_usage(l1, llc)
+        assert 0.0 <= usage <= 100.0
+
+
+class TestGpuCacheUsage:
+    def test_equation_form(self):
+        # 1M transactions x 64 B, no L1 hits, 1 ms kernel => 64 GB/s
+        # demand; with a 214.64 GB/s peak that is ~29.8 %.
+        usage = gpu_cache_usage(
+            transactions=1_000_000,
+            transaction_size=64.0,
+            l1_hit_rate=0.0,
+            kernel_runtime_s=1e-3,
+            max_throughput=gbps(214.64),
+        )
+        assert usage == pytest.approx(100 * 64e9 / 214.64e9, rel=1e-6)
+
+    def test_l1_hits_reduce_llc_demand(self):
+        kwargs = dict(transactions=1000, transaction_size=64.0,
+                      kernel_runtime_s=us(100), max_throughput=gbps(100.0))
+        full = gpu_cache_usage(l1_hit_rate=0.0, **kwargs)
+        half = gpu_cache_usage(l1_hit_rate=0.5, **kwargs)
+        assert half == pytest.approx(full / 2)
+
+    def test_perfect_l1_means_zero(self):
+        assert gpu_cache_usage(1000, 64.0, 1.0, us(100), gbps(100.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            gpu_cache_usage(1000, 64.0, 1.5, us(100), gbps(100.0))
+        with pytest.raises(ModelError):
+            gpu_cache_usage(1000, 64.0, 0.5, 0.0, gbps(100.0))
+        with pytest.raises(ModelError):
+            gpu_cache_usage(1000, 64.0, 0.5, us(100), 0.0)
+        with pytest.raises(ModelError):
+            gpu_cache_usage(-1, 64.0, 0.5, us(100), gbps(100.0))
+
+    @given(
+        transactions=st.integers(0, 10 ** 7),
+        hit=st.floats(0, 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_nonnegative(self, transactions, hit):
+        usage = gpu_cache_usage(transactions, 32.0, hit, us(50), gbps(100.0))
+        assert usage >= 0.0

@@ -1,0 +1,107 @@
+"""Profiler: counter extraction from simulator runs."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.kernels.ops import OpMix
+from repro.kernels.patterns import LinearPattern, StridedPattern
+from repro.kernels.task import CpuTask, GpuKernel
+from repro.kernels.workload import BufferSpec, Direction, Workload
+from repro.profiling.counters import AppProfile
+from repro.profiling.profiler import Profiler
+from repro.soc.board import jetson_tx2
+from repro.soc.soc import SoC
+
+
+def make_workload(cpu=True):
+    buffers = (
+        BufferSpec("frame", 64 * 1024, shared=True, direction=Direction.TO_GPU),
+    )
+    cpu_task = CpuTask(
+        name="pre",
+        ops=OpMix.per_element({"mul": 1.0}, 64 * 1024),
+        pattern=StridedPattern(buffer="frame", stride_elements=3, repeats=2),
+    ) if cpu else None
+    gpu = GpuKernel(
+        name="k",
+        ops=OpMix.per_element({"fma": 4.0}, 64 * 1024),
+        pattern=LinearPattern(buffer="frame", read_write_pairs=False),
+    )
+    return Workload(name="prof", buffers=buffers, cpu_task=cpu_task,
+                    gpu_kernel=gpu, iterations=4)
+
+
+@pytest.fixture
+def profiler():
+    return Profiler(SoC(jetson_tx2()))
+
+
+class TestProfiler:
+    def test_profile_extracts_counters(self, profiler):
+        profile = profiler.profile(make_workload(), model="SC")
+        assert profile.model == "SC"
+        assert profile.board_name == "tx2"
+        assert 0.0 <= profile.cpu_l1_miss_rate <= 1.0
+        assert 0.0 <= profile.gpu_l1_hit_rate <= 1.0
+        assert profile.gpu_transactions > 0
+        assert profile.kernel_runtime_s > 0
+        assert profile.total_runtime_s >= profile.kernel_runtime_s
+
+    def test_transaction_size_is_coalesced(self, profiler):
+        profile = profiler.profile(make_workload(), model="SC")
+        # linear float reads coalesce to 64-byte lines
+        assert profile.gpu_transaction_size == pytest.approx(64.0)
+
+    def test_copy_time_positive_under_sc(self, profiler):
+        profile = profiler.profile(make_workload(), model="SC")
+        assert profile.copy_time_s > 0
+
+    def test_zero_copy_profile_has_no_copy_time(self, profiler):
+        profile = profiler.profile(make_workload(), model="ZC")
+        assert profile.copy_time_s == 0.0
+
+    def test_gpu_only_workload(self, profiler):
+        profile = profiler.profile(make_workload(cpu=False), model="SC")
+        assert profile.cpu_time_s == 0.0
+        assert profile.cpu_l1_miss_rate == 0.0
+
+    def test_workload_without_kernel_rejected(self, profiler):
+        workload = Workload(
+            name="cpu-only",
+            buffers=(BufferSpec("b", 128),),
+            cpu_task=CpuTask(name="t", ops=OpMix({"add": 1})),
+        )
+        with pytest.raises(ProfilingError):
+            profiler.profile(workload, model="SC")
+
+
+class TestAppProfileValidation:
+    def base(self, **kwargs):
+        defaults = dict(
+            workload_name="w", board_name="tx2", model="SC",
+            cpu_l1_miss_rate=0.2, cpu_llc_miss_rate=0.1, cpu_time_s=1e-4,
+            gpu_l1_hit_rate=0.3, gpu_transactions=1000,
+            gpu_transaction_size=64.0, kernel_runtime_s=1e-4,
+            copy_time_s=1e-5, total_runtime_s=3e-4,
+        )
+        defaults.update(kwargs)
+        return AppProfile(**defaults)
+
+    def test_valid(self):
+        profile = self.base()
+        assert profile.gpu_bytes_requested == pytest.approx(64000.0)
+        assert profile.cpu_gpu_time_ratio == pytest.approx(1.0)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ProfilingError):
+            self.base(cpu_l1_miss_rate=1.2)
+
+    def test_copy_exceeding_total_rejected(self):
+        with pytest.raises(ProfilingError):
+            self.base(copy_time_s=1.0)
+
+    def test_time_ratio_needs_kernel(self):
+        profile = self.base(kernel_runtime_s=0.0, copy_time_s=0.0,
+                            total_runtime_s=1e-4)
+        with pytest.raises(ProfilingError):
+            profile.cpu_gpu_time_ratio

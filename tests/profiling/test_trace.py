@@ -1,0 +1,149 @@
+"""Trace-driven workloads."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilingError
+from repro.kernels.workload import Direction
+from repro.model.framework import Framework
+from repro.profiling.trace import (
+    RecordedTrace,
+    TracePattern,
+    workload_from_trace,
+)
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.board import get_board
+
+
+def sequential_trace(n=1024, access_size=4, write_every=0):
+    offsets = np.arange(n, dtype=np.int64) * access_size
+    writes = np.zeros(n, dtype=bool)
+    if write_every:
+        writes[write_every - 1 :: write_every] = True
+    return RecordedTrace(offsets=offsets, is_write=writes,
+                         access_size=access_size)
+
+
+class TestRecordedTrace:
+    def test_properties(self):
+        trace = sequential_trace(100, write_every=2)
+        assert trace.num_accesses == 100
+        assert trace.extent_bytes == 400
+        assert trace.footprint_bytes == 400
+        assert trace.write_fraction == pytest.approx(0.5)
+
+    def test_from_addresses_rebases(self):
+        trace = RecordedTrace.from_addresses(
+            np.array([0x7000_1000, 0x7000_1004]),
+            np.array([False, True]),
+        )
+        assert trace.offsets.tolist() == [0, 4]
+
+    def test_validation(self):
+        with pytest.raises(ProfilingError):
+            RecordedTrace(offsets=np.array([]), is_write=np.array([]))
+        with pytest.raises(ProfilingError):
+            RecordedTrace(offsets=np.array([-4]), is_write=np.array([False]))
+        with pytest.raises(ProfilingError):
+            RecordedTrace(offsets=np.array([0]), is_write=np.array([False]),
+                          access_size=0)
+
+
+class TestLoaders:
+    def test_csv_round_trip(self):
+        text = "offset,rw\n0,R\n4,W\n8,r\n64,w\n"
+        trace = RecordedTrace.from_csv(io.StringIO(text))
+        assert trace.offsets.tolist() == [0, 4, 8, 64]
+        assert trace.is_write.tolist() == [False, True, False, True]
+
+    def test_csv_numeric_rw(self):
+        trace = RecordedTrace.from_csv(io.StringIO("0,0\n4,1\n"))
+        assert trace.is_write.tolist() == [False, True]
+
+    def test_csv_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            RecordedTrace.from_csv(io.StringIO("offset,rw\n"))
+
+    def test_csv_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,R\n128,W\n")
+        trace = RecordedTrace.from_csv(path)
+        assert trace.num_accesses == 2
+
+    def test_npz_round_trip(self, tmp_path):
+        original = sequential_trace(64, write_every=4)
+        path = tmp_path / "trace.npz"
+        original.save_npz(path)
+        loaded = RecordedTrace.from_npz(path)
+        assert np.array_equal(loaded.offsets, original.offsets)
+        assert np.array_equal(loaded.is_write, original.is_write)
+        assert loaded.access_size == original.access_size
+
+    def test_npz_missing_arrays(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, offsets=np.array([0]))
+        with pytest.raises(ProfilingError):
+            RecordedTrace.from_npz(path)
+
+
+class TestTracePattern:
+    def test_replay_addresses(self):
+        region = MemoryRegion(name="r", base=0x4000, size=1 << 20,
+                              kind=RegionKind.PINNED)
+        buffer = region.allocate("traced", 8192, element_size=4)
+        trace = sequential_trace(16)
+        stream = TracePattern(buffer="traced", trace=trace).build(
+            {"traced": buffer}, 64
+        )
+        assert stream.addresses[0] == buffer.base
+        assert stream.addresses[-1] == buffer.base + 60
+        assert stream.region_kind is RegionKind.PINNED
+
+    def test_oversized_trace_rejected(self):
+        region = MemoryRegion(name="r", base=0, size=1 << 20,
+                              kind=RegionKind.PINNED)
+        buffer = region.allocate("traced", 16, element_size=4)
+        trace = sequential_trace(1024)
+        with pytest.raises(ProfilingError):
+            TracePattern(buffer="traced", trace=trace).build(
+                {"traced": buffer}, 64
+            )
+
+
+class TestWorkloadFromTrace:
+    def test_gpu_only_workload(self):
+        workload = workload_from_trace("traced-app", sequential_trace(4096))
+        assert workload.gpu_kernel is not None
+        assert workload.cpu_task is None
+        assert workload.buffer("traced").shared
+
+    def test_with_cpu_trace(self):
+        workload = workload_from_trace(
+            "traced-app", sequential_trace(4096),
+            cpu_trace=sequential_trace(512),
+        )
+        assert workload.cpu_task is not None
+        assert not workload.buffer("cpu_traced").shared
+
+    def test_tunable_end_to_end(self):
+        """A recorded trace flows through the whole Fig-2 pipeline."""
+        workload = workload_from_trace(
+            "traced-app", sequential_trace(8192, write_every=2),
+            gpu_flops_per_access=8.0, iterations=4,
+        )
+        report = Framework().tune(workload, get_board("tx2"))
+        assert report.recommendation is not None
+        assert report.profile.gpu_transactions > 0
+
+    def test_resident_direction_skips_copies(self):
+        workload = workload_from_trace(
+            "traced-app", sequential_trace(1024),
+            shared_direction=Direction.RESIDENT,
+        )
+        assert workload.copied_bytes_per_iteration == 0
+
+    def test_iterations_validated(self):
+        with pytest.raises(ProfilingError):
+            workload_from_trace("x", sequential_trace(16), iterations=0)

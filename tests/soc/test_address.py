@@ -1,0 +1,161 @@
+"""Address space, regions, and buffer allocation."""
+
+import pytest
+
+from repro.errors import AddressError, AllocationError
+from repro.soc.address import (
+    AddressSpace,
+    MemoryRegion,
+    RegionKind,
+    align_up,
+)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(256, 128) == 256
+
+    def test_rounds_up(self):
+        assert align_up(257, 128) == 384
+
+    def test_zero(self):
+        assert align_up(0, 64) == 0
+
+    @pytest.mark.parametrize("alignment", [0, -4, 3, 100])
+    def test_bad_alignment_rejected(self, alignment):
+        with pytest.raises(AddressError):
+            align_up(10, alignment)
+
+
+class TestMemoryRegion:
+    def make(self, size=1 << 20):
+        return MemoryRegion(name="r", base=0x1000, size=size, kind=RegionKind.PINNED)
+
+    def test_bounds(self):
+        region = self.make()
+        assert region.end == 0x1000 + (1 << 20)
+        assert region.contains(0x1000)
+        assert region.contains(region.end - 1)
+        assert not region.contains(region.end)
+        assert not region.contains(0xFFF)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(AddressError):
+            MemoryRegion(name="bad", base=-1, size=16, kind=RegionKind.PINNED)
+        with pytest.raises(AddressError):
+            MemoryRegion(name="bad", base=0, size=0, kind=RegionKind.PINNED)
+
+    def test_allocate_within_region(self):
+        region = self.make()
+        buffer = region.allocate("a", 4096, element_size=4)
+        assert region.contains(buffer.base)
+        assert buffer.end <= region.end
+        assert buffer.num_elements == 1024
+
+    def test_allocations_do_not_overlap(self):
+        region = self.make()
+        a = region.allocate("a", 4096)
+        b = region.allocate("b", 4096)
+        assert not a.overlaps(b)
+
+    def test_allocations_are_aligned(self):
+        region = self.make()
+        region.allocate("a", 100, element_size=4)
+        b = region.allocate("b", 4096)
+        assert b.base % 128 == 0
+
+    def test_duplicate_name_rejected(self):
+        region = self.make()
+        region.allocate("a", 64)
+        with pytest.raises(AllocationError):
+            region.allocate("a", 64)
+
+    def test_overflow_rejected(self):
+        region = self.make(size=4096)
+        with pytest.raises(AllocationError):
+            region.allocate("big", 8192)
+
+    def test_size_not_multiple_of_element_rejected(self):
+        region = self.make()
+        with pytest.raises(AddressError):
+            region.allocate("odd", 10, element_size=4)
+
+    def test_lookup_and_reset(self):
+        region = self.make()
+        region.allocate("a", 64)
+        assert region.buffer("a").name == "a"
+        region.reset()
+        with pytest.raises(AllocationError):
+            region.buffer("a")
+        assert region.bytes_used == 0
+
+
+class TestBuffer:
+    @pytest.fixture
+    def buffer(self):
+        region = MemoryRegion(name="r", base=0, size=1 << 16, kind=RegionKind.PINNED)
+        return region.allocate("buf", 1024, element_size=4)
+
+    def test_element_addresses(self, buffer):
+        assert buffer.element_address(0) == buffer.base
+        assert buffer.element_address(1) == buffer.base + 4
+        assert buffer.element_address(255) == buffer.base + 1020
+
+    def test_element_bounds_checked(self, buffer):
+        with pytest.raises(AddressError):
+            buffer.element_address(256)
+        with pytest.raises(AddressError):
+            buffer.element_address(-1)
+
+    def test_sub_range(self, buffer):
+        sub = buffer.sub_range(16, 32)
+        assert sub.base == buffer.base + 64
+        assert sub.size == 128
+        assert sub.end == sub.base + 128
+
+    def test_sub_range_bounds(self, buffer):
+        with pytest.raises(AddressError):
+            buffer.sub_range(250, 10)
+        with pytest.raises(AddressError):
+            buffer.sub_range(0, 0)
+
+    def test_range_overlap(self, buffer):
+        a = buffer.sub_range(0, 16)
+        b = buffer.sub_range(8, 16)
+        c = buffer.sub_range(16, 16)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestAddressSpace:
+    def test_regions_are_disjoint(self):
+        space = AddressSpace(1 << 24)
+        a = space.add_region("a", 1 << 20, RegionKind.CPU_PARTITION)
+        b = space.add_region("b", 1 << 20, RegionKind.GPU_PARTITION)
+        assert a.end <= b.base
+
+    def test_region_of(self):
+        space = AddressSpace(1 << 24)
+        a = space.add_region("a", 1 << 20, RegionKind.PINNED)
+        assert space.region_of(a.base + 5) is a
+        assert space.region_of(a.end + (1 << 21)) is None
+
+    def test_duplicate_region_rejected(self):
+        space = AddressSpace(1 << 24)
+        space.add_region("a", 4096, RegionKind.PINNED)
+        with pytest.raises(AllocationError):
+            space.add_region("a", 4096, RegionKind.PINNED)
+
+    def test_space_overflow_rejected(self):
+        space = AddressSpace(1 << 20)
+        with pytest.raises(AllocationError):
+            space.add_region("too-big", 1 << 21, RegionKind.PINNED)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(AddressError):
+            AddressSpace(0)
+
+    def test_lookup_unknown_region(self):
+        space = AddressSpace(1 << 20)
+        with pytest.raises(AllocationError):
+            space.region("missing")

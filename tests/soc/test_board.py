@@ -1,0 +1,81 @@
+"""Board presets and registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.board import (
+    available_boards,
+    get_board,
+    jetson_nano,
+    jetson_tx2,
+    jetson_xavier,
+    register_board,
+)
+from repro.units import to_gbps
+
+
+class TestPresets:
+    def test_available(self):
+        assert available_boards() == ["nano", "tx2", "xavier"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_board("TX2").name == "tx2"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_board("orin")
+
+    def test_tx2_table1_calibration(self):
+        board = jetson_tx2()
+        assert to_gbps(board.gpu.llc_bandwidth) == pytest.approx(97.34)
+        assert to_gbps(board.zero_copy.gpu_zc_bandwidth) == pytest.approx(1.28)
+        assert board.um_throughput_factor == pytest.approx(104.15 / 97.34)
+
+    def test_xavier_table1_calibration(self):
+        board = jetson_xavier()
+        assert to_gbps(board.gpu.llc_bandwidth) == pytest.approx(214.64)
+        assert to_gbps(board.zero_copy.gpu_zc_bandwidth) == pytest.approx(32.29)
+
+    def test_coherence_modes_match_paper(self):
+        assert not jetson_tx2().io_coherent
+        assert not jetson_nano().io_coherent
+        assert jetson_xavier().io_coherent
+
+    def test_tx2_disables_cpu_caches_under_zc(self):
+        assert jetson_tx2().zero_copy.cpu_llc_disabled
+        assert jetson_nano().zero_copy.cpu_llc_disabled
+        assert not jetson_xavier().zero_copy.cpu_llc_disabled
+
+    def test_zc_throughput_gap_ratios(self):
+        """The ~77x (TX2) vs ~7x (Xavier) LL-path gap of paper §IV-A."""
+        tx2 = jetson_tx2()
+        xavier = jetson_xavier()
+        tx2_ratio = tx2.gpu.llc_bandwidth / tx2.zero_copy.gpu_zc_bandwidth
+        xavier_ratio = xavier.gpu.llc_bandwidth / xavier.zero_copy.gpu_zc_bandwidth
+        assert 60 < tx2_ratio < 90
+        assert 5 < xavier_ratio < 9
+
+    def test_nano_is_tx2_like_but_slower(self):
+        nano, tx2 = jetson_nano(), jetson_tx2()
+        assert nano.zero_copy.cpu_llc_disabled == tx2.zero_copy.cpu_llc_disabled
+        assert nano.dram.peak_bandwidth < tx2.dram.peak_bandwidth
+        assert nano.gpu.num_sms <= tx2.gpu.num_sms
+
+    def test_presets_are_fresh_objects(self):
+        assert get_board("tx2") is not get_board("tx2")
+
+
+class TestRegistry:
+    def test_register_custom(self):
+        def factory():
+            board = jetson_tx2()
+            object.__setattr__(board, "name", "custom-test")
+            return board
+
+        register_board("custom-test-board", factory)
+        assert "custom-test-board" in available_boards()
+        assert get_board("custom-test-board").name == "custom-test"
+
+    def test_cannot_shadow_builtin(self):
+        with pytest.raises(ConfigurationError):
+            register_board("tx2", jetson_tx2)

@@ -1,0 +1,115 @@
+"""Property-based tests of the exact cache model (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.cache import CacheConfig, SetAssociativeCache
+
+
+def build_cache(ways: int, sets: int, line: int = 64) -> SetAssociativeCache:
+    config = CacheConfig(
+        name="prop", size_bytes=ways * sets * line, line_size=line, ways=ways
+    )
+    return SetAssociativeCache(config)
+
+
+addresses_strategy = st.lists(
+    st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300
+)
+writes_strategy = st.lists(st.booleans(), min_size=1, max_size=300)
+
+
+@given(addrs=addresses_strategy)
+@settings(max_examples=60, deadline=None)
+def test_hits_plus_misses_equals_accesses(addrs):
+    cache = build_cache(ways=2, sets=8)
+    result = cache.access_trace(
+        np.array(addrs, dtype=np.int64), np.zeros(len(addrs), dtype=bool)
+    )
+    assert result.num_hits + result.num_misses == len(addrs)
+    assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+
+@given(addrs=addresses_strategy)
+@settings(max_examples=60, deadline=None)
+def test_resident_lines_never_exceed_capacity(addrs):
+    cache = build_cache(ways=2, sets=4)
+    cache.access_trace(
+        np.array(addrs, dtype=np.int64), np.zeros(len(addrs), dtype=bool)
+    )
+    assert cache.resident_lines <= cache.config.num_lines
+    assert cache.dirty_lines <= cache.resident_lines
+
+
+@given(addrs=addresses_strategy, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_immediate_reaccess_always_hits(addrs, data):
+    cache = build_cache(ways=2, sets=8)
+    for addr in addrs:
+        cache.access_single(addr)
+        assert cache.access_single(addr)
+
+
+@given(addrs=addresses_strategy)
+@settings(max_examples=40, deadline=None)
+def test_bigger_cache_never_misses_more(addrs):
+    """Inclusion-style monotonicity: with the same sets, more ways can
+    only reduce misses on any trace (true for LRU)."""
+    trace = np.array(addrs, dtype=np.int64)
+    writes = np.zeros(len(addrs), dtype=bool)
+    small = build_cache(ways=2, sets=8)
+    large = build_cache(ways=4, sets=8)
+    misses_small = small.access_trace(trace, writes).num_misses
+    misses_large = large.access_trace(trace, writes).num_misses
+    assert misses_large <= misses_small
+
+
+@given(addrs=addresses_strategy)
+@settings(max_examples=40, deadline=None)
+def test_flush_then_replay_reproduces_cold_behaviour(addrs):
+    trace = np.array(addrs, dtype=np.int64)
+    writes = np.zeros(len(addrs), dtype=bool)
+    cache = build_cache(ways=2, sets=8)
+    first = cache.access_trace(trace, writes)
+    cache.flush()
+    again = cache.access_trace(trace, writes)
+    assert list(first.hits) == list(again.hits)
+
+
+@given(
+    addrs=addresses_strategy,
+    writes=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_writebacks_bounded_by_writes(addrs, writes):
+    trace = np.array(addrs, dtype=np.int64)
+    w = np.array(
+        writes.draw(st.lists(st.booleans(), min_size=len(addrs),
+                             max_size=len(addrs))),
+        dtype=bool,
+    )
+    cache = build_cache(ways=2, sets=4)
+    result = cache.access_trace(trace, w)
+    # Each writeback needs at least one prior write to a distinct line.
+    distinct_written_lines = len(
+        np.unique(trace[w] >> 6)
+    ) if w.any() else 0
+    assert result.writeback_lines <= max(
+        distinct_written_lines, int(np.count_nonzero(w))
+    )
+    total_dirty_events = cache.dirty_lines + result.writeback_lines
+    assert total_dirty_events <= int(np.count_nonzero(w)) or not w.any()
+
+
+@given(addrs=addresses_strategy)
+@settings(max_examples=40, deadline=None)
+def test_disabled_cache_is_pure_passthrough(addrs):
+    trace = np.array(addrs, dtype=np.int64)
+    cache = build_cache(ways=2, sets=8)
+    cache.enabled = False
+    result = cache.access_trace(trace, np.zeros(len(trace), dtype=bool))
+    assert result.num_hits == 0
+    assert np.array_equal(result.miss_line_addresses, trace)
+    assert cache.resident_lines == 0

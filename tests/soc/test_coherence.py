@@ -1,0 +1,117 @@
+"""Coherence behaviour descriptions and cost models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.coherence import (
+    CoherenceMode,
+    FlushCostModel,
+    PageMigrationModel,
+    ZeroCopyBehavior,
+)
+from repro.units import gbps
+
+
+class TestZeroCopyBehavior:
+    def test_disabled_cache_variant(self):
+        zc = ZeroCopyBehavior(
+            mode=CoherenceMode.ZC_CACHES_DISABLED,
+            gpu_zc_bandwidth=gbps(1.28),
+            cpu_zc_bandwidth=gbps(3.2),
+        )
+        assert not zc.io_coherent
+        assert zc.cpu_llc_disabled
+
+    def test_io_coherent_variant(self):
+        zc = ZeroCopyBehavior(
+            mode=CoherenceMode.ZC_IO_COHERENT,
+            gpu_zc_bandwidth=gbps(32.29),
+            cpu_zc_bandwidth=gbps(48.0),
+            cpu_llc_disabled=False,
+        )
+        assert zc.io_coherent
+
+    def test_io_coherent_requires_cpu_caches_on(self):
+        with pytest.raises(ConfigurationError):
+            ZeroCopyBehavior(
+                mode=CoherenceMode.ZC_IO_COHERENT,
+                gpu_zc_bandwidth=gbps(32.0),
+                cpu_zc_bandwidth=gbps(48.0),
+                cpu_llc_disabled=True,
+            )
+
+    def test_non_zc_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZeroCopyBehavior(
+                mode=CoherenceMode.SW_FLUSH,
+                gpu_zc_bandwidth=gbps(1.0),
+                cpu_zc_bandwidth=gbps(1.0),
+            )
+
+    def test_bandwidths_validated(self):
+        with pytest.raises(ConfigurationError):
+            ZeroCopyBehavior(
+                mode=CoherenceMode.ZC_CACHES_DISABLED,
+                gpu_zc_bandwidth=0.0,
+                cpu_zc_bandwidth=gbps(1.0),
+            )
+
+
+class TestFlushCostModel:
+    def test_cost_grows_with_occupancy(self):
+        model = FlushCostModel()
+        empty = model.flush_time(0, 0, 64, gbps(40.0))
+        full = model.flush_time(4096, 2048, 64, gbps(40.0))
+        assert full > empty
+
+    def test_dirty_lines_pay_writeback_bandwidth(self):
+        model = FlushCostModel(fixed_overhead_s=0.0, per_line_s=0.0)
+        clean = model.flush_time(1000, 0, 64, gbps(40.0))
+        dirty = model.flush_time(1000, 1000, 64, gbps(40.0))
+        assert clean == 0.0
+        assert dirty == pytest.approx(1000 * 64 / gbps(40.0))
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlushCostModel().flush_time(10, 20, 64, gbps(40.0))
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlushCostModel(fixed_overhead_s=-1.0)
+
+
+class TestPageMigration:
+    def test_pages_for(self):
+        model = PageMigrationModel(page_size=4096)
+        assert model.pages_for(0) == 0
+        assert model.pages_for(1) == 1
+        assert model.pages_for(4096) == 1
+        assert model.pages_for(4097) == 2
+
+    def test_migration_time_scales(self):
+        model = PageMigrationModel()
+        t1 = model.migration_time(1 << 20, copy_bandwidth=gbps(10.0))
+        t2 = model.migration_time(2 << 20, copy_bandwidth=gbps(10.0))
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_faulted_fraction(self):
+        model = PageMigrationModel()
+        full = model.migration_time(1 << 20, copy_bandwidth=gbps(10.0))
+        half = model.migration_time(1 << 20, copy_bandwidth=gbps(10.0),
+                                    faulted_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageMigrationModel().migration_time(
+                4096, copy_bandwidth=gbps(10.0), faulted_fraction=1.5
+            )
+
+    def test_um_stays_near_sc_envelope(self):
+        """The calibrated fault overhead keeps migration within ~10 %
+        of a raw copy for MB-scale payloads (the paper's ±8 % claim)."""
+        model = PageMigrationModel()
+        payload = 8 << 20
+        copy_time = payload / gbps(14.0)
+        migration = model.migration_time(payload, copy_bandwidth=gbps(14.0))
+        assert migration <= copy_time * 1.10

@@ -1,0 +1,169 @@
+"""CPU complex timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.cache import CacheConfig
+from repro.soc.cpu import CPUConfig, CPUModel
+from repro.soc.dram import DRAMConfig, DRAMModel
+from repro.soc.stream import AccessStream
+from repro.units import gbps, ghz
+
+
+def make_cpu(ipc=1.0, hide=0.85):
+    config = CPUConfig(
+        name="cpu",
+        frequency_hz=ghz(2.0),
+        l1=CacheConfig(name="l1", size_bytes=32 * 1024, line_size=64, ways=4),
+        llc=CacheConfig(name="llc", size_bytes=2 * 1024 * 1024, line_size=64,
+                        ways=16),
+        l1_bandwidth=gbps(48.0),
+        llc_bandwidth=gbps(24.0),
+        memory_hide_factor=hide,
+        ipc=ipc,
+    )
+    dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(59.7)))
+    return CPUModel(config, dram)
+
+
+def pinned_buffer(size=64 * 1024):
+    region = MemoryRegion(name="p", base=0, size=1 << 24, kind=RegionKind.PINNED)
+    return region.allocate("b", size, element_size=4)
+
+
+def private_buffer(size=64 * 1024):
+    region = MemoryRegion(name="pv", base=1 << 24, size=1 << 24,
+                          kind=RegionKind.PRIVATE)
+    return region.allocate("b", size, element_size=4)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(frequency_hz=0.0),
+        dict(mlp=0.5),
+        dict(memory_hide_factor=1.5),
+        dict(ipc=0.0),
+        dict(flops_per_cycle=0.0),
+        dict(l1_bandwidth=0.0),
+    ])
+    def test_invalid(self, kwargs):
+        base = dict(
+            name="bad", frequency_hz=ghz(2.0),
+            l1=CacheConfig(name="l1", size_bytes=32 * 1024, line_size=64, ways=4),
+            llc=CacheConfig(name="llc", size_bytes=1 << 20, line_size=64, ways=16),
+            l1_bandwidth=gbps(48.0), llc_bandwidth=gbps(24.0),
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            CPUConfig(**base)
+
+
+class TestComputeTime:
+    def test_scales_with_cycles(self):
+        cpu = make_cpu()
+        assert cpu.compute_time(2e9) == pytest.approx(1.0)
+
+    def test_ipc_divides(self):
+        slow = make_cpu(ipc=0.5)
+        fast = make_cpu(ipc=2.0)
+        assert slow.compute_time(1e6) == pytest.approx(4 * fast.compute_time(1e6))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cpu().compute_time(-1.0)
+
+
+class TestRun:
+    def test_compute_bound_phase(self):
+        cpu = make_cpu()
+        stream = AccessStream.single_address(pinned_buffer(), count=16)
+        phase = cpu.run("t", compute_cycles=2e6, stream=stream)
+        assert phase.time_s == pytest.approx(cpu.compute_time(2e6), rel=0.05)
+        assert phase.processor == "cpu"
+
+    def test_memory_bound_phase(self):
+        cpu = make_cpu()
+        stream = AccessStream.linear(pinned_buffer(4 << 20), read_write_pairs=False)
+        phase = cpu.run("t", compute_cycles=0.0, stream=stream)
+        assert phase.time_s >= phase.memory_time_s
+
+    def test_hide_factor_zero_serializes(self):
+        stream = AccessStream.linear(pinned_buffer(1 << 20), read_write_pairs=False)
+        hidden = make_cpu(hide=1.0).run("t", 1e6, stream)
+        serial = make_cpu(hide=0.0).run("t", 1e6, stream)
+        assert serial.time_s > hidden.time_s
+
+    def test_single_address_never_hidden(self):
+        cpu = make_cpu(hide=1.0)
+        stream = AccessStream.single_address(pinned_buffer(), count=4096)
+        phase = cpu.run("t", compute_cycles=1e6, stream=stream,
+                        uncached_bandwidth=gbps(3.2),
+                        uncached_latency_s=100e-9)
+        # serial chain: compute + latency charge, despite hide=1.0
+        assert phase.time_s >= cpu.compute_time(1e6) + 4096 * 100e-9
+
+    def test_multi_stream_merges(self):
+        cpu = make_cpu()
+        streams = [
+            AccessStream.linear(pinned_buffer(8 * 1024), read_write_pairs=False),
+            AccessStream.single_address(pinned_buffer(), count=32),
+        ]
+        phase = cpu.run("t", 1e5, streams)
+        assert phase.memory.transactions == sum(len(s) for s in streams)
+
+    def test_empty_stream_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cpu().run("t", 1.0, [])
+
+
+class TestUncachedPath:
+    def test_pinned_stream_capped_by_zc_bandwidth(self):
+        cpu = make_cpu()
+        stream = AccessStream.linear(pinned_buffer(1 << 20), read_write_pairs=False)
+        cached = cpu.run("t", 0.0, stream)
+        cpu.hierarchy.reset()
+        uncached = cpu.run("t", 0.0, stream, uncached_bandwidth=gbps(1.0))
+        assert uncached.memory_time_s > 3 * cached.memory_time_s
+
+    def test_private_stream_unaffected_by_zc(self):
+        cpu = make_cpu()
+        stream = AccessStream.linear(private_buffer(64 * 1024),
+                                     read_write_pairs=False, repeats=4)
+        cached = cpu.run("t", 0.0, stream)
+        cpu.hierarchy.reset()
+        also_cached = cpu.run("t", 0.0, stream, uncached_bandwidth=gbps(1.0))
+        assert also_cached.memory_time_s == pytest.approx(
+            cached.memory_time_s, rel=0.05
+        )
+
+    def test_strided_uncached_pays_latency(self):
+        cpu = make_cpu()
+        stream = AccessStream.strided(pinned_buffer(48 * 1024), stride_elements=3)
+        no_latency = cpu.run("t", 0.0, stream, uncached_bandwidth=gbps(3.2))
+        cpu.hierarchy.reset()
+        with_latency = cpu.run("t", 0.0, stream,
+                               uncached_bandwidth=gbps(3.2),
+                               uncached_latency_s=100e-9)
+        expected_penalty = len(stream) * 100e-9 / cpu.config.mlp
+        assert with_latency.memory_time_s - no_latency.memory_time_s == \
+            pytest.approx(expected_penalty, rel=0.01)
+
+    def test_linear_uncached_is_bandwidth_bound_only(self):
+        cpu = make_cpu()
+        stream = AccessStream.linear(pinned_buffer(64 * 1024),
+                                     read_write_pairs=False)
+        a = cpu.run("t", 0.0, stream, uncached_bandwidth=gbps(3.2))
+        cpu.hierarchy.reset()
+        b = cpu.run("t", 0.0, stream, uncached_bandwidth=gbps(3.2),
+                    uncached_latency_s=100e-9)
+        assert b.memory_time_s == pytest.approx(a.memory_time_s)
+
+    def test_cache_state_restored_after_pinned_stream(self):
+        cpu = make_cpu()
+        stream = AccessStream.linear(pinned_buffer(8 * 1024),
+                                     read_write_pairs=False)
+        cpu.run("t", 0.0, stream, uncached_bandwidth=gbps(1.0))
+        assert cpu.hierarchy.l1.enabled
+        assert cpu.hierarchy.llc.enabled
+        assert cpu.hierarchy.memory_port_bandwidth == float("inf")

@@ -1,0 +1,57 @@
+"""DRAM model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.dram import DRAMConfig, DRAMModel
+from repro.units import gbps
+
+
+class TestConfig:
+    def test_effective_bandwidth(self):
+        config = DRAMConfig(peak_bandwidth=gbps(59.7), efficiency=0.75)
+        assert config.effective_bandwidth == pytest.approx(gbps(59.7) * 0.75)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(peak_bandwidth=0.0),
+        dict(peak_bandwidth=gbps(10), efficiency=0.0),
+        dict(peak_bandwidth=gbps(10), efficiency=1.5),
+        dict(peak_bandwidth=gbps(10), latency_s=-1e-9),
+    ])
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(**kwargs)
+
+
+class TestModel:
+    def test_transfer_time_scales_with_bytes(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0), latency_s=0.0))
+        t1 = dram.transfer_time(1 << 20)
+        t2 = dram.transfer_time(2 << 20)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_transfer_includes_latency(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0), latency_s=100e-9))
+        assert dram.transfer_time(0) == 0.0
+        assert dram.transfer_time(64) > 100e-9
+
+    def test_bandwidth_cap(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0), latency_s=0.0))
+        capped = dram.transfer_time(1 << 20, bandwidth_cap=gbps(1.0))
+        free = dram.transfer_time(1 << 20)
+        assert capped > free
+
+    def test_traffic_accounting(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0)))
+        dram.record(100, 50)
+        dram.record(10, 0)
+        assert dram.bytes_read == 110
+        assert dram.bytes_written == 50
+        assert dram.total_bytes == 160
+        dram.reset()
+        assert dram.total_bytes == 0
+
+    def test_negative_traffic_rejected(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0)))
+        with pytest.raises(ConfigurationError):
+            dram.record(-1, 0)

@@ -1,0 +1,109 @@
+"""DVFS operating points."""
+
+import pytest
+
+from repro.comm.base import get_model
+from repro.apps.shwfs import ShwfsPipeline
+from repro.errors import ConfigurationError
+from repro.soc.board import get_board
+from repro.soc.dvfs import (
+    JETSON_POWER_MODES,
+    OperatingPoint,
+    apply_operating_point,
+    available_power_modes,
+    get_power_mode,
+)
+from repro.soc.soc import SoC
+
+
+class TestOperatingPoint:
+    def test_predefined_modes(self):
+        assert available_power_modes() == ["10w", "15w", "maxn"]
+        assert get_power_mode("MAXN").cpu_scale == 1.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            get_power_mode("30w")
+
+    def test_scale_bounds(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(name="bad", cpu_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(name="bad", gpu_scale=3.0)
+
+
+class TestApply:
+    def test_maxn_is_identity_on_clocks(self):
+        board = get_board("xavier")
+        scaled = apply_operating_point(board, get_power_mode("maxn"))
+        assert scaled.cpu.frequency_hz == board.cpu.frequency_hz
+        assert scaled.gpu.frequency_hz == board.gpu.frequency_hz
+        assert scaled.dram.peak_bandwidth == board.dram.peak_bandwidth
+
+    def test_domains_scale_consistently(self):
+        board = get_board("xavier")
+        scaled = apply_operating_point(board, get_power_mode("10w"))
+        point = get_power_mode("10w")
+        assert scaled.cpu.frequency_hz == pytest.approx(
+            board.cpu.frequency_hz * point.cpu_scale
+        )
+        assert scaled.gpu.llc_bandwidth == pytest.approx(
+            board.gpu.llc_bandwidth * point.gpu_scale
+        )
+        assert scaled.zero_copy.gpu_zc_bandwidth == pytest.approx(
+            board.zero_copy.gpu_zc_bandwidth * point.memory_scale
+        )
+        assert scaled.copy_engine_bandwidth == pytest.approx(
+            board.copy_engine_bandwidth * point.memory_scale
+        )
+
+    def test_geometry_and_coherence_preserved(self):
+        board = get_board("tx2")
+        scaled = apply_operating_point(board, get_power_mode("15w"))
+        assert scaled.cpu.l1.size_bytes == board.cpu.l1.size_bytes
+        assert scaled.zero_copy.cpu_llc_disabled == \
+            board.zero_copy.cpu_llc_disabled
+        assert scaled.io_coherent == board.io_coherent
+
+    def test_name_annotated(self):
+        scaled = apply_operating_point(get_board("tx2"), get_power_mode("10w"))
+        assert scaled.name == "tx2@10w"
+
+
+class TestBehaviour:
+    def test_lower_modes_run_slower(self):
+        pipeline = ShwfsPipeline()
+        workload = pipeline.workload(board_name="xavier")
+        times = {}
+        for mode in ("maxn", "15w", "10w"):
+            board = apply_operating_point(get_board("xavier"),
+                                          get_power_mode(mode))
+            report = get_model("SC").execute(workload, SoC(board))
+            times[mode] = report.time_per_iteration_s
+        assert times["maxn"] < times["15w"] < times["10w"]
+
+    def test_lower_modes_use_less_power(self):
+        pipeline = ShwfsPipeline()
+        workload = pipeline.workload(board_name="xavier")
+        powers = {}
+        for mode in ("maxn", "10w"):
+            board = apply_operating_point(get_board("xavier"),
+                                          get_power_mode(mode))
+            report = get_model("SC").execute(workload, SoC(board))
+            powers[mode] = report.energy.total_j / report.total_time_s
+        assert powers["10w"] < powers["maxn"]
+
+    def test_zc_still_wins_on_xavier_across_modes(self):
+        """The SH-WFS recommendation is robust to the power mode: the
+        compute and communication domains scale together closely enough
+        that ZC keeps its edge."""
+        pipeline = ShwfsPipeline()
+        workload = pipeline.workload(board_name="xavier")
+        for mode in JETSON_POWER_MODES:
+            board = apply_operating_point(get_board("xavier"),
+                                          get_power_mode(mode))
+            soc = SoC(board)
+            sc = get_model("SC").execute(workload, soc)
+            soc.reset()
+            zc = get_model("ZC").execute(workload, soc)
+            assert zc.time_per_iteration_s < sc.time_per_iteration_s, mode

@@ -1,0 +1,79 @@
+"""Energy model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.energy import EnergyConfig, EnergyModel
+
+
+def make_model(**kwargs):
+    base = dict(static_power_w=2.0, cpu_active_power_w=1.5,
+                gpu_active_power_w=5.0)
+    base.update(kwargs)
+    return EnergyModel(EnergyConfig(**base))
+
+
+class TestConfig:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(static_power_w=-1.0, cpu_active_power_w=0.0,
+                         gpu_active_power_w=0.0)
+
+
+class TestEnergy:
+    def test_static_energy_scales_with_time(self):
+        model = make_model()
+        short = model.execution_energy(1.0, 0, 0, 0, 0)
+        long = model.execution_energy(2.0, 0, 0, 0, 0)
+        assert long.static_j == pytest.approx(2 * short.static_j)
+
+    def test_busy_time_clamped_to_window(self):
+        model = make_model()
+        result = model.execution_energy(1.0, cpu_busy_s=5.0, gpu_busy_s=5.0,
+                                        cache_bytes=0, dram_bytes=0)
+        assert result.cpu_active_j == pytest.approx(1.5)
+        assert result.gpu_active_j == pytest.approx(5.0)
+
+    def test_copy_pays_double_dram_plus_engine(self):
+        model = make_model()
+        no_copy = model.execution_energy(1.0, 0, 0, 0, dram_bytes=0,
+                                         copied_bytes=0)
+        with_copy = model.execution_energy(1.0, 0, 0, 0, dram_bytes=0,
+                                           copied_bytes=1 << 20)
+        extra = with_copy.total_j - no_copy.total_j
+        cfg = model.config
+        expected = (2 * cfg.pj_per_byte_dram + cfg.pj_per_byte_copy) * (1 << 20) * 1e-12
+        assert extra == pytest.approx(expected)
+
+    def test_cache_cheaper_than_dram_per_byte(self):
+        model = make_model()
+        cache = model.execution_energy(1.0, 0, 0, cache_bytes=1 << 20,
+                                       dram_bytes=0)
+        dram = model.execution_energy(1.0, 0, 0, cache_bytes=0,
+                                      dram_bytes=1 << 20)
+        assert cache.cache_j < dram.dram_j
+
+    def test_total_is_sum_of_parts(self):
+        model = make_model()
+        result = model.execution_energy(1.0, 0.5, 0.25, 1 << 20, 1 << 20,
+                                        1 << 19)
+        assert result.total_j == pytest.approx(
+            result.static_j + result.cpu_active_j + result.gpu_active_j
+            + result.cache_j + result.dram_j + result.copy_j
+        )
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_model().execution_energy(-1.0, 0, 0, 0, 0)
+
+    def test_zero_copy_saves_energy_at_equal_runtime(self):
+        """The paper's energy argument: same duration, no copy traffic
+        -> less energy."""
+        model = make_model()
+        sc = model.execution_energy(1e-3, 0.5e-3, 0.5e-3,
+                                    cache_bytes=1 << 20, dram_bytes=1 << 20,
+                                    copied_bytes=1 << 20)
+        zc = model.execution_energy(1e-3, 0.5e-3, 0.5e-3,
+                                    cache_bytes=1 << 20, dram_bytes=1 << 20,
+                                    copied_bytes=0)
+        assert zc.total_j < sc.total_j

@@ -1,0 +1,78 @@
+"""Event engine: staggered starts and multi-job pipelines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.events import OverlapJob, run_overlapped
+from repro.soc.interconnect import InterconnectConfig
+from repro.units import gbps
+
+FABRIC = InterconnectConfig(total_bandwidth=gbps(40.0),
+                            arbitration_overhead=0.0)
+
+
+def job(name, compute=0.0, bytes_=0.0, bw=gbps(10.0), overlap=True,
+        start=0.0):
+    return OverlapJob(name=name, compute_time_s=compute, memory_bytes=bytes_,
+                      solo_bandwidth=bw, overlap_compute_memory=overlap,
+                      start_time_s=start)
+
+
+class TestStaggeredStarts:
+    def test_late_job_avoids_contention(self):
+        # Two saturating jobs; starting the second after the first
+        # finishes removes all contention.
+        duration = 1e-3
+        first = job("a", bytes_=gbps(40.0) * duration, bw=gbps(40.0))
+        second = job("b", bytes_=gbps(40.0) * duration, bw=gbps(40.0),
+                     start=duration)
+        result = run_overlapped([first, second], FABRIC)
+        assert result.finish("a") == pytest.approx(duration, rel=0.01)
+        assert result.finish("b") == pytest.approx(2 * duration, rel=0.01)
+
+    def test_pipeline_of_four_stages(self):
+        stage = 0.5e-3
+        jobs = [
+            job(f"s{i}", compute=stage, start=i * stage)
+            for i in range(4)
+        ]
+        result = run_overlapped(jobs, FABRIC)
+        for i in range(4):
+            assert result.finish(f"s{i}") == pytest.approx(
+                (i + 1) * stage, rel=0.01
+            )
+
+    def test_memory_time_accounting(self):
+        j = job("a", bytes_=gbps(10.0) * 2e-3)
+        result = run_overlapped([j], FABRIC)
+        assert result.memory_times["a"] == pytest.approx(2e-3, rel=0.01)
+
+
+class TestManyJobs:
+    def test_eight_way_fair_share(self):
+        duration = 1e-3
+        jobs = [
+            job(f"j{i}", bytes_=gbps(40.0) * duration, bw=gbps(40.0))
+            for i in range(8)
+        ]
+        result = run_overlapped(jobs, FABRIC)
+        # Eight saturating jobs share one fabric: ~8x stretch each.
+        assert result.makespan_s == pytest.approx(8 * duration, rel=0.02)
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        per_job_bytes=st.floats(min_value=1e3, max_value=1e7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_work_conservation(self, n, per_job_bytes):
+        """Total bytes moved per unit time never exceeds the fabric,
+        and the makespan is at least total_bytes / fabric."""
+        jobs = [
+            job(f"j{i}", bytes_=per_job_bytes, bw=gbps(40.0))
+            for i in range(n)
+        ]
+        result = run_overlapped(jobs, FABRIC)
+        lower_bound = n * per_job_bytes / FABRIC.total_bandwidth
+        assert result.makespan_s >= lower_bound * (1 - 1e-9)
+        assert result.makespan_s <= lower_bound * n + 1e-9

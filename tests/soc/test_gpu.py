@@ -1,0 +1,177 @@
+"""iGPU timing model and warp coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.cache import CacheConfig
+from repro.soc.dram import DRAMConfig, DRAMModel
+from repro.soc.gpu import GPUConfig, GPUModel, coalesce_stream
+from repro.soc.stream import AccessStream, PatternKind
+from repro.units import gbps, ghz
+
+
+def make_gpu(sms=2):
+    config = GPUConfig(
+        name="gpu",
+        frequency_hz=ghz(1.3),
+        num_sms=sms,
+        warp_size=32,
+        l1=CacheConfig(name="gl1", size_bytes=48 * 1024, line_size=64, ways=6),
+        llc=CacheConfig(name="gllc", size_bytes=512 * 1024, line_size=64, ways=16),
+        l1_bandwidth=gbps(180.0),
+        llc_bandwidth=gbps(97.34),
+    )
+    dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(59.7)))
+    return GPUModel(config, dram)
+
+
+def pinned_buffer(size=256 * 1024):
+    region = MemoryRegion(name="p", base=0, size=1 << 24, kind=RegionKind.PINNED)
+    return region.allocate("b", size, element_size=4)
+
+
+def private_buffer(size=64 * 1024):
+    region = MemoryRegion(name="pv", base=1 << 24, size=1 << 24,
+                          kind=RegionKind.PRIVATE)
+    return region.allocate("b", size, element_size=4)
+
+
+class TestCoalescing:
+    def test_linear_reads_merge_to_lines(self):
+        buffer = pinned_buffer(4096)
+        stream = AccessStream.linear(buffer, read_write_pairs=False)
+        coalesced = coalesce_stream(stream, line_size=64, warp_size=32)
+        # 1024 4-byte reads -> 64 line transactions
+        assert len(coalesced) == 64
+        assert coalesced.transaction_size == 64
+
+    def test_read_write_pairs_keep_both_directions(self):
+        buffer = pinned_buffer(4096)
+        stream = AccessStream.linear(buffer, read_write_pairs=True)
+        coalesced = coalesce_stream(stream, line_size=64, warp_size=32)
+        writes = int(np.count_nonzero(coalesced.is_write))
+        assert writes > 0
+        assert writes < len(coalesced)
+
+    def test_sparse_does_not_coalesce(self):
+        buffer = pinned_buffer(256 * 1024)
+        stream = AccessStream.sparse(buffer, count=512, line_size=64)
+        coalesced = coalesce_stream(stream, line_size=64, warp_size=32)
+        assert len(coalesced) == 512
+
+    def test_line_sized_stream_untouched(self):
+        buffer = pinned_buffer(4096)
+        stream = AccessStream.linear(buffer, read_write_pairs=False)
+        wide = coalesce_stream(stream, line_size=4, warp_size=32)
+        assert wide is stream
+
+    def test_virtual_linear_coalesces_analytically(self):
+        stream = AccessStream.virtual_linear(2 ** 20, element_size=4)
+        coalesced = coalesce_stream(stream, line_size=64, warp_size=32)
+        assert coalesced.is_virtual
+        # 2^20 elements -> 65536 lines, read+write directions
+        assert coalesced.transactions_per_pass == 2 * (2 ** 20 * 4 // 64)
+
+    def test_virtual_sparse_passes_through(self):
+        stream = AccessStream.virtual_sparse(1000, footprint_bytes=1 << 20)
+        assert coalesce_stream(stream, 64, 32) is stream
+
+    def test_region_kind_preserved(self):
+        buffer = pinned_buffer(4096)
+        stream = AccessStream.linear(buffer, read_write_pairs=False)
+        stream.region_kind = RegionKind.PINNED
+        coalesced = coalesce_stream(stream, 64, 32)
+        assert coalesced.region_kind is RegionKind.PINNED
+
+
+class TestTiming:
+    def test_latency_hiding_max_semantics(self):
+        gpu = make_gpu()
+        buffer = pinned_buffer(8 * 1024)
+        stream = AccessStream.linear(buffer, read_write_pairs=False)
+        phase = gpu.run("k", total_flops=gpu.peak_flops * 1e-3, stream=stream)
+        # Memory is tiny; the phase is compute bound at ~1 ms + launch.
+        assert phase.time_s == pytest.approx(
+            1e-3 + gpu.config.kernel_launch_overhead_s, rel=0.01
+        )
+
+    def test_peak_flops_scale_with_sms(self):
+        assert make_gpu(sms=4).peak_flops == pytest.approx(2 * make_gpu(2).peak_flops)
+
+    def test_launch_overhead_always_paid(self):
+        gpu = make_gpu()
+        stream = AccessStream.linear(pinned_buffer(4096), read_write_pairs=False)
+        phase = gpu.run("k", total_flops=0.0, stream=stream)
+        assert phase.time_s >= gpu.config.kernel_launch_overhead_s
+
+    def test_zc_path_slows_pinned_kernel(self):
+        gpu = make_gpu()
+        stream = AccessStream.linear(pinned_buffer(256 * 1024),
+                                     read_write_pairs=False, repeats=8)
+        cached = gpu.run("k", 0.0, stream)
+        gpu.hierarchy.reset()
+        uncached = gpu.run("k", 0.0, stream, uncached_bandwidth=gbps(1.28))
+        assert uncached.memory_time_s > 20 * cached.memory_time_s
+
+    def test_private_streams_keep_caches_under_zc(self):
+        gpu = make_gpu()
+        stream = AccessStream.linear(private_buffer(32 * 1024),
+                                     read_write_pairs=False, repeats=8)
+        cached = gpu.run("k", 0.0, stream)
+        gpu.hierarchy.reset()
+        also_cached = gpu.run("k", 0.0, stream, uncached_bandwidth=gbps(1.28))
+        assert also_cached.memory_time_s == pytest.approx(
+            cached.memory_time_s, rel=0.05
+        )
+
+    def test_snoop_latency_charged_per_pinned_stream(self):
+        gpu = make_gpu()
+        stream = AccessStream.linear(pinned_buffer(64 * 1024),
+                                     read_write_pairs=False)
+        base = gpu.run("k", 0.0, stream, uncached_bandwidth=gbps(32.0))
+        gpu.hierarchy.reset()
+        snooped = gpu.run("k", 0.0, stream, uncached_bandwidth=gbps(32.0),
+                          extra_latency_s=1e-6)
+        assert snooped.memory_time_s - base.memory_time_s == pytest.approx(1e-6)
+
+    def test_multi_stream_sums_memory(self):
+        gpu = make_gpu()
+        streams = [
+            AccessStream.linear(pinned_buffer(64 * 1024), read_write_pairs=False),
+            AccessStream.linear(private_buffer(64 * 1024), read_write_pairs=False),
+        ]
+        phase = gpu.run("k", 0.0, streams)
+        assert phase.memory.bytes_requested > 0
+        assert phase.memory.transactions == sum(
+            len(coalesce_stream(s, 64, 32)) for s in streams
+        )
+
+    def test_empty_stream_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_gpu().run("k", 0.0, [])
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_gpu().compute_time(-1.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(frequency_hz=0.0),
+        dict(num_sms=0),
+        dict(warp_size=0),
+        dict(l1_bandwidth=0.0),
+        dict(kernel_launch_overhead_s=-1.0),
+    ])
+    def test_invalid(self, kwargs):
+        base = dict(
+            name="bad", frequency_hz=ghz(1.0), num_sms=1, warp_size=32,
+            l1=CacheConfig(name="l1", size_bytes=32 * 1024, line_size=64, ways=4),
+            llc=CacheConfig(name="llc", size_bytes=1 << 19, line_size=64, ways=16),
+            l1_bandwidth=gbps(100.0), llc_bandwidth=gbps(50.0),
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            GPUConfig(**base)

@@ -1,0 +1,114 @@
+"""Property-based tests of GPU coalescing and the two-level analytic
+chain (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.cache import CacheConfig
+from repro.soc.dram import DRAMConfig, DRAMModel
+from repro.soc.gpu import coalesce_stream
+from repro.soc.hierarchy import CacheHierarchy, LevelSpec
+from repro.soc.stream import AccessStream
+from repro.units import gbps
+
+
+def make_buffer(size_bytes):
+    region = MemoryRegion(name="r", base=0, size=max(1 << 22, size_bytes * 2),
+                          kind=RegionKind.PINNED)
+    return region.allocate("b", size_bytes, element_size=4)
+
+
+class TestCoalescingProperties:
+    @given(
+        elements=st.integers(min_value=1, max_value=4096),
+        pairs=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linear_coalescing_conserves_lines(self, elements, pairs):
+        """Coalesced transactions cover exactly the stream's lines, and
+        never exceed the original transaction count."""
+        buffer = make_buffer(elements * 4)
+        stream = AccessStream.linear(buffer, read_write_pairs=pairs)
+        coalesced = coalesce_stream(stream, line_size=64, warp_size=32)
+        original_lines = set((stream.addresses >> 6).tolist())
+        coalesced_lines = set((coalesced.addresses >> 6).tolist())
+        assert coalesced_lines == original_lines
+        assert len(coalesced) <= len(stream)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_sparse_never_gains_from_coalescing(self, seed):
+        buffer = make_buffer(256 * 1024)
+        stream = AccessStream.sparse(buffer, count=256, line_size=64,
+                                     seed=seed)
+        coalesced = coalesce_stream(stream, line_size=64, warp_size=32)
+        assert len(coalesced) == len(stream)
+
+    @given(elements=st.integers(min_value=64, max_value=2048))
+    @settings(max_examples=30, deadline=None)
+    def test_write_transactions_preserved(self, elements):
+        """Coalescing must not drop the store direction of rw pairs."""
+        buffer = make_buffer(elements * 4)
+        stream = AccessStream.linear(buffer, read_write_pairs=True)
+        coalesced = coalesce_stream(stream, line_size=64, warp_size=32)
+        assert coalesced.is_write.any()
+        assert not coalesced.is_write.all()
+
+
+class TestTwoLevelAnalyticChain:
+    """The analytic path through a full two-level hierarchy tracks the
+    exact simulator — the contract behind every large benchmark."""
+
+    def make_hierarchy(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0)))
+        return CacheHierarchy(
+            [
+                LevelSpec(CacheConfig(name="l1", size_bytes=8 * 1024,
+                                      line_size=64, ways=4),
+                          bandwidth=gbps(100.0)),
+                LevelSpec(CacheConfig(name="llc", size_bytes=128 * 1024,
+                                      line_size=64, ways=8),
+                          bandwidth=gbps(50.0)),
+            ],
+            dram,
+        )
+
+    @given(
+        footprint_lines=st.integers(min_value=4, max_value=4096),
+        repeats=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_chain_tracks_exact(self, footprint_lines, repeats):
+        buffer = make_buffer(footprint_lines * 64)
+        stream = AccessStream.linear(buffer, read_write_pairs=False,
+                                     repeats=repeats)
+        exact = self.make_hierarchy().process(stream, mode="exact")
+        approx = self.make_hierarchy().process(stream, mode="analytic")
+        assert approx.l1.misses == exact.l1.misses
+        assert approx.llc.misses == exact.llc.misses
+        assert approx.dram_read_bytes == pytest.approx(
+            exact.dram_read_bytes, rel=0.02, abs=128
+        )
+
+    @given(
+        footprint_lines=st.integers(min_value=4, max_value=2048),
+        repeats=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_chain_rw_pairs(self, footprint_lines, repeats):
+        buffer = make_buffer(footprint_lines * 64)
+        stream = AccessStream.linear(buffer, read_write_pairs=True,
+                                     repeats=repeats)
+        exact = self.make_hierarchy().process(stream, mode="exact")
+        approx = self.make_hierarchy().process(stream, mode="analytic")
+        assert approx.l1.hit_rate == pytest.approx(exact.l1.hit_rate,
+                                                   abs=0.01)
+        assert approx.llc.hit_rate == pytest.approx(exact.llc.hit_rate,
+                                                    abs=0.01)
+        # Writeback (dirty) traffic is approximated; stay within 20 %.
+        assert approx.dram_write_bytes == pytest.approx(
+            exact.dram_write_bytes, rel=0.2, abs=4096
+        )

@@ -1,0 +1,255 @@
+"""Cache hierarchy: traffic chaining and the streaming timing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.cache import CacheConfig
+from repro.soc.coherence import FlushCostModel
+from repro.soc.dram import DRAMConfig, DRAMModel
+from repro.soc.hierarchy import (
+    CacheHierarchy,
+    LevelSpec,
+    merge_memory_results,
+)
+from repro.soc.stream import AccessStream
+from repro.units import gbps
+
+
+def make_hierarchy(l1_kib=4, llc_kib=64, memory_port=float("inf")):
+    dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0)))
+    specs = [
+        LevelSpec(
+            config=CacheConfig(name="l1", size_bytes=l1_kib * 1024,
+                               line_size=64, ways=4),
+            bandwidth=gbps(100.0),
+        ),
+        LevelSpec(
+            config=CacheConfig(name="llc", size_bytes=llc_kib * 1024,
+                               line_size=64, ways=8),
+            bandwidth=gbps(50.0),
+        ),
+    ]
+    return CacheHierarchy(specs, dram, memory_port_bandwidth=memory_port)
+
+
+def make_stream(size_bytes=8 * 1024, repeats=1, pairs=False):
+    region = MemoryRegion(name="r", base=0, size=1 << 24, kind=RegionKind.PINNED)
+    buffer = region.allocate("b", size_bytes, element_size=4)
+    return AccessStream.linear(buffer, read_write_pairs=pairs, repeats=repeats)
+
+
+class TestConstruction:
+    def test_requires_levels(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0)))
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([], dram)
+
+    def test_rejects_shrinking_lines(self):
+        dram = DRAMModel(DRAMConfig(peak_bandwidth=gbps(40.0)))
+        specs = [
+            LevelSpec(CacheConfig(name="a", size_bytes=4096, line_size=128,
+                                  ways=4), bandwidth=gbps(10)),
+            LevelSpec(CacheConfig(name="b", size_bytes=8192, line_size=64,
+                                  ways=4), bandwidth=gbps(10)),
+        ]
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(specs, dram)
+
+    def test_level_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            LevelSpec(CacheConfig(name="a", size_bytes=4096, line_size=64,
+                                  ways=4), bandwidth=0.0)
+
+
+class TestTrafficChaining:
+    def test_l1_hit_traffic_stops_at_l1(self):
+        hierarchy = make_hierarchy()
+        stream = make_stream(size_bytes=2 * 1024, repeats=4)
+        result = hierarchy.process(stream, mode="exact")
+        # warm passes hit L1; only the cold pass reaches the LLC
+        assert result.l1.hits > 0
+        assert result.llc.accesses == result.l1.misses
+
+    def test_llc_fitting_working_set(self):
+        hierarchy = make_hierarchy(l1_kib=4, llc_kib=64)
+        stream = make_stream(size_bytes=32 * 1024, repeats=4)
+        result = hierarchy.process(stream, mode="exact")
+        # Thrashes L1 but fits LLC: warm passes hit LLC, DRAM sees only
+        # the cold fill.
+        assert result.llc.hit_rate > 0.5
+        assert result.dram_read_bytes == pytest.approx(32 * 1024, rel=0.05)
+
+    def test_dram_traffic_is_line_granular(self):
+        hierarchy = make_hierarchy()
+        stream = make_stream(size_bytes=8 * 1024)
+        result = hierarchy.process(stream, mode="exact")
+        assert result.dram_read_bytes % 64 == 0
+
+    def test_writeback_traffic_reaches_dram(self):
+        hierarchy = make_hierarchy(l1_kib=4, llc_kib=8)
+        stream = make_stream(size_bytes=64 * 1024, repeats=2, pairs=True)
+        result = hierarchy.process(stream, mode="exact")
+        assert result.dram_write_bytes > 0
+
+
+class TestTiming:
+    def test_streaming_time_is_bottleneck_stage(self):
+        hierarchy = make_hierarchy()
+        stream = make_stream(size_bytes=2 * 1024, repeats=8)
+        result = hierarchy.process(stream, mode="exact")
+        assert result.streaming_time_s == pytest.approx(
+            max(result.stage_times.values())
+        )
+
+    def test_cache_resident_stream_faster_than_dram_bound(self):
+        hierarchy = make_hierarchy()
+        resident = hierarchy.process(make_stream(2 * 1024, repeats=8), mode="exact")
+        hierarchy.reset()
+        spilled = hierarchy.process(make_stream(512 * 1024, repeats=8), mode="exact")
+        assert resident.throughput > spilled.throughput
+
+    def test_port_cap_slows_dram_stage(self):
+        fast = make_hierarchy()
+        slow = make_hierarchy(memory_port=gbps(1.0))
+        stream = make_stream(size_bytes=512 * 1024)
+        t_fast = fast.process(stream, mode="exact").streaming_time_s
+        t_slow = slow.process(stream, mode="exact").streaming_time_s
+        assert t_slow > 5 * t_fast
+
+    def test_exposed_latency_is_single_pipeline_fill(self):
+        hierarchy = make_hierarchy()
+        result = hierarchy.process(make_stream(64 * 1024), mode="exact")
+        assert result.exposed_latency_s == pytest.approx(
+            hierarchy.dram.config.latency_s
+        )
+
+    def test_no_dram_traffic_no_latency(self):
+        hierarchy = make_hierarchy()
+        stream = make_stream(2 * 1024)
+        hierarchy.process(stream, mode="exact")  # warm
+        result = hierarchy.process(stream, mode="exact")
+        assert result.dram_transactions == 0
+        assert result.exposed_latency_s == 0.0
+
+
+class TestRepeatExtrapolation:
+    def test_extrapolated_counts_match_full_replay(self):
+        stream = make_stream(size_bytes=8 * 1024, repeats=6)
+        fast = make_hierarchy().process(stream, mode="exact")
+        # full replay: 6 separate passes
+        slow_h = make_hierarchy()
+        totals = dict(hits=0, misses=0)
+        one_pass = make_stream(size_bytes=8 * 1024, repeats=1)
+        for _ in range(6):
+            r = slow_h.process(one_pass, mode="exact")
+            totals["hits"] += r.l1.hits
+            totals["misses"] += r.l1.misses
+        assert fast.l1.hits == totals["hits"]
+        assert fast.l1.misses == totals["misses"]
+
+
+class TestAnalyticAgreement:
+    @pytest.mark.parametrize("size_kib,repeats", [(2, 4), (32, 4), (256, 2)])
+    def test_modes_agree_on_hit_rates(self, size_kib, repeats):
+        stream = make_stream(size_bytes=size_kib * 1024, repeats=repeats)
+        exact = make_hierarchy().process(stream, mode="exact")
+        approx = make_hierarchy().process(stream, mode="analytic")
+        assert approx.l1.hit_rate == pytest.approx(exact.l1.hit_rate, abs=0.02)
+        assert approx.llc.hit_rate == pytest.approx(exact.llc.hit_rate, abs=0.02)
+        assert approx.dram_read_bytes == pytest.approx(
+            exact.dram_read_bytes, rel=0.05, abs=256
+        )
+
+    def test_auto_uses_analytic_for_virtual(self):
+        hierarchy = make_hierarchy()
+        stream = AccessStream.virtual_linear(2 ** 22)
+        result = hierarchy.process(stream, mode="auto")
+        assert result.transactions == 2 ** 23
+
+    def test_exact_rejects_virtual(self):
+        hierarchy = make_hierarchy()
+        stream = AccessStream.virtual_linear(1024)
+        with pytest.raises(SimulationError):
+            hierarchy.process(stream, mode="exact")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            make_hierarchy().process(make_stream(), mode="bogus")
+
+
+class TestFlushAndEnable:
+    def test_flush_reports_dirty_bytes(self):
+        hierarchy = make_hierarchy()
+        stream = make_stream(size_bytes=4 * 1024, pairs=True)
+        hierarchy.process(stream, mode="exact")
+        result = hierarchy.flush(FlushCostModel())
+        assert result.writeback_bytes > 0
+        assert result.time_s > 0
+
+    def test_flush_empties_all_levels(self):
+        hierarchy = make_hierarchy()
+        hierarchy.process(make_stream(), mode="exact")
+        hierarchy.flush(FlushCostModel())
+        assert hierarchy.l1.resident_lines == 0
+        assert hierarchy.llc.resident_lines == 0
+
+    def test_set_llc_enabled(self):
+        hierarchy = make_hierarchy()
+        hierarchy.set_llc_enabled(False)
+        result = hierarchy.process(make_stream(32 * 1024, repeats=2), mode="exact")
+        assert result.llc.hits == 0
+        hierarchy.set_llc_enabled(True)
+
+    def test_set_level_by_name(self):
+        hierarchy = make_hierarchy()
+        hierarchy.set_level_enabled("l1", False)
+        assert not hierarchy.l1.enabled
+        with pytest.raises(ConfigurationError):
+            hierarchy.set_level_enabled("missing", False)
+
+    def test_scaled_bandwidths_context(self):
+        hierarchy = make_hierarchy()
+        stream = make_stream(2 * 1024, repeats=8)
+        base = hierarchy.process(stream, mode="exact").streaming_time_s
+        hierarchy.reset()
+        with hierarchy.scaled_bandwidths(2.0):
+            fast = hierarchy.process(stream, mode="exact").streaming_time_s
+        assert fast < base
+        assert hierarchy.specs[0].bandwidth == gbps(100.0)  # restored
+
+    def test_scaled_bandwidths_validates(self):
+        hierarchy = make_hierarchy()
+        with pytest.raises(ConfigurationError):
+            with hierarchy.scaled_bandwidths(0.0):
+                pass
+
+
+class TestMergeResults:
+    def test_merge_sums_traffic(self):
+        hierarchy = make_hierarchy()
+        a = hierarchy.process(make_stream(4 * 1024), mode="exact")
+        b = hierarchy.process(make_stream(4 * 1024), mode="exact")
+        merged = merge_memory_results([a, b])
+        assert merged.transactions == a.transactions + b.transactions
+        assert merged.l1.accesses == a.l1.accesses + b.l1.accesses
+        assert merged.streaming_time_s == pytest.approx(
+            a.streaming_time_s + b.streaming_time_s
+        )
+
+    def test_merge_single_is_identity(self):
+        hierarchy = make_hierarchy()
+        a = hierarchy.process(make_stream(), mode="exact")
+        assert merge_memory_results([a]) is a
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            merge_memory_results([])
+
+    def test_level_lookup(self):
+        hierarchy = make_hierarchy()
+        result = hierarchy.process(make_stream(), mode="exact")
+        assert result.level("l1") is result.l1
+        with pytest.raises(SimulationError):
+            result.level("nope")

@@ -1,0 +1,88 @@
+"""Shared-interconnect arbitration (max-min fairness)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.soc.interconnect import InterconnectConfig, allocate_bandwidth
+from repro.units import gbps
+
+
+CONFIG = InterconnectConfig(total_bandwidth=gbps(40.0), arbitration_overhead=0.0)
+
+
+class TestConfig:
+    def test_usable_bandwidth_degrades_with_requesters(self):
+        config = InterconnectConfig(total_bandwidth=gbps(40.0),
+                                    arbitration_overhead=0.05)
+        assert config.usable_bandwidth(1) == gbps(40.0)
+        assert config.usable_bandwidth(2) == pytest.approx(gbps(38.0))
+        assert config.usable_bandwidth(3) == pytest.approx(gbps(36.0))
+
+    def test_degradation_floor(self):
+        config = InterconnectConfig(total_bandwidth=gbps(40.0),
+                                    arbitration_overhead=0.4)
+        assert config.usable_bandwidth(100) == pytest.approx(gbps(20.0))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(total_bandwidth=0.0),
+        dict(total_bandwidth=gbps(1), arbitration_overhead=-0.1),
+        dict(total_bandwidth=gbps(1), arbitration_overhead=0.6),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            InterconnectConfig(**kwargs)
+
+
+class TestAllocation:
+    def test_single_requester_gets_its_cap(self):
+        grants = allocate_bandwidth({"gpu": gbps(10.0)}, CONFIG)
+        assert grants["gpu"] == pytest.approx(gbps(10.0))
+
+    def test_uncontended_requests_fully_granted(self):
+        grants = allocate_bandwidth({"a": gbps(10.0), "b": gbps(20.0)}, CONFIG)
+        assert grants["a"] == pytest.approx(gbps(10.0))
+        assert grants["b"] == pytest.approx(gbps(20.0))
+
+    def test_contended_split_is_fair(self):
+        grants = allocate_bandwidth({"a": gbps(40.0), "b": gbps(40.0)}, CONFIG)
+        assert grants["a"] == pytest.approx(gbps(20.0))
+        assert grants["b"] == pytest.approx(gbps(20.0))
+
+    def test_small_requester_releases_surplus(self):
+        grants = allocate_bandwidth({"small": gbps(5.0), "big": gbps(100.0)}, CONFIG)
+        assert grants["small"] == pytest.approx(gbps(5.0))
+        assert grants["big"] == pytest.approx(gbps(35.0))
+
+    def test_zero_demand_gets_zero(self):
+        grants = allocate_bandwidth({"idle": 0.0, "busy": gbps(10.0)}, CONFIG)
+        assert grants["idle"] == 0.0
+        assert grants["busy"] == pytest.approx(gbps(10.0))
+
+    def test_empty_demands(self):
+        assert allocate_bandwidth({}, CONFIG) == {}
+
+
+@given(
+    demands=st.dictionaries(
+        keys=st.sampled_from(["a", "b", "c", "d", "e"]),
+        values=st.floats(min_value=0.0, max_value=1e11, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_allocation_invariants(demands):
+    """Grants never exceed caps, never exceed the budget in total, and
+    saturate the fabric whenever total demand allows it."""
+    grants = allocate_bandwidth(demands, CONFIG)
+    budget = CONFIG.usable_bandwidth(sum(1 for v in demands.values() if v > 0))
+    total_granted = sum(grants.values())
+    total_demand = sum(demands.values())
+    for name, cap in demands.items():
+        assert grants[name] <= cap + 1e-3
+        assert grants[name] >= 0.0
+    assert total_granted <= budget + 1e-3
+    # Work-conserving: either all demand is satisfied or the budget is.
+    assert (total_granted >= min(total_demand, budget) - 1e-3)

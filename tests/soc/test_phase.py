@@ -1,0 +1,56 @@
+"""Phase-result combination helper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.phase import combine_compute_memory
+
+
+class TestCombineComputeMemory:
+    def test_full_hiding_is_max(self):
+        assert combine_compute_memory(3.0, 2.0, 1.0) == 3.0
+        assert combine_compute_memory(2.0, 5.0, 1.0) == 5.0
+
+    def test_no_hiding_is_sum(self):
+        assert combine_compute_memory(3.0, 2.0, 0.0) == 5.0
+
+    def test_half_hiding(self):
+        assert combine_compute_memory(4.0, 2.0, 0.5) == 5.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            combine_compute_memory(1.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            combine_compute_memory(1.0, 1.0, -0.1)
+
+    @given(
+        compute=st.floats(0, 1e3),
+        memory=st.floats(0, 1e3),
+        hide=st.floats(0, 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bounded_between_max_and_sum(self, compute, memory, hide):
+        combined = combine_compute_memory(compute, memory, hide)
+        assert combined >= max(compute, memory) - 1e-9
+        assert combined <= compute + memory + 1e-9
+
+    @given(
+        compute=st.floats(0, 1e3),
+        memory=st.floats(0, 1e3),
+        hide_low=st.floats(0, 1),
+        hide_high=st.floats(0, 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_more_hiding_never_slower(self, compute, memory,
+                                               hide_low, hide_high):
+        low, high = sorted((hide_low, hide_high))
+        assert combine_compute_memory(compute, memory, high) <= \
+            combine_compute_memory(compute, memory, low) + 1e-9
+
+    @given(compute=st.floats(0, 1e3), memory=st.floats(0, 1e3))
+    @settings(max_examples=50, deadline=None)
+    def test_property_symmetry(self, compute, memory):
+        assert combine_compute_memory(compute, memory, 0.3) == pytest.approx(
+            combine_compute_memory(memory, compute, 0.3)
+        )

@@ -1,0 +1,155 @@
+"""SoC assembly: communication contexts, copies, flushes, overlap."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.soc.address import RegionKind
+from repro.soc.board import jetson_tx2, jetson_xavier
+from repro.soc.events import OverlapJob
+from repro.soc.soc import ALL_MODELS, SoC
+from repro.soc.stream import AccessStream
+from repro.units import gbps, to_gbps
+
+
+@pytest.fixture
+def soc():
+    return SoC(jetson_tx2())
+
+
+def pinned_stream(soc, size=256 * 1024, repeats=4):
+    region = soc.make_region("pinned", 4 << 20, RegionKind.PINNED)
+    buffer = region.allocate("data", size, element_size=4)
+    return AccessStream.linear(buffer, read_write_pairs=False, repeats=repeats)
+
+
+class TestCommunicationContext:
+    def test_unknown_model_rejected(self, soc):
+        with pytest.raises(ConfigurationError):
+            with soc.communication("XX"):
+                pass
+
+    def test_nesting_rejected(self, soc):
+        with soc.communication("SC"):
+            with pytest.raises(SimulationError):
+                with soc.communication("ZC"):
+                    pass
+
+    def test_active_model_tracked(self, soc):
+        assert soc.active_model is None
+        with soc.communication("ZC"):
+            assert soc.active_model == "ZC"
+        assert soc.active_model is None
+
+    def test_caches_invalidated_on_exit(self, soc):
+        stream = pinned_stream(soc)
+        with soc.communication("SC"):
+            soc.run_gpu("k", 0.0, stream)
+        assert soc.gpu.hierarchy.llc.resident_lines == 0
+
+    def test_all_models_accepted(self, soc):
+        for model in ALL_MODELS:
+            with soc.communication(model):
+                pass
+
+
+class TestZeroCopySemantics:
+    def test_zc_slows_pinned_gpu_stream(self, soc):
+        stream = pinned_stream(soc)
+        with soc.communication("SC"):
+            sc = soc.run_gpu("k", 0.0, stream)
+        with soc.communication("ZC"):
+            zc = soc.run_gpu("k", 0.0, stream)
+        assert zc.time_s > 10 * sc.time_s
+        assert to_gbps(zc.effective_throughput) == pytest.approx(1.28, rel=0.05)
+
+    def test_zc_slows_tx2_cpu(self, soc):
+        stream = pinned_stream(soc, size=64 * 1024)
+        with soc.communication("SC"):
+            sc = soc.run_cpu("t", 1e5, stream)
+        with soc.communication("ZC"):
+            zc = soc.run_cpu("t", 1e5, stream)
+        assert zc.time_s > sc.time_s
+
+    def test_xavier_cpu_unaffected_by_zc(self):
+        soc = SoC(jetson_xavier())
+        stream = pinned_stream(soc, size=64 * 1024)
+        with soc.communication("SC"):
+            sc = soc.run_cpu("t", 1e5, stream)
+        with soc.communication("ZC"):
+            zc = soc.run_cpu("t", 1e5, stream)
+        assert zc.time_s == pytest.approx(sc.time_s, rel=0.05)
+
+    def test_xavier_zc_uses_io_coherent_path(self):
+        soc = SoC(jetson_xavier())
+        stream = pinned_stream(soc)
+        with soc.communication("ZC"):
+            zc = soc.run_gpu("k", 0.0, stream)
+        assert to_gbps(zc.effective_throughput) == pytest.approx(32.29, rel=0.1)
+
+
+class TestCopyEngine:
+    def test_copy_time_scales(self, soc):
+        t1 = soc.copy(1 << 20).time_s
+        t2 = soc.copy(2 << 20).time_s
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+    def test_copy_counts_double_dram_traffic(self, soc):
+        before = soc.dram.total_bytes
+        soc.copy(1 << 20)
+        assert soc.dram.total_bytes - before == 2 << 20
+
+    def test_zero_copy_is_free(self, soc):
+        result = soc.copy(0)
+        assert result.time_s == 0.0
+
+    def test_negative_rejected(self, soc):
+        with pytest.raises(ConfigurationError):
+            soc.copy(-1)
+
+    def test_throughput_capped_by_engine(self, soc):
+        result = soc.copy(64 << 20)
+        assert result.throughput <= soc.board.copy_engine_bandwidth * 1.01
+
+
+class TestFlushes:
+    def test_flush_cpu_after_writes(self, soc):
+        region = soc.make_region("p", 1 << 20, RegionKind.PINNED)
+        buffer = region.allocate("b", 64 * 1024, element_size=4)
+        stream = AccessStream.linear(buffer, read_write_pairs=True)
+        with soc.communication("SC"):
+            soc.run_cpu("t", 0.0, stream)
+            result = soc.flush_cpu_caches()
+        assert result.writeback_bytes > 0
+
+    def test_flush_empty_caches_cheap(self, soc):
+        result = soc.flush_gpu_caches()
+        assert result.writeback_bytes == 0
+
+
+class TestOverlapAndReset:
+    def test_overlap_beats_serial(self, soc):
+        jobs = [
+            OverlapJob(name="cpu", compute_time_s=1e-3, memory_bytes=0.0,
+                       solo_bandwidth=gbps(1.0), overlap_compute_memory=False),
+            OverlapJob(name="gpu", compute_time_s=1e-3, memory_bytes=0.0,
+                       solo_bandwidth=gbps(1.0)),
+        ]
+        overlapped = soc.overlap(jobs).makespan_s
+        serial = soc.serialize(jobs).makespan_s
+        assert overlapped == pytest.approx(1e-3)
+        assert serial == pytest.approx(2e-3)
+
+    def test_reset_clears_state(self, soc):
+        soc.copy(1 << 20)
+        soc.reset()
+        assert soc.dram.total_bytes == 0
+        assert soc.copied_bytes == 0
+
+    def test_migration_time_positive(self, soc):
+        assert soc.migration_time(1 << 20) > 0
+        assert soc.migration_time(0) == 0.0
+
+    def test_region_layout_reset(self, soc):
+        soc.make_region("a", 4096, RegionKind.PINNED)
+        soc.reset_memory_layout()
+        soc.make_region("a", 4096, RegionKind.PINNED)  # no duplicate error

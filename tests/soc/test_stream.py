@@ -1,0 +1,196 @@
+"""Access-stream builders and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.stream import AccessStream, PatternKind
+
+
+@pytest.fixture
+def buffer():
+    region = MemoryRegion(name="r", base=0x10000, size=1 << 20,
+                          kind=RegionKind.PINNED)
+    return region.allocate("buf", 64 * 1024, element_size=4)
+
+
+class TestLinear:
+    def test_addresses_are_sequential(self, buffer):
+        stream = AccessStream.linear(buffer, read_write_pairs=False)
+        assert len(stream) == buffer.num_elements
+        assert stream.addresses[0] == buffer.base
+        diffs = np.diff(stream.addresses)
+        assert np.all(diffs == 4)
+
+    def test_read_write_pairs(self, buffer):
+        stream = AccessStream.linear(buffer, read_write_pairs=True)
+        assert len(stream) == 2 * buffer.num_elements
+        # read then write of the same element
+        assert stream.addresses[0] == stream.addresses[1]
+        assert not stream.is_write[0]
+        assert stream.is_write[1]
+        assert stream.write_fraction == pytest.approx(0.5)
+
+    def test_footprint_is_buffer_size(self, buffer):
+        stream = AccessStream.linear(buffer)
+        assert stream.footprint_bytes == buffer.size
+
+    def test_pattern_tag(self, buffer):
+        assert AccessStream.linear(buffer).pattern is PatternKind.LINEAR
+
+
+class TestSingleAddress:
+    def test_one_distinct_address(self, buffer):
+        stream = AccessStream.single_address(buffer, count=100)
+        assert len(np.unique(stream.addresses)) == 1
+        assert stream.footprint_bytes == buffer.element_size
+
+    def test_write_every(self, buffer):
+        stream = AccessStream.single_address(buffer, count=8, write_every=2)
+        assert list(stream.is_write) == [False, True] * 4
+
+    def test_count_validated(self, buffer):
+        with pytest.raises(AddressError):
+            AccessStream.single_address(buffer, count=0)
+
+
+class TestFraction:
+    def test_covers_leading_fraction(self, buffer):
+        stream = AccessStream.fraction(buffer, fraction=0.25,
+                                       read_write_pairs=False)
+        assert stream.footprint_bytes == buffer.size // 4
+        assert stream.addresses.max() < buffer.base + buffer.size // 4
+
+    def test_tiny_fraction_touches_one_element(self, buffer):
+        stream = AccessStream.fraction(buffer, fraction=1e-9,
+                                       read_write_pairs=False)
+        assert stream.footprint_bytes == buffer.element_size
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fraction_rejected(self, buffer, fraction):
+        with pytest.raises(AddressError):
+            AccessStream.fraction(buffer, fraction=fraction)
+
+
+class TestStrided:
+    def test_stride_spacing(self, buffer):
+        stream = AccessStream.strided(buffer, stride_elements=4)
+        assert np.all(np.diff(stream.addresses) == 16)
+
+    def test_subline_stride_footprint_is_span(self, buffer):
+        # A 12-byte stride touches every 64-byte line of the span.
+        stream = AccessStream.strided(buffer, stride_elements=3)
+        assert stream.footprint_bytes == pytest.approx(buffer.size, rel=0.001)
+
+    def test_invalid_stride_rejected(self, buffer):
+        with pytest.raises(AddressError):
+            AccessStream.strided(buffer, stride_elements=0)
+
+
+class TestSparse:
+    def test_distinct_lines(self, buffer):
+        stream = AccessStream.sparse(buffer, count=512, line_size=64, seed=7)
+        lines = stream.addresses // 64
+        assert len(np.unique(lines)) == 512
+
+    def test_deterministic_by_seed(self, buffer):
+        a = AccessStream.sparse(buffer, count=64, line_size=64, seed=3)
+        b = AccessStream.sparse(buffer, count=64, line_size=64, seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_different_seeds_differ(self, buffer):
+        a = AccessStream.sparse(buffer, count=64, line_size=64, seed=3)
+        b = AccessStream.sparse(buffer, count=64, line_size=64, seed=4)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_more_accesses_than_lines(self, buffer):
+        lines = buffer.size // 64
+        stream = AccessStream.sparse(buffer, count=lines + 100, line_size=64)
+        assert len(stream) == lines + 100
+
+
+class TestOverRanges:
+    def test_covers_all_ranges(self, buffer):
+        ranges = [buffer.sub_range(0, 16), buffer.sub_range(64, 16)]
+        stream = AccessStream.over_ranges(ranges, read_write_pairs=False)
+        assert len(stream) == 32
+        assert stream.footprint_bytes == 128
+
+    def test_empty_rejected(self):
+        with pytest.raises(AddressError):
+            AccessStream.over_ranges([])
+
+
+class TestRepeats:
+    def test_totals_scale_with_repeats(self, buffer):
+        stream = AccessStream.linear(buffer, read_write_pairs=False, repeats=8)
+        assert stream.total_transactions == 8 * buffer.num_elements
+        assert stream.total_bytes == 8 * buffer.size
+        assert stream.bytes_per_pass == buffer.size
+
+    def test_with_repeats_copy(self, buffer):
+        stream = AccessStream.linear(buffer).with_repeats(5)
+        assert stream.repeats == 5
+        assert stream.pattern is PatternKind.LINEAR
+
+    def test_invalid_repeats_rejected(self, buffer):
+        with pytest.raises(AddressError):
+            AccessStream.linear(buffer, repeats=0)
+
+
+class TestVirtualStreams:
+    def test_virtual_linear_shape(self):
+        stream = AccessStream.virtual_linear(2 ** 20, element_size=4)
+        assert stream.is_virtual
+        assert stream.transactions_per_pass == 2 ** 21  # read+write pairs
+        assert stream.footprint_bytes == 4 * 2 ** 20
+        assert stream.write_fraction == pytest.approx(0.5)
+        assert len(stream.addresses) == 0
+
+    def test_virtual_sparse_shape(self):
+        stream = AccessStream.virtual_sparse(1000, footprint_bytes=1 << 20)
+        assert stream.is_virtual
+        assert stream.pattern is PatternKind.SPARSE
+        assert stream.total_transactions == 1000
+
+    def test_virtual_requires_footprint(self):
+        with pytest.raises(AddressError):
+            AccessStream.virtual_stream(
+                pattern=PatternKind.LINEAR, per_pass=10, footprint_bytes=None  # type: ignore[arg-type]
+            )
+
+    def test_virtual_rejects_addresses(self):
+        with pytest.raises(AddressError):
+            AccessStream(
+                addresses=np.array([0], dtype=np.int64),
+                is_write=np.array([False]),
+                virtual_per_pass=4,
+                footprint_bytes=16,
+            )
+
+
+class TestValidation:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(AddressError):
+            AccessStream(
+                addresses=np.zeros(4, dtype=np.int64),
+                is_write=np.zeros(3, dtype=bool),
+            )
+
+    def test_concat(self, buffer):
+        a = AccessStream.linear(buffer, read_write_pairs=False)
+        b = AccessStream.single_address(buffer, count=10)
+        combined = AccessStream.concat([a, b])
+        assert len(combined) == len(a) + len(b)
+
+    def test_concat_rejects_repeats(self, buffer):
+        a = AccessStream.linear(buffer, repeats=2)
+        with pytest.raises(AddressError):
+            AccessStream.concat([a, a])
+
+    def test_empty_stream(self):
+        stream = AccessStream.empty()
+        assert len(stream) == 0
+        assert stream.total_bytes == 0
+        assert stream.write_fraction == 0.0

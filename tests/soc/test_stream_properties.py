@@ -1,0 +1,107 @@
+"""Property-based tests of the access-stream builders (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.address import MemoryRegion, RegionKind
+from repro.soc.stream import AccessStream, PatternKind
+
+
+def make_buffer(num_elements, element_size=4):
+    region = MemoryRegion(name="r", base=0x1000,
+                          size=max(1 << 22, num_elements * element_size * 2),
+                          kind=RegionKind.PINNED)
+    return region.allocate("b", num_elements * element_size,
+                           element_size=element_size)
+
+
+@given(
+    elements=st.integers(min_value=1, max_value=8192),
+    pairs=st.booleans(),
+    repeats=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_linear_invariants(elements, pairs, repeats):
+    buffer = make_buffer(elements)
+    stream = AccessStream.linear(buffer, read_write_pairs=pairs,
+                                 repeats=repeats)
+    # Addresses stay inside the buffer.
+    assert stream.addresses.min() >= buffer.base
+    assert stream.addresses.max() < buffer.end
+    # Footprint equals the buffer and totals scale with repeats.
+    assert stream.footprint_bytes == buffer.size
+    assert stream.total_transactions == len(stream) * repeats
+    assert stream.total_bytes == stream.bytes_per_pass * repeats
+    # Write fraction is exactly 0 or 1/2.
+    assert stream.write_fraction == (0.5 if pairs else 0.0)
+
+
+@given(
+    elements=st.integers(min_value=2, max_value=4096),
+    stride=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=50, deadline=None)
+def test_strided_invariants(elements, stride):
+    buffer = make_buffer(elements)
+    stream = AccessStream.strided(buffer, stride_elements=stride)
+    assert len(stream) == -(-elements // stride)
+    if len(stream) > 1:
+        assert np.all(np.diff(stream.addresses) == stride * 4)
+    # Footprint is the swept span, never more than the buffer.
+    assert 0 < stream.footprint_bytes <= buffer.size
+
+
+@given(
+    count=st.integers(min_value=1, max_value=1024),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_sparse_invariants(count, seed):
+    buffer = make_buffer(64 * 1024 // 4)
+    stream = AccessStream.sparse(buffer, count=count, line_size=64, seed=seed)
+    lines = np.unique(stream.addresses // 64)
+    lines_available = buffer.size // 64
+    # Distinct lines up to availability.
+    assert len(lines) == min(count, lines_available)
+    assert stream.addresses.min() >= buffer.base
+    assert stream.addresses.max() < buffer.end
+
+
+@given(fraction=st.floats(min_value=1e-6, max_value=1.0))
+@settings(max_examples=50, deadline=None)
+def test_fraction_invariants(fraction):
+    buffer = make_buffer(4096)
+    stream = AccessStream.fraction(buffer, fraction=fraction)
+    assert 4 <= stream.footprint_bytes <= buffer.size
+    expected = max(1, int(buffer.num_elements * fraction)) * 4
+    assert stream.footprint_bytes == expected
+
+
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=256),
+                    min_size=1, max_size=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_concat_preserves_totals(counts):
+    buffer = make_buffer(4096)
+    streams = [AccessStream.single_address(buffer, count=c) for c in counts]
+    combined = AccessStream.concat(streams)
+    assert len(combined) == sum(counts)
+    assert combined.total_bytes == sum(s.total_bytes for s in streams)
+
+
+@given(
+    per_pass=st.integers(min_value=1, max_value=10 ** 7),
+    repeats=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_virtual_stream_arithmetic(per_pass, repeats):
+    stream = AccessStream.virtual_stream(
+        pattern=PatternKind.LINEAR, per_pass=per_pass,
+        footprint_bytes=per_pass * 4, repeats=repeats,
+    )
+    assert stream.is_virtual
+    assert stream.total_transactions == per_pass * repeats
+    assert stream.total_bytes == per_pass * repeats * 4

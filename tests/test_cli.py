@@ -1,0 +1,77 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_board_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "orin"])
+
+    def test_app_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "doom", "tx2"])
+
+    def test_sweep_factors(self):
+        args = build_parser().parse_args(
+            ["sweep", "shwfs", "tx2", "--factors", "1", "2"]
+        )
+        assert args.factors == [1.0, 2.0]
+
+
+class TestCommands:
+    def test_boards(self, capsys):
+        assert main(["boards"]) == 0
+        out = capsys.readouterr().out
+        assert "tx2" in out
+        assert "xavier" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "tx2"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU LL-L1 peak throughput" in out
+        assert "1.28" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "shwfs", "xavier"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+        assert "ZC" in out
+
+    def test_tune_with_current_model(self, capsys):
+        assert main(["tune", "orbslam", "tx2", "--model", "ZC"]) == 0
+        out = capsys.readouterr().out
+        assert "SC/UM" in out  # cache-dependent ZC app -> switch to SC
+
+    def test_compare(self, capsys):
+        assert main(["compare", "shwfs", "tx2"]) == 0
+        out = capsys.readouterr().out
+        for model in ("SC", "UM", "ZC"):
+            assert model in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "orbslam", "tx2",
+                     "--factors", "1", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+
+
+class TestReportCommand:
+    def test_report_from_tmp_dir(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_tx2.txt").write_text("content\n")
+        assert main(["report", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "included 1 artefacts" in out
+        assert (results / "REPORT.md").is_file()
+
+    def test_report_missing_dir_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err

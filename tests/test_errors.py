@@ -1,0 +1,37 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.AddressError,
+    errors.AllocationError,
+    errors.SimulationError,
+    errors.CoherenceError,
+    errors.RaceConditionError,
+    errors.ProfilingError,
+    errors.ModelError,
+    errors.WorkloadError,
+    errors.MicrobenchmarkError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+def test_coherence_error_is_simulation_error():
+    assert issubclass(errors.CoherenceError, errors.SimulationError)
+
+
+def test_race_condition_is_simulation_error():
+    assert issubclass(errors.RaceConditionError, errors.SimulationError)
+
+
+def test_catching_base_catches_subclasses():
+    with pytest.raises(errors.ReproError):
+        raise errors.MicrobenchmarkError("sweep too short")

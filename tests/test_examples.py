@@ -1,0 +1,47 @@
+"""Every example script must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["Recommendation", "Validation"],
+    "shwfs_tuning.py": ["recovered modes", "Table III"],
+    "orbslam_tuning.py": ["estimated shift", "Table V"],
+    "zero_copy_pattern.py": ["race-free", "Tile-size ablation"],
+    "custom_board.py": ["Xavier-Next"],
+    "trace_driven_tuning.py": ["Trace-driven tuning"],
+    "workload_templates.py": ["Decision matrix"],
+}
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs_clean(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker in result.stdout, (name, marker)
+
+
+def test_quickstart_accepts_board_argument():
+    result = run_example("quickstart.py", "tx2")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Jetson TX2" in result.stdout
+
+
+def test_all_examples_are_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)

@@ -1,0 +1,61 @@
+"""Public-API contract: the names a downstream user may rely on.
+
+Renaming or dropping anything here is a breaking change and must be
+deliberate.
+"""
+
+import pytest
+
+import repro
+
+
+TOP_LEVEL_API = [
+    # framework
+    "Framework", "TuningReport", "Recommendation", "decide",
+    "DeviceCharacterization",
+    # workloads
+    "Workload", "BufferSpec", "CpuTask", "GpuKernel", "OpMix",
+    # execution
+    "get_model", "ExecutionReport", "SoC",
+    # boards
+    "BoardConfig", "available_boards", "get_board",
+    "jetson_nano", "jetson_tx2", "jetson_xavier",
+    # micro-benchmarks
+    "FirstMicroBenchmark", "SecondMicroBenchmark", "ThirdMicroBenchmark",
+    "MicrobenchmarkSuite",
+    # profiling
+    "AppProfile", "Profiler",
+    # streams
+    "AccessStream",
+]
+
+
+@pytest.mark.parametrize("name", TOP_LEVEL_API)
+def test_top_level_name_exported(name):
+    assert hasattr(repro, name), name
+    assert name in repro.__all__
+
+
+def test_version_string():
+    major, minor, patch = repro.__version__.split(".")
+    assert int(major) >= 1
+
+
+def test_subpackage_apis():
+    from repro.analysis import run_reproduction_checks, summarize  # noqa: F401
+    from repro.comm import TilingPlan, TilingPlan2D  # noqa: F401
+    from repro.kernels import producer_consumer, ping_pong  # noqa: F401
+    from repro.model import zc_bandwidth_sweep  # noqa: F401
+    from repro.profiling import RecordedTrace, workload_from_trace  # noqa: F401
+    from repro.soc.dvfs import apply_operating_point  # noqa: F401
+
+
+def test_apps_importable():
+    from repro.apps.orbslam import OrbPipeline, build_orbslam_workload  # noqa: F401
+    from repro.apps.shwfs import ShwfsPipeline, build_shwfs_workload  # noqa: F401
+
+
+def test_cli_entry_point():
+    from repro.cli import main  # noqa: F401
+
+    assert callable(main)

@@ -1,0 +1,68 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_binary_sizes(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024 ** 2
+        assert units.GIB == 1024 ** 3
+
+    def test_kib_mib_helpers(self):
+        assert units.kib(32) == 32 * 1024
+        assert units.mib(2) == 2 * 1024 ** 2
+
+    def test_kib_accepts_fractions(self):
+        assert units.kib(0.5) == 512
+
+
+class TestThroughput:
+    def test_gbps_round_trip(self):
+        assert units.to_gbps(units.gbps(97.34)) == pytest.approx(97.34)
+
+    def test_gbps_is_decimal(self):
+        assert units.gbps(1.0) == 1e9
+
+
+class TestTime:
+    def test_us_round_trip(self):
+        assert units.to_us(units.us(453.5)) == pytest.approx(453.5)
+
+    def test_ms_round_trip(self):
+        assert units.to_ms(units.ms(70.0)) == pytest.approx(70.0)
+
+    def test_us_is_micro(self):
+        assert units.us(1.0) == 1e-6
+
+
+class TestCycles:
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(2e9, units.ghz(2.0)) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles(self):
+        assert units.seconds_to_cycles(1.0, units.ghz(1.3)) == pytest.approx(1.3e9)
+
+    def test_round_trip(self):
+        freq = units.ghz(1.43)
+        assert units.seconds_to_cycles(
+            units.cycles_to_seconds(12345.0, freq), freq
+        ) == pytest.approx(12345.0)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, -1.0)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 4096, 2 ** 20])
+    def test_powers(self, value):
+        assert units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100, 2 ** 20 + 1])
+    def test_non_powers(self, value):
+        assert not units.is_power_of_two(value)
