@@ -12,8 +12,18 @@ code:
   communication models and print the measured times;
 - ``sweep <app> <board>`` — what-if sensitivity sweep of the ZC path
   bandwidth (see :mod:`repro.model.whatif`);
+- ``inject <app> <board> [--seed N] [--fault SPEC]...`` — run the
+  Fig-2 flow under deterministic fault injection and report what fired
+  and how the decision flow coped (see :mod:`repro.robustness`);
+- ``validate <board> [--app APP]`` — run the runtime invariant guard
+  suite over every communication model (exit 3 on violations);
 - ``report [results_dir]`` — aggregate archived benchmark artefacts
   into one ``REPORT.md`` (see :mod:`repro.analysis.export`).
+
+Commands return the text to print, or a ``(text, exit_code)`` pair
+when a non-zero exit must not go through the error path (``validate``
+reporting violations).  Structured failures print as
+``error[CODE]: message`` on stderr with exit code 2.
 """
 
 from __future__ import annotations
@@ -140,6 +150,61 @@ def cmd_sweep(args: argparse.Namespace) -> str:
     return table.render() + footer
 
 
+def cmd_inject(args: argparse.Namespace) -> str:
+    """Run the decision flow under deterministic fault injection."""
+    from repro.robustness import FaultPlan, inject_faults
+
+    board = get_board(args.board)
+    pipeline = _get_pipeline(args.app)
+    if args.fault:
+        plan = FaultPlan.from_cli(args.seed, args.fault)
+    else:
+        plan = FaultPlan.standard(args.seed)
+
+    with inject_faults(plan) as injector:
+        report = Framework().tune(
+            pipeline.workload(board_name=board.name), board,
+            current_model=args.model, strict=args.strict,
+        )
+    rec = report.recommendation
+
+    lines = [
+        f"Fault injection — {args.app} on {board.display_name} "
+        f"(currently {args.model})",
+        plan.describe(),
+        injector.log.render(),
+        "",
+        f"recommendation: {rec.model.value}",
+        f"confidence: {rec.confidence.value}",
+        f"reason: {rec.reason}",
+    ]
+    for caveat in rec.caveats:
+        lines.append(f"caveat: {caveat}")
+    if not rec.degraded:
+        lines.append("decision flow completed at full confidence")
+    return "\n".join(lines)
+
+
+def cmd_validate(args: argparse.Namespace):
+    """Run the invariant guard suite over one board."""
+    from repro.robustness import FaultPlan, inject_faults, validate
+
+    board = get_board(args.board)
+    pipeline = _get_pipeline(args.app)
+    workload = pipeline.workload(board_name=board.name)
+
+    if args.fault:
+        plan = FaultPlan.from_cli(args.seed, args.fault)
+        with inject_faults(plan) as injector:
+            report = validate(board, workload)
+        text = (f"{plan.describe()}\n{injector.log.render()}\n"
+                f"{report.render()}")
+    else:
+        report = validate(board, workload)
+        text = report.render()
+    return text, (0 if report.passed else 3)
+
+
 def cmd_report(args: argparse.Namespace) -> str:
     """Aggregate archived benchmark artefacts into one markdown file."""
     from repro.analysis.export import build_report
@@ -164,8 +229,16 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "tune": cmd_tune,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "inject": cmd_inject,
+    "validate": cmd_validate,
     "report": cmd_report,
 }
+
+
+def _fault_kinds():
+    from repro.robustness import FaultKind
+
+    return list(FaultKind)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,6 +269,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--factors", nargs="+", type=float,
                    default=[0.25, 0.5, 1.0, 2.0, 4.0, 8.0])
 
+    p = sub.add_parser(
+        "inject",
+        help="run the decision flow under deterministic fault injection")
+    p.add_argument("app", choices=["shwfs", "orbslam"])
+    p.add_argument("board", choices=available_boards())
+    p.add_argument("--model", default="SC", choices=["SC", "UM", "ZC"],
+                   help="the application's current model")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault plan seed (same seed => identical report)")
+    p.add_argument("--fault", action="append", default=[],
+                   metavar="KIND[:TARGET[:MAGNITUDE[:PROB]]]",
+                   help="activate one fault class (repeatable); kinds: "
+                        + ", ".join(k.value for k in _fault_kinds()))
+    p.add_argument("--strict", action="store_true",
+                   help="raise on the first fault instead of degrading")
+
+    p = sub.add_parser(
+        "validate",
+        help="run the runtime invariant guard suite (exit 3 on violations)")
+    p.add_argument("board", choices=available_boards())
+    p.add_argument("--app", default="shwfs", choices=["shwfs", "orbslam"])
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault plan seed for --fault demonstrations")
+    p.add_argument("--fault", action="append", default=[],
+                   metavar="KIND[:TARGET[:MAGNITUDE[:PROB]]]",
+                   help="inject faults while validating, to demonstrate "
+                        "guard coverage")
+
     p = sub.add_parser("report",
                        help="aggregate benchmark artefacts into REPORT.md")
     p.add_argument("results_dir", nargs="?", default="benchmarks/results")
@@ -209,11 +310,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        print(_COMMANDS[args.command](args))
+        result = _COMMANDS[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(f"error[{error.code}]: {error.message}", file=sys.stderr)
         return 2
-    return 0
+    if isinstance(result, tuple):
+        text, exit_code = result
+    else:
+        text, exit_code = result, 0
+    print(text)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,14 +24,20 @@ suggests no change (paper §III-A).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
-from repro.errors import ModelError
+from repro.errors import ModelError, ReproError
 from repro.model.device import DeviceCharacterization
 from repro.model.speedup import SpeedupEstimate, sc_to_zc_speedup, zc_to_sc_speedup
 from repro.profiling.counters import AppProfile
 from repro.profiling.metrics import profile_cpu_cache_usage, profile_gpu_cache_usage
+
+#: Cache usage is a percentage of a peak measured by MB1; a profile
+#: reporting meaningfully more than 100 % is physically impossible and
+#: indicates mis-reported counters.
+_MAX_PLAUSIBLE_USAGE_PCT = 120.0
 
 
 class RecommendedModel(enum.Enum):
@@ -41,6 +47,23 @@ class RecommendedModel(enum.Enum):
     STANDARD_COPY_OR_UM = "SC/UM"
     ZERO_COPY_CONDITIONAL = "ZC (zone 2)"
     NO_CHANGE = "keep current"
+    #: Alias for :attr:`NO_CHANGE` — the degraded-mode fallback name.
+    KEEP_CURRENT = "keep current"
+
+
+class Confidence(enum.Enum):
+    """How much the framework trusts a recommendation.
+
+    ``HIGH`` — clean inputs, full decision flow.
+    ``MEDIUM`` — the flow completed but some input needed a retry or a
+    non-fatal repair (see the recommendation's ``caveats``).
+    ``LOW`` — degraded mode: inputs were missing or invalid and the
+    framework fell back to the conservative ``KEEP_CURRENT``.
+    """
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
 
 
 class Zone(enum.IntEnum):
@@ -53,10 +76,16 @@ class Zone(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Recommendation:
-    """Outcome of the decision flow for one application on one board."""
+    """Outcome of the decision flow for one application on one board.
+
+    In degraded mode (``decide(..., strict=False)`` on bad inputs) the
+    numeric fields may be NaN and ``zone`` ``None``; ``confidence`` is
+    then :attr:`Confidence.LOW` and ``caveats`` lists the structured
+    error codes that forced the fallback.
+    """
 
     model: RecommendedModel
-    zone: Zone
+    zone: Optional[Zone]
     cpu_cache_usage_pct: float
     gpu_cache_usage_pct: float
     cpu_threshold_pct: float
@@ -65,6 +94,8 @@ class Recommendation:
     reason: str
     estimate: Optional[SpeedupEstimate] = None
     energy_motivated: bool = False
+    confidence: Confidence = Confidence.HIGH
+    caveats: Tuple[str, ...] = ()
 
     @property
     def suggests_switch(self) -> bool:
@@ -72,24 +103,96 @@ class Recommendation:
         return self.model is not RecommendedModel.NO_CHANGE
 
     @property
+    def degraded(self) -> bool:
+        """True when this is a degraded-mode fallback recommendation."""
+        return self.confidence is Confidence.LOW
+
+    @property
     def estimated_speedup_pct(self) -> Optional[float]:
         """Predicted "up to X %" speedup of following the advice."""
         return self.estimate.percent if self.estimate is not None else None
 
 
+def keep_current(
+    current_model: str,
+    reason: str,
+    caveats: Sequence[str] = (),
+    device: Optional[DeviceCharacterization] = None,
+) -> Recommendation:
+    """The conservative degraded-mode fallback recommendation.
+
+    When the framework cannot trust its inputs it recommends keeping
+    the application's current communication model — switching on bad
+    data risks a large regression, staying put risks only a missed
+    improvement.
+    """
+    nan = float("nan")
+    return Recommendation(
+        model=RecommendedModel.KEEP_CURRENT,
+        zone=None,
+        cpu_cache_usage_pct=nan,
+        gpu_cache_usage_pct=nan,
+        cpu_threshold_pct=device.cpu_threshold_pct if device else nan,
+        gpu_threshold_pct=device.gpu_threshold_pct if device else nan,
+        gpu_zone2_pct=device.gpu_zone2_pct if device else nan,
+        reason=(f"degraded mode: {reason} — keeping the current "
+                f"{current_model.upper()} model"),
+        confidence=Confidence.LOW,
+        caveats=tuple(caveats),
+    )
+
+
 def decide(
     profile: AppProfile,
     device: DeviceCharacterization,
+    strict: bool = True,
 ) -> Recommendation:
-    """Run the Fig-2 decision flow."""
+    """Run the Fig-2 decision flow.
+
+    With ``strict=True`` (the default, today's behaviour) inconsistent
+    inputs raise structured errors.  With ``strict=False`` any
+    :class:`~repro.errors.ReproError` raised by the flow is absorbed
+    into a conservative :func:`keep_current` recommendation whose
+    ``caveats`` carry the error codes.
+    """
+    if strict:
+        return _decide(profile, device)
+    try:
+        return _decide(profile, device)
+    except ReproError as error:
+        return keep_current(
+            profile.model,
+            f"decision flow failed ({error.code})",
+            caveats=(f"{error.code}: {error.message}",),
+            device=device,
+        )
+
+
+def _decide(
+    profile: AppProfile,
+    device: DeviceCharacterization,
+) -> Recommendation:
     if profile.board_name != device.board_name:
         raise ModelError(
             f"profile is for board {profile.board_name!r} but the "
-            f"characterization is for {device.board_name!r}"
+            f"characterization is for {device.board_name!r}",
+            code="MODEL_BOARD_MISMATCH",
+            details={"profile_board": profile.board_name,
+                     "device_board": device.board_name},
         )
     current = profile.model.upper()
     cpu_usage = profile_cpu_cache_usage(profile)
     gpu_usage = profile_gpu_cache_usage(profile, device.gpu_peak_throughput)
+    for side, usage in (("cpu", cpu_usage), ("gpu", gpu_usage)):
+        if not math.isfinite(usage) or usage > _MAX_PLAUSIBLE_USAGE_PCT:
+            raise ModelError(
+                f"{side} cache usage {usage:.1f} % is implausible (peak "
+                f"throughput is 100 %); the profile counters are "
+                f"mis-reported",
+                code="GUARD_CACHE_USAGE",
+                details={"side": side, "usage_pct": usage,
+                         "limit_pct": _MAX_PLAUSIBLE_USAGE_PCT},
+            )
     zone = Zone(device.gpu_thresholds.zone_of(gpu_usage))
 
     common = dict(

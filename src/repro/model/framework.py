@@ -23,9 +23,9 @@ from typing import Dict, Optional
 
 from typing import TYPE_CHECKING
 
-from repro.errors import ModelError
+from repro.errors import ModelError, ReproError
 from repro.kernels.workload import Workload
-from repro.model.decision import Recommendation, decide
+from repro.model.decision import Recommendation, decide, keep_current
 
 if TYPE_CHECKING:  # avoid a circular import with repro.microbench
     from repro.microbench.suite import MicrobenchmarkSuite
@@ -40,13 +40,18 @@ from repro.soc.soc import ALL_MODELS, SoC
 @dataclass(frozen=True)
 class TuningReport:
     """Everything the framework learned about one application on one
-    board: the Table II / Table IV row plus the recommendation."""
+    board: the Table II / Table IV row plus the recommendation.
+
+    A degraded-mode run (``tune(..., strict=False)`` on bad inputs) may
+    carry ``profile=None`` and/or ``device=None``; the recommendation's
+    ``caveats`` explain what failed.
+    """
 
     workload_name: str
     board_name: str
     current_model: str
-    profile: AppProfile
-    device: DeviceCharacterization
+    profile: Optional[AppProfile]
+    device: Optional[DeviceCharacterization]
     cpu_cache_usage_pct: float
     gpu_cache_usage_pct: float
     recommendation: Recommendation
@@ -54,12 +59,18 @@ class TuningReport:
     @property
     def kernel_time_s(self) -> float:
         """Profiled kernel time (Table II "Kernel times" column)."""
-        return self.profile.kernel_runtime_s
+        return self.profile.kernel_runtime_s if self.profile else float("nan")
 
     @property
     def copy_time_s(self) -> float:
         """Profiled copy time per kernel (Table II column)."""
-        return self.profile.copy_time_s
+        return self.profile.copy_time_s if self.profile else float("nan")
+
+    @property
+    def degraded(self) -> bool:
+        """True when any input was missing and the recommendation is a
+        conservative fallback."""
+        return self.recommendation.degraded
 
 
 class Framework:
@@ -78,10 +89,15 @@ class Framework:
     # pieces
     # ------------------------------------------------------------------
 
-    def characterize(self, board: BoardConfig,
-                     force: bool = False) -> DeviceCharacterization:
-        """Run (or reuse) the micro-benchmark characterization."""
-        return self.suite.characterize(board, force=force)
+    def characterize(self, board: BoardConfig, force: bool = False,
+                     retries: int = 0) -> DeviceCharacterization:
+        """Run (or reuse) the micro-benchmark characterization.
+
+        ``retries`` bounds the re-runs attempted when a sweep fails to
+        locate a threshold (see
+        :meth:`repro.microbench.suite.MicrobenchmarkSuite.characterize`).
+        """
+        return self.suite.characterize(board, force=force, retries=retries)
 
     def profile(self, workload: Workload, board: BoardConfig,
                 model: str = "SC") -> AppProfile:
@@ -93,29 +109,93 @@ class Framework:
     # the full flow
     # ------------------------------------------------------------------
 
+    #: Bounded retry budget for degraded-mode characterization.
+    DEGRADED_CHARACTERIZE_RETRIES = 2
+
     def tune(self, workload: Workload, board: BoardConfig,
-             current_model: str = "SC") -> TuningReport:
-        """Run the complete Fig-2 flow for one application."""
+             current_model: str = "SC", strict: bool = True) -> TuningReport:
+        """Run the complete Fig-2 flow for one application.
+
+        ``strict=True`` (default) preserves the raising behaviour: any
+        bad input aborts with a structured :class:`ReproError`.  With
+        ``strict=False`` the flow degrades instead of raising —
+        characterization gets a bounded retry budget, and a failure of
+        any stage yields a conservative ``KEEP_CURRENT`` recommendation
+        with ``confidence=LOW`` and machine-readable ``caveats``.
+        """
         if current_model.upper() not in ALL_MODELS:
             raise ModelError(
                 f"unknown communication model {current_model!r}; "
-                f"expected one of {ALL_MODELS}"
+                f"expected one of {ALL_MODELS}",
+                code="MODEL_UNKNOWN",
+                details={"model": current_model},
             )
-        device = self.characterize(board)
-        profile = self.profile(workload, board, model=current_model.upper())
-        recommendation = decide(profile, device)
+        if strict:
+            device = self.characterize(board)
+            profile = self.profile(workload, board, model=current_model.upper())
+            recommendation = decide(profile, device)
+        else:
+            device, profile, recommendation = self._tune_degraded(
+                workload, board, current_model.upper()
+            )
         return TuningReport(
             workload_name=workload.name,
             board_name=board.name,
             current_model=current_model.upper(),
             profile=profile,
             device=device,
-            cpu_cache_usage_pct=profile_cpu_cache_usage(profile),
-            gpu_cache_usage_pct=profile_gpu_cache_usage(
-                profile, device.gpu_peak_throughput
-            ),
+            cpu_cache_usage_pct=self._usage_pct(
+                profile_cpu_cache_usage, profile, strict=strict),
+            gpu_cache_usage_pct=self._usage_pct(
+                profile_gpu_cache_usage, profile,
+                device.gpu_peak_throughput if device is not None else None,
+                strict=strict),
             recommendation=recommendation,
         )
+
+    @staticmethod
+    def _usage_pct(metric, profile, *args, strict: bool) -> float:
+        """Evaluate a cache-usage metric, degrading to NaN when inputs
+        are absent or (in non-strict mode) inconsistent."""
+        if profile is None or any(a is None for a in args):
+            return float("nan")
+        try:
+            return metric(profile, *args)
+        except ReproError:
+            if strict:
+                raise
+            return float("nan")
+
+    def _tune_degraded(self, workload: Workload, board: BoardConfig,
+                       current_model: str):
+        """The ``strict=False`` flow: absorb structured errors stage by
+        stage and fall back to :func:`keep_current` when a stage dies."""
+        caveats = []
+        device = None
+        profile = None
+        try:
+            device = self.characterize(
+                board, retries=self.DEGRADED_CHARACTERIZE_RETRIES
+            )
+        except ReproError as error:
+            caveats.append(f"characterization failed — {error.code}: "
+                           f"{error.message}")
+        if device is not None:
+            try:
+                profile = self.profile(workload, board, model=current_model)
+            except ReproError as error:
+                caveats.append(f"profiling failed — {error.code}: "
+                               f"{error.message}")
+        if device is not None and profile is not None:
+            recommendation = decide(profile, device, strict=False)
+            return device, profile, recommendation
+        recommendation = keep_current(
+            current_model,
+            caveats[0] if len(caveats) == 1 else "multiple input stages failed",
+            caveats=caveats,
+            device=device,
+        )
+        return device, profile, recommendation
 
     def compare_models(self, workload: Workload, board: BoardConfig) -> Dict[str, object]:
         """Measure the workload under all three models (validation runs,

@@ -3,14 +3,26 @@
 :class:`AppProfile` is everything the paper's performance model needs
 about one (application, board, communication model) run — the output of
 the "standard profiling tool" box in Fig. 2.
+
+Real profiling tools emit garbage under contention (Ali & Yun, 2017):
+NaN counters, negative times, impossibly large values.  Validation here
+is the first guard of the robustness stack — a profile that would feed
+garbage into eqns 1–4 is rejected at construction with a structured
+:class:`~repro.errors.ProfilingError` instead of propagating downstream.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import ProfilingError
+
+#: Counter fields that must be rates in [0, 1].
+_RATE_FIELDS = ("cpu_l1_miss_rate", "cpu_llc_miss_rate", "gpu_l1_hit_rate")
+
+#: Counter fields that must be non-negative times in seconds.
+_TIME_FIELDS = ("cpu_time_s", "kernel_runtime_s", "copy_time_s", "total_runtime_s")
 
 
 @dataclass(frozen=True)
@@ -37,21 +49,53 @@ class AppProfile:
     total_runtime_s: float
 
     def __post_init__(self) -> None:
-        for name in ("cpu_l1_miss_rate", "cpu_llc_miss_rate", "gpu_l1_hit_rate"):
+        # NaN/inf first: a non-finite counter fails every comparison
+        # below silently, so it must be rejected explicitly.
+        for name in _RATE_FIELDS + _TIME_FIELDS + (
+                "gpu_transactions", "gpu_transaction_size"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ProfilingError(
+                    f"{name} must be finite, got {value}",
+                    code="PROFILE_COUNTER_NONFINITE",
+                    details={"counter": name, "value": repr(value)},
+                )
+        for name in _RATE_FIELDS:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise ProfilingError(f"{name} must be a rate in [0, 1], got {value}")
+                raise ProfilingError(
+                    f"{name} must be a rate in [0, 1], got {value}",
+                    code="PROFILE_COUNTER_RANGE",
+                    details={"counter": name, "value": value},
+                )
         if self.gpu_transactions < 0:
-            raise ProfilingError("transaction count cannot be negative")
+            raise ProfilingError(
+                "transaction count cannot be negative",
+                code="PROFILE_COUNTER_NEGATIVE",
+                details={"counter": "gpu_transactions",
+                         "value": self.gpu_transactions},
+            )
         if self.gpu_transaction_size < 0:
-            raise ProfilingError("transaction size cannot be negative")
-        for name in ("cpu_time_s", "kernel_runtime_s", "copy_time_s", "total_runtime_s"):
+            raise ProfilingError(
+                "transaction size cannot be negative",
+                code="PROFILE_COUNTER_NEGATIVE",
+                details={"counter": "gpu_transaction_size",
+                         "value": self.gpu_transaction_size},
+            )
+        for name in _TIME_FIELDS:
             if getattr(self, name) < 0:
-                raise ProfilingError(f"{name} cannot be negative")
+                raise ProfilingError(
+                    f"{name} cannot be negative",
+                    code="PROFILE_COUNTER_NEGATIVE",
+                    details={"counter": name, "value": getattr(self, name)},
+                )
         if self.copy_time_s > self.total_runtime_s > 0:
             raise ProfilingError(
                 f"copy time ({self.copy_time_s}) exceeds total runtime "
-                f"({self.total_runtime_s})"
+                f"({self.total_runtime_s})",
+                code="PROFILE_TIME_INCONSISTENT",
+                details={"copy_time_s": self.copy_time_s,
+                         "total_runtime_s": self.total_runtime_s},
             )
 
     @property
@@ -64,5 +108,9 @@ class AppProfile:
         """``CPU_time / GPU_time`` — the overlap potential used by the
         speedup equations (3)-(4)."""
         if self.kernel_runtime_s <= 0:
-            raise ProfilingError("kernel runtime must be positive for the time ratio")
+            raise ProfilingError(
+                "kernel runtime must be positive for the time ratio",
+                code="PROFILE_TIME_INCONSISTENT",
+                details={"kernel_runtime_s": self.kernel_runtime_s},
+            )
         return self.cpu_time_s / self.kernel_runtime_s

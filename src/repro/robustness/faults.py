@@ -1,0 +1,305 @@
+"""Fault taxonomy and deterministic fault plans.
+
+A :class:`FaultPlan` is the *description* of an unreliable platform:
+which fault classes are active, what they target, how hard they hit,
+and how often.  It is pure data — applying it to a live simulation is
+the job of :mod:`repro.robustness.inject`.
+
+Determinism contract
+--------------------
+
+A plan carries a ``seed``; the injector derives every probabilistic
+draw from one ``random.Random(seed)`` stream consumed in simulation
+order.  The simulator itself is single-threaded and deterministic, so
+*the same plan applied to the same scenario produces the identical
+sequence of faults and therefore an identical report* — the property
+the CLI's ``repro inject`` end-to-end tests pin down.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """The fault classes the harness can inject (paper §III inputs).
+
+    - ``COUNTER_NOISE`` — multiplicative log-normal jitter on profiler
+      counters (contention corrupting measurements, Ali & Yun 2017).
+    - ``COUNTER_NAN`` — a counter comes back NaN (tool glitch).
+    - ``COUNTER_DROP`` — a counter is missing entirely from the
+      profiler output.
+    - ``FLUSH_DROP`` — a software cache flush silently does nothing
+      (driver bug), breaking SC/UM coherence at kernel boundaries.
+    - ``COPY_STALL`` — the copy engine stalls, inflating a transfer's
+      time by a large factor (fabric contention).
+    - ``CACHE_MISREPORT`` — cache-usage counters are mis-scaled,
+      yielding physically impossible usage percentages.
+    """
+
+    COUNTER_NOISE = "counter-noise"
+    COUNTER_NAN = "counter-nan"
+    COUNTER_DROP = "counter-drop"
+    FLUSH_DROP = "flush-drop"
+    COPY_STALL = "copy-stall"
+    CACHE_MISREPORT = "cache-misreport"
+
+
+#: Counter fields a counter-class fault may target ("*" = any of them).
+COUNTER_TARGETS = (
+    "cpu_l1_miss_rate",
+    "cpu_llc_miss_rate",
+    "cpu_time_s",
+    "gpu_l1_hit_rate",
+    "gpu_transactions",
+    "gpu_transaction_size",
+    "kernel_runtime_s",
+    "copy_time_s",
+    "total_runtime_s",
+)
+
+#: Flush-class targets.
+FLUSH_TARGETS = ("cpu", "gpu")
+
+#: Default magnitude per kind (noise sigma / stall factor / mis-scale).
+_DEFAULT_MAGNITUDE = {
+    FaultKind.COUNTER_NOISE: 0.05,
+    FaultKind.COUNTER_NAN: 1.0,
+    FaultKind.COUNTER_DROP: 1.0,
+    FaultKind.FLUSH_DROP: 1.0,
+    FaultKind.COPY_STALL: 1000.0,
+    FaultKind.CACHE_MISREPORT: 50.0,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault class activated by a plan.
+
+    Attributes:
+        kind: the fault class.
+        target: what it hits — a counter field name for counter-class
+            faults, ``"cpu"``/``"gpu"`` for flush drops, ``"*"`` for
+            "any valid target of this kind".
+        magnitude: kind-specific intensity — noise sigma for
+            ``COUNTER_NOISE``, time multiplier for ``COPY_STALL``,
+            counter mis-scale factor for ``CACHE_MISREPORT`` (ignored
+            by the NaN/drop kinds).
+        probability: chance in [0, 1] that each opportunity actually
+            faults (drawn from the plan's seeded stream).
+    """
+
+    kind: FaultKind
+    target: str = "*"
+    magnitude: float = 0.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise ConfigurationError(
+                f"kind must be a FaultKind, got {self.kind!r}",
+                code="FAULT_PLAN_INVALID",
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}",
+                code="FAULT_PLAN_INVALID",
+                details={"kind": self.kind.value,
+                         "probability": self.probability},
+            )
+        if self.magnitude < 0:
+            raise ConfigurationError(
+                f"magnitude cannot be negative, got {self.magnitude}",
+                code="FAULT_PLAN_INVALID",
+                details={"kind": self.kind.value, "magnitude": self.magnitude},
+            )
+        if self.magnitude == 0:
+            object.__setattr__(
+                self, "magnitude", _DEFAULT_MAGNITUDE[self.kind]
+            )
+        valid = self._valid_targets()
+        if valid is not None and self.target != "*" and self.target not in valid:
+            raise ConfigurationError(
+                f"{self.kind.value} cannot target {self.target!r}; "
+                f"expected '*' or one of {sorted(valid)}",
+                code="FAULT_PLAN_INVALID",
+                details={"kind": self.kind.value, "target": self.target},
+            )
+
+    def _valid_targets(self):
+        if self.kind in (FaultKind.COUNTER_NOISE, FaultKind.COUNTER_NAN,
+                         FaultKind.COUNTER_DROP, FaultKind.CACHE_MISREPORT):
+            return set(COUNTER_TARGETS)
+        if self.kind is FaultKind.FLUSH_DROP:
+            return set(FLUSH_TARGETS)
+        return None  # COPY_STALL has a single implicit target
+
+    def matches(self, target: str) -> bool:
+        """Whether this spec applies to a concrete target."""
+        return self.target == "*" or self.target == target
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable view."""
+        return {
+            "kind": self.kind.value,
+            "target": self.target,
+            "magnitude": self.magnitude,
+            "probability": self.probability,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=FaultKind(data["kind"]),
+            target=data.get("target", "*"),
+            magnitude=float(data.get("magnitude", 0.0)),
+            probability=float(data.get("probability", 1.0)),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI syntax ``KIND[:TARGET[:MAGNITUDE[:PROB]]]``.
+
+        Example: ``counter-nan:kernel_runtime_s`` or
+        ``copy-stall::500`` (default target, explicit magnitude).
+        """
+        parts = text.split(":")
+        try:
+            kind = FaultKind(parts[0])
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown fault kind {parts[0]!r}; expected one of "
+                f"{[k.value for k in FaultKind]}",
+                code="FAULT_PLAN_INVALID",
+                details={"spec": text},
+            ) from None
+        target = parts[1] if len(parts) > 1 and parts[1] else "*"
+        try:
+            magnitude = float(parts[2]) if len(parts) > 2 and parts[2] else 0.0
+            probability = float(parts[3]) if len(parts) > 3 and parts[3] else 1.0
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed fault spec {text!r}: magnitude/probability "
+                f"must be numbers",
+                code="FAULT_PLAN_INVALID",
+                details={"spec": text},
+            ) from None
+        return cls(kind=kind, target=target, magnitude=magnitude,
+                   probability=probability)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic set of faults to inject."""
+
+    seed: int
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"seed must be an int, got {self.seed!r}",
+                code="FAULT_PLAN_INVALID",
+            )
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic stream for one application of the plan."""
+        return random.Random(self.seed)
+
+    def specs_for(self, kind: FaultKind) -> Tuple[FaultSpec, ...]:
+        """Active specs of one fault class."""
+        return tuple(spec for spec in self.faults if spec.kind is kind)
+
+    @property
+    def kinds(self) -> Tuple[FaultKind, ...]:
+        """Distinct fault classes in plan order."""
+        seen = []
+        for spec in self.faults:
+            if spec.kind not in seen:
+                seen.append(spec.kind)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (stable across runs)."""
+        if not self.faults:
+            return f"plan(seed={self.seed}, no faults)"
+        parts = ", ".join(
+            f"{s.kind.value}[{s.target}] x{s.magnitude:g} p={s.probability:g}"
+            for s in self.faults
+        )
+        return f"plan(seed={self.seed}: {parts})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable view."""
+        return {"seed": self.seed,
+                "faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(data["seed"]),
+            faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", [])),
+        )
+
+    @classmethod
+    def from_cli(cls, seed: int, specs: Iterable[str]) -> "FaultPlan":
+        """Build a plan from ``repro inject --fault`` arguments."""
+        return cls(seed=seed, faults=tuple(FaultSpec.parse(s) for s in specs))
+
+    @classmethod
+    def standard(cls, seed: int) -> "FaultPlan":
+        """The default mixed plan: one moderate fault of every class."""
+        return cls(
+            seed=seed,
+            faults=(
+                FaultSpec(FaultKind.COUNTER_NOISE, probability=1.0),
+                FaultSpec(FaultKind.COUNTER_NAN, probability=0.25),
+                FaultSpec(FaultKind.COUNTER_DROP, probability=0.25),
+                FaultSpec(FaultKind.FLUSH_DROP, probability=0.5),
+                FaultSpec(FaultKind.COPY_STALL, probability=0.25),
+                FaultSpec(FaultKind.CACHE_MISREPORT, probability=0.25),
+            ),
+        )
+
+    @classmethod
+    def chaos(cls, seed: int, max_faults: int = 3) -> "FaultPlan":
+        """A randomized plan derived deterministically from ``seed``
+        (the fuzz smoke tests sweep seeds over this constructor)."""
+        if max_faults < 1:
+            raise ConfigurationError(
+                "chaos plan needs room for at least one fault",
+                code="FAULT_PLAN_INVALID",
+            )
+        rng = random.Random(seed)
+        kinds = list(FaultKind)
+        specs = []
+        for _ in range(rng.randint(1, max_faults)):
+            kind = rng.choice(kinds)
+            if kind is FaultKind.FLUSH_DROP:
+                target = rng.choice(["*", *FLUSH_TARGETS])
+            elif kind is FaultKind.COPY_STALL:
+                target = "*"
+            else:
+                target = rng.choice(["*", *COUNTER_TARGETS])
+            magnitude = {
+                FaultKind.COUNTER_NOISE: rng.uniform(0.01, 0.5),
+                FaultKind.COPY_STALL: rng.uniform(10.0, 5000.0),
+                FaultKind.CACHE_MISREPORT: rng.uniform(5.0, 500.0),
+            }.get(kind, 0.0)
+            specs.append(FaultSpec(kind=kind, target=target,
+                                   magnitude=magnitude,
+                                   probability=rng.uniform(0.1, 1.0)))
+        return cls(seed=seed, faults=tuple(specs))
+
+
+def _all_kind_values() -> Sequence[str]:
+    """CLI help: the accepted ``--fault`` kind strings."""
+    return [kind.value for kind in FaultKind]

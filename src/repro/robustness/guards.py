@@ -1,0 +1,380 @@
+"""Runtime invariant guards and the ``repro validate`` suite.
+
+:class:`SoCGuards` hooks into :class:`~repro.soc.soc.SoC` (install via
+``soc.guards = SoCGuards()``); the SoC calls back at model entry/exit,
+after every phase, and after every copy.  Each violated invariant
+raises a structured error carrying a machine-readable ``code`` and a
+``details`` dict:
+
+========================  =====================================================
+code                      invariant
+========================  =====================================================
+``GUARD_LAYOUT``          regions fit the address space, buffers fit their
+                          region, regions don't overlap
+``GUARD_PHASE_TIMING``    phase times are finite, non-negative, and the total
+                          covers both compute and memory components
+``GUARD_CLOCK``           the per-context virtual clock never runs backwards
+``GUARD_DIRTY_HANDOFF``   SC/UM: the CPU hierarchy was flushed before the GPU
+                          kernel consumed shared data
+``GUARD_UNFLUSHED_EXIT``  SC/UM: no processor leaves the context with an
+                          unflushed hierarchy
+``GUARD_STALE_ZC_ENTRY``  ZC: no dirty lines survive into a zero-copy context
+``GUARD_ZC_COPIED``       ZC: the copy engine must stay idle
+``GUARD_COPY_STALL``      a copy took implausibly longer than the engine's
+                          deterministic cost model predicts
+``GUARD_ENERGY``          energy components are finite and non-negative
+``GUARD_REPORT_TIMING``   report iteration components are finite/non-negative
+========================  =====================================================
+
+:func:`validate` drives the whole stack — every communication model
+executed under guards, profile extraction, device characterization, and
+the decision flow — and aggregates pass/fail outcomes into a
+:class:`ValidationReport` (the CLI's ``repro validate``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import CoherenceError, InvariantError, ReproError
+
+#: A copy may take at most this many times the engine cost model's
+#: prediction before the stall guard trips (the unfaulted simulator is
+#: deterministic, so the honest ratio is exactly 1).
+COPY_STALL_RATIO = 50.0
+
+#: Relative slack for floating-point timing comparisons.
+_REL_EPS = 1e-9
+
+
+class SoCGuards:
+    """Invariant hooks installed on one :class:`~repro.soc.soc.SoC`.
+
+    Stateless across contexts except for the virtual clock and the
+    ``checks_passed`` counter (how many individual invariant checks
+    ran clean — reported by ``repro validate``).
+    """
+
+    def __init__(self) -> None:
+        self.checks_passed = 0
+        self._clock_s = 0.0
+        self._zc_entry_copied_bytes: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # hooks called by SoC
+    # ------------------------------------------------------------------
+
+    def on_model_enter(self, soc, model: str) -> None:
+        """Model-context entry: layout containment + ZC entry state."""
+        self.check_layout(soc)
+        self._clock_s = 0.0
+        if model == "ZC":
+            self._zc_entry_copied_bytes = soc.copied_bytes
+            cpu_dirty = sum(c.dirty_lines for c in soc.cpu.hierarchy.caches)
+            gpu_dirty = sum(c.dirty_lines for c in soc.gpu.hierarchy.caches)
+            if cpu_dirty or gpu_dirty:
+                raise CoherenceError(
+                    f"dirty lines survive into the zero-copy context "
+                    f"(cpu={cpu_dirty}, gpu={gpu_dirty}); stale data would "
+                    f"be visible through the pinned mapping",
+                    code="GUARD_STALE_ZC_ENTRY",
+                    details={"cpu_dirty_lines": cpu_dirty,
+                             "gpu_dirty_lines": gpu_dirty},
+                )
+            self.checks_passed += 1
+
+    def on_model_exit(self, soc, model: str) -> None:
+        """Model-context exit: flush and zero-copy contracts."""
+        if model in ("SC", "UM"):
+            if soc._cpu_needs_flush or soc._gpu_needs_flush:
+                side = "cpu" if soc._cpu_needs_flush else "gpu"
+                raise CoherenceError(
+                    f"{model} context ends with an unflushed {side} "
+                    f"hierarchy; the other processor would read stale data",
+                    code="GUARD_UNFLUSHED_EXIT",
+                    details={"model": model, "side": side},
+                )
+            self.checks_passed += 1
+        if model == "ZC" and self._zc_entry_copied_bytes is not None:
+            copied = soc.copied_bytes - self._zc_entry_copied_bytes
+            self._zc_entry_copied_bytes = None
+            if copied:
+                raise CoherenceError(
+                    f"zero-copy context moved {copied} bytes through the "
+                    f"copy engine; ZC must not copy",
+                    code="GUARD_ZC_COPIED",
+                    details={"copied_bytes": copied},
+                )
+            self.checks_passed += 1
+
+    def on_phase(self, soc, phase) -> None:
+        """Per-phase timing sanity + the SC/UM handoff invariant."""
+        self.check_phase_timing(phase)
+        before = self._clock_s
+        self._clock_s += phase.time_s
+        if self._clock_s < before:
+            raise InvariantError(
+                f"virtual clock ran backwards after phase {phase.name!r} "
+                f"({before} -> {self._clock_s})",
+                code="GUARD_CLOCK",
+                details={"phase": phase.name, "before_s": before,
+                         "after_s": self._clock_s},
+            )
+        self.checks_passed += 1
+        if (phase.processor == "gpu" and soc.active_model in ("SC", "UM")
+                and soc._cpu_needs_flush):
+            raise CoherenceError(
+                f"GPU kernel {phase.name!r} ran under {soc.active_model} "
+                f"while the CPU hierarchy still held unflushed data — a "
+                f"software flush was skipped before the handoff",
+                code="GUARD_DIRTY_HANDOFF",
+                details={"phase": phase.name, "model": soc.active_model},
+            )
+        if phase.processor == "gpu":
+            self.checks_passed += 1
+
+    def on_copy(self, soc, result) -> None:
+        """Copy-engine sanity: deterministic cost model vs outcome."""
+        if not math.isfinite(result.time_s) or result.time_s < 0:
+            raise InvariantError(
+                f"copy of {result.num_bytes} bytes reported an invalid "
+                f"time {result.time_s}",
+                code="GUARD_COPY_STALL",
+                details={"num_bytes": result.num_bytes,
+                         "time_s": result.time_s},
+            )
+        if result.num_bytes > 0:
+            rate = min(
+                soc.board.copy_engine_bandwidth,
+                soc.dram.config.effective_bandwidth / 2.0,
+            )
+            expected = soc.dram.config.latency_s + result.num_bytes / rate
+            if result.time_s > COPY_STALL_RATIO * expected:
+                raise InvariantError(
+                    f"copy of {result.num_bytes} bytes took "
+                    f"{result.time_s:.3e} s, {result.time_s / expected:.0f}x "
+                    f"the engine cost model ({expected:.3e} s): the copy "
+                    f"engine stalled",
+                    code="GUARD_COPY_STALL",
+                    details={"num_bytes": result.num_bytes,
+                             "time_s": result.time_s,
+                             "expected_s": expected},
+                )
+        self.checks_passed += 1
+
+    # ------------------------------------------------------------------
+    # standalone checks
+    # ------------------------------------------------------------------
+
+    def check_layout(self, soc) -> None:
+        """Region/buffer containment over the SoC's address space."""
+        space = soc.address_space
+        regions = list(space.regions)
+        for region in regions:
+            if region.base < 0 or region.end > space.size:
+                raise InvariantError(
+                    f"region {region.name!r} [{region.base}, {region.end}) "
+                    f"escapes the {space.size}-byte address space",
+                    code="GUARD_LAYOUT",
+                    details={"region": region.name, "base": region.base,
+                             "end": region.end, "space_bytes": space.size},
+                )
+            for buffer in region._buffers.values():
+                if buffer.base < region.base or buffer.end > region.end:
+                    raise InvariantError(
+                        f"buffer {buffer.name!r} escapes region "
+                        f"{region.name!r}",
+                        code="GUARD_LAYOUT",
+                        details={"buffer": buffer.name, "region": region.name},
+                    )
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                if a.base < b.end and b.base < a.end:
+                    raise InvariantError(
+                        f"regions {a.name!r} and {b.name!r} overlap",
+                        code="GUARD_LAYOUT",
+                        details={"regions": [a.name, b.name]},
+                    )
+        self.checks_passed += 1
+
+    def check_phase_timing(self, phase) -> None:
+        """Phase components finite, non-negative, and consistent."""
+        for name in ("compute_time_s", "memory_time_s", "time_s"):
+            value = getattr(phase, name)
+            if not math.isfinite(value) or value < 0:
+                raise InvariantError(
+                    f"phase {phase.name!r}: {name} is {value}",
+                    code="GUARD_PHASE_TIMING",
+                    details={"phase": phase.name, "component": name,
+                             "value": repr(value)},
+                )
+        floor = max(phase.compute_time_s, phase.memory_time_s)
+        if phase.time_s < floor * (1.0 - _REL_EPS) - _REL_EPS:
+            raise InvariantError(
+                f"phase {phase.name!r}: total {phase.time_s} is below its "
+                f"own components (compute {phase.compute_time_s}, memory "
+                f"{phase.memory_time_s})",
+                code="GUARD_PHASE_TIMING",
+                details={"phase": phase.name, "time_s": phase.time_s,
+                         "floor_s": floor},
+            )
+        self.checks_passed += 1
+
+
+def check_execution_report(report) -> None:
+    """Report-level invariants: timing and energy non-negativity."""
+    for label, iteration in (("first", report.first_iteration),
+                             ("steady", report.steady_iteration)):
+        for name in ("cpu_time_s", "kernel_time_s", "copy_time_s",
+                     "flush_time_s", "migration_time_s", "sync_overhead_s",
+                     "other_time_s"):
+            value = getattr(iteration, name)
+            if not math.isfinite(value) or value < 0:
+                raise InvariantError(
+                    f"{label} iteration: {name} is {value}",
+                    code="GUARD_REPORT_TIMING",
+                    details={"iteration": label, "component": name,
+                             "value": repr(value)},
+                )
+    if not math.isfinite(report.total_time_s) or report.total_time_s < 0:
+        raise InvariantError(
+            f"report total time is {report.total_time_s}",
+            code="GUARD_REPORT_TIMING",
+            details={"total_time_s": repr(report.total_time_s)},
+        )
+    if report.energy is not None:
+        for name in ("static_j", "cpu_active_j", "gpu_active_j",
+                     "cache_j", "dram_j", "copy_j", "total_j"):
+            value = getattr(report.energy, name, None)
+            if value is None:
+                continue
+            if not math.isfinite(value) or value < 0:
+                raise InvariantError(
+                    f"energy component {name} is {value}",
+                    code="GUARD_ENERGY",
+                    details={"component": name, "value": repr(value)},
+                )
+
+
+# ----------------------------------------------------------------------
+# the validate suite (CLI: repro validate)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One validation check's result."""
+
+    name: str
+    passed: bool
+    code: Optional[str] = None
+    message: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated outcome of one guard-suite run."""
+
+    board_name: str
+    workload_name: str
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+    guard_checks_passed: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def violations(self) -> List[CheckOutcome]:
+        """The failed checks."""
+        return [o for o in self.outcomes if not o.passed]
+
+    def render(self) -> str:
+        """Stable human-readable summary."""
+        lines = [f"Guard suite — {self.workload_name} on {self.board_name}"]
+        for outcome in self.outcomes:
+            if outcome.passed:
+                lines.append(f"  [ OK ] {outcome.name}")
+            else:
+                lines.append(f"  [FAIL] {outcome.name} — {outcome.code}: "
+                             f"{outcome.message}")
+        lines.append(f"{self.guard_checks_passed} invariant checks passed, "
+                     f"{len(self.violations)} violation(s)")
+        return "\n".join(lines)
+
+
+def validate(
+    board,
+    workload,
+    models: Sequence[str] = ("SC", "UM", "ZC"),
+    mode: str = "auto",
+    suite=None,
+    characterize: bool = True,
+) -> ValidationReport:
+    """Run the guard suite over one board + workload.
+
+    Executes the workload under every communication model with
+    invariant guards installed, checks the resulting reports, extracts
+    a profile, and (optionally) characterizes the device and runs the
+    strict decision flow.  Every failure is captured as a structured
+    :class:`CheckOutcome` instead of propagating.
+    """
+    from repro.comm.base import get_model
+    from repro.model.decision import decide
+    from repro.profiling.profiler import Profiler
+    from repro.soc.soc import SoC
+
+    report = ValidationReport(board_name=board.name,
+                              workload_name=workload.name)
+
+    def attempt(name, action):
+        try:
+            result = action()
+        except ReproError as error:
+            report.outcomes.append(CheckOutcome(
+                name=name, passed=False, code=error.code,
+                message=error.message,
+            ))
+            return None
+        report.outcomes.append(CheckOutcome(name=name, passed=True))
+        return result
+
+    execution_reports = {}
+    for model in models:
+        soc = SoC(board)
+        guards = SoCGuards()
+        soc.guards = guards
+
+        def run(model=model, soc=soc):
+            return get_model(model).execute(workload, soc, mode=mode)
+
+        result = attempt(f"execute[{model}] under invariant guards", run)
+        report.guard_checks_passed += guards.checks_passed
+        if result is not None:
+            execution_reports[model] = result
+            attempt(f"report[{model}] timing/energy non-negative",
+                    lambda result=result: check_execution_report(result))
+
+    profile = None
+    if "SC" in execution_reports:
+        profile = attempt(
+            "profile[SC] counters valid",
+            lambda: Profiler.from_report(execution_reports["SC"]),
+        )
+
+    if characterize:
+        if suite is None:
+            from repro.microbench.suite import MicrobenchmarkSuite
+            suite = MicrobenchmarkSuite()
+        device = attempt(
+            "characterize board (micro-benchmark sweeps converge)",
+            lambda: suite.characterize(board),
+        )
+        if profile is not None and device is not None:
+            attempt("decision flow (strict)",
+                    lambda: decide(profile, device, strict=True))
+
+    return report

@@ -65,6 +65,15 @@ class SoC:
         self.address_space = AddressSpace(board.address_space_bytes)
         self._active_model: Optional[str] = None
         self.copied_bytes = 0
+        #: Optional invariant-guard hooks (see
+        #: :mod:`repro.robustness.guards`); ``None`` means unguarded.
+        self.guards = None
+        # Software-coherence bookkeeping: under SC/UM a processor that
+        # ran a phase holds potentially dirty lines until its hierarchy
+        # is flushed.  The guards use these flags to detect dropped
+        # flushes independently of the (exact vs analytic) cache mode.
+        self._cpu_needs_flush = False
+        self._gpu_needs_flush = False
 
     # ------------------------------------------------------------------
     # memory layout helpers
@@ -105,11 +114,22 @@ class SoC:
             )
         self._active_model = model
         try:
+            if self.guards is not None:
+                self.guards.on_model_enter(self, model)
             yield self
+            if self.guards is not None:
+                self.guards.on_model_exit(self, model)
         finally:
-            self.gpu.hierarchy.invalidate_all()
-            self.cpu.hierarchy.invalidate_all()
-            self._active_model = None
+            # The active-model reset must survive a failing invalidate
+            # (e.g. under fault injection): leaking it would poison every
+            # later experiment with "model already active".
+            try:
+                self.gpu.hierarchy.invalidate_all()
+                self.cpu.hierarchy.invalidate_all()
+            finally:
+                self._active_model = None
+                self._cpu_needs_flush = False
+                self._gpu_needs_flush = False
 
     @property
     def active_model(self) -> Optional[str]:
@@ -133,9 +153,14 @@ class SoC:
         if self._active_model == MODEL_ZC and self.board.zero_copy.cpu_llc_disabled:
             uncached = self.board.zero_copy.cpu_zc_bandwidth
             uncached_latency = self.board.zero_copy.cpu_uncached_latency_s
-        return self.cpu.run(name, compute_cycles, stream, mode=mode,
-                            uncached_bandwidth=uncached,
-                            uncached_latency_s=uncached_latency)
+        result = self.cpu.run(name, compute_cycles, stream, mode=mode,
+                              uncached_bandwidth=uncached,
+                              uncached_latency_s=uncached_latency)
+        if self._active_model in (MODEL_SC, MODEL_UM):
+            self._cpu_needs_flush = True
+        if self.guards is not None:
+            self.guards.on_phase(self, result)
+        return result
 
     def run_gpu(
         self,
@@ -151,9 +176,17 @@ class SoC:
             uncached = self.board.zero_copy.gpu_zc_bandwidth
             if self.board.zero_copy.io_coherent:
                 extra_latency = self.board.zero_copy.snoop_latency_s
-        return self.gpu.run(name, total_flops, stream, mode=mode,
-                            uncached_bandwidth=uncached,
-                            extra_latency_s=extra_latency)
+        result = self.gpu.run(name, total_flops, stream, mode=mode,
+                              uncached_bandwidth=uncached,
+                              extra_latency_s=extra_latency)
+        if self.guards is not None:
+            # Checks the SC/UM handoff invariant (CPU caches flushed
+            # before the kernel consumed the shared data) and the
+            # phase-timing invariants.
+            self.guards.on_phase(self, result)
+        if self._active_model in (MODEL_SC, MODEL_UM):
+            self._gpu_needs_flush = True
+        return result
 
     # ------------------------------------------------------------------
     # copies and coherence actions
@@ -173,18 +206,34 @@ class SoC:
             self.board.copy_engine_bandwidth,
             self.dram.config.effective_bandwidth / 2.0,
         )
-        time_s = self.dram.config.latency_s + num_bytes / rate
+        time_s = self._copy_time(num_bytes, rate)
         self.dram.record(num_bytes, num_bytes)
         self.copied_bytes += num_bytes
-        return CopyResult(num_bytes=num_bytes, time_s=time_s)
+        result = CopyResult(num_bytes=num_bytes, time_s=time_s)
+        if self.guards is not None:
+            self.guards.on_copy(self, result)
+        return result
+
+    def _copy_time(self, num_bytes: int, rate: float) -> float:
+        """Copy-engine timing seam.
+
+        Isolated so the fault-injection harness can perturb the engine
+        (stalls) *below* the invariant guards, which observe the
+        resulting :class:`CopyResult` in :meth:`copy`.
+        """
+        return self.dram.config.latency_s + num_bytes / rate
 
     def flush_cpu_caches(self):
         """Software-flush the CPU hierarchy (SC/UM kernel boundary)."""
-        return self.cpu.hierarchy.flush(self.board.flush)
+        result = self.cpu.hierarchy.flush(self.board.flush)
+        self._cpu_needs_flush = False
+        return result
 
     def flush_gpu_caches(self):
         """Software-flush the GPU hierarchy (SC/UM kernel boundary)."""
-        return self.gpu.hierarchy.flush(self.board.flush)
+        result = self.gpu.hierarchy.flush(self.board.flush)
+        self._gpu_needs_flush = False
+        return result
 
     def migration_time(self, num_bytes: int, faulted_fraction: float = 1.0) -> float:
         """UM page-migration time for ``num_bytes`` of first-touch data."""

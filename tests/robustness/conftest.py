@@ -1,0 +1,36 @@
+"""Shared fixtures for the robustness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling.counters import AppProfile
+from repro.soc.board import get_board
+
+
+@pytest.fixture(scope="session")
+def shwfs_workload_tx2():
+    """The SHWFS workload calibrated for the TX2 (session-cached)."""
+    from repro.apps.shwfs import ShwfsPipeline
+
+    return ShwfsPipeline().workload(board_name=get_board("tx2").name)
+
+
+def make_profile(**overrides) -> AppProfile:
+    """A small, valid SC profile; override single counters per test."""
+    values = dict(
+        workload_name="unit",
+        board_name="tx2",
+        model="SC",
+        cpu_l1_miss_rate=0.1,
+        cpu_llc_miss_rate=0.4,
+        cpu_time_s=0.002,
+        gpu_l1_hit_rate=0.6,
+        gpu_transactions=10_000,
+        gpu_transaction_size=32.0,
+        kernel_runtime_s=0.001,
+        copy_time_s=0.0005,
+        total_runtime_s=0.004,
+    )
+    values.update(overrides)
+    return AppProfile(**values)

@@ -1,0 +1,82 @@
+"""Seeded fault-injection fuzz smoke tests (``pytest -m fault``).
+
+Each case applies a deterministically randomized chaos plan and asserts
+the framework's robustness contract: every injected fault is either
+*caught* — a structured :class:`~repro.errors.ReproError` with a
+machine-readable code — or *absorbed* by degraded mode, which must
+deliver a conservative recommendation without raising.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model.decision import Confidence
+from repro.model.framework import Framework
+from repro.robustness.faults import FaultPlan
+from repro.robustness.guards import validate
+from repro.robustness.inject import inject_faults
+
+SEEDS = range(8)
+
+
+@pytest.mark.fault
+@pytest.mark.parametrize("seed", SEEDS)
+def test_degraded_tune_never_raises(seed, tx2_board, shwfs_workload_tx2,
+                                    characterization_suite):
+    plan = FaultPlan.chaos(seed=seed)
+    framework = Framework(suite=characterization_suite)
+    with inject_faults(plan):
+        report = framework.tune(shwfs_workload_tx2, tx2_board, strict=False)
+    rec = report.recommendation
+    if rec.degraded:
+        # absorbed: the caveats must carry structured error codes
+        assert rec.confidence is Confidence.LOW
+        assert rec.caveats
+    else:
+        assert rec.confidence is Confidence.HIGH
+
+
+@pytest.mark.fault
+@pytest.mark.parametrize("seed", SEEDS)
+def test_guarded_validation_never_crashes(seed, tx2_board,
+                                          shwfs_workload_tx2):
+    plan = FaultPlan.chaos(seed=seed)
+    with inject_faults(plan):
+        report = validate(tx2_board, shwfs_workload_tx2, characterize=False)
+    # violations are allowed — uncaught exceptions are not
+    for outcome in report.violations:
+        assert outcome.code, f"violation without a code: {outcome}"
+
+
+@pytest.mark.fault
+@pytest.mark.parametrize("seed", [3, 17])
+def test_fuzz_is_deterministic(seed, tx2_board, shwfs_workload_tx2):
+    outcomes = []
+    for _ in range(2):
+        plan = FaultPlan.chaos(seed=seed)
+        with inject_faults(plan) as injector:
+            report = validate(tx2_board, shwfs_workload_tx2,
+                              characterize=False)
+        outcomes.append((report.render(), injector.log.events))
+    assert outcomes[0] == outcomes[1]
+
+
+@pytest.mark.fault
+def test_strict_mode_surfaces_structured_errors(tx2_board,
+                                                shwfs_workload_tx2,
+                                                characterization_suite):
+    """Across many seeds, strict mode either succeeds or raises a coded
+    ReproError — never a bare exception."""
+    framework = Framework(suite=characterization_suite)
+    raised = 0
+    for seed in range(12):
+        plan = FaultPlan.chaos(seed=seed)
+        try:
+            with inject_faults(plan):
+                framework.tune(shwfs_workload_tx2, tx2_board, strict=True)
+        except ReproError as error:
+            raised += 1
+            assert error.code
+            assert error.code.isupper()
+    # the chaos plans are aggressive enough that some seeds must trip
+    assert raised > 0

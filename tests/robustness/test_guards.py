@@ -1,0 +1,216 @@
+"""Runtime invariant guards and the validate suite."""
+
+import pytest
+
+from repro.errors import CoherenceError, InvariantError
+from repro.robustness.faults import FaultKind, FaultPlan, FaultSpec
+from repro.robustness.guards import (
+    SoCGuards,
+    check_execution_report,
+    validate,
+)
+from repro.robustness.inject import inject_faults
+from repro.soc.address import RegionKind
+from repro.soc.phase import PhaseResult
+from repro.soc.soc import SoC
+from repro.soc.stream import AccessStream
+
+
+def guarded_soc(board):
+    soc = SoC(board)
+    soc.guards = SoCGuards()
+    return soc
+
+
+def run_cpu_phase(soc, name="produce"):
+    region = soc.address_space.region("cpu_partition")
+    buf = region.buffer("a")
+    return soc.run_cpu(name, 10_000.0, AccessStream.linear(buf, write=True))
+
+
+def make_layout(soc):
+    region = soc.make_region("cpu_partition", 1 << 20,
+                             RegionKind.CPU_PARTITION)
+    region.allocate("a", 1 << 16)
+
+
+def fake_phase(**overrides):
+    values = dict(name="p", processor="cpu", compute_time_s=1e-3,
+                  memory_time_s=2e-3, time_s=2e-3, memory=None)
+    values.update(overrides)
+    return PhaseResult(**values)
+
+
+class TestPhaseGuards:
+    def test_clean_run_passes_and_counts(self, tx2_board):
+        soc = guarded_soc(tx2_board)
+        with soc.communication("SC") as active:
+            make_layout(active)
+            run_cpu_phase(active)
+            active.flush_cpu_caches()
+        assert soc.guards.checks_passed > 0
+
+    def test_negative_phase_time_caught(self):
+        guards = SoCGuards()
+        with pytest.raises(InvariantError) as excinfo:
+            guards.check_phase_timing(fake_phase(time_s=-1.0))
+        assert excinfo.value.code == "GUARD_PHASE_TIMING"
+
+    def test_nan_phase_time_caught(self):
+        guards = SoCGuards()
+        with pytest.raises(InvariantError) as excinfo:
+            guards.check_phase_timing(fake_phase(time_s=float("nan")))
+        assert excinfo.value.code == "GUARD_PHASE_TIMING"
+        assert excinfo.value.details["component"] == "time_s"
+
+    def test_total_below_components_caught(self):
+        guards = SoCGuards()
+        with pytest.raises(InvariantError):
+            guards.check_phase_timing(
+                fake_phase(compute_time_s=5e-3, time_s=1e-3))
+
+    def test_exact_equality_allowed(self):
+        guards = SoCGuards()
+        guards.check_phase_timing(
+            fake_phase(compute_time_s=2e-3, memory_time_s=1e-3, time_s=2e-3))
+
+
+class TestCoherenceGuards:
+    def test_dropped_cpu_flush_caught_at_handoff(self, tx2_board):
+        plan = FaultPlan(seed=0,
+                         faults=(FaultSpec(FaultKind.FLUSH_DROP,
+                                           target="cpu"),))
+        soc = guarded_soc(tx2_board)
+        with inject_faults(plan):
+            with pytest.raises(CoherenceError) as excinfo:
+                with soc.communication("SC") as active:
+                    make_layout(active)
+                    run_cpu_phase(active)
+                    active.flush_cpu_caches()  # dropped by the injector
+                    buf = active.address_space.region("cpu_partition").buffer("a")
+                    active.run_gpu("consume", 10_000.0,
+                                   AccessStream.linear(buf))
+        assert excinfo.value.code == "GUARD_DIRTY_HANDOFF"
+        # the context manager must have cleaned up regardless
+        assert soc.active_model is None
+
+    def test_unflushed_exit_caught(self, tx2_board):
+        soc = guarded_soc(tx2_board)
+        with pytest.raises(CoherenceError) as excinfo:
+            with soc.communication("SC") as active:
+                make_layout(active)
+                run_cpu_phase(active)
+                # never flushed before leaving the context
+        assert excinfo.value.code == "GUARD_UNFLUSHED_EXIT"
+
+    def test_clean_handoff_passes(self, tx2_board):
+        soc = guarded_soc(tx2_board)
+        with soc.communication("SC") as active:
+            make_layout(active)
+            run_cpu_phase(active)
+            active.flush_cpu_caches()
+            buf = active.address_space.region("cpu_partition").buffer("a")
+            active.run_gpu("consume", 10_000.0, AccessStream.linear(buf))
+            active.flush_gpu_caches()
+
+
+class TestCopyGuards:
+    def test_copy_stall_caught(self, tx2_board):
+        plan = FaultPlan(seed=0,
+                         faults=(FaultSpec(FaultKind.COPY_STALL,
+                                           magnitude=1000.0),))
+        soc = guarded_soc(tx2_board)
+        with inject_faults(plan):
+            with pytest.raises(InvariantError) as excinfo:
+                with soc.communication("SC") as active:
+                    active.copy(1 << 20)
+        assert excinfo.value.code == "GUARD_COPY_STALL"
+        assert excinfo.value.details["num_bytes"] == 1 << 20
+
+    def test_honest_copy_passes(self, tx2_board):
+        soc = guarded_soc(tx2_board)
+        with soc.communication("SC") as active:
+            active.copy(1 << 20)
+        assert soc.guards.checks_passed > 0
+
+
+class TestReportChecks:
+    def test_clean_report_passes(self, tx2_board, shwfs_workload_tx2):
+        from repro.comm.base import get_model
+
+        report = get_model("SC").execute(shwfs_workload_tx2, SoC(tx2_board))
+        check_execution_report(report)
+
+    def test_negative_energy_caught(self, tx2_board, shwfs_workload_tx2):
+        import dataclasses
+
+        from repro.comm.base import get_model
+
+        report = get_model("SC").execute(shwfs_workload_tx2, SoC(tx2_board))
+        bad = dataclasses.replace(
+            report,
+            energy=dataclasses.replace(report.energy, dram_j=-1.0),
+        )
+        with pytest.raises(InvariantError) as excinfo:
+            check_execution_report(bad)
+        assert excinfo.value.code == "GUARD_ENERGY"
+
+
+class TestValidateSuite:
+    def test_clean_validation_passes(self, tx2_board, shwfs_workload_tx2,
+                                     characterization_suite):
+        report = validate(tx2_board, shwfs_workload_tx2,
+                          suite=characterization_suite)
+        assert report.passed
+        assert report.violations == []
+        assert report.guard_checks_passed > 0
+        rendered = report.render()
+        assert "[ OK ]" in rendered
+        assert "0 violation(s)" in rendered
+
+    def test_validation_under_flush_drop_reports_violations(
+            self, tx2_board, shwfs_workload_tx2):
+        plan = FaultPlan(seed=0,
+                         faults=(FaultSpec(FaultKind.FLUSH_DROP,
+                                           target="cpu"),))
+        with inject_faults(plan):
+            report = validate(tx2_board, shwfs_workload_tx2,
+                              characterize=False)
+        assert not report.passed
+        codes = {o.code for o in report.violations}
+        assert codes == {"GUARD_DIRTY_HANDOFF"}
+        # ZC does not flush, so it must have survived
+        passed = {o.name for o in report.outcomes if o.passed}
+        assert any("ZC" in name for name in passed)
+        assert "[FAIL]" in report.render()
+
+    def test_validation_render_is_deterministic(self, tx2_board,
+                                                shwfs_workload_tx2):
+        renders = []
+        for _ in range(2):
+            plan = FaultPlan.standard(seed=5)
+            with inject_faults(plan):
+                report = validate(tx2_board, shwfs_workload_tx2,
+                                  characterize=False)
+            renders.append(report.render())
+        assert renders[0] == renders[1]
+
+
+class TestLayoutGuard:
+    def test_valid_layout_passes(self, tx2_board):
+        soc = guarded_soc(tx2_board)
+        make_layout(soc)
+        soc.guards.check_layout(soc)
+
+    def test_region_overlap_caught(self, tx2_board):
+        from repro.soc.address import MemoryRegion
+
+        soc = guarded_soc(tx2_board)
+        make_layout(soc)
+        # forge an overlapping region behind the allocator's back
+        rogue = MemoryRegion(name="rogue", base=0, size=1 << 12,
+                             kind=RegionKind.CPU_PARTITION)
+        soc.address_space._regions["rogue"] = rogue
+        with pytest.raises(InvariantError) as excinfo:
+            soc.guards.check_layout(soc)
+        assert excinfo.value.code == "GUARD_LAYOUT"

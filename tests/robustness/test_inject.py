@@ -1,0 +1,158 @@
+"""The injection harness: patching, determinism, fault application."""
+
+import pytest
+
+from repro.errors import ProfilingError, SimulationError
+from repro.profiling.profiler import Profiler
+from repro.robustness.faults import FaultKind, FaultPlan, FaultSpec
+from repro.robustness.inject import FaultInjector, inject_faults
+from repro.soc.soc import SoC
+
+from tests.robustness.conftest import make_profile
+
+
+def plan_of(*specs, seed=0):
+    return FaultPlan(seed=seed, faults=tuple(specs))
+
+
+class TestActivation:
+    def test_patches_restored_on_exit(self):
+        before = (SoC._copy_time, SoC.flush_cpu_caches,
+                  SoC.flush_gpu_caches, Profiler.__dict__["from_report"])
+        with inject_faults(FaultPlan.standard(seed=0)):
+            assert SoC._copy_time is not before[0]
+        after = (SoC._copy_time, SoC.flush_cpu_caches,
+                 SoC.flush_gpu_caches, Profiler.__dict__["from_report"])
+        assert before == after
+
+    def test_patches_restored_on_error(self):
+        before = SoC._copy_time
+        with pytest.raises(RuntimeError):
+            with inject_faults(FaultPlan.standard(seed=0)):
+                raise RuntimeError("boom")
+        assert SoC._copy_time is before
+
+    def test_nested_injectors_rejected(self):
+        with inject_faults(FaultPlan.standard(seed=0)):
+            with pytest.raises(SimulationError) as excinfo:
+                FaultInjector(FaultPlan.standard(seed=1)).__enter__()
+        assert excinfo.value.code == "INJECTOR_NESTED"
+
+
+class TestCounterFaults:
+    def test_noise_perturbs_counters(self):
+        spec = FaultSpec(FaultKind.COUNTER_NOISE, target="cpu_time_s",
+                         magnitude=0.1)
+        profile = make_profile()
+        with FaultInjector(plan_of(spec)) as injector:
+            noisy = injector._perturb_profile(profile)
+        assert noisy.cpu_time_s != profile.cpu_time_s
+        assert noisy.cpu_time_s == pytest.approx(profile.cpu_time_s, rel=1.0)
+        assert injector.log.counts() == {"counter-noise": 1}
+
+    def test_nan_fault_raises_structured_error(self):
+        spec = FaultSpec(FaultKind.COUNTER_NAN, target="kernel_runtime_s")
+        with FaultInjector(plan_of(spec)) as injector:
+            with pytest.raises(ProfilingError) as excinfo:
+                injector._perturb_profile(make_profile())
+        assert excinfo.value.code == "PROFILE_COUNTER_NONFINITE"
+        assert excinfo.value.details["counter"] == "kernel_runtime_s"
+
+    def test_drop_fault_raises_missing_counter(self):
+        spec = FaultSpec(FaultKind.COUNTER_DROP, target="cpu_time_s")
+        with FaultInjector(plan_of(spec)) as injector:
+            with pytest.raises(ProfilingError) as excinfo:
+                injector._perturb_profile(make_profile())
+        assert excinfo.value.code == "PROFILE_COUNTER_MISSING"
+
+    def test_misreport_scales_counter(self):
+        spec = FaultSpec(FaultKind.CACHE_MISREPORT,
+                         target="gpu_transactions", magnitude=50.0)
+        profile = make_profile()
+        with FaultInjector(plan_of(spec)) as injector:
+            skewed = injector._perturb_profile(profile)
+        assert skewed.gpu_transactions == profile.gpu_transactions * 50
+
+    def test_probability_zero_never_fires(self):
+        spec = FaultSpec(FaultKind.COUNTER_NAN, probability=0.0)
+        profile = make_profile()
+        with FaultInjector(plan_of(spec)) as injector:
+            same = injector._perturb_profile(profile)
+        assert same == profile
+        assert injector.log.events == []
+
+    def test_same_seed_same_perturbation(self):
+        spec = FaultSpec(FaultKind.COUNTER_NOISE, magnitude=0.3)
+        results = []
+        for _ in range(2):
+            with FaultInjector(plan_of(spec, seed=42)) as injector:
+                results.append(injector._perturb_profile(make_profile()))
+        assert results[0] == results[1]
+
+    def test_different_seed_different_perturbation(self):
+        spec = FaultSpec(FaultKind.COUNTER_NOISE, magnitude=0.3)
+        results = []
+        for seed in (1, 2):
+            with FaultInjector(plan_of(spec, seed=seed)) as injector:
+                results.append(injector._perturb_profile(make_profile()))
+        assert results[0] != results[1]
+
+
+class TestSoCFaults:
+    def test_copy_stall_inflates_copy_time(self, tx2_board):
+        spec = FaultSpec(FaultKind.COPY_STALL, magnitude=100.0)
+        clean = SoC(tx2_board)
+        with clean.communication("SC"):
+            baseline = clean.copy(1 << 20).time_s
+        with inject_faults(plan_of(spec)) as injector:
+            soc = SoC(tx2_board)
+            with soc.communication("SC"):
+                stalled = soc.copy(1 << 20).time_s
+        assert stalled == pytest.approx(baseline * 100.0)
+        assert injector.log.counts() == {"copy-stall": 1}
+
+    @staticmethod
+    def _run_producer_phase(soc):
+        from repro.soc.address import RegionKind
+        from repro.soc.stream import AccessStream
+
+        region = soc.make_region("cpu_partition", 1 << 20,
+                                 RegionKind.CPU_PARTITION)
+        buf = region.allocate("a", 1 << 16)
+        soc.run_cpu("produce", 10_000.0, AccessStream.linear(buf, write=True))
+
+    def test_flush_drop_keeps_hierarchy_marked_dirty(self, tx2_board):
+        spec = FaultSpec(FaultKind.FLUSH_DROP, target="cpu")
+        with inject_faults(plan_of(spec)) as injector:
+            soc = SoC(tx2_board)
+            with soc.communication("SC") as active:
+                self._run_producer_phase(active)
+                assert active._cpu_needs_flush
+                result = active.flush_cpu_caches()
+                # the flush was dropped: no time, no writebacks, still dirty
+                assert result.time_s == 0.0
+                assert result.writeback_bytes == 0
+                assert active._cpu_needs_flush
+        assert injector.log.counts() == {"flush-drop": 1}
+
+    def test_gpu_flush_drop_only_hits_gpu(self, tx2_board):
+        spec = FaultSpec(FaultKind.FLUSH_DROP, target="gpu")
+        with inject_faults(plan_of(spec)):
+            soc = SoC(tx2_board)
+            with soc.communication("SC") as active:
+                self._run_producer_phase(active)
+                active.flush_cpu_caches()
+                assert not active._cpu_needs_flush
+
+
+class TestInjectionLog:
+    def test_render_empty(self):
+        assert FaultInjector(plan_of()).log.render() == "no faults fired"
+
+    def test_counts_accumulate(self):
+        injector = FaultInjector(plan_of())
+        injector.log.record(FaultKind.FLUSH_DROP, "s", "d")
+        injector.log.record(FaultKind.FLUSH_DROP, "s", "d")
+        injector.log.record(FaultKind.COPY_STALL, "s", "d")
+        assert injector.log.counts() == {"flush-drop": 2, "copy-stall": 1}
+        assert "flush-drop: 2" in injector.log.render()

@@ -1,0 +1,72 @@
+"""Exception safety of the ``SoC.communication`` context manager.
+
+Regression tests: a failure anywhere inside (or during cleanup of) a
+communication context must never leak state into the next experiment —
+no stuck active model, no disabled caches, no stale needs-flush flags.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.soc.address import RegionKind
+from repro.soc.soc import SoC
+from repro.soc.stream import AccessStream
+
+
+def run_phase(soc):
+    region = soc.make_region("cpu_partition", 1 << 20,
+                             RegionKind.CPU_PARTITION)
+    buf = region.allocate("a", 1 << 16)
+    soc.run_cpu("produce", 10_000.0, AccessStream.linear(buf, write=True))
+
+
+class TestExceptionSafety:
+    def test_exception_resets_active_model(self, tx2_soc):
+        with pytest.raises(RuntimeError):
+            with tx2_soc.communication("ZC"):
+                raise RuntimeError("mid-simulation failure")
+        assert tx2_soc.active_model is None
+        # a new context must open cleanly
+        with tx2_soc.communication("SC"):
+            pass
+
+    def test_exception_resets_needs_flush_flags(self, tx2_soc):
+        with pytest.raises(RuntimeError):
+            with tx2_soc.communication("SC") as soc:
+                run_phase(soc)
+                assert soc._cpu_needs_flush
+                raise RuntimeError("boom")
+        assert not tx2_soc._cpu_needs_flush
+        assert not tx2_soc._gpu_needs_flush
+
+    def test_failing_invalidate_still_resets_active_model(self, tx2_soc,
+                                                          monkeypatch):
+        def broken_invalidate():
+            raise RuntimeError("cache controller wedged")
+
+        with pytest.raises(RuntimeError, match="wedged"):
+            with tx2_soc.communication("SC"):
+                monkeypatch.setattr(tx2_soc.gpu.hierarchy, "invalidate_all",
+                                    broken_invalidate)
+        # the cleanup failure must not poison later experiments
+        assert tx2_soc.active_model is None
+        monkeypatch.undo()
+        with tx2_soc.communication("UM"):
+            pass
+
+    def test_exception_leaves_caches_invalidated(self, tx2_soc):
+        with pytest.raises(RuntimeError):
+            with tx2_soc.communication("SC") as soc:
+                run_phase(soc)
+                raise RuntimeError("boom")
+        for cache in (*tx2_soc.cpu.hierarchy.caches,
+                      *tx2_soc.gpu.hierarchy.caches):
+            assert cache.dirty_lines == 0
+
+    def test_nested_context_rejected(self, tx2_soc):
+        with tx2_soc.communication("SC"):
+            with pytest.raises(SimulationError):
+                with tx2_soc.communication("ZC"):
+                    pass
+        # the rejection must not have broken the outer cleanup
+        assert tx2_soc.active_model is None

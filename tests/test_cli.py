@@ -62,6 +62,95 @@ class TestCommands:
         assert "winner" in out
 
 
+class TestFailurePaths:
+    def test_unknown_board_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tune", "shwfs", "orin"])
+        assert excinfo.value.code == 2
+
+    def test_malformed_workload_exits_2_with_code(self, capsys, monkeypatch):
+        from repro import cli
+        from repro.errors import WorkloadError
+
+        class BrokenPipeline:
+            def workload(self, board_name=""):
+                raise WorkloadError("frames must be positive")
+
+            def tune(self, framework, board, current_model="SC"):
+                raise WorkloadError("frames must be positive")
+
+        monkeypatch.setattr(cli, "_get_pipeline",
+                            lambda app: BrokenPipeline())
+        assert main(["tune", "shwfs", "tx2"]) == 2
+        err = capsys.readouterr().err
+        assert "error[WORKLOAD_MALFORMED]" in err
+        assert "frames must be positive" in err
+
+    def test_malformed_fault_spec_exits_2(self, capsys):
+        assert main(["inject", "shwfs", "tx2", "--fault", "bit-flip"]) == 2
+        assert "error[FAULT_PLAN_INVALID]" in capsys.readouterr().err
+
+
+class TestInjectCommand:
+    def test_inject_is_deterministic(self, capsys):
+        outputs = []
+        for _ in range(2):
+            assert main(["inject", "shwfs", "tx2", "--seed", "7"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_inject_different_seeds_differ(self, capsys):
+        outputs = []
+        for seed in ("7", "8"):
+            assert main(["inject", "shwfs", "tx2", "--seed", seed]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] != outputs[1]
+
+    def test_inject_reports_plan_and_confidence(self, capsys):
+        assert main(["inject", "shwfs", "tx2", "--seed", "0",
+                     "--fault", "counter-noise::0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "plan(seed=0" in out
+        assert "counter-noise" in out
+        assert "confidence:" in out
+        assert "recommendation:" in out
+
+    def test_inject_strict_fails_fast_with_code(self, capsys):
+        assert main(["inject", "shwfs", "tx2", "--seed", "3", "--strict",
+                     "--fault", "counter-nan:kernel_runtime_s"]) == 2
+        err = capsys.readouterr().err
+        assert "error[PROFILE_COUNTER_NONFINITE]" in err
+
+    def test_inject_degraded_keeps_current(self, capsys):
+        assert main(["inject", "shwfs", "tx2", "--seed", "3",
+                     "--fault", "counter-nan:kernel_runtime_s"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation: keep current" in out
+        assert "confidence: low" in out
+        assert "PROFILE_COUNTER_NONFINITE" in out
+
+
+class TestValidateCommand:
+    def test_validate_clean_exits_0(self, capsys):
+        assert main(["validate", "tx2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+        assert "[ OK ]" in out
+
+    def test_validate_with_flush_drop_exits_3(self, capsys):
+        assert main(["validate", "tx2",
+                     "--fault", "flush-drop:cpu"]) == 3
+        out = capsys.readouterr().out
+        assert "GUARD_DIRTY_HANDOFF" in out
+        assert "[FAIL]" in out
+
+    def test_validate_with_copy_stall_exits_3(self, capsys):
+        assert main(["validate", "tx2",
+                     "--fault", "copy-stall::1000"]) == 3
+        out = capsys.readouterr().out
+        assert "GUARD_COPY_STALL" in out
+
+
 class TestReportCommand:
     def test_report_from_tmp_dir(self, tmp_path, capsys):
         results = tmp_path / "results"

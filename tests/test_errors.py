@@ -35,3 +35,47 @@ def test_race_condition_is_simulation_error():
 def test_catching_base_catches_subclasses():
     with pytest.raises(errors.ReproError):
         raise errors.MicrobenchmarkError("sweep too short")
+
+
+def test_invariant_error_is_simulation_error():
+    assert issubclass(errors.InvariantError, errors.SimulationError)
+
+
+class TestStructuredErrors:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_every_class_has_a_default_code(self, error_type):
+        error = error_type("something broke")
+        assert error.code == error_type.default_code
+        assert error.code.isupper()
+        assert error.details == {}
+
+    def test_explicit_code_overrides_default(self):
+        error = errors.ModelError("bad usage", code="GUARD_CACHE_USAGE")
+        assert error.code == "GUARD_CACHE_USAGE"
+
+    def test_details_are_copied(self):
+        payload = {"counter": "cpu_time_s"}
+        error = errors.ProfilingError("bad", details=payload)
+        payload["counter"] = "mutated"
+        assert error.details == {"counter": "cpu_time_s"}
+
+    def test_message_preserved(self):
+        error = errors.ReproError("plain message")
+        assert error.message == "plain message"
+        assert str(error) == "plain message"
+
+    def test_to_dict_shape(self):
+        error = errors.CoherenceError(
+            "stale data", code="GUARD_DIRTY_HANDOFF",
+            details={"phase": "consume"},
+        )
+        assert error.to_dict() == {
+            "type": "CoherenceError",
+            "code": "GUARD_DIRTY_HANDOFF",
+            "message": "stale data",
+            "details": {"phase": "consume"},
+        }
+
+    def test_default_codes_are_distinct_where_it_matters(self):
+        codes = {e.default_code for e in ALL_ERRORS}
+        assert len(codes) == len(ALL_ERRORS)
