@@ -9,6 +9,7 @@ deterministic, so statistical rounds add nothing.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -19,6 +20,24 @@ from repro.soc.board import get_board
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 _SUITE = MicrobenchmarkSuite()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_characterization_cache(tmp_path_factory):
+    """Keep benchmark runs out of the user's real on-disk cache.
+
+    ``bench_perf`` (and anything that builds a CLI-style framework)
+    must measure a cold first run; pointing ``REPRO_CACHE_DIR`` at a
+    throwaway directory guarantees that without touching ``~/.cache``.
+    """
+    path = tmp_path_factory.mktemp("characterization-cache")
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
 
 
 @pytest.fixture(scope="session")

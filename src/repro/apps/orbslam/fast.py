@@ -49,15 +49,21 @@ def _circle_stack(image: np.ndarray) -> np.ndarray:
 
 def _contiguous_arc(mask: np.ndarray, length: int) -> np.ndarray:
     """True where ``mask`` (16, ...) has a circular run of ``length``."""
-    # Wrap the circle so runs crossing position 0 are found.
+    # Wrap the circle so runs crossing position 0 are found.  AND-
+    # doubling builds "all of the next k" masks for k = 1, 2, 4, …;
+    # two overlapping power-of-two windows then cover any run length
+    # (AND is idempotent), so the whole test costs O(log length)
+    # array passes instead of one reduction per start position.
     wrapped = np.concatenate([mask, mask[: length - 1]], axis=0)
-    window = wrapped[0 : mask.shape[0]].copy()
-    result = np.zeros(mask.shape[1:], dtype=bool)
-    for start in range(mask.shape[0]):
-        run = np.all(wrapped[start : start + length], axis=0)
-        result |= run
-    del window
-    return result
+    runs = wrapped
+    k = 1
+    while 2 * k <= length:
+        runs = runs[:-k] & runs[k:]
+        k *= 2
+    remainder = length - k
+    if remainder:
+        runs = runs[: -remainder] & runs[remainder:]
+    return runs[: mask.shape[0]].any(axis=0)
 
 
 def fast_corners(
@@ -98,18 +104,16 @@ def fast_corners(
     score = np.where(is_corner, score, 0.0)
 
     if nonmax_suppression:
+        # Separable 3x3 window maximum (rows then columns, four
+        # element-wise passes); including the center is equivalent to
+        # the 8-neighbour maximum here because the center trivially
+        # satisfies ``score >= score``.
         padded = np.pad(score, 1, mode="constant")
-        neighborhood = np.stack(
-            [
-                padded[1 + dy : padded.shape[0] - 1 + dy,
-                       1 + dx : padded.shape[1] - 1 + dx]
-                for dy in (-1, 0, 1)
-                for dx in (-1, 0, 1)
-                if (dy, dx) != (0, 0)
-            ],
-            axis=0,
+        rows = np.maximum(
+            np.maximum(padded[:, :-2], padded[:, 1:-1]), padded[:, 2:]
         )
-        is_corner &= score >= neighborhood.max(axis=0)
+        window_max = np.maximum(np.maximum(rows[:-2], rows[1:-1]), rows[2:])
+        is_corner &= score >= window_max
         # Break ties deterministically: require strict superiority over
         # earlier neighbours in scan order.
         is_corner &= score > 0

@@ -6,6 +6,13 @@ code:
 - ``boards`` — list available board presets;
 - ``characterize <board>`` — run the micro-benchmark suite and print
   the device characterization (Table-I row, thresholds, max speedups);
+  results persist in the on-disk characterization cache
+  (``--no-cache`` / ``--cache-dir DIR`` to opt out or relocate);
+- ``cache info|clear [--dir DIR]`` — inspect or invalidate the
+  persistent characterization cache;
+- ``bench [--apps ...] [--boards ...] [--jobs N]`` — run the app ×
+  board benchmark grid in parallel and print (or ``--output`` as JSON)
+  the tuned recommendation and measured per-model times per cell;
 - ``tune <app> <board> [--model SC]`` — run the Fig-2 flow on one of
   the bundled case studies (``shwfs`` or ``orbslam``);
 - ``compare <app> <board>`` — execute the application under all three
@@ -61,10 +68,20 @@ def cmd_boards(args: argparse.Namespace) -> str:
     return table.render()
 
 
+def _framework_from_args(args: argparse.Namespace) -> Framework:
+    """A framework honouring the CLI's cache flags (default: cached)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "no_cache", False):
+        return Framework()
+    from repro.perf.cache import default_cache_dir
+
+    return Framework(cache_dir=str(cache_dir or default_cache_dir()))
+
+
 def cmd_characterize(args: argparse.Namespace) -> str:
     """Characterize one board with the micro-benchmark suite."""
     board = get_board(args.board)
-    device = Framework().characterize(board)
+    device = _framework_from_args(args).characterize(board)
     table = Table(f"Device characterization — {board.display_name}",
                   ["quantity", "value"])
     for model in ("ZC", "SC", "UM"):
@@ -82,7 +99,8 @@ def cmd_tune(args: argparse.Namespace) -> str:
     """Run the decision flow for a bundled application."""
     board = get_board(args.board)
     pipeline = _get_pipeline(args.app)
-    report = pipeline.tune(Framework(), board, current_model=args.model)
+    report = pipeline.tune(_framework_from_args(args), board,
+                           current_model=args.model)
     rec = report.recommendation
     table = Table(
         f"Tuning {args.app} on {board.display_name} (currently {args.model})",
@@ -205,6 +223,64 @@ def cmd_validate(args: argparse.Namespace):
     return text, (0 if report.passed else 3)
 
 
+def cmd_cache(args: argparse.Namespace) -> str:
+    """Inspect or clear the persistent characterization cache."""
+    from repro.perf.cache import CharacterizationCache
+
+    cache = CharacterizationCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        return (f"removed {removed} cached characterization(s) from "
+                f"{cache.directory}")
+    entries = cache.entries()
+    lines = [f"characterization cache at {cache.directory}: "
+             f"{len(entries)} entry(ies)"]
+    for path in entries:
+        lines.append(f"  {path.name} ({path.stat().st_size} bytes)")
+    return "\n".join(lines)
+
+
+def cmd_bench(args: argparse.Namespace) -> str:
+    """Run the app × board benchmark grid in parallel."""
+    import json
+
+    from repro.perf.grid import run_grid
+
+    cache_dir = None
+    if not args.no_cache:
+        from repro.perf.cache import default_cache_dir
+
+        cache_dir = str(args.cache_dir or default_cache_dir())
+    results = run_grid(
+        apps=args.apps,
+        boards=args.boards,
+        jobs=args.jobs,
+        current_model=args.model,
+        cache_dir=cache_dir,
+        parallel=args.jobs != 1,
+    )
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n"
+        )
+    table = Table(
+        f"Benchmark grid ({len(results)} cells, currently {args.model})",
+        ["app", "board", "recommend", "best measured",
+         "SC (us)", "UM (us)", "ZC (us)"],
+    )
+    for cell in results:
+        times = cell["time_per_iteration_s"]
+        table.add_row(
+            cell["app"], cell["board"], cell["recommendation"],
+            cell["best_measured_model"],
+            to_us(times["SC"]), to_us(times["UM"]), to_us(times["ZC"]),
+        )
+    footer = f"\nresults written to {args.output}" if args.output else ""
+    return table.render() + footer
+
+
 def cmd_report(args: argparse.Namespace) -> str:
     """Aggregate archived benchmark artefacts into one markdown file."""
     from repro.analysis.export import build_report
@@ -232,6 +308,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "inject": cmd_inject,
     "validate": cmd_validate,
     "report": cmd_report,
+    "cache": cmd_cache,
+    "bench": cmd_bench,
 }
 
 
@@ -252,8 +330,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("boards", help="list board presets")
 
+    def add_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent characterization cache directory "
+                            "(default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro/characterizations)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent characterization cache")
+
     p = sub.add_parser("characterize", help="run the micro-benchmark suite")
     p.add_argument("board", choices=available_boards())
+    add_cache_flags(p)
 
     for name, extra in (("tune", True), ("compare", False)):
         p = sub.add_parser(name, help=f"{name} a bundled application")
@@ -262,6 +349,29 @@ def build_parser() -> argparse.ArgumentParser:
         if extra:
             p.add_argument("--model", default="SC", choices=["SC", "UM", "ZC"],
                            help="the application's current model")
+            add_cache_flags(p)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the characterization cache")
+    p.add_argument("action", choices=["info", "clear"])
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/characterizations)")
+
+    p = sub.add_parser(
+        "bench", help="run the app x board benchmark grid in parallel")
+    p.add_argument("--apps", nargs="+", default=["shwfs", "orbslam"],
+                   choices=["shwfs", "orbslam"])
+    p.add_argument("--boards", nargs="+", default=list(available_boards()),
+                   choices=available_boards())
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: one per cell, capped "
+                        "at the CPU count; 1 forces serial)")
+    p.add_argument("--model", default="SC", choices=["SC", "UM", "ZC"],
+                   help="the applications' current model")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the grid results as JSON")
+    add_cache_flags(p)
 
     p = sub.add_parser("sweep", help="ZC-path what-if sensitivity sweep")
     p.add_argument("app", choices=["shwfs", "orbslam"])

@@ -16,6 +16,7 @@ fma), which shapes the compute/memory balance of each benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Dict, Mapping
 
 from repro.errors import WorkloadError
@@ -47,9 +48,15 @@ _OP_TABLE: Dict[str, OpSpec] = {
 }
 
 
+#: Shared read-only view of the table — built once; ``op_table()`` used
+#: to copy the dict on every call, which showed up in per-element hot
+#: loops that consult it per operation.
+_OP_TABLE_VIEW: Mapping[str, OpSpec] = MappingProxyType(_OP_TABLE)
+
+
 def op_table() -> Mapping[str, OpSpec]:
-    """The immutable operation cost table."""
-    return dict(_OP_TABLE)
+    """The immutable operation cost table (a cached read-only view)."""
+    return _OP_TABLE_VIEW
 
 
 @dataclass(frozen=True)

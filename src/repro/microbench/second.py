@@ -58,12 +58,17 @@ class SecondMicroBenchmark(MicroBenchmark):
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
         array_bytes: int = 4 * 1024 * 1024,
         sweep_repeats: int = SWEEP_REPEATS,
+        vectorized: bool = True,
     ) -> None:
         if not fractions:
             raise ValueError("the sweep needs at least one fraction")
         self.fractions = tuple(sorted(fractions))
         self.array_bytes = array_bytes
         self.sweep_repeats = sweep_repeats
+        #: Evaluate the sweep through the batch engine
+        #: (:mod:`repro.perf.batch`) when its closed forms apply; the
+        #: scalar per-point simulation remains the reference fallback.
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------
     # workload builders
@@ -163,6 +168,24 @@ class SecondMicroBenchmark(MicroBenchmark):
             )
         return points
 
+    def _sweep_vectorized(self, soc: SoC):
+        """Both sweeps through the batch engine, or ``(None, None)``.
+
+        Imported lazily: :mod:`repro.perf` sits above the soc layer and
+        below the microbenchmarks only at call time.
+        """
+        from repro.perf.batch import BatchUnsupported, vectorized_second_sweep
+        from repro.robustness.inject import injection_active
+
+        if injection_active():
+            # Fault plans patch the scalar simulation seams; the batch
+            # engine would compute around them.
+            return None, None
+        try:
+            return vectorized_second_sweep(self, soc)
+        except BatchUnsupported:
+            return None, None
+
     def run(
         self,
         soc: SoC,
@@ -174,9 +197,19 @@ class SecondMicroBenchmark(MicroBenchmark):
         The peak throughputs normally come from micro-benchmark 1; when
         omitted, the largest SC throughput observed in the sweep is used
         (self-normalization).
+
+        With ``vectorized`` enabled the whole sweep is evaluated as one
+        batch on the analytic path (:mod:`repro.perf.batch`); an
+        unsupported geometry — or an active fault injector, whose
+        perturbations live in the scalar simulation seams — falls back
+        to the per-point sweep.
         """
-        gpu_points = self._sweep_gpu(soc)
-        cpu_points = self._sweep_cpu(soc)
+        gpu_points = cpu_points = None
+        if self.vectorized:
+            gpu_points, cpu_points = self._sweep_vectorized(soc)
+        if gpu_points is None:
+            gpu_points = self._sweep_gpu(soc)
+            cpu_points = self._sweep_cpu(soc)
         gpu_peak = gpu_peak_throughput or max(p.sc_throughput for p in gpu_points)
         cpu_peak = cpu_peak_throughput or max(p.sc_throughput for p in cpu_points)
         gpu_analysis = analyze_sweep(

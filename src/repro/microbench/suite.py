@@ -5,13 +5,15 @@ characterization consumes all three) and assembles the
 :class:`~repro.model.device.DeviceCharacterization` the decision flow
 needs.  Characterizations are cached per board name — the paper's
 workflow characterizes a device once and reuses the result across
-applications.
+applications — and, when a :class:`~repro.perf.cache.CharacterizationCache`
+is attached, persisted on disk across processes under a content hash
+of the board and the suite's parameters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.errors import MicrobenchmarkError, ModelError
 from repro.microbench.first import FirstBenchResult, FirstMicroBenchmark
@@ -20,6 +22,9 @@ from repro.microbench.third import ThirdBenchResult, ThirdMicroBenchmark
 from repro.model.device import DeviceCharacterization
 from repro.soc.board import BoardConfig
 from repro.soc.soc import SoC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.cache import CharacterizationCache
 
 #: MB3's paper-scale data set is 2^27 floats; characterization runs use
 #: the same virtual-stream machinery, so the full size is affordable.
@@ -43,10 +48,19 @@ class MicrobenchmarkSuite:
         first: Optional[FirstMicroBenchmark] = None,
         second: Optional[SecondMicroBenchmark] = None,
         third: Optional[ThirdMicroBenchmark] = None,
+        cache: Optional["CharacterizationCache"] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.first = first or FirstMicroBenchmark()
         self.second = second or SecondMicroBenchmark()
         self.third = third or ThirdMicroBenchmark(num_elements=_SUITE_MB3_ELEMENTS)
+        if cache is None and cache_dir is not None:
+            from repro.perf.cache import CharacterizationCache
+
+            cache = CharacterizationCache(cache_dir)
+        #: Optional persistent on-disk cache; ``None`` keeps the suite's
+        #: persistence opt-in (the CLI turns it on by default).
+        self.cache = cache
         self._cache: Dict[str, DeviceCharacterization] = {}
         self._raw: Dict[str, SuiteResults] = {}
 
@@ -64,9 +78,57 @@ class MicrobenchmarkSuite:
         self._raw[board.name] = results
         return results
 
+    def cache_signature(self) -> Dict[str, Any]:
+        """The micro-benchmark parameters a persistent entry is keyed
+        by — any change re-keys (and thereby invalidates) the entry."""
+        return {
+            "first": {
+                "matrix_fraction_of_llc": self.first.matrix_fraction_of_llc,
+                "gpu_sweep_repeats": self.first.gpu_sweep_repeats,
+            },
+            "second": {
+                "fractions": list(self.second.fractions),
+                "array_bytes": self.second.array_bytes,
+                "sweep_repeats": self.second.sweep_repeats,
+            },
+            "third": {
+                "num_elements": self.third.num_elements,
+                "cpu_balance": self.third.cpu_balance,
+            },
+        }
+
+    def _persistent_load(self, board: BoardConfig):
+        if self.cache is None:
+            return None
+        from repro.robustness.inject import injection_active
+
+        if injection_active():
+            # A cached result was computed outside the fault plan's
+            # reach; using it would mask the injected faults.
+            return None
+        return self.cache.load(board, self.cache_signature())
+
+    def _persistent_store(
+        self, board: BoardConfig, device: DeviceCharacterization
+    ) -> None:
+        if self.cache is None:
+            return
+        from repro.robustness.inject import injection_active
+
+        if injection_active():
+            # Never persist a perturbed characterization.
+            return
+        self.cache.store(board, self.cache_signature(), device)
+
     def characterize(self, board: BoardConfig, force: bool = False,
                      retries: int = 0) -> DeviceCharacterization:
         """Characterize ``board`` (cached by board name).
+
+        With a persistent cache attached, a content-hash hit (same
+        board, same micro-benchmark parameters, same package version)
+        skips the suite entirely; ``force=True`` recomputes and
+        refreshes both caches.  Fault injection bypasses the persistent
+        cache in both directions.
 
         ``retries`` bounds the additional attempts made when a sweep
         fails to locate a threshold or yields an inconsistent
@@ -79,6 +141,11 @@ class MicrobenchmarkSuite:
         """
         if not force and board.name in self._cache:
             return self._cache[board.name]
+        if not force:
+            persisted = self._persistent_load(board)
+            if persisted is not None:
+                self._cache[board.name] = persisted
+                return persisted
         attempts = max(1, retries + 1)
         last_error = None
         for attempt in range(attempts):
@@ -99,7 +166,54 @@ class MicrobenchmarkSuite:
                          "last_error": last_error.to_dict()},
             ) from last_error
         self._cache[board.name] = characterization
+        self._persistent_store(board, characterization)
         return characterization
+
+    def characterize_many(
+        self,
+        boards: Sequence[BoardConfig],
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+        force: bool = False,
+    ) -> List[DeviceCharacterization]:
+        """Characterize several boards, fanning out over processes.
+
+        Results keep the input order.  Boards already satisfied by the
+        in-memory or persistent cache are answered inline; only the
+        remaining suite runs are distributed.  The workers rebuild this
+        suite from its parameters (the suite object itself never
+        crosses the process boundary) and the parent re-integrates
+        their results into both caches.
+        """
+        from repro.perf.parallel import ParallelRunner
+        from repro.robustness.inject import injection_active
+
+        boards = list(boards)
+        if injection_active():
+            # Worker processes would escape the injector's patches.
+            return [self.characterize(b, force=force) for b in boards]
+        pending = []
+        for board in boards:
+            if force:
+                pending.append(board)
+            elif board.name not in self._cache:
+                persisted = self._persistent_load(board)
+                if persisted is not None:
+                    self._cache[board.name] = persisted
+                else:
+                    pending.append(board)
+        if pending:
+            runner = ParallelRunner(max_workers=max_workers, parallel=parallel)
+            jobs = [
+                (board, self.cache_signature(), self.second.vectorized)
+                for board in pending
+            ]
+            for board, device in zip(
+                pending, runner.map(_characterize_worker, jobs)
+            ):
+                self._cache[board.name] = device
+                self._persistent_store(board, device)
+        return [self.characterize(b) for b in boards]
 
     def _characterize_once(self, board: BoardConfig) -> DeviceCharacterization:
         """One uncached characterization attempt."""
@@ -118,3 +232,18 @@ class MicrobenchmarkSuite:
     def raw_results(self, board_name: str) -> Optional[SuiteResults]:
         """Raw micro-benchmark results of the last run on a board."""
         return self._raw.get(board_name)
+
+
+def _characterize_worker(job) -> DeviceCharacterization:
+    """One board's characterization in a worker process.
+
+    Module-level (picklable); rebuilds an equivalent suite from the
+    signature so the parent's suite object stays in the parent.
+    """
+    board, signature, vectorized = job
+    suite = MicrobenchmarkSuite(
+        first=FirstMicroBenchmark(**signature["first"]),
+        second=SecondMicroBenchmark(vectorized=vectorized, **signature["second"]),
+        third=ThirdMicroBenchmark(**signature["third"]),
+    )
+    return suite.characterize(board)

@@ -19,7 +19,7 @@ everything in one :class:`TuningReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
@@ -76,13 +76,18 @@ class TuningReport:
 class Framework:
     """Device characterization + profiling + recommendation."""
 
-    def __init__(self, suite: Optional["MicrobenchmarkSuite"] = None) -> None:
+    def __init__(self, suite: Optional["MicrobenchmarkSuite"] = None,
+                 cache_dir: Optional[str] = None) -> None:
         if suite is None:
             # Imported here to keep repro.model importable from the
             # micro-benchmarks without a cycle.
             from repro.microbench.suite import MicrobenchmarkSuite
 
-            suite = MicrobenchmarkSuite()
+            suite = MicrobenchmarkSuite(cache_dir=cache_dir)
+        elif cache_dir is not None and suite.cache is None:
+            from repro.perf.cache import CharacterizationCache
+
+            suite.cache = CharacterizationCache(cache_dir)
         self.suite = suite
 
     # ------------------------------------------------------------------
@@ -196,6 +201,34 @@ class Framework:
             device=device,
         )
         return device, profile, recommendation
+
+    def tune_many(self, workloads: Sequence[Workload], board: BoardConfig,
+                  current_model: str = "SC",
+                  strict: bool = True) -> List[TuningReport]:
+        """Tune several applications against one board in one call.
+
+        This is the paper's characterize-once / tune-many workflow as
+        an API: the device characterization (the expensive stage) runs
+        at most once — straight from the suite's cache when available —
+        and each workload adds only its own profiling run.  Reports
+        keep the input order.
+        """
+        if strict:
+            self.characterize(board)  # shared by every report below
+        else:
+            # Degraded mode absorbs a failed characterization per
+            # report; warming the suite cache is best-effort only.
+            try:
+                self.characterize(
+                    board, retries=self.DEGRADED_CHARACTERIZE_RETRIES
+                )
+            except ReproError:
+                pass
+        return [
+            self.tune(workload, board, current_model=current_model,
+                      strict=strict)
+            for workload in workloads
+        ]
 
     def compare_models(self, workload: Workload, board: BoardConfig) -> Dict[str, object]:
         """Measure the workload under all three models (validation runs,

@@ -1,0 +1,189 @@
+"""Persistent on-disk characterization cache.
+
+The paper's workflow characterizes a device once and reuses the result
+across applications; this module extends the suite's in-memory reuse
+across *processes*.  Each entry is one JSON file keyed by a content
+hash over the full :class:`~repro.soc.board.BoardConfig`, the
+micro-benchmark parameters and the package version — editing a board
+preset, re-parameterizing a sweep or upgrading the package all
+invalidate the entry automatically.  ``repro cache clear`` (or
+:meth:`CharacterizationCache.clear`) invalidates explicitly.
+
+Entries are written atomically (temp file + ``os.replace``) and any
+unreadable, corrupt or key-mismatched file is treated as a miss, so a
+stale or damaged cache can slow a run down but never change a result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, List, Mapping, Optional
+
+import repro
+from repro.model.device import DeviceCharacterization
+from repro.model.thresholds import SweepPoint, ThresholdAnalysis
+from repro.soc.board import BoardConfig
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/characterizations``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro" / "characterizations"
+
+
+# ----------------------------------------------------------------------
+# (de)serialization
+# ----------------------------------------------------------------------
+
+
+def _analysis_to_dict(analysis: ThresholdAnalysis) -> Dict[str, Any]:
+    return {
+        "threshold_pct": analysis.threshold_pct,
+        "threshold_fraction": analysis.threshold_fraction,
+        "zone2_pct": analysis.zone2_pct,
+        "zone2_fraction": analysis.zone2_fraction,
+        "peak_throughput": analysis.peak_throughput,
+        "points": [dataclasses.asdict(p) for p in analysis.points],
+    }
+
+
+def _analysis_from_dict(data: Mapping[str, Any]) -> ThresholdAnalysis:
+    return ThresholdAnalysis(
+        threshold_pct=data["threshold_pct"],
+        threshold_fraction=data["threshold_fraction"],
+        zone2_pct=data["zone2_pct"],
+        zone2_fraction=data["zone2_fraction"],
+        peak_throughput=data["peak_throughput"],
+        points=[SweepPoint(**p) for p in data["points"]],
+    )
+
+
+def characterization_to_dict(device: DeviceCharacterization) -> Dict[str, Any]:
+    """JSON-friendly view of a characterization (round-trips exactly)."""
+    return {
+        "board_name": device.board_name,
+        "io_coherent": device.io_coherent,
+        "gpu_cache_throughput": dict(device.gpu_cache_throughput),
+        "cpu_cache_throughput": dict(device.cpu_cache_throughput),
+        "gpu_thresholds": _analysis_to_dict(device.gpu_thresholds),
+        "cpu_thresholds": _analysis_to_dict(device.cpu_thresholds),
+        "sc_zc_max_speedup": device.sc_zc_max_speedup,
+        "zc_sc_max_speedup": device.zc_sc_max_speedup,
+    }
+
+
+def characterization_from_dict(data: Mapping[str, Any]) -> DeviceCharacterization:
+    """Rebuild a characterization from :func:`characterization_to_dict`."""
+    return DeviceCharacterization(
+        board_name=data["board_name"],
+        io_coherent=data["io_coherent"],
+        gpu_cache_throughput=dict(data["gpu_cache_throughput"]),
+        cpu_cache_throughput=dict(data["cpu_cache_throughput"]),
+        gpu_thresholds=_analysis_from_dict(data["gpu_thresholds"]),
+        cpu_thresholds=_analysis_from_dict(data["cpu_thresholds"]),
+        sc_zc_max_speedup=data["sc_zc_max_speedup"],
+        zc_sc_max_speedup=data["zc_sc_max_speedup"],
+    )
+
+
+def cache_key(board: BoardConfig, signature: Mapping[str, Any]) -> str:
+    """Content hash identifying one characterization's inputs."""
+    payload = {
+        "board": dataclasses.asdict(board),
+        "microbench": dict(signature),
+        "version": repro.__version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+
+
+class CharacterizationCache:
+    """A directory of characterization JSON entries."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = pathlib.Path(directory) if directory is not None \
+            else default_cache_dir()
+
+    def _path(self, board_name: str, key: str) -> pathlib.Path:
+        return self.directory / f"{board_name}-{key[:16]}.json"
+
+    def load(
+        self, board: BoardConfig, signature: Mapping[str, Any]
+    ) -> Optional[DeviceCharacterization]:
+        """The cached characterization for these exact inputs, or None."""
+        key = cache_key(board, signature)
+        path = self._path(board.name, key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("key") != key:
+            return None
+        try:
+            return characterization_from_dict(data["device"])
+        except Exception:
+            # A corrupt or incompatible entry is a miss, never an error.
+            return None
+
+    def store(
+        self,
+        board: BoardConfig,
+        signature: Mapping[str, Any],
+        device: DeviceCharacterization,
+    ) -> pathlib.Path:
+        """Persist one characterization atomically; returns its path."""
+        key = cache_key(board, signature)
+        path = self._path(board.name, key)
+        payload = {
+            "key": key,
+            "board": board.name,
+            "version": repro.__version__,
+            "device": characterization_to_dict(device),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.directory), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> List[pathlib.Path]:
+        """Entry files currently on disk (sorted)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

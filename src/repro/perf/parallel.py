@@ -1,0 +1,75 @@
+"""Process-based parallel fan-out with a graceful serial fallback.
+
+Characterizing several boards (or benchmarking an app grid) is
+embarrassingly parallel: every item builds its own fresh
+:class:`~repro.soc.soc.SoC`, so the tasks share nothing.
+:class:`ParallelRunner` maps a picklable worker over the items with a
+:class:`~concurrent.futures.ProcessPoolExecutor`, preserving input
+order, and silently degrades to the serial path when a pool cannot be
+used (sandboxed interpreters, non-picklable workers, broken pools).
+Exceptions raised *by the task itself* always propagate — the fallback
+only absorbs infrastructure failures.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers(num_items: int) -> int:
+    """Worker count bounded by the host and the work available."""
+    return max(1, min(num_items, os.cpu_count() or 1))
+
+
+class ParallelRunner:
+    """Ordered ``map`` over a process pool, serial when it must be."""
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 parallel: bool = True) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.parallel = parallel
+        #: How the last :meth:`map` actually ran ("parallel"/"serial").
+        self.last_mode: Optional[str] = None
+
+    def map(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``worker`` to every item; results keep input order."""
+        items = list(items)
+        if not items:
+            self.last_mode = "serial"
+            return []
+        workers = self.max_workers or default_workers(len(items))
+        if not self.parallel or workers == 1 or len(items) == 1 \
+                or not _picklable(worker, items):
+            return self._serial(worker, items)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(worker, items))
+        except (BrokenProcessPool, OSError, pickle.PicklingError):
+            # Pool infrastructure failed (fork unavailable, result not
+            # picklable, worker process died): redo the work serially.
+            return self._serial(worker, items)
+        self.last_mode = "parallel"
+        return results
+
+    def _serial(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        self.last_mode = "serial"
+        return [worker(item) for item in items]
+
+
+def _picklable(worker, items) -> bool:
+    """Whether the task can cross a process boundary at all."""
+    try:
+        pickle.dumps(worker)
+        pickle.dumps(items)
+    except Exception:
+        return False
+    return True

@@ -25,7 +25,12 @@ see :mod:`repro.model.decision`).
 
 from repro.robustness.faults import FaultKind, FaultPlan, FaultSpec
 from repro.robustness.guards import SoCGuards, ValidationReport, validate
-from repro.robustness.inject import FaultInjector, InjectionEvent, inject_faults
+from repro.robustness.inject import (
+    FaultInjector,
+    InjectionEvent,
+    inject_faults,
+    injection_active,
+)
 
 __all__ = [
     "FaultKind",
@@ -34,6 +39,7 @@ __all__ = [
     "FaultInjector",
     "InjectionEvent",
     "inject_faults",
+    "injection_active",
     "SoCGuards",
     "ValidationReport",
     "validate",

@@ -44,6 +44,17 @@ from repro.soc.soc import SoC
 _ACTIVE: List["FaultInjector"] = []
 
 
+def injection_active() -> bool:
+    """Whether a fault injector is currently patched in.
+
+    Fast paths that skip simulation seams (the vectorized sweeps, the
+    persistent characterization cache) must consult this and fall back
+    to the full scalar path, or an injected fault could be masked by a
+    result computed — or cached — outside its reach.
+    """
+    return bool(_ACTIVE)
+
+
 @dataclass(frozen=True)
 class InjectionEvent:
     """One fault that actually fired."""

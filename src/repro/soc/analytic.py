@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.soc.cache import CacheConfig
 from repro.soc.stream import AccessStream, PatternKind
@@ -231,12 +233,15 @@ def estimate_level(
     cold_start: bool = True,
 ) -> LevelEstimate:
     """Estimate one cache level's response to a stream summary."""
+    if summary.total == 0:
+        # An idle stream is idle regardless of its pattern tag — empty
+        # CUSTOM streams (a task with no memory pattern) must not trip
+        # the supported-pattern check below.
+        return LevelEstimate(0, 0, 0, 0, 0, 0)
     if not supports(summary.pattern):
         raise SimulationError(
             f"analytic estimator does not support pattern {summary.pattern}"
         )
-    if summary.total == 0:
-        return LevelEstimate(0, 0, 0, 0, 0, 0)
     if not enabled:
         return _estimate_disabled(summary)
     if summary.pattern is PatternKind.SINGLE_ADDRESS:
@@ -292,6 +297,277 @@ def derive_miss_summaries(
     cold_only = estimate.cold_misses - warm
     if cold_only > 0:
         components.append(component(cold_only, 1))
+    return components
+
+
+# ----------------------------------------------------------------------
+# vectorized batch layer
+# ----------------------------------------------------------------------
+#
+# The estimators above answer one stream at a time; a micro-benchmark
+# sweep asks the same question for dozens of streams that differ only in
+# their shape parameters.  A SummaryBatch carries those parameters as
+# arrays so one sweep is a handful of numpy expressions instead of a
+# Python loop; the arithmetic mirrors the scalar estimators line for
+# line and is cross-validated against them in ``tests/perf``.
+
+
+@dataclass(frozen=True)
+class SummaryBatch:
+    """N stream summaries sharing one pattern, as parallel arrays."""
+
+    pattern: PatternKind
+    per_pass: np.ndarray
+    repeats: np.ndarray
+    footprint_bytes: np.ndarray
+    write_fraction: np.ndarray
+    transaction_size: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        pattern: PatternKind,
+        per_pass,
+        repeats,
+        footprint_bytes,
+        write_fraction,
+        transaction_size,
+    ) -> "SummaryBatch":
+        """Broadcast scalars/sequences into aligned int64/float arrays."""
+        per_pass = np.atleast_1d(np.asarray(per_pass, dtype=np.int64))
+        n = len(per_pass)
+
+        def as_int(value):
+            return np.broadcast_to(
+                np.asarray(value, dtype=np.int64), (n,)
+            ).copy()
+
+        return cls(
+            pattern=pattern,
+            per_pass=per_pass,
+            repeats=as_int(repeats),
+            footprint_bytes=as_int(footprint_bytes),
+            write_fraction=np.broadcast_to(
+                np.asarray(write_fraction, dtype=np.float64), (n,)
+            ).copy(),
+            transaction_size=as_int(transaction_size),
+        )
+
+    def __len__(self) -> int:
+        return len(self.per_pass)
+
+    @property
+    def total(self) -> np.ndarray:
+        """Transactions across all replays, per stream."""
+        return self.per_pass * self.repeats
+
+    @property
+    def total_bytes(self) -> np.ndarray:
+        """Bytes moved across all replays, per stream."""
+        return self.total * self.transaction_size
+
+    def summary(self, index: int) -> StreamSummary:
+        """The scalar summary of stream ``index`` (for cross-checks)."""
+        return StreamSummary(
+            pattern=self.pattern,
+            per_pass=int(self.per_pass[index]),
+            repeats=int(self.repeats[index]),
+            footprint_bytes=int(self.footprint_bytes[index]),
+            write_fraction=float(self.write_fraction[index]),
+            transaction_size=int(self.transaction_size[index]),
+        )
+
+
+@dataclass(frozen=True)
+class LevelEstimateBatch:
+    """Per-stream :class:`LevelEstimate` fields as arrays."""
+
+    accesses: np.ndarray
+    hits: np.ndarray
+    misses: np.ndarray
+    writeback_lines: np.ndarray
+    cold_misses: np.ndarray
+    warm_misses_per_pass: np.ndarray
+
+
+def _ceil_div(numerator: np.ndarray, denominator: int) -> np.ndarray:
+    return -(-numerator // denominator)
+
+
+def _estimate_disabled_batch(batch: SummaryBatch) -> LevelEstimateBatch:
+    total = batch.total
+    return LevelEstimateBatch(
+        accesses=total,
+        hits=np.zeros_like(total),
+        misses=total,
+        writeback_lines=np.zeros_like(total),
+        cold_misses=batch.per_pass.copy(),
+        warm_misses_per_pass=batch.per_pass.copy(),
+    )
+
+
+def _estimate_single_address_batch(
+    batch: SummaryBatch, cold_start: bool
+) -> LevelEstimateBatch:
+    total = batch.total
+    misses = np.where(total > 0, 1 if cold_start else 0, 0).astype(np.int64)
+    return LevelEstimateBatch(
+        accesses=total,
+        hits=total - misses,
+        misses=misses,
+        writeback_lines=np.zeros_like(total),
+        cold_misses=misses,
+        warm_misses_per_pass=np.zeros_like(total),
+    )
+
+
+def _estimate_sparse_batch(
+    batch: SummaryBatch, config: CacheConfig, cold_start: bool
+) -> LevelEstimateBatch:
+    total = batch.total
+    footprint = batch.footprint_bytes
+    lines = np.where(footprint > 0, _ceil_div(footprint, config.line_size), 0)
+    fits = footprint <= config.size_bytes * CAPACITY_FACTOR
+    cold_fit = (
+        np.minimum(batch.per_pass, lines) if cold_start else np.zeros_like(lines)
+    )
+    cold = np.where(fits, cold_fit, batch.per_pass)
+    warm = np.where(fits, 0, batch.per_pass)
+    misses = np.where(fits, cold_fit, total)
+    if config.write_back:
+        writebacks = np.where(
+            fits, 0, (total * batch.write_fraction).astype(np.int64)
+        )
+    else:
+        writebacks = np.zeros_like(total)
+    return LevelEstimateBatch(
+        accesses=total,
+        hits=total - misses,
+        misses=misses,
+        writeback_lines=writebacks,
+        cold_misses=cold,
+        warm_misses_per_pass=warm,
+    )
+
+
+def _estimate_sweep_batch(
+    batch: SummaryBatch, config: CacheConfig, cold_start: bool
+) -> LevelEstimateBatch:
+    total = batch.total
+    footprint = batch.footprint_bytes
+    lines = np.where(
+        footprint > 0,
+        np.minimum(
+            batch.per_pass,
+            np.maximum(1, _ceil_div(footprint, config.line_size)),
+        ),
+        0,
+    )
+    sets = config.num_sets
+    ways = config.ways
+    floor_lines = lines // sets
+    overfull_sets = lines % sets
+    fits = floor_lines + (overfull_sets > 0) <= ways
+    full_thrash = floor_lines > ways
+    thrashing_lines = np.where(
+        fits, 0, np.where(full_thrash, lines, overfull_sets * (floor_lines + 1))
+    )
+    thrashing_sets = np.where(
+        fits, 0, np.where(full_thrash, sets, overfull_sets)
+    )
+    cold = lines if cold_start else thrashing_lines
+    warm = thrashing_lines
+    misses = np.minimum(cold + warm * (batch.repeats - 1), total)
+    has_writes = (batch.write_fraction > 0.0) & config.write_back
+    writebacks = np.where(
+        has_writes & (thrashing_lines > 0),
+        np.maximum(0, thrashing_lines * batch.repeats - thrashing_sets * ways),
+        0,
+    )
+    return LevelEstimateBatch(
+        accesses=total,
+        hits=total - misses,
+        misses=misses,
+        writeback_lines=writebacks,
+        cold_misses=cold,
+        warm_misses_per_pass=warm,
+    )
+
+
+def estimate_level_batch(
+    batch: SummaryBatch,
+    config: CacheConfig,
+    enabled: bool = True,
+    cold_start: bool = True,
+) -> LevelEstimateBatch:
+    """Vectorized :func:`estimate_level` over a batch of summaries.
+
+    Streams with zero transactions contribute all-zero rows, matching
+    the scalar early return.
+    """
+    if not supports(batch.pattern):
+        raise SimulationError(
+            f"analytic estimator does not support pattern {batch.pattern}"
+        )
+    if not enabled:
+        est = _estimate_disabled_batch(batch)
+    elif batch.pattern is PatternKind.SINGLE_ADDRESS:
+        est = _estimate_single_address_batch(batch, cold_start)
+    elif batch.pattern is PatternKind.SPARSE:
+        est = _estimate_sparse_batch(batch, config, cold_start)
+    else:
+        est = _estimate_sweep_batch(batch, config, cold_start)
+    idle = batch.total == 0
+    if not idle.any():
+        return est
+    keep = ~idle
+    return LevelEstimateBatch(
+        accesses=est.accesses * keep,
+        hits=est.hits * keep,
+        misses=est.misses * keep,
+        writeback_lines=est.writeback_lines * keep,
+        cold_misses=est.cold_misses * keep,
+        warm_misses_per_pass=est.warm_misses_per_pass * keep,
+    )
+
+
+def derive_miss_batches(
+    batch: SummaryBatch,
+    estimate: LevelEstimateBatch,
+    level_config: CacheConfig,
+    level_enabled: bool,
+) -> List[SummaryBatch]:
+    """Vectorized :func:`derive_miss_summaries`.
+
+    Instead of dropping empty components per stream, components keep
+    their full batch width with zeroed rows: a row with ``per_pass == 0``
+    is estimated as all-zero downstream, so the totals match the scalar
+    chain exactly.
+    """
+    if not level_enabled:
+        return [batch]
+    line = level_config.line_size
+    pattern = batch.pattern
+    if pattern is PatternKind.SINGLE_ADDRESS:
+        pattern = PatternKind.LINEAR
+
+    def component(per_pass: np.ndarray, repeats: np.ndarray) -> SummaryBatch:
+        return SummaryBatch(
+            pattern=pattern,
+            per_pass=per_pass,
+            repeats=repeats,
+            footprint_bytes=per_pass * line,
+            write_fraction=np.zeros(len(batch), dtype=np.float64),
+            transaction_size=np.full(len(batch), line, dtype=np.int64),
+        )
+
+    components: List[SummaryBatch] = []
+    warm = estimate.warm_misses_per_pass
+    if warm.any():
+        components.append(component(warm, batch.repeats))
+    cold_only = np.maximum(estimate.cold_misses - warm, 0)
+    if cold_only.any():
+        components.append(component(cold_only, np.ones_like(cold_only)))
     return components
 
 

@@ -21,12 +21,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Union
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.soc.address import RegionKind
+from repro.soc.analytic import SummaryBatch
 from repro.soc.cache import CacheConfig
 from repro.soc.dram import DRAMModel
 from repro.soc.hierarchy import CacheHierarchy, LevelSpec, merge_memory_results
-from repro.soc.phase import PhaseResult, combine_compute_memory
+from repro.soc.phase import (
+    BatchPhaseResult,
+    PhaseResult,
+    combine_compute_memory,
+    combine_compute_memory_array,
+)
 from repro.soc.stream import AccessStream, PatternKind
 
 
@@ -181,6 +189,77 @@ class CPUModel:
             time_s=total,
             memory=merged,
         )
+
+    def run_batch(
+        self,
+        compute_cycles: np.ndarray,
+        batch: SummaryBatch,
+        uncached_bandwidth: float = 0.0,
+        uncached_latency_s: float = 0.0,
+        pinned: bool = True,
+    ) -> BatchPhaseResult:
+        """Execute N single-stream routines at once on the analytic path.
+
+        Mirrors :meth:`run` for the sweep case (one stream per routine):
+        the uncached zero-copy treatment, the pattern-dependent latency
+        penalty and the serial handling of dependent single-address
+        chains are all applied per row.
+        """
+        compute_cycles = np.asarray(compute_cycles, dtype=np.float64)
+        uncached = uncached_bandwidth > 0 and pinned
+        saved_port = self.hierarchy.memory_port_bandwidth
+        if uncached:
+            self.hierarchy.set_all_enabled(False)
+            self.hierarchy.memory_port_bandwidth = uncached_bandwidth
+        try:
+            memory = self.hierarchy.process_summaries(batch)
+        finally:
+            if uncached:
+                self.hierarchy.set_all_enabled(True)
+            self.hierarchy.memory_port_bandwidth = saved_port
+        piece = memory.streaming_time_s + memory.exposed_latency_s
+        if uncached:
+            piece = piece + self._uncached_penalty_batch(
+                batch, uncached_latency_s
+            )
+        compute_s = compute_cycles / (self.config.frequency_hz * self.config.ipc)
+        if batch.pattern is PatternKind.SINGLE_ADDRESS:
+            serial = piece
+            hidable = np.zeros_like(piece)
+        else:
+            serial = np.zeros_like(piece)
+            hidable = piece
+        total = (
+            combine_compute_memory_array(
+                compute_s, hidable, self.config.memory_hide_factor
+            )
+            + serial
+        )
+        return BatchPhaseResult(
+            processor="cpu",
+            compute_time_s=compute_s,
+            memory_time_s=piece,
+            time_s=total,
+            memory=memory,
+        )
+
+    def _uncached_penalty_batch(
+        self, batch: SummaryBatch, uncached_latency_s: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`_uncached_latency_penalty`."""
+        if uncached_latency_s <= 0:
+            return np.zeros(len(batch), dtype=np.float64)
+        total = batch.total.astype(np.float64)
+        if batch.pattern is PatternKind.SINGLE_ADDRESS:
+            return total * uncached_latency_s
+        if batch.pattern in (
+            PatternKind.STRIDED,
+            PatternKind.SPARSE,
+            PatternKind.TILED,
+            PatternKind.CUSTOM,
+        ):
+            return total * uncached_latency_s / self.config.mlp
+        return np.zeros(len(batch), dtype=np.float64)
 
     def _uncached_latency_penalty(
         self,

@@ -24,10 +24,16 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.soc.address import RegionKind
+from repro.soc.analytic import SummaryBatch
 from repro.soc.cache import CacheConfig
 from repro.soc.dram import DRAMModel
 from repro.soc.hierarchy import CacheHierarchy, LevelSpec, merge_memory_results
-from repro.soc.phase import PhaseResult, combine_compute_memory
+from repro.soc.phase import (
+    BatchPhaseResult,
+    PhaseResult,
+    combine_compute_memory,
+    combine_compute_memory_array,
+)
 from repro.soc.stream import AccessStream, PatternKind
 
 
@@ -227,5 +233,48 @@ class GPUModel:
             compute_time_s=compute_s,
             memory_time_s=memory_s,
             time_s=total,
+            memory=memory,
+        )
+
+    def run_batch(
+        self,
+        total_flops: np.ndarray,
+        batch: SummaryBatch,
+        uncached_bandwidth: float = 0.0,
+        extra_latency_s: float = 0.0,
+        pinned: bool = True,
+    ) -> BatchPhaseResult:
+        """Execute N kernels at once on the analytic fast path.
+
+        Each row of ``batch`` is one (already coalesced) kernel stream;
+        ``total_flops`` is the matching per-kernel compute demand.  The
+        zero-copy treatment mirrors :meth:`run`: when
+        ``uncached_bandwidth`` is positive and the streams are
+        ``pinned``, the caches are bypassed, the DRAM port is capped and
+        each kernel pays the snoop latency once.
+        """
+        total_flops = np.asarray(total_flops, dtype=np.float64)
+        uncached = uncached_bandwidth > 0 and pinned
+        saved_port = self.hierarchy.memory_port_bandwidth
+        if uncached:
+            self.hierarchy.set_all_enabled(False)
+            self.hierarchy.memory_port_bandwidth = uncached_bandwidth
+        try:
+            memory = self.hierarchy.process_summaries(batch)
+        finally:
+            if uncached:
+                self.hierarchy.set_all_enabled(True)
+            self.hierarchy.memory_port_bandwidth = saved_port
+        snoop_penalty_s = extra_latency_s if uncached else 0.0
+        compute_s = total_flops / self.peak_flops
+        memory_s = (
+            memory.streaming_time_s + memory.exposed_latency_s + snoop_penalty_s
+        )
+        busy = combine_compute_memory_array(compute_s, memory_s, hide_factor=1.0)
+        return BatchPhaseResult(
+            processor="gpu",
+            compute_time_s=compute_s,
+            memory_time_s=memory_s,
+            time_s=busy + self.config.kernel_launch_overhead_s,
             memory=memory,
         )

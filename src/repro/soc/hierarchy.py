@@ -385,6 +385,92 @@ class CacheHierarchy:
         )
         return self._combine(stream, [raw], [1.0])
 
+    # -- batch analytic path ----------------------------------------------
+
+    def process_summaries(
+        self, batch: analytic.SummaryBatch, record_dram: bool = True
+    ) -> "BatchMemoryResult":
+        """Serve N stream summaries at once on the analytic path.
+
+        This is :meth:`_process_analytic` vectorized over a
+        :class:`~repro.soc.analytic.SummaryBatch`: every per-level
+        estimate, miss-component derivation, stage-byte account and
+        timing reduction is one array expression, so a whole
+        micro-benchmark sweep costs a handful of numpy ops.  Per-stream
+        results match ``process(..., mode="analytic")`` exactly (the
+        arithmetic is identical; the equivalence is pinned by
+        ``tests/perf``).
+        """
+        n = len(batch)
+        batches: List[analytic.SummaryBatch] = [batch]
+        stage_bytes: List[np.ndarray] = []
+        writeback_bytes_from_above = np.zeros(n, dtype=np.float64)
+        for cache in self.caches:
+            level_bytes = np.zeros(n, dtype=np.float64)
+            level_writebacks = np.zeros(n, dtype=np.int64)
+            next_batches: List[analytic.SummaryBatch] = []
+            for component in batches:
+                est = analytic.estimate_level_batch(
+                    component, cache.config, cache.enabled
+                )
+                level_bytes += component.total * component.transaction_size
+                level_writebacks += est.writeback_lines
+                next_batches.extend(
+                    analytic.derive_miss_batches(
+                        component, est, cache.config, cache.enabled
+                    )
+                )
+            stage_bytes.append(level_bytes + writeback_bytes_from_above)
+            writeback_bytes_from_above = (
+                writeback_bytes_from_above
+                + level_writebacks * cache.config.line_size
+            )
+            batches = next_batches
+
+        dram_read = np.zeros(n, dtype=np.float64)
+        dram_write = np.zeros(n, dtype=np.float64)
+        dram_transactions = np.zeros(n, dtype=np.int64)
+        for component in batches:
+            total = component.total
+            write_txns = (total * component.write_fraction).astype(np.int64)
+            dram_transactions += total
+            dram_read += (total - write_txns) * component.transaction_size
+            dram_write += write_txns * component.transaction_size
+        dram_write = dram_write + writeback_bytes_from_above
+
+        dram_bandwidth = min(
+            self.memory_port_bandwidth, self.dram.config.effective_bandwidth
+        )
+        streaming = np.zeros(n, dtype=np.float64)
+        for i, cache in enumerate(self.caches):
+            if cache.enabled:
+                streaming = np.maximum(
+                    streaming,
+                    np.where(
+                        stage_bytes[i] > 0,
+                        stage_bytes[i] / self.specs[i].bandwidth,
+                        0.0,
+                    ),
+                )
+        dram_bytes = dram_read + dram_write
+        streaming = np.maximum(
+            streaming, np.where(dram_bytes > 0, dram_bytes / dram_bandwidth, 0.0)
+        )
+        exposed = np.where(
+            dram_transactions > 0, self.dram.config.latency_s, 0.0
+        )
+        if record_dram:
+            self.dram.record(int(dram_read.sum()), int(dram_write.sum()))
+        return BatchMemoryResult(
+            transactions=batch.total,
+            bytes_requested=batch.total_bytes,
+            dram_read_bytes=dram_read,
+            dram_write_bytes=dram_write,
+            dram_transactions=dram_transactions,
+            streaming_time_s=streaming,
+            exposed_latency_s=exposed,
+        )
+
     # -- shared assembly ---------------------------------------------------
 
     def _combine(self, stream: AccessStream, passes: List[dict],
@@ -437,6 +523,40 @@ class CacheHierarchy:
             stage_times=stage_times,
             streaming_time_s=streaming_time,
             exposed_latency_s=exposed_latency,
+        )
+
+
+@dataclass(frozen=True)
+class BatchMemoryResult:
+    """Per-stream memory outcomes of :meth:`CacheHierarchy.process_summaries`.
+
+    Every field is an array aligned with the input batch; the fields
+    mirror the :class:`MemoryResult` quantities the processor models
+    consume for timing (per-level traffic detail is not materialized on
+    the batch path — sweeps only need the time/bytes reduction).
+    """
+
+    transactions: np.ndarray
+    bytes_requested: np.ndarray
+    dram_read_bytes: np.ndarray
+    dram_write_bytes: np.ndarray
+    dram_transactions: np.ndarray
+    streaming_time_s: np.ndarray
+    exposed_latency_s: np.ndarray
+
+    @property
+    def dram_bytes(self) -> np.ndarray:
+        """Total DRAM traffic in bytes, per stream."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def throughput(self) -> np.ndarray:
+        """Requested bytes over streaming time (bytes/s), per stream."""
+        return np.where(
+            self.streaming_time_s > 0,
+            self.bytes_requested / np.where(self.streaming_time_s > 0,
+                                            self.streaming_time_s, 1.0),
+            0.0,
         )
 
 

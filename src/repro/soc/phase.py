@@ -1,10 +1,12 @@
-"""Shared phase-execution result type for the processor models."""
+"""Shared phase-execution result types for the processor models."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.soc.hierarchy import MemoryResult
+import numpy as np
+
+from repro.soc.hierarchy import BatchMemoryResult, MemoryResult
 
 
 @dataclass
@@ -41,6 +43,42 @@ class PhaseResult:
         if self.memory_time_s <= 0:
             return 0.0
         return self.memory.bytes_requested / self.memory_time_s
+
+
+@dataclass(frozen=True)
+class BatchPhaseResult:
+    """Per-stream phase timings of a batch run (arrays aligned with the
+    input :class:`~repro.soc.analytic.SummaryBatch`)."""
+
+    processor: str
+    compute_time_s: np.ndarray
+    memory_time_s: np.ndarray
+    time_s: np.ndarray
+    memory: BatchMemoryResult
+
+    def __len__(self) -> int:
+        return len(self.time_s)
+
+    @property
+    def throughput(self) -> np.ndarray:
+        """Requested bytes over total phase time (bytes/s), per stream."""
+        return np.where(
+            self.time_s > 0,
+            self.memory.bytes_requested / np.where(self.time_s > 0,
+                                                   self.time_s, 1.0),
+            0.0,
+        )
+
+
+def combine_compute_memory_array(
+    compute_s: np.ndarray, memory_s: np.ndarray, hide_factor: float
+) -> np.ndarray:
+    """Vectorized :func:`combine_compute_memory`."""
+    if not 0.0 <= hide_factor <= 1.0:
+        raise ValueError(f"hide_factor must be in [0, 1], got {hide_factor}")
+    longer = np.maximum(compute_s, memory_s)
+    shorter = np.minimum(compute_s, memory_s)
+    return longer + (1.0 - hide_factor) * shorter
 
 
 def combine_compute_memory(

@@ -6,11 +6,30 @@ micro-benchmark characterization is not — it is cached per session.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.microbench.suite import MicrobenchmarkSuite
 from repro.soc.board import get_board, jetson_nano, jetson_tx2, jetson_xavier
 from repro.soc.soc import SoC
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_characterization_cache(tmp_path_factory):
+    """Point the persistent characterization cache at a throwaway dir.
+
+    The CLI enables the on-disk cache by default; without this fixture
+    a CLI test would write under the invoking user's ``~/.cache``.
+    """
+    path = tmp_path_factory.mktemp("characterization-cache")
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
 
 
 @pytest.fixture

@@ -1,0 +1,171 @@
+"""Persistent characterization cache: hits, misses, invalidation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.perf.cache import (
+    CharacterizationCache,
+    cache_key,
+    characterization_from_dict,
+    characterization_to_dict,
+    default_cache_dir,
+)
+from repro.robustness.faults import FaultPlan
+from repro.robustness.inject import inject_faults
+from repro.soc.board import get_board
+
+
+@pytest.fixture(scope="module")
+def tx2_characterization():
+    """One real characterization to persist (computed once)."""
+    suite = MicrobenchmarkSuite()
+    return suite, suite.characterize(get_board("tx2"))
+
+
+def _signature(suite):
+    return suite.cache_signature()
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self, tx2_characterization):
+        _, device = tx2_characterization
+        data = characterization_to_dict(device)
+        rebuilt = characterization_from_dict(json.loads(json.dumps(data)))
+        assert characterization_to_dict(rebuilt) == data
+        assert rebuilt.board_name == device.board_name
+        assert rebuilt.gpu_thresholds.threshold_pct == \
+            device.gpu_thresholds.threshold_pct
+
+    def test_store_then_load(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        board = get_board("tx2")
+        path = cache.store(board, _signature(suite), device)
+        assert path.exists()
+        loaded = cache.load(board, _signature(suite))
+        assert loaded is not None
+        assert characterization_to_dict(loaded) == \
+            characterization_to_dict(device)
+
+    def test_store_is_atomic(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        cache.store(get_board("tx2"), _signature(suite), device)
+        # No stray temp files survive a successful store.
+        assert [p.suffix for p in tmp_path.iterdir()] == [".json"]
+
+
+class TestInvalidation:
+    def test_miss_on_different_board(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        cache.store(get_board("tx2"), _signature(suite), device)
+        assert cache.load(get_board("nano"), _signature(suite)) is None
+
+    def test_miss_on_board_parameter_change(self, tx2_characterization,
+                                            tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        board = get_board("tx2")
+        cache.store(board, _signature(suite), device)
+        tweaked = dataclasses.replace(
+            board,
+            zero_copy=dataclasses.replace(
+                board.zero_copy, gpu_zc_bandwidth=board.zero_copy.gpu_zc_bandwidth * 2
+            ),
+        )
+        assert cache.load(tweaked, _signature(suite)) is None
+
+    def test_miss_on_signature_change(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        board = get_board("tx2")
+        cache.store(board, _signature(suite), device)
+        changed = _signature(suite)
+        changed["second"] = dict(changed["second"], sweep_repeats=99)
+        assert cache.load(board, changed) is None
+
+    def test_key_covers_version(self, tx2_characterization, monkeypatch):
+        suite, _ = tx2_characterization
+        import repro
+
+        board = get_board("tx2")
+        before = cache_key(board, _signature(suite))
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert cache_key(board, _signature(suite)) != before
+
+    def test_corrupt_entry_is_a_miss(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        board = get_board("tx2")
+        path = cache.store(board, _signature(suite), device)
+        path.write_text("{not json")
+        assert cache.load(board, _signature(suite)) is None
+
+    def test_key_mismatch_is_a_miss(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        board = get_board("tx2")
+        path = cache.store(board, _signature(suite), device)
+        data = json.loads(path.read_text())
+        data["key"] = "0" * 64
+        path.write_text(json.dumps(data))
+        assert cache.load(board, _signature(suite)) is None
+
+    def test_clear(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        cache.store(get_board("tx2"), _signature(suite), device)
+        cache.store(get_board("nano"), _signature(suite), device)
+        assert len(cache.entries()) == 2
+        assert cache.clear() == 2
+        assert cache.entries() == []
+        assert cache.clear() == 0
+
+
+class TestSuiteIntegration:
+    def test_characterize_skips_suite_on_hit(self, tmp_path):
+        board = get_board("tx2")
+        warm = MicrobenchmarkSuite(cache_dir=str(tmp_path))
+        first = warm.characterize(board)
+        assert len(CharacterizationCache(tmp_path).entries()) == 1
+
+        cold = MicrobenchmarkSuite(cache_dir=str(tmp_path))
+
+        def explode(*_a, **_k):  # pragma: no cover - must not run
+            raise AssertionError("suite re-ran despite a cache hit")
+
+        cold.run_all = explode
+        loaded = cold.characterize(board)
+        assert characterization_to_dict(loaded) == \
+            characterization_to_dict(first)
+
+    def test_force_recomputes_and_refreshes(self, tmp_path):
+        board = get_board("tx2")
+        suite = MicrobenchmarkSuite(cache_dir=str(tmp_path))
+        suite.characterize(board)
+        entry = CharacterizationCache(tmp_path).entries()[0]
+        before = entry.stat().st_mtime_ns
+        suite.characterize(board, force=True)
+        assert entry.stat().st_mtime_ns >= before
+
+    def test_injection_bypasses_persistence(self, tmp_path):
+        board = get_board("tx2")
+        primed = MicrobenchmarkSuite(cache_dir=str(tmp_path))
+        primed.characterize(board)
+
+        fresh = MicrobenchmarkSuite(cache_dir=str(tmp_path))
+        with inject_faults(FaultPlan(seed=0)):
+            assert fresh._persistent_load(board) is None
+            entries_before = CharacterizationCache(tmp_path).entries()
+            fresh.characterize(board)  # recomputes under the injector
+            assert CharacterizationCache(tmp_path).entries() == entries_before
+        # Outside the injector the persisted entry is visible again.
+        assert fresh._persistent_load(board) is not None
+
+    def test_default_directory_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"

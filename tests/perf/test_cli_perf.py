@@ -1,0 +1,67 @@
+"""CLI surface of the performance layer: ``repro cache`` / ``repro bench``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCacheCommand:
+    def test_info_empty(self, tmp_path, capsys):
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 entry(ies)" in out
+        assert str(tmp_path) in out
+
+    def test_characterize_populates_then_clear(self, tmp_path, capsys):
+        assert main(["characterize", "tx2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry(ies)" in out
+        assert "tx2-" in out
+
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 cached characterization(s)" in out
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_no_cache_flag_leaves_disk_untouched(self, tmp_path, capsys):
+        assert main(["characterize", "tx2", "--no-cache",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestBenchCommand:
+    def test_single_cell_grid(self, tmp_path, capsys):
+        output = tmp_path / "grid.json"
+        assert main([
+            "bench", "--apps", "shwfs", "--boards", "tx2",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(output),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark grid (1 cells" in out
+        cells = json.loads(output.read_text())
+        assert len(cells) == 1
+        assert cells[0]["app"] == "shwfs"
+        assert cells[0]["board"] == "tx2"
+        assert set(cells[0]["time_per_iteration_s"]) == {"SC", "UM", "ZC"}
+
+    def test_grid_matches_paper_recommendations(self, tmp_path, capsys):
+        # Table III/V: the Xavier flips SHWFS to ZC, the TX2 keeps SC.
+        output = tmp_path / "grid.json"
+        assert main([
+            "bench", "--apps", "shwfs", "--boards", "tx2", "xavier",
+            "--jobs", "1", "--no-cache", "--output", str(output),
+        ]) == 0
+        by_board = {c["board"]: c for c in json.loads(output.read_text())}
+        assert by_board["xavier"]["recommendation"] == "ZC"
+        assert by_board["tx2"]["recommendation"] == "keep current"
+        assert by_board["tx2"]["best_measured_model"] == "SC"
+
+    def test_rejects_unknown_board(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--boards", "orin"])

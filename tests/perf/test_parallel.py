@@ -1,0 +1,146 @@
+"""Parallel fan-out: ordering, fallback, and the suite/framework wiring."""
+
+import pytest
+
+from repro.apps.shwfs import build_shwfs_workload
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.model.framework import Framework
+from repro.perf.cache import characterization_to_dict
+from repro.perf.parallel import ParallelRunner, default_workers
+from repro.robustness.faults import FaultPlan
+from repro.robustness.inject import inject_faults
+from repro.soc.board import get_board
+
+BOARDS = ("nano", "tx2", "xavier")
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("task failure must propagate")
+    return x
+
+
+class TestParallelRunner:
+    def test_order_preserved(self):
+        runner = ParallelRunner()
+        assert runner.map(_square, range(8)) == [x * x for x in range(8)]
+
+    def test_empty_items(self):
+        runner = ParallelRunner()
+        assert runner.map(_square, []) == []
+        assert runner.last_mode == "serial"
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError):
+            ParallelRunner().map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_unpicklable_worker_runs_serial(self):
+        runner = ParallelRunner()
+        assert runner.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert runner.last_mode == "serial"
+
+    def test_single_item_runs_serial(self):
+        runner = ParallelRunner()
+        assert runner.map(_square, [5]) == [25]
+        assert runner.last_mode == "serial"
+
+    def test_one_worker_runs_serial(self):
+        runner = ParallelRunner(max_workers=1)
+        assert runner.map(_square, [1, 2]) == [1, 4]
+        assert runner.last_mode == "serial"
+
+    def test_parallel_disabled(self):
+        runner = ParallelRunner(parallel=False)
+        assert runner.map(_square, [1, 2]) == [1, 4]
+        assert runner.last_mode == "serial"
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(max_workers=0)
+
+    def test_default_workers_bounded(self):
+        assert default_workers(0) == 1
+        assert default_workers(1) == 1
+        assert 1 <= default_workers(1000) <= 1000
+
+
+class TestCharacterizeMany:
+    def test_parallel_matches_serial(self):
+        boards = [get_board(name) for name in BOARDS]
+        serial = MicrobenchmarkSuite().characterize_many(
+            boards, parallel=False
+        )
+        parallel = MicrobenchmarkSuite().characterize_many(
+            boards, parallel=True
+        )
+        assert [d.board_name for d in parallel] == list(BOARDS)
+        for a, b in zip(parallel, serial):
+            assert characterization_to_dict(a) == characterization_to_dict(b)
+
+    def test_results_keep_input_order(self):
+        boards = [get_board(name) for name in ("xavier", "nano")]
+        devices = MicrobenchmarkSuite().characterize_many(boards)
+        assert [d.board_name for d in devices] == ["xavier", "nano"]
+
+    def test_cached_boards_not_recomputed(self, tmp_path):
+        boards = [get_board(name) for name in BOARDS]
+        suite = MicrobenchmarkSuite(cache_dir=str(tmp_path))
+        suite.characterize_many(boards)
+
+        resumed = MicrobenchmarkSuite(cache_dir=str(tmp_path))
+
+        def explode(*_a, **_k):  # pragma: no cover - must not run
+            raise AssertionError("suite re-ran despite cache hits")
+
+        resumed.run_all = explode
+        devices = resumed.characterize_many(boards)
+        assert [d.board_name for d in devices] == list(BOARDS)
+
+    def test_serial_in_process_under_injection(self):
+        suite = MicrobenchmarkSuite()
+        with inject_faults(FaultPlan(seed=0)):
+            devices = suite.characterize_many(
+                [get_board("tx2")], parallel=True
+            )
+        assert [d.board_name for d in devices] == ["tx2"]
+
+
+class TestTuneMany:
+    def test_characterizes_once(self):
+        framework = Framework()
+        board = get_board("xavier")
+        calls = []
+        original = framework.suite.run_all
+        framework.suite.run_all = lambda b: calls.append(b.name) or original(b)
+        reports = framework.tune_many(
+            [build_shwfs_workload(), build_shwfs_workload()], board
+        )
+        assert len(reports) == 2
+        assert calls == ["xavier"]
+
+    def test_reports_keep_input_order_and_board(self):
+        framework = Framework()
+        reports = framework.tune_many(
+            [build_shwfs_workload()], get_board("tx2"), current_model="ZC"
+        )
+        assert reports[0].board_name == "tx2"
+        assert reports[0].current_model == "ZC"
+
+    def test_non_strict_survives_bad_characterization(self):
+        framework = Framework()
+
+        def explode(*_a, **_k):
+            from repro.errors import MicrobenchmarkError
+
+            raise MicrobenchmarkError("synthetic", code="MICROBENCH_SYNTH")
+
+        framework.suite.characterize = explode
+        reports = framework.tune_many(
+            [build_shwfs_workload()], get_board("tx2"), strict=False
+        )
+        assert len(reports) == 1
+        assert reports[0].degraded

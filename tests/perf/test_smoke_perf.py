@@ -1,0 +1,57 @@
+"""Wall-clock smoke checks for the performance layer.
+
+Marked ``perf`` so they can be selected (``-m perf``) or skipped
+(``-m "not perf"``) independently: they assert *relative* speedups
+with generous margins, not absolute times, so they stay stable on slow
+CI hosts.
+"""
+
+import time
+
+import pytest
+
+from repro.microbench.second import SecondMicroBenchmark
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.soc.board import get_board
+from repro.soc.soc import SoC
+
+pytestmark = pytest.mark.perf
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_sweep_at_least_3x_faster():
+    board = get_board("tx2")
+    fast = SecondMicroBenchmark(vectorized=True)
+    slow = SecondMicroBenchmark(vectorized=False)
+    fast.run(SoC(board))  # warm imports/JIT-free numpy paths
+    t_fast = _best_of(lambda: fast.run(SoC(board)))
+    t_slow = _best_of(lambda: slow.run(SoC(board)), rounds=1)
+    assert t_slow / t_fast >= 3.0, (
+        f"vectorized sweep only {t_slow / t_fast:.1f}x faster "
+        f"({t_slow * 1e3:.1f}ms -> {t_fast * 1e3:.1f}ms)"
+    )
+
+
+def test_persistent_cache_at_least_10x_faster(tmp_path):
+    board = get_board("xavier")
+    t_cold_start = time.perf_counter()
+    MicrobenchmarkSuite(cache_dir=str(tmp_path)).characterize(board)
+    t_cold = time.perf_counter() - t_cold_start
+
+    def warm():
+        MicrobenchmarkSuite(cache_dir=str(tmp_path)).characterize(board)
+
+    warm()
+    t_warm = _best_of(warm)
+    assert t_cold / t_warm >= 10.0, (
+        f"cached characterization only {t_cold / t_warm:.1f}x faster "
+        f"({t_cold * 1e3:.1f}ms -> {t_warm * 1e3:.1f}ms)"
+    )
