@@ -3,12 +3,19 @@
 The tracking half of the SLAM loop: binary descriptors are matched by
 Hamming distance, and ambiguous matches (best within ``ratio`` of the
 second best) are rejected.
+
+Two equivalent distance kernels exist: the byte-LUT reference (one
+popcount table lookup per XORed byte) and a packed path that views
+each descriptor as ``uint64`` words and popcounts 8 bytes per
+instruction.  Both produce identical integer distances; the packed
+path is skipped under fault injection and for descriptor widths that
+do not fill whole words.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -21,9 +28,75 @@ class MatchingError(ReproError):
 
 _POPCOUNT = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
 
+#: ``np.bitwise_count`` landed in NumPy 2.0; older installs take the
+#: SWAR reduction below.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
-def hamming_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """(len(a), len(b)) Hamming distances between packed descriptors."""
+
+def _injection_active() -> bool:
+    """Whether a fault plan is live (lazy import: no cycle at load)."""
+    from repro.robustness.inject import injection_active
+
+    return injection_active()
+
+
+def _popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-word population count (SWAR when the ufunc is missing)."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    x = words - ((words >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    x = (x & np.uint64(0x3333333333333333)) + (
+        (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return (x * np.uint64(0x0101010101010101)) >> np.uint64(56)
+
+
+def packed_hamming_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(len(a), len(b)) Hamming distances via 8-byte packed popcounts.
+
+    Requires a descriptor width that is a multiple of 8 bytes (ORB's
+    256-bit descriptors are 32).  Bit-identical to
+    :func:`hamming_distance_matrix` — integer arithmetic only.
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint8)
+    b = np.ascontiguousarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise MatchingError(
+            f"descriptor arrays must be 2-D with equal width, got "
+            f"{a.shape} and {b.shape}"
+        )
+    if a.shape[1] % 8:
+        raise MatchingError(
+            f"packed distances need a multiple-of-8 width, got {a.shape[1]}"
+        )
+    if not len(a) or not len(b):
+        return np.zeros((len(a), len(b)), dtype=np.int32)
+    if len(a) * len(b) >= 1 << 16 and a.shape[1] * 8 < 1 << 24:
+        # |a ^ b| = |a| + |b| - 2·(a·b) over the unpacked bit vectors,
+        # so the O(n·m·w) reduction becomes one BLAS matmul.  All
+        # counts fit far below 2^24, where float32 is exact.
+        bits_a = np.unpackbits(a, axis=1).astype(np.float32)
+        bits_b = np.unpackbits(b, axis=1).astype(np.float32)
+        cross = bits_a @ bits_b.T
+        wa = bits_a.sum(axis=1, dtype=np.float32)
+        wb = bits_b.sum(axis=1, dtype=np.float32)
+        return (wa[:, None] + wb[None, :] - 2.0 * cross).astype(np.int32)
+    a64 = a.view(np.uint64)
+    b64 = b.view(np.uint64)
+    xors = a64[:, None, :] ^ b64[None, :, :]
+    return _popcount64(xors).sum(axis=2, dtype=np.int32)
+
+
+def hamming_distance_matrix(a: np.ndarray, b: np.ndarray,
+                            vectorized: bool = True) -> np.ndarray:
+    """(len(a), len(b)) Hamming distances between packed descriptors.
+
+    With ``vectorized`` enabled, whole-word descriptor widths go
+    through :func:`packed_hamming_distance_matrix`; the byte-LUT path
+    remains the reference fallback (and the only path under fault
+    injection).
+    """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
     if a.ndim != 2 or b.ndim != 2 or (len(a) and len(b) and a.shape[1] != b.shape[1]):
@@ -33,6 +106,13 @@ def hamming_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         )
     if not len(a) or not len(b):
         return np.zeros((len(a), len(b)), dtype=np.int32)
+    if (
+        vectorized
+        and a.shape[1] % 8 == 0
+        and a.shape[1] > 0
+        and not _injection_active()
+    ):
+        return packed_hamming_distance_matrix(a, b)
     xors = np.bitwise_xor(a[:, None, :], b[None, :, :])
     return _POPCOUNT[xors].sum(axis=2).astype(np.int32)
 
@@ -46,31 +126,18 @@ class Match:
     distance: int
 
 
-def match_descriptors(
-    query: np.ndarray,
-    train: np.ndarray,
-    max_distance: int = 64,
-    ratio: float = 0.8,
-    cross_check: bool = True,
+def _select_matches_scalar(
+    distances: np.ndarray,
+    best: np.ndarray,
+    best_d: np.ndarray,
+    reverse_best: Optional[np.ndarray],
+    max_distance: int,
+    ratio: float,
+    cross_check: bool,
 ) -> List[Match]:
-    """Match ``query`` descriptors against ``train``.
-
-    Args:
-        query / train: (N, 32) packed binary descriptors.
-        max_distance: reject matches beyond this Hamming distance.
-        ratio: Lowe's ratio threshold (best < ratio * second-best).
-        cross_check: also require the match to be mutual.
-    """
-    if not 0.0 < ratio <= 1.0:
-        raise MatchingError(f"ratio must be in (0, 1], got {ratio}")
-    distances = hamming_distance_matrix(query, train)
-    if distances.size == 0:
-        return []
-    best = distances.argmin(axis=1)
-    best_d = distances[np.arange(len(query)), best]
+    """Reference per-query acceptance loop."""
     matches: List[Match] = []
-    reverse_best = distances.argmin(axis=0) if cross_check else None
-    for qi in range(len(query)):
+    for qi in range(distances.shape[0]):
         ti = int(best[qi])
         d = int(best_d[qi])
         if d > max_distance:
@@ -85,3 +152,65 @@ def match_descriptors(
             continue
         matches.append(Match(query_index=qi, train_index=ti, distance=d))
     return matches
+
+
+def _select_matches_vectorized(
+    distances: np.ndarray,
+    best: np.ndarray,
+    best_d: np.ndarray,
+    reverse_best: Optional[np.ndarray],
+    max_distance: int,
+    ratio: float,
+    cross_check: bool,
+) -> List[Match]:
+    """Batched acceptance: one boolean mask instead of a query loop.
+
+    The second-best distance is the second order statistic of each row
+    — removing one instance of the minimum (what the scalar loop's
+    masking does) leaves exactly that value, duplicates included.
+    """
+    accept = best_d <= max_distance
+    if distances.shape[1] > 1:
+        second = np.partition(distances, 1, axis=1)[:, 1]
+        accept &= ~((second > 0) & (best_d >= ratio * second))
+    if cross_check:
+        accept &= reverse_best[best] == np.arange(distances.shape[0])
+    return [
+        Match(query_index=int(qi), train_index=int(best[qi]),
+              distance=int(best_d[qi]))
+        for qi in np.flatnonzero(accept)
+    ]
+
+
+def match_descriptors(
+    query: np.ndarray,
+    train: np.ndarray,
+    max_distance: int = 64,
+    ratio: float = 0.8,
+    cross_check: bool = True,
+    vectorized: bool = True,
+) -> List[Match]:
+    """Match ``query`` descriptors against ``train``.
+
+    Args:
+        query / train: (N, 32) packed binary descriptors.
+        max_distance: reject matches beyond this Hamming distance.
+        ratio: Lowe's ratio threshold (best < ratio * second-best).
+        cross_check: also require the match to be mutual.
+        vectorized: use the packed distance kernel and the batched
+            acceptance mask; the per-query loop remains the reference
+            fallback (and the only path under fault injection).
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise MatchingError(f"ratio must be in (0, 1], got {ratio}")
+    use_batch = vectorized and not _injection_active()
+    distances = hamming_distance_matrix(query, train, vectorized=use_batch)
+    if distances.size == 0:
+        return []
+    best = distances.argmin(axis=1)
+    best_d = distances[np.arange(len(query)), best]
+    reverse_best = distances.argmin(axis=0) if cross_check else None
+    select = _select_matches_vectorized if use_batch else _select_matches_scalar
+    return select(
+        distances, best, best_d, reverse_best, max_distance, ratio, cross_check
+    )

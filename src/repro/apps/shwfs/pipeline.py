@@ -13,8 +13,9 @@ calibrated simulator workload so one object serves both purposes:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +51,18 @@ class FrameResult:
         """RMS error of the recovered spot displacements (pixels)."""
         err = self.centroids.displacements - self.true_displacements
         return float(np.sqrt(np.mean(err ** 2)))
+
+
+def _process_shared_frame(pipeline, reconstruct, arrays, index):
+    """Worker for :meth:`ShwfsPipeline.process_frames`.
+
+    ``arrays["frames"]`` is the mapped (read-only) frame stack; every
+    array in the returned :class:`FrameResult` is freshly computed, so
+    no view into the parent's shared segments escapes the worker.
+    """
+    return pipeline.process_frame(
+        arrays["frames"][index], reconstruct=reconstruct
+    )
 
 
 class ShwfsPipeline:
@@ -107,6 +120,39 @@ class ShwfsPipeline:
             true_displacements=true_displacements,
             slopes=slopes,
             recovered_modes=recovered,
+        )
+
+    def process_frames(
+        self,
+        frames: Sequence[np.ndarray],
+        reconstruct: bool = True,
+        runner=None,
+    ) -> List[FrameResult]:
+        """Run the centroid pipeline on a batch of frames.
+
+        The frames are stacked into one array and fanned out through
+        :meth:`~repro.perf.parallel.ParallelRunner.map_shared`, so the
+        workers map a single shared-memory copy of the stack instead of
+        unpickling one frame per task.  Results keep input order and
+        equal a serial :meth:`process_frame` loop exactly.  While a
+        fault injector is active the loop runs serially in-process
+        (worker processes would escape the injector's patches).
+        """
+        from repro.perf.parallel import ParallelRunner
+        from repro.robustness.inject import injection_active
+
+        frames = [np.asarray(f, dtype=np.float64) for f in frames]
+        if not frames:
+            return []
+        if injection_active():
+            return [
+                self.process_frame(f, reconstruct=reconstruct) for f in frames
+            ]
+        if runner is None:
+            runner = ParallelRunner()
+        worker = functools.partial(_process_shared_frame, self, reconstruct)
+        return runner.map_shared(
+            worker, {"frames": np.stack(frames)}, list(range(len(frames)))
         )
 
     # ------------------------------------------------------------------

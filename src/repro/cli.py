@@ -13,6 +13,9 @@ code:
 - ``bench [--apps ...] [--boards ...] [--jobs N]`` — run the app ×
   board benchmark grid in parallel and print (or ``--output`` as JSON)
   the tuned recommendation and measured per-model times per cell;
+  ``bench --check`` instead re-measures the vectorized fast paths
+  against the committed ``BENCH_*.json`` baselines and exits 4 when
+  one regressed more than 25 % (see :mod:`repro.perf.regress`);
 - ``tune <app> <board> [--model SC]`` — run the Fig-2 flow on one of
   the bundled case studies (``shwfs`` or ``orbslam``);
 - ``compare <app> <board>`` — execute the application under all three
@@ -240,9 +243,14 @@ def cmd_cache(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def cmd_bench(args: argparse.Namespace) -> str:
+def cmd_bench(args: argparse.Namespace):
     """Run the app × board benchmark grid in parallel."""
     import json
+
+    if args.check:
+        from repro.perf.regress import check
+
+        return check(threshold=args.check_threshold)
 
     from repro.perf.grid import run_grid
 
@@ -371,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the applications' current model")
     p.add_argument("--output", default=None, metavar="FILE",
                    help="also write the grid results as JSON")
+    p.add_argument("--check", action="store_true",
+                   help="instead of the grid, re-measure the vectorized "
+                        "fast paths against the committed BENCH_*.json "
+                        "baselines (exit 4 on regression)")
+    p.add_argument("--check-threshold", type=float, default=0.25,
+                   metavar="FRAC",
+                   help="flag a speedup more than FRAC below its baseline "
+                        "(default: 0.25)")
     add_cache_flags(p)
 
     p = sub.add_parser("sweep", help="ZC-path what-if sensitivity sweep")

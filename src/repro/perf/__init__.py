@@ -12,7 +12,10 @@ workflow:
   and the ``repro bench`` grid;
 - :mod:`repro.perf.cache` — a persistent on-disk characterization
   cache keyed by a content hash of the board, the micro-benchmark
-  parameters and the package version.
+  parameters and the package version;
+- :mod:`repro.perf.regress` — the ``repro bench --check`` regression
+  gate comparing fresh fast-path speedups against the committed
+  ``BENCH_*.json`` baselines.
 
 (:mod:`repro.perf.grid` is imported lazily by the CLI — it pulls in
 the application pipelines and must stay out of this namespace to keep
@@ -21,9 +24,11 @@ the microbench → perf import edge acyclic.)
 
 from repro.perf.batch import (
     BatchUnsupported,
+    ZcSweepEvaluator,
     mb1_gpu_size_sweep,
     mb2_cpu_points,
     mb2_gpu_points,
+    mb3_balance_results,
     vectorized_second_sweep,
 )
 from repro.perf.cache import (
@@ -34,13 +39,27 @@ from repro.perf.cache import (
     default_cache_dir,
 )
 from repro.perf.parallel import ParallelRunner
+from repro.perf.regress import (
+    EXIT_REGRESSION,
+    REGRESSION_THRESHOLD,
+    MetricCheck,
+    collect_app_bench,
+    run_checks,
+)
 
 __all__ = [
     "BatchUnsupported",
+    "ZcSweepEvaluator",
     "mb1_gpu_size_sweep",
     "mb2_cpu_points",
     "mb2_gpu_points",
+    "mb3_balance_results",
     "vectorized_second_sweep",
+    "EXIT_REGRESSION",
+    "REGRESSION_THRESHOLD",
+    "MetricCheck",
+    "collect_app_bench",
+    "run_checks",
     "CharacterizationCache",
     "cache_key",
     "characterization_from_dict",

@@ -19,20 +19,28 @@ back to the exact scalar sweep.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from dataclasses import replace
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.soc.address import DEFAULT_ALIGNMENT
-from repro.soc.analytic import SummaryBatch
+from repro.soc.analytic import StreamSummary, SummaryBatch, supports
 from repro.soc.gpu import coalesce_stream
+from repro.soc.gpu import _stream_is_pinned as _gpu_stream_is_pinned
+from repro.soc.cpu import _stream_is_pinned as _cpu_stream_is_pinned
+from repro.soc.hierarchy import CacheHierarchy
+from repro.soc.phase import combine_compute_memory
 from repro.soc.soc import SoC
-from repro.soc.stream import PatternKind
+from repro.soc.stream import AccessStream, PatternKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernels.workload import Workload
     from repro.microbench.second import SecondMicroBenchmark
+    from repro.microbench.third import ThirdBenchResult, ThirdMicroBenchmark
     from repro.model.thresholds import SweepPoint
+    from repro.soc.board import BoardConfig
 
 
 class BatchUnsupported(SimulationError):
@@ -268,3 +276,388 @@ def mb1_gpu_size_sweep(
     )
     flops = counts.astype(np.float64) * sweep_repeats
     return soc.gpu.run_batch(flops, batch)
+
+
+# ----------------------------------------------------------------------
+# MB3: the balanced-workload sweep
+# ----------------------------------------------------------------------
+#
+# Across a balance sweep only the CPU task's compute demand changes;
+# the memory streams, the GPU kernel, the copies/flushes/migrations and
+# the board are identical at every point.  So the three models are
+# executed once at a reference balance, the CPU phase is re-evaluated
+# for all balances in one ``run_batch`` call, and each model's steady
+# iteration is recomposed around the new CPU time (the ZC overlap is
+# re-simulated per balance — it is a cheap event simulation, the costly
+# part is the hierarchy walk that run_batch amortizes).
+
+
+def _identical_summary_batch(stream: AccessStream, n: int) -> SummaryBatch:
+    """``n`` copies of one stream's analytic summary as a batch."""
+    _require(stream.is_virtual, "the CPU stream must be virtual (analytic)")
+    _require(supports(stream.pattern),
+             f"no analytic estimator for pattern {stream.pattern.name}")
+    summary = StreamSummary.from_stream(stream)
+    return SummaryBatch.build(
+        pattern=summary.pattern,
+        per_pass=np.full(n, summary.per_pass, dtype=np.int64),
+        repeats=summary.repeats,
+        footprint_bytes=summary.footprint_bytes,
+        write_fraction=summary.write_fraction,
+        transaction_size=summary.transaction_size,
+    )
+
+
+def mb3_balance_results(
+    bench: "ThirdMicroBenchmark", soc: SoC, balances: Sequence[float]
+) -> List["ThirdBenchResult"]:
+    """MB3 at every CPU balance via one batched CPU-phase evaluation.
+
+    Equivalent to ``[ThirdMicroBenchmark(n, b).run(soc) for b in
+    balances]`` — the recomposition is validated against the scalar
+    reference at ``balances[0]`` and raises :class:`BatchUnsupported`
+    on any divergence (the caller then falls back to the scalar sweep).
+    """
+    from repro.comm.base import get_model
+    from repro.comm.tiling import TiledZeroCopyPattern, TilingPlan
+    from repro.comm.zero_copy import ZeroCopyModel
+    from repro.microbench.third import ThirdBenchResult
+    from repro.soc.soc import ALL_MODELS
+
+    balances = list(balances)
+    _require(len(balances) > 0, "the balance sweep needs at least one point")
+
+    def bench_at(balance: float):
+        return type(bench)(bench.num_elements, balance)
+
+    workload = bench_at(balances[0]).build_workload(soc)
+    _require(workload.cpu_task is not None and workload.gpu_kernel is not None,
+             "MB3 batching needs both a CPU task and a GPU kernel")
+    # Everything except the CPU compute demand must be balance-invariant.
+    other = bench_at(balances[-1]).build_workload(soc)
+    _require(replace(workload, cpu_task=None) == replace(other, cpu_task=None),
+             "the workload varies beyond the CPU task across balances")
+    _require(replace(workload.cpu_task, ops=other.cpu_task.ops)
+             == other.cpu_task,
+             "the CPU task varies beyond its compute ops across balances")
+
+    reports = {
+        model: get_model(model).execute(workload, soc)
+        for model in ALL_MODELS
+    }
+
+    zc_model = ZeroCopyModel()
+    placed = zc_model.place(workload, soc)
+    streams = workload.cpu_task.build_streams(
+        placed.cpu_buffers, soc.board.cpu.l1.line_size
+    )
+    _require(len(streams) == 1, "MB3 batching handles one CPU stream")
+    stream = streams[0]
+    batch = _identical_summary_batch(stream, len(balances))
+    cycles = np.array(
+        [bench_at(b).build_workload(soc).cpu_task.compute_cycles()
+         for b in balances],
+        dtype=np.float64,
+    )
+
+    cached = soc.cpu.run_batch(cycles, batch)
+    zc_cfg = soc.board.zero_copy
+    if zc_cfg.cpu_llc_disabled and zc_cfg.cpu_zc_bandwidth > 0 \
+            and _cpu_stream_is_pinned(stream):
+        uncached = soc.cpu.run_batch(
+            cycles,
+            batch,
+            uncached_bandwidth=zc_cfg.cpu_zc_bandwidth,
+            uncached_latency_s=zc_cfg.cpu_uncached_latency_s,
+        )
+    else:
+        uncached = cached
+    cpu_times = {"SC": cached, "UM": cached, "ZC": uncached}
+
+    # The batch rows must land exactly on the scalar phases measured at
+    # the reference balance — otherwise the recomposition is unsound.
+    for model in ALL_MODELS:
+        _require(
+            float(cpu_times[model].time_s[0]) == reports[model].cpu_time_s,
+            f"batched CPU phase diverged from the {model} reference",
+        )
+
+    zc_report = reports["ZC"]
+    plan: Optional[TilingPlan] = None
+    if zc_report.steady_iteration.is_overlapped:
+        shared = workload.shared_buffers
+        plan_buffer = max(shared, key=lambda b: b.size_bytes) if shared \
+            else max(workload.buffers, key=lambda b: b.size_bytes)
+        plan = TilingPlan.for_buffer(plan_buffer, soc.board)
+        cpu_bw, gpu_bw = zc_model._fabric_bandwidths(soc)
+        gpu_job = ZeroCopyModel._job_from_phase(
+            zc_report.gpu_phase, gpu_bw, overlap=True
+        )
+
+    results: List[ThirdBenchResult] = []
+    data_bytes = workload.buffer("data").size_bytes
+    for i in range(len(balances)):
+        totals, kernels, cpus, copies = {}, {}, {}, {}
+        for model in ALL_MODELS:
+            report = reports[model]
+            cpu_time = float(cpu_times[model].time_s[i])
+            steady = replace(report.steady_iteration, cpu_time_s=cpu_time)
+            if model == "ZC" and plan is not None:
+                cpu_phase = replace(
+                    report.cpu_phase,
+                    compute_time_s=float(cpu_times[model].compute_time_s[i]),
+                    memory_time_s=float(cpu_times[model].memory_time_s[i]),
+                    time_s=cpu_time,
+                )
+                execution = TiledZeroCopyPattern(plan).overlapped_execution(
+                    ZeroCopyModel._job_from_phase(
+                        cpu_phase, cpu_bw, overlap=False
+                    ),
+                    gpu_job,
+                    soc.board.interconnect,
+                )
+                steady = replace(
+                    steady,
+                    sync_overhead_s=execution.sync_overhead_s,
+                    overlapped_time_s=execution.overlapped_time_s,
+                )
+            totals[model] = steady.total_s
+            kernels[model] = steady.kernel_time_s
+            cpus[model] = steady.cpu_time_s
+            copies[model] = steady.copy_time_s + steady.migration_time_s
+        results.append(
+            ThirdBenchResult(
+                board_name=soc.board.name,
+                data_bytes=data_bytes,
+                total_times=totals,
+                kernel_times=kernels,
+                cpu_times=cpus,
+                copy_times=copies,
+            )
+        )
+
+    # End-to-end self-check at the reference balance.
+    for model in ALL_MODELS:
+        _require(
+            results[0].total_times[model]
+            == reports[model].time_per_iteration_s,
+            f"recomposed {model} iteration diverged from the reference",
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# what-if: the ZC bandwidth factor sweep
+# ----------------------------------------------------------------------
+#
+# ``scale_zc_path`` only touches the uncached port bandwidths and the
+# uncached latency, and under ZC every pinned stream runs with the
+# caches disabled — so each stream's DRAM traffic (and its exposed
+# latency) is factor-invariant.  One probe per stream captures those
+# constants; each factor then costs a handful of float expressions plus
+# one event-simulated overlap instead of a full executor run.
+
+
+def _disabled_cache_probe(
+    hierarchy: CacheHierarchy, stream: AccessStream
+) -> Tuple[float, float]:
+    """(DRAM bytes, exposed latency) of one stream with caches off.
+
+    Both quantities are independent of the memory-port bandwidth, so a
+    single probe serves every scaling factor.
+    """
+    saved_port = hierarchy.memory_port_bandwidth
+    hierarchy.set_all_enabled(False)
+    try:
+        result = hierarchy.process(stream, mode="auto")
+    finally:
+        hierarchy.set_all_enabled(True)
+        hierarchy.memory_port_bandwidth = saved_port
+    return (
+        float(result.dram_read_bytes + result.dram_write_bytes),
+        result.exposed_latency_s,
+    )
+
+
+def _merge_streaming(parts: List[Tuple[float, float]],
+                     dram_bandwidth: float) -> Tuple[float, float]:
+    """(streaming, exposed) merged exactly like ``merge_memory_results``."""
+    if len(parts) == 1:
+        dram_bytes, exposed = parts[0]
+        streaming = dram_bytes / dram_bandwidth if dram_bytes > 0 else 0.0
+        return streaming, exposed
+    streaming = 0.0
+    exposed = 0.0
+    for dram_bytes, part_exposed in parts:
+        streaming += dram_bytes / dram_bandwidth if dram_bytes > 0 else 0.0
+        exposed = max(exposed, part_exposed)
+    return streaming, exposed
+
+
+class ZcSweepEvaluator:
+    """Closed-form ZC iteration times across bandwidth scaling factors.
+
+    Runs the zero-copy executor once on the unscaled board, decomposes
+    both phases into factor-invariant constants, and re-evaluates the
+    iteration per factor with exactly the scalar models' arithmetic.
+    The factor-1 recomposition is checked bit-for-bit against the
+    reference run; any workload the decomposition cannot express (a
+    private GPU buffer, a cached stream, a second CPU stream shape)
+    raises :class:`BatchUnsupported` so the caller falls back to the
+    per-factor executor sweep.
+    """
+
+    def __init__(self, workload: "Workload", board: "BoardConfig") -> None:
+        from repro.comm.tiling import TilingPlan
+        from repro.comm.zero_copy import ZeroCopyModel
+
+        self.workload = workload
+        self.board = board
+        zc = board.zero_copy
+        _require(workload.gpu_kernel is not None,
+                 "the what-if sweep needs a GPU kernel")
+        _require(zc.gpu_zc_bandwidth > 0,
+                 "the board has no uncached GPU path to scale")
+
+        soc = SoC(board)
+        model = ZeroCopyModel()
+        self._report = model.execute(workload, soc)
+        self._gpu_phase = self._report.gpu_phase
+        self._cpu_phase = self._report.cpu_phase
+
+        placed = model.place(workload, soc)
+        line = soc.board.gpu.l1.line_size
+        gpu_streams = [
+            coalesce_stream(s, line, soc.gpu.config.warp_size)
+            for s in workload.gpu_kernel.build_streams(
+                placed.gpu_buffers, line
+            )
+        ]
+        for s in gpu_streams:
+            _require(_gpu_stream_is_pinned(s),
+                     "a GPU stream touches a private (cached) buffer")
+        self._gpu_parts = [
+            _disabled_cache_probe(soc.gpu.hierarchy, s) for s in gpu_streams
+        ]
+        snoop = 0.0
+        for _ in gpu_streams:
+            snoop += zc.snoop_latency_s if zc.io_coherent else 0.0
+        self._gpu_snoop = snoop
+        self._gpu_dram_eff = soc.gpu.hierarchy.dram.config.effective_bandwidth
+        self._launch_s = soc.gpu.config.kernel_launch_overhead_s
+
+        self._cpu_parts: Optional[List[Tuple[float, float, int, PatternKind]]]
+        self._cpu_parts = None
+        if workload.cpu_task is not None and zc.cpu_llc_disabled:
+            _require(zc.cpu_zc_bandwidth > 0,
+                     "the board has no uncached CPU path to scale")
+            cpu_streams = workload.cpu_task.build_streams(
+                placed.cpu_buffers, soc.board.cpu.l1.line_size
+            )
+            for s in cpu_streams:
+                _require(_cpu_stream_is_pinned(s),
+                         "a CPU stream touches a private (cached) buffer")
+            self._cpu_parts = [
+                _disabled_cache_probe(soc.cpu.hierarchy, s)
+                + (s.total_transactions, s.pattern)
+                for s in cpu_streams
+            ]
+            self._cpu_dram_eff = \
+                soc.cpu.hierarchy.dram.config.effective_bandwidth
+            self._cpu_mlp = soc.cpu.config.mlp
+            self._cpu_hide = soc.cpu.config.memory_hide_factor
+
+        self._fabric_dram_eff = soc.dram.config.effective_bandwidth
+        self._plan: Optional[TilingPlan] = None
+        if self._report.steady_iteration.is_overlapped:
+            shared = workload.shared_buffers
+            plan_buffer = max(shared, key=lambda b: b.size_bytes) if shared \
+                else max(workload.buffers, key=lambda b: b.size_bytes)
+            self._plan = TilingPlan.for_buffer(plan_buffer, board)
+
+        _require(
+            self.zc_time(1.0) == self._report.time_per_iteration_s,
+            "factor-1 recomposition diverged from the reference run",
+        )
+
+    def _gpu_phase_at(self, factor: float):
+        zc = self.board.zero_copy
+        dram_bw = min(zc.gpu_zc_bandwidth * factor, self._gpu_dram_eff)
+        streaming, exposed = _merge_streaming(self._gpu_parts, dram_bw)
+        memory_s = streaming + exposed + self._gpu_snoop
+        busy = combine_compute_memory(
+            self._gpu_phase.compute_time_s, memory_s, hide_factor=1.0
+        )
+        return replace(
+            self._gpu_phase,
+            memory_time_s=memory_s,
+            time_s=busy + self._launch_s,
+        )
+
+    def _cpu_phase_at(self, factor: float):
+        if self._cpu_phase is None or self._cpu_parts is None:
+            return self._cpu_phase
+        zc = self.board.zero_copy
+        dram_bw = min(zc.cpu_zc_bandwidth * factor, self._cpu_dram_eff)
+        latency = zc.cpu_uncached_latency_s / factor
+        serial = 0.0
+        hidable = 0.0
+        for dram_bytes, exposed, transactions, pattern in self._cpu_parts:
+            piece = (dram_bytes / dram_bw if dram_bytes > 0 else 0.0) + exposed
+            if latency > 0:
+                if pattern is PatternKind.SINGLE_ADDRESS:
+                    piece += transactions * latency
+                elif pattern in (
+                    PatternKind.STRIDED,
+                    PatternKind.SPARSE,
+                    PatternKind.TILED,
+                    PatternKind.CUSTOM,
+                ):
+                    piece += transactions * latency / self._cpu_mlp
+            if pattern is PatternKind.SINGLE_ADDRESS:
+                serial += piece
+            else:
+                hidable += piece
+        total = combine_compute_memory(
+            self._cpu_phase.compute_time_s, hidable, self._cpu_hide
+        ) + serial
+        return replace(
+            self._cpu_phase,
+            memory_time_s=serial + hidable,
+            time_s=total,
+        )
+
+    def zc_time(self, factor: float) -> float:
+        """Steady-state ZC iteration time at one scaling factor."""
+        from repro.comm.report import IterationBreakdown
+        from repro.comm.tiling import TiledZeroCopyPattern
+        from repro.comm.zero_copy import ZeroCopyModel
+
+        gpu_phase = self._gpu_phase_at(factor)
+        cpu_phase = self._cpu_phase_at(factor)
+        workload = self.workload
+        cpu_time = cpu_phase.time_s if cpu_phase is not None else 0.0
+        if self._plan is not None and cpu_phase is not None:
+            zc = self.board.zero_copy
+            cpu_bw = zc.cpu_zc_bandwidth * factor \
+                if zc.cpu_llc_disabled else self._fabric_dram_eff
+            gpu_bw = zc.gpu_zc_bandwidth * factor
+            execution = TiledZeroCopyPattern(self._plan).overlapped_execution(
+                ZeroCopyModel._job_from_phase(cpu_phase, cpu_bw, overlap=False),
+                ZeroCopyModel._job_from_phase(gpu_phase, gpu_bw, overlap=True),
+                self.board.interconnect,
+            )
+            breakdown = IterationBreakdown(
+                cpu_time_s=cpu_time,
+                kernel_time_s=gpu_phase.time_s,
+                sync_overhead_s=execution.sync_overhead_s,
+                other_time_s=workload.fixed_iteration_overhead_s,
+                overlapped_time_s=execution.overlapped_time_s,
+            )
+        else:
+            breakdown = IterationBreakdown(
+                cpu_time_s=cpu_time,
+                kernel_time_s=gpu_phase.time_s,
+                other_time_s=workload.fixed_iteration_overhead_s,
+            )
+        return breakdown.total_s

@@ -9,18 +9,42 @@ order, and silently degrades to the serial path when a pool cannot be
 used (sandboxed interpreters, non-picklable workers, broken pools).
 Exceptions raised *by the task itself* always propagate — the fallback
 only absorbs infrastructure failures.
+
+:meth:`ParallelRunner.map_shared` extends the fan-out with a zero-copy
+transport for bulk read-only inputs (camera frames, recorded traces):
+the arrays are placed in :mod:`multiprocessing.shared_memory` segments
+once and every worker maps them instead of unpickling a private copy.
+The transport degrades in order — shared memory, per-task pickling,
+in-process serial — and :attr:`ParallelRunner.last_transport` reports
+which level actually ran.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: (array name, segment name, shape, dtype) descriptors a worker uses
+#: to map the parent's segments.
+_SegmentSpec = Tuple[str, str, Tuple[int, ...], str]
 
 
 def default_workers(num_items: int) -> int:
@@ -39,6 +63,9 @@ class ParallelRunner:
         self.parallel = parallel
         #: How the last :meth:`map` actually ran ("parallel"/"serial").
         self.last_mode: Optional[str] = None
+        #: How the last :meth:`map_shared` shipped its arrays
+        #: ("shared"/"pickle"/"inline").
+        self.last_transport: Optional[str] = None
 
     def map(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``worker`` to every item; results keep input order."""
@@ -63,6 +90,179 @@ class ParallelRunner:
     def _serial(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
         self.last_mode = "serial"
         return [worker(item) for item in items]
+
+    # ------------------------------------------------------------------
+    # zero-copy fan-out
+    # ------------------------------------------------------------------
+
+    def map_shared(
+        self,
+        worker: Callable[[Mapping[str, np.ndarray], T], R],
+        arrays: Mapping[str, np.ndarray],
+        items: Sequence[T],
+    ) -> List[R]:
+        """Apply ``worker(arrays, item)`` to every item, zero-copy.
+
+        ``arrays`` are bulk read-only inputs every task needs (frames,
+        traces).  They are written once into shared-memory segments and
+        each worker process maps them in place — nothing is pickled per
+        task.  When shared memory is unavailable the arrays ship by
+        pickle instead; when no pool can run at all, the work runs
+        serially against the original arrays.  The level that actually
+        ran is recorded in :attr:`last_transport`.
+
+        Workers must treat the mapped arrays as read-only and must not
+        return views into them (the segments are gone after the call).
+        """
+        items = list(items)
+        arrays = {
+            name: np.ascontiguousarray(arr) for name, arr in arrays.items()
+        }
+        if not items:
+            self.last_mode = "serial"
+            self.last_transport = "inline"
+            return []
+        workers = self.max_workers or default_workers(len(items))
+        if not self.parallel or workers == 1 or len(items) == 1 \
+                or not _picklable(worker, items):
+            return self._inline(worker, arrays, items)
+        results = self._map_via_shared_memory(worker, arrays, items, workers)
+        if results is not None:
+            return results
+        try:
+            call = functools.partial(_pickled_call, worker, arrays)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(call, items))
+        except (BrokenProcessPool, OSError, pickle.PicklingError):
+            return self._inline(worker, arrays, items)
+        self.last_mode = "parallel"
+        self.last_transport = "pickle"
+        return results
+
+    def _map_via_shared_memory(
+        self,
+        worker: Callable[[Mapping[str, np.ndarray], T], R],
+        arrays: Dict[str, np.ndarray],
+        items: List[T],
+        workers: int,
+    ) -> Optional[List[R]]:
+        """The shared-memory transport, or ``None`` to degrade."""
+        segments = []
+        specs: List[_SegmentSpec] = []
+        try:
+            try:
+                from multiprocessing import shared_memory
+
+                for name, arr in arrays.items():
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=max(1, arr.nbytes)
+                    )
+                    segments.append(shm)
+                    view = np.ndarray(arr.shape, dtype=arr.dtype,
+                                      buffer=shm.buf)
+                    view[...] = arr
+                    del view
+                    specs.append((name, shm.name, arr.shape, arr.dtype.str))
+                call = functools.partial(
+                    _shared_call, worker, _tracker_pid(), tuple(specs)
+                )
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(call, items))
+            except (ImportError, ValueError, BrokenProcessPool, OSError,
+                    pickle.PicklingError):
+                # No shared memory on this platform, segment creation
+                # failed, or the pool broke: degrade to pickling.
+                return None
+        finally:
+            for shm in segments:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:
+                    pass
+        self.last_mode = "parallel"
+        self.last_transport = "shared"
+        return results
+
+    def _inline(
+        self,
+        worker: Callable[[Mapping[str, np.ndarray], T], R],
+        arrays: Dict[str, np.ndarray],
+        items: List[T],
+    ) -> List[R]:
+        self.last_mode = "serial"
+        self.last_transport = "inline"
+        return [worker(arrays, item) for item in items]
+
+
+def _tracker_pid() -> Optional[int]:
+    """PID of this process's resource-tracker daemon, if readable."""
+    try:
+        from multiprocessing import resource_tracker
+
+        return resource_tracker._resource_tracker._pid
+    except Exception:
+        return None
+
+
+def _untrack_segment(shm) -> None:
+    """Detach a mapped segment from this process's resource tracker.
+
+    Attaching registers the segment with the *worker's* tracker, which
+    would unlink it when the worker exits — while the parent (the
+    owner) is still using it.  Only the parent may unlink.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _shared_call(
+    worker: Callable[[Mapping[str, np.ndarray], T], R],
+    parent_tracker_pid: Optional[int],
+    specs: Tuple[_SegmentSpec, ...],
+    item: T,
+) -> R:
+    """Worker-side trampoline: map the parent's segments and run.
+
+    Forked workers inherit the parent's resource tracker, where the
+    parent's own registration must stay; only a worker with a tracker
+    of its own (spawn) detaches its attach-time registrations.
+    """
+    from multiprocessing import shared_memory
+
+    segments = []
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        for name, segment_name, shape, dtype in specs:
+            shm = shared_memory.SharedMemory(name=segment_name)
+            if parent_tracker_pid is None \
+                    or _tracker_pid() != parent_tracker_pid:
+                _untrack_segment(shm)
+            segments.append(shm)
+            arrays[name] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        return worker(arrays, item)
+    finally:
+        arrays.clear()
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:
+                # The worker kept a view alive (against the contract);
+                # the mapping dies with the process instead.
+                pass
+
+
+def _pickled_call(
+    worker: Callable[[Mapping[str, np.ndarray], T], R],
+    arrays: Dict[str, np.ndarray],
+    item: T,
+) -> R:
+    """Worker-side trampoline for the pickled-arrays transport."""
+    return worker(arrays, item)
 
 
 def _picklable(worker, items) -> bool:

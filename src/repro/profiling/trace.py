@@ -33,6 +33,125 @@ from repro.kernels.workload import BufferSpec, Direction, Workload
 from repro.soc.address import Buffer
 from repro.soc.stream import AccessStream, PatternKind
 
+#: Structured row layout of a parsed trace (the vectorized CSV path
+#: materializes the whole file as one array of these).
+TRACE_ROW_DTYPE = np.dtype([("offset", np.int64), ("write", np.bool_)])
+
+#: ``rw`` spellings that mean *store* (matching the scalar parser).
+_WRITE_FLAGS = ("w", "1", "true", "write", "st")
+
+
+def _injection_active() -> bool:
+    """Whether a fault plan is live (lazy import: no cycle at load)."""
+    from repro.robustness.inject import injection_active
+
+    return injection_active()
+
+
+#: Powers of ten for the vectorized digit contraction (int64-safe).
+_POW10 = 10 ** np.arange(19, dtype=np.int64)
+
+#: ``str.strip``'s whitespace restricted to ASCII bytes (tab, \\n, \\v,
+#: \\f, \\r, the C1 separators and space) as a byte-indexed table.
+_SPACE_LUT = np.zeros(256, dtype=np.bool_)
+_SPACE_LUT[9:14] = True
+_SPACE_LUT[28:33] = True
+
+_DIGIT_LUT = np.zeros(256, dtype=np.bool_)
+_DIGIT_LUT[ord("0"):ord("9") + 1] = True
+
+_LOWER_LUT = np.arange(256, dtype=np.uint8)
+_LOWER_LUT[ord("A"):ord("Z") + 1] += 32
+
+#: Lowercase table widened so a gather yields packing-ready keys.
+_LOWER_LUT64 = _LOWER_LUT.astype(np.uint64)
+
+
+def _pack_flag_key(token: bytes) -> int:
+    """Little-endian packing of a short token into one integer."""
+    key = 0
+    for j, byte in enumerate(token):
+        key |= byte << (8 * j)
+    return key
+
+
+#: The write spellings as packed keys (all are <= 5 bytes, so 8-byte
+#: keys separate every distinct stripped/lowercased token).
+_WRITE_KEYS = np.array(
+    [_pack_flag_key(flag.encode("ascii")) for flag in _WRITE_FLAGS],
+    dtype=np.uint64,
+)
+
+
+def _next_in_range(positions: np.ndarray, lo: np.ndarray,
+                   hi: np.ndarray) -> np.ndarray:
+    """First element of sorted ``positions`` in each [lo, hi), else hi."""
+    if len(positions) == 0:
+        return hi.copy()
+    i = np.minimum(np.searchsorted(positions, lo), len(positions) - 1)
+    candidate = positions[i]
+    return np.where((candidate >= lo) & (candidate < hi), candidate, hi)
+
+
+def _parse_csv_strict(
+    text: str,
+    data: np.ndarray,
+    padded: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    commas: np.ndarray,
+    c1: np.ndarray,
+    has_comma: np.ndarray,
+    digit_mask: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Decode a *strict* trace: no sign/strip handling required.
+
+    The caller guarantees no ``-`` bytes and no line mixing digits with
+    whitespace, so a row is numeric exactly when its first cell is all
+    digits and cells never need stripping.  Everything then reduces to
+    per-row gathers: a running digit count classifies rows, a
+    power-of-ten contraction over at most 18 gathers decodes offsets,
+    and 8 gathers pack the ``rw`` cell into a comparison key.  Returns
+    ``None`` when an offset exceeds 18 digits (the scalar parser then
+    raises its authentic overflow).
+    """
+    counts = np.empty(len(data) + 1, dtype=np.int32)
+    counts[0] = 0
+    np.cumsum(digit_mask, dtype=np.int32, out=counts[1:])
+    digits1 = counts[c1] - counts[starts]
+    numeric = (digits1 == c1 - starts) & (c1 > starts)
+    short = numeric & ~has_comma
+    if short.any():
+        row = int(np.flatnonzero(short)[0])
+        bad = text[starts[row]:ends[row]]
+        raise ProfilingError(f"trace row needs offset,rw: {[bad]}")
+    sel = np.flatnonzero(numeric)
+    if len(sel) == 0:
+        return np.empty(0, dtype=TRACE_ROW_DTYPE)
+    cc = c1[sel]
+    length = cc - starts[sel]
+    max_digits = int(length.max())
+    if max_digits > 18:
+        return None
+    value = np.zeros(len(sel), dtype=np.int64)
+    for k in range(max_digits):
+        value += (padded[cc - 1 - k] & 0x0F) * ((length > k) * _POW10[k])
+
+    s2 = cc + 1
+    c2 = _next_in_range(commas, s2, ends[sel])
+    key = np.zeros(len(sel), dtype=np.uint64)
+    for j in range(8):
+        at = s2 + j
+        live = at < c2
+        if not live.any():
+            break
+        key |= (_LOWER_LUT64[padded[at]] * live) << np.uint64(8 * j)
+
+    rows = np.empty(len(sel), dtype=TRACE_ROW_DTYPE)
+    rows["offset"] = value
+    rows["write"] = np.isin(key, _WRITE_KEYS)
+    return rows
+
 
 @dataclass(frozen=True)
 class RecordedTrace:
@@ -105,42 +224,116 @@ class RecordedTrace:
 
     @classmethod
     def from_csv(cls, source: Union[str, pathlib.Path, io.TextIOBase],
-                 access_size: int = 4) -> "RecordedTrace":
+                 access_size: int = 4,
+                 vectorized: bool = True) -> "RecordedTrace":
         """Load ``offset,rw`` rows (rw: R/W, r/w, 0/1).
 
         A header row is skipped automatically when its first cell is
-        not numeric.
+        not numeric; a UTF-8 BOM on the first row is stripped.  With
+        ``vectorized`` the file is parsed as NumPy structured-array
+        operations (no per-row handling); quoted cells — and an active
+        fault injector — fall back to the scalar ``csv`` parser, which
+        remains the reference.
         """
         if isinstance(source, (str, pathlib.Path)):
-            handle: io.TextIOBase = open(source, "r", newline="")
-            close = True
+            with open(source, "r", newline="") as handle:
+                text = handle.read()
         else:
-            handle = source
-            close = False
-        offsets = []
-        writes = []
-        try:
-            reader = csv.reader(handle)
-            for row in reader:
-                if not row:
-                    continue
-                first = row[0].strip()
-                if not first or not first.lstrip("-").isdigit():
-                    continue  # header or comment
-                if len(row) < 2:
-                    raise ProfilingError(f"trace row needs offset,rw: {row}")
-                offsets.append(int(first))
-                flag = row[1].strip().lower()
-                writes.append(flag in ("w", "1", "true", "write", "st"))
-        finally:
-            if close:
-                handle.close()
-        if not offsets:
+            text = source.read()
+        if text.startswith("\ufeff"):
+            text = text[1:]
+        rows: Optional[np.ndarray] = None
+        if vectorized and '"' not in text and not _injection_active():
+            rows = cls._parse_csv_vectorized(text)
+        if rows is None:
+            rows = cls._parse_csv_scalar(io.StringIO(text, newline=""))
+        if len(rows) == 0:
             raise ProfilingError("the CSV contained no trace rows")
         return cls(
-            offsets=np.array(offsets, dtype=np.int64),
-            is_write=np.array(writes, dtype=bool),
+            offsets=rows["offset"],
+            is_write=rows["write"],
             access_size=access_size,
+        )
+
+    @staticmethod
+    def _parse_csv_scalar(handle: io.TextIOBase) -> np.ndarray:
+        """Reference parser: one ``csv`` row at a time."""
+        offsets = []
+        writes = []
+        for row in csv.reader(handle):
+            if not row:
+                continue
+            first = row[0].strip()
+            if not first or not first.lstrip("-").isdigit():
+                continue  # header or comment
+            if len(row) < 2:
+                raise ProfilingError(f"trace row needs offset,rw: {row}")
+            offsets.append(int(first))
+            flag = row[1].strip().lower()
+            writes.append(flag in _WRITE_FLAGS)
+        rows = np.empty(len(offsets), dtype=TRACE_ROW_DTYPE)
+        rows["offset"] = offsets
+        rows["write"] = writes
+        return rows
+
+    @staticmethod
+    def _parse_csv_vectorized(text: str) -> Optional[np.ndarray]:
+        """Whole-file structured-array parse (no per-row handling).
+
+        The file is mapped as one ``uint8`` buffer and decoded with
+        array arithmetic: line/comma positions from ``flatnonzero``, a
+        running digit count to classify numeric rows, offsets as a
+        digit·power-of-ten contraction, and ``rw`` flags as packed
+        8-byte keys (:func:`_parse_csv_strict`).  Equivalent to
+        :meth:`_parse_csv_scalar` for the inputs it accepts: the same
+        rows are skipped as headers or comments, the same rows are
+        rejected for missing columns, and the same ``rw`` spellings
+        count as stores.  Returns ``None`` for inputs needing the
+        scalar parser's generality (non-ASCII text, signs, cells that
+        need stripping, offsets past 18 digits) — byte decoding those
+        costs more than ``csv`` does, so the reference path is also
+        the fast one there.
+        """
+        if not text.isascii():
+            return None
+        # csv.reader splits records on \r\n, \r and \n alike.
+        if "\r" in text:
+            text = text.replace("\r\n", "\n").replace("\r", "\n")
+        if not text:
+            return np.empty(0, dtype=TRACE_ROW_DTYPE)
+        if not text.endswith("\n"):
+            text += "\n"
+        data = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+        if (data == 0).any() or (data == ord("-")).any():
+            return None
+        # The decoder gathers a few bytes past each cell start; the
+        # space padding keeps those reads in bounds and the padding
+        # indistinguishable from real trailing whitespace.
+        padded = np.concatenate(
+            [data, np.full(32, ord(" "), dtype=np.uint8)]
+        )
+        newlines = np.flatnonzero(data == ord("\n"))
+        starts = np.concatenate(([0], newlines[:-1] + 1))
+        ends = newlines
+        commas = np.flatnonzero(data == ord(","))
+        c1 = _next_in_range(commas, starts, ends)
+        has_comma = c1 < ends
+
+        # Machine-generated traces never mix digits with whitespace on
+        # one line, so no cell ever needs stripping; anything else goes
+        # back to the scalar parser.
+        digit_mask = _DIGIT_LUT[data]
+        spacish = _SPACE_LUT[data] & (data != ord("\n"))
+        if spacish.any() and bool(
+            (
+                np.logical_or.reduceat(digit_mask, starts)
+                & np.logical_or.reduceat(spacish, starts)
+            ).any()
+        ):
+            return None
+        return _parse_csv_strict(
+            text, data, padded, starts, ends, commas, c1,
+            has_comma, digit_mask,
         )
 
     @classmethod

@@ -85,3 +85,67 @@ class TestMatching:
         with pytest.raises(MatchingError):
             match_descriptors(np.zeros((1, 32), dtype=np.uint8),
                               np.zeros((1, 32), dtype=np.uint8), ratio=0.0)
+
+
+class TestVectorizedEquivalence:
+    def _random_pair(self, n=40, m=50, width=32, seed=2):
+        rng = np.random.default_rng(seed)
+        return (rng.integers(0, 256, size=(n, width), dtype=np.uint8),
+                rng.integers(0, 256, size=(m, width), dtype=np.uint8))
+
+    def test_packed_distances_identical(self):
+        from repro.apps.orbslam.matching import packed_hamming_distance_matrix
+
+        a, b = self._random_pair()
+        packed = packed_hamming_distance_matrix(a, b)
+        reference = hamming_distance_matrix(a, b, vectorized=False)
+        assert np.array_equal(packed, reference)
+
+    def test_blas_branch_identical(self):
+        # 300 x 250 crosses the 2^16-pair threshold: the matmul
+        # identity path must still be bit-exact.
+        a, b = self._random_pair(n=300, m=250)
+        assert a.shape[0] * b.shape[0] >= 1 << 16
+        fast = hamming_distance_matrix(a, b, vectorized=True)
+        slow = hamming_distance_matrix(a, b, vectorized=False)
+        assert np.array_equal(fast, slow)
+
+    def test_odd_width_uses_lut(self):
+        from repro.apps.orbslam.matching import packed_hamming_distance_matrix
+
+        a, b = self._random_pair(width=9)
+        fast = hamming_distance_matrix(a, b, vectorized=True)
+        slow = hamming_distance_matrix(a, b, vectorized=False)
+        assert np.array_equal(fast, slow)
+        with pytest.raises(MatchingError):
+            packed_hamming_distance_matrix(a, b)
+
+    @pytest.mark.parametrize("cross_check", [True, False])
+    @pytest.mark.parametrize("max_distance,ratio", [
+        (64, 0.8), (32, 0.8), (256, 1.0), (64, 0.5),
+    ])
+    def test_match_lists_identical(self, cross_check, max_distance, ratio):
+        a, b = self._random_pair(n=60, m=80, seed=5)
+        fast = match_descriptors(a, b, max_distance=max_distance,
+                                 ratio=ratio, cross_check=cross_check,
+                                 vectorized=True)
+        slow = match_descriptors(a, b, max_distance=max_distance,
+                                 ratio=ratio, cross_check=cross_check,
+                                 vectorized=False)
+        assert fast == slow
+
+    def test_single_train_descriptor(self):
+        # One train column: the ratio test has no second-best to apply.
+        a, b = self._random_pair(n=8, m=1)
+        assert match_descriptors(a, b, max_distance=256, vectorized=True) \
+            == match_descriptors(a, b, max_distance=256, vectorized=False)
+
+    def test_injection_uses_scalar_path(self):
+        from repro.robustness.faults import FaultPlan
+        from repro.robustness.inject import inject_faults
+
+        a, b = self._random_pair()
+        clean = match_descriptors(a, b, vectorized=False)
+        with inject_faults(FaultPlan(seed=0)):
+            injected = match_descriptors(a, b, vectorized=True)
+        assert injected == clean

@@ -121,3 +121,71 @@ class TestSlopesAndReconstruction:
     def test_piston_rejected(self):
         with pytest.raises(CentroidError):
             reconstruct_modes(np.zeros((GRID.count, 2)), OPTICS, modes=(1, 2))
+
+
+class TestVectorizedEquivalence:
+    def _run_both(self, frame, grid, method, **kwargs):
+        from repro.apps.shwfs.centroid import extract_centroids
+
+        fast = extract_centroids(frame, grid, method, vectorized=True,
+                                 **kwargs)
+        slow = extract_centroids(frame, grid, method, vectorized=False,
+                                 **kwargs)
+        return fast, slow
+
+    @pytest.mark.parametrize("method", list(CentroidMethod))
+    def test_matches_scalar_loop(self, method):
+        rng = np.random.default_rng(6)
+        grid = SubapertureGrid(rows=5, cols=7, size_px=12)
+        frame = rng.random((5 * 12, 7 * 12))
+        fast, slow = self._run_both(frame, grid, method)
+        assert np.allclose(fast.centroids, slow.centroids,
+                           rtol=1e-12, atol=1e-12)
+        assert np.allclose(fast.intensities, slow.intensities,
+                           rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("method", list(CentroidMethod))
+    def test_all_zero_frame_falls_back_to_centers(self, method):
+        grid = SubapertureGrid(rows=3, cols=3, size_px=8)
+        frame = np.zeros((24, 24))
+        fast, slow = self._run_both(frame, grid, method)
+        assert np.array_equal(fast.centroids, slow.centroids)
+        assert np.all(fast.intensities == 0.0)
+
+    def test_sparse_spots_identical(self):
+        # Single-pixel spots exercise the thresholding and the
+        # windowed refinement's clamped sub-window edges.
+        grid = SubapertureGrid(rows=4, cols=4, size_px=10)
+        frame = np.zeros((40, 40))
+        rng = np.random.default_rng(8)
+        for row in range(4):
+            for col in range(4):
+                y = row * 10 + int(rng.integers(0, 10))
+                x = col * 10 + int(rng.integers(0, 10))
+                frame[y, x] = float(rng.integers(50, 255))
+        fast, slow = self._run_both(frame, grid,
+                                    CentroidMethod.WINDOWED_COG)
+        assert np.allclose(fast.centroids, slow.centroids,
+                           rtol=1e-12, atol=1e-12)
+
+    def test_negative_frame_uses_scalar_path(self):
+        rng = np.random.default_rng(10)
+        grid = SubapertureGrid(rows=2, cols=2, size_px=6)
+        frame = rng.random((12, 12)) - 0.5
+        fast, slow = self._run_both(frame, grid, CentroidMethod.COG)
+        assert np.array_equal(fast.centroids, slow.centroids)
+        assert np.array_equal(fast.intensities, slow.intensities)
+
+    def test_injection_uses_scalar_path(self):
+        from repro.robustness.faults import FaultPlan
+        from repro.robustness.inject import inject_faults
+
+        rng = np.random.default_rng(12)
+        grid = SubapertureGrid(rows=3, cols=4, size_px=8)
+        frame = rng.random((24, 32))
+        from repro.apps.shwfs.centroid import extract_centroids
+
+        clean = extract_centroids(frame, grid, vectorized=False)
+        with inject_faults(FaultPlan(seed=0)):
+            injected = extract_centroids(frame, grid, vectorized=True)
+        assert np.array_equal(injected.centroids, clean.centroids)

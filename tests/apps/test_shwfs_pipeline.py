@@ -91,3 +91,70 @@ class TestTuningHooks:
     def test_tune_smoke(self):
         report = ShwfsPipeline().tune(Framework(), get_board("nano"))
         assert report.board_name == "nano"
+
+
+class TestProcessFrames:
+    """Batch frame processing over the shared-memory fan-out."""
+
+    @staticmethod
+    def _frames(pipeline, count=4):
+        return [
+            pipeline.make_frame([0, 0.1 * (i + 1), -0.05 * i], seed=i)[0]
+            for i in range(count)
+        ]
+
+    @staticmethod
+    def _assert_results_equal(batch, serial):
+        assert len(batch) == len(serial)
+        for got, want in zip(batch, serial):
+            np.testing.assert_array_equal(
+                got.centroids.centroids, want.centroids.centroids
+            )
+            np.testing.assert_array_equal(
+                got.centroids.displacements, want.centroids.displacements
+            )
+            np.testing.assert_array_equal(got.slopes, want.slopes)
+            np.testing.assert_array_equal(
+                got.recovered_modes, want.recovered_modes
+            )
+
+    def test_matches_serial_loop(self):
+        from repro.perf.parallel import ParallelRunner
+
+        pipeline = ShwfsPipeline(modes=(2, 3, 4))
+        frames = self._frames(pipeline)
+        serial = [pipeline.process_frame(f) for f in frames]
+        runner = ParallelRunner()
+        batch = pipeline.process_frames(frames, runner=runner)
+        self._assert_results_equal(batch, serial)
+        assert runner.last_transport in ("shared", "pickle", "inline")
+
+    def test_inline_fallback_matches(self):
+        from repro.perf.parallel import ParallelRunner
+
+        pipeline = ShwfsPipeline()
+        frames = self._frames(pipeline, count=3)
+        serial = [pipeline.process_frame(f) for f in frames]
+        runner = ParallelRunner(parallel=False)
+        batch = pipeline.process_frames(frames, runner=runner)
+        self._assert_results_equal(batch, serial)
+        assert runner.last_transport == "inline"
+
+    def test_empty_batch(self):
+        assert ShwfsPipeline().process_frames([]) == []
+
+    def test_reconstruct_flag_forwarded(self):
+        pipeline = ShwfsPipeline()
+        frames = self._frames(pipeline, count=2)
+        batch = pipeline.process_frames(frames, reconstruct=False)
+        assert all(r.recovered_modes is None for r in batch)
+
+    def test_injection_runs_serially(self):
+        from repro.robustness.inject import FaultInjector, FaultPlan
+
+        pipeline = ShwfsPipeline()
+        frames = self._frames(pipeline, count=2)
+        clean = pipeline.process_frames(frames)
+        with FaultInjector(FaultPlan(seed=0)):
+            injected = pipeline.process_frames(frames)
+        self._assert_results_equal(injected, clean)

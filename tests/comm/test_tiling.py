@@ -175,3 +175,44 @@ class TestOverlappedTiming:
         t_bad = TiledZeroCopyPattern(bad).overlapped_execution(
             cpu, gpu, board.interconnect).total_time_s
         assert t_bad > t_good
+
+
+class TestVectorizedTiming:
+    def make_jobs(self):
+        cpu = OverlapJob(name="cpu", compute_time_s=1e-3,
+                         memory_bytes=gbps(3.2) * 0.5e-3,
+                         solo_bandwidth=gbps(3.2),
+                         overlap_compute_memory=False)
+        gpu = OverlapJob(name="gpu", compute_time_s=0.8e-3,
+                         memory_bytes=gbps(1.28) * 0.5e-3,
+                         solo_bandwidth=gbps(1.28))
+        return cpu, gpu
+
+    @pytest.mark.parametrize("phases", [2, 8, 64])
+    def test_matches_scalar_loop_exactly(self, phases):
+        board = jetson_tx2()
+        plan = TilingPlan.for_buffer(make_spec(), board, num_phases=phases)
+        cpu, gpu = self.make_jobs()
+        fast = TiledZeroCopyPattern(plan, vectorized=True) \
+            .overlapped_execution(cpu, gpu, board.interconnect)
+        slow = TiledZeroCopyPattern(plan, vectorized=False) \
+            .overlapped_execution(cpu, gpu, board.interconnect)
+        assert fast.total_time_s == slow.total_time_s
+        assert fast.sync_overhead_s == slow.sync_overhead_s
+        assert len(fast.phase_results) == len(slow.phase_results) == phases
+        for a, b in zip(fast.phase_results, slow.phase_results):
+            assert a.makespan_s == b.makespan_s
+
+    def test_injection_uses_per_phase_loop(self):
+        from repro.robustness.faults import FaultPlan
+        from repro.robustness.inject import inject_faults
+
+        board = jetson_xavier()
+        plan = TilingPlan.for_buffer(make_spec(), board, num_phases=4)
+        cpu, gpu = self.make_jobs()
+        clean = TiledZeroCopyPattern(plan, vectorized=False) \
+            .overlapped_execution(cpu, gpu, board.interconnect)
+        with inject_faults(FaultPlan(seed=0)):
+            injected = TiledZeroCopyPattern(plan, vectorized=True) \
+                .overlapped_execution(cpu, gpu, board.interconnect)
+        assert injected.total_time_s == clean.total_time_s

@@ -64,3 +64,61 @@ class TestConstruction:
         xavier = results["xavier"]
         ratio = xavier.cpu_times["SC"] / xavier.kernel_times["SC"]
         assert 0.2 < ratio < 5.0
+
+
+class TestBalanceSweep:
+    BOARDS = ("nano", "tx2", "xavier")
+
+    def _run_both(self, board_name):
+        from repro.soc.board import get_board
+        from repro.soc.soc import SoC
+
+        board = get_board(board_name)
+        fast = ThirdMicroBenchmark(vectorized=True)
+        slow = ThirdMicroBenchmark(vectorized=False)
+        return (fast.balance_sweep(SoC(board)),
+                slow.balance_sweep(SoC(board)))
+
+    @pytest.mark.parametrize("board_name", BOARDS)
+    def test_vectorized_matches_scalar(self, board_name):
+        fast, slow = self._run_both(board_name)
+        assert fast.balances == slow.balances
+        for a, b in zip(fast.results, slow.results):
+            for model in ("SC", "UM", "ZC"):
+                assert a.total_times[model] == pytest.approx(
+                    b.total_times[model], rel=1e-12
+                )
+                assert a.cpu_times[model] == pytest.approx(
+                    b.cpu_times[model], rel=1e-12
+                )
+        assert fast.best_balance == slow.best_balance
+
+    def test_speedups_vary_with_balance(self):
+        fast, _ = self._run_both("xavier")
+        assert len(set(fast.sc_zc_speedups)) > 1
+
+    def test_injection_falls_back_to_scalar(self):
+        from repro.robustness.faults import FaultPlan
+        from repro.robustness.inject import inject_faults
+        from repro.soc.board import get_board
+        from repro.soc.soc import SoC
+
+        board = get_board("tx2")
+        clean = ThirdMicroBenchmark(vectorized=False).balance_sweep(SoC(board))
+        with inject_faults(FaultPlan(seed=0)):
+            injected = ThirdMicroBenchmark(vectorized=True).balance_sweep(
+                SoC(board)
+            )
+        assert injected.balances == clean.balances
+        for a, b in zip(injected.results, clean.results):
+            assert a.total_times == b.total_times
+
+    def test_custom_balances(self):
+        from repro.soc.board import get_board
+        from repro.soc.soc import SoC
+
+        result = ThirdMicroBenchmark(vectorized=True).balance_sweep(
+            SoC(get_board("tx2")), balances=(0.5, 2.0)
+        )
+        assert result.balances == (0.5, 2.0)
+        assert len(result.results) == 2

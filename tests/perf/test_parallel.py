@@ -144,3 +144,110 @@ class TestTuneMany:
         )
         assert len(reports) == 1
         assert reports[0].degraded
+
+
+# ----------------------------------------------------------------------
+# zero-copy shared-memory fan-out
+# ----------------------------------------------------------------------
+
+import os
+
+import numpy as np
+
+
+def _shared_sum(arrays, item):
+    return float(arrays["a"].sum()) + item
+
+
+def _shared_copy(arrays, item):
+    # Returning a copy (never a view) honors the map_shared contract.
+    return arrays["a"][item].copy()
+
+
+def _shared_fail(arrays, item):
+    if item == 2:
+        raise ValueError("task failure must propagate")
+    return item
+
+
+def _leaked_segments():
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return None
+    return {name for name in os.listdir(shm_dir) if name.startswith("psm_")}
+
+
+class TestMapShared:
+    def test_shared_transport_results(self):
+        runner = ParallelRunner(max_workers=2)
+        a = np.arange(100.0)
+        out = runner.map_shared(_shared_sum, {"a": a}, [1, 2, 3])
+        assert out == [4951.0, 4952.0, 4953.0]
+        assert runner.last_mode == "parallel"
+        assert runner.last_transport == "shared"
+
+    def test_array_contents_reach_workers(self):
+        runner = ParallelRunner(max_workers=2)
+        a = np.arange(12.0).reshape(3, 4)
+        rows = runner.map_shared(_shared_copy, {"a": a}, [0, 1, 2])
+        for i, row in enumerate(rows):
+            assert np.array_equal(row, a[i])
+
+    def test_no_segments_leak(self):
+        before = _leaked_segments()
+        if before is None:
+            pytest.skip("no /dev/shm on this platform")
+        runner = ParallelRunner(max_workers=2)
+        runner.map_shared(_shared_sum, {"a": np.arange(10.0)}, [1, 2])
+        assert _leaked_segments() <= before
+
+    def test_empty_items(self):
+        runner = ParallelRunner()
+        assert runner.map_shared(_shared_sum, {"a": np.zeros(4)}, []) == []
+        assert runner.last_transport == "inline"
+
+    def test_parallel_disabled_runs_inline(self):
+        runner = ParallelRunner(parallel=False)
+        out = runner.map_shared(_shared_sum, {"a": np.ones(3)}, [1, 2])
+        assert out == [4.0, 5.0]
+        assert runner.last_mode == "serial"
+        assert runner.last_transport == "inline"
+
+    def test_unpicklable_worker_runs_inline(self):
+        runner = ParallelRunner()
+        out = runner.map_shared(
+            lambda arrays, item: float(arrays["a"][item]),
+            {"a": np.array([10.0, 20.0])}, [0, 1],
+        )
+        assert out == [10.0, 20.0]
+        assert runner.last_transport == "inline"
+
+    def test_single_item_runs_inline(self):
+        runner = ParallelRunner()
+        out = runner.map_shared(_shared_sum, {"a": np.zeros(2)}, [7])
+        assert out == [7.0]
+        assert runner.last_transport == "inline"
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(max_workers=2).map_shared(
+                _shared_fail, {"a": np.zeros(1)}, [1, 2, 3]
+            )
+
+    def test_pickle_fallback_when_shared_memory_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            ParallelRunner, "_map_via_shared_memory",
+            lambda self, *args: None,
+        )
+        runner = ParallelRunner(max_workers=2)
+        out = runner.map_shared(_shared_sum, {"a": np.arange(4.0)}, [1, 2])
+        assert out == [7.0, 8.0]
+        assert runner.last_mode == "parallel"
+        assert runner.last_transport == "pickle"
+
+    def test_noncontiguous_arrays_copied(self):
+        runner = ParallelRunner(max_workers=2)
+        strided = np.arange(20.0)[::2]
+        assert not strided.flags["C_CONTIGUOUS"]
+        out = runner.map_shared(_shared_sum, {"a": strided}, [0, 1])
+        assert out == [float(strided.sum()), float(strided.sum()) + 1]

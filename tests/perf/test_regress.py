@@ -1,0 +1,183 @@
+"""The ``repro bench --check`` regression gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import regress
+
+
+def _fast_probe():
+    return 1.0, 0.1  # 10x
+
+
+def _slow_probe():
+    return 1.0, 0.5  # 2x
+
+
+def _fake_registry():
+    return {
+        "paths.fast.speedup": ("BENCH_fake.json", _fast_probe),
+        "paths.slow.speedup": ("BENCH_fake.json", _slow_probe),
+        "paths.absent.speedup": ("BENCH_missing.json", _fast_probe),
+    }
+
+
+def _write_baseline(directory, fast=10.0, slow=10.0):
+    (directory / "BENCH_fake.json").write_text(json.dumps(
+        {"paths": {"fast": {"speedup": fast}, "slow": {"speedup": slow}}}
+    ))
+
+
+class TestLookup:
+    def test_nested_path(self):
+        doc = {"a": {"b": {"c": 3.5}}}
+        assert regress._lookup(doc, "a.b.c") == 3.5
+
+    def test_missing_key(self):
+        assert regress._lookup({"a": {}}, "a.b") is None
+
+    def test_non_numeric_leaf(self):
+        assert regress._lookup({"a": "10x"}, "a") is None
+
+
+class TestRunChecks:
+    def test_regression_flagged(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(regress, "PROBES", _fake_registry())
+        _write_baseline(tmp_path)
+        by_metric = {
+            c.metric: c for c in regress.run_checks(baseline_dir=tmp_path)
+        }
+        assert not by_metric["paths.fast.speedup"].regressed
+        assert by_metric["paths.slow.speedup"].regressed
+        assert by_metric["paths.absent.speedup"].skipped
+
+    def test_drop_within_threshold_passes(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(regress, "PROBES", _fake_registry())
+        _write_baseline(tmp_path, fast=12.0, slow=2.1)  # 2x vs 2.1x: -5%
+        checks = regress.run_checks(baseline_dir=tmp_path)
+        assert not any(c.regressed for c in checks)
+
+    def test_exact_floor_is_not_a_regression(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            regress, "PROBES",
+            {"paths.fast.speedup": ("BENCH_fake.json", _fast_probe)},
+        )
+        # floor = 13.3333... * 0.75 = 10.0 exactly; measured 10.0 passes
+        (tmp_path / "BENCH_fake.json").write_text(json.dumps(
+            {"paths": {"fast": {"speedup": 40.0 / 3.0}}}
+        ))
+        checks = regress.run_checks(baseline_dir=tmp_path)
+        assert not checks[0].regressed
+
+    def test_custom_threshold(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            regress, "PROBES",
+            {"paths.slow.speedup": ("BENCH_fake.json", _slow_probe)},
+        )
+        _write_baseline(tmp_path, slow=2.2)  # 2x vs 2.2x: a 9% drop
+        strict = regress.run_checks(baseline_dir=tmp_path, threshold=0.05)
+        lax = regress.run_checks(baseline_dir=tmp_path, threshold=0.25)
+        assert strict[0].regressed
+        assert not lax[0].regressed
+
+
+class TestCheckReport:
+    def test_regression_exit_code(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(regress, "PROBES", _fake_registry())
+        _write_baseline(tmp_path)
+        text, code = regress.check(baseline_dir=tmp_path)
+        assert code == regress.EXIT_REGRESSION == 4
+        assert "REGRESSED" in text
+        assert "paths.slow.speedup" in text
+
+    def test_clean_exit_code(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            regress, "PROBES",
+            {"paths.fast.speedup": ("BENCH_fake.json", _fast_probe)},
+        )
+        _write_baseline(tmp_path)
+        text, code = regress.check(baseline_dir=tmp_path)
+        assert code == 0
+        assert "REGRESSED" not in text
+
+    def test_missing_baselines_skip_not_fail(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(regress, "PROBES", _fake_registry())
+        text, code = regress.check(baseline_dir=tmp_path)
+        assert code == 0
+        assert "skipped" in text
+
+
+class TestDefaultBaselineDir:
+    def test_cwd_with_baselines_wins(self, tmp_path, monkeypatch):
+        _write_baseline(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert regress.default_baseline_dir() == tmp_path
+
+    def test_falls_back_to_repo_root(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        found = regress.default_baseline_dir()
+        assert (found / "src" / "repro" / "perf" / "regress.py").exists()
+
+
+class TestCliCheck:
+    def test_exit_4_on_regression(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(regress, "PROBES", _fake_registry())
+        _write_baseline(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--check"]) == 4
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_exit_0_when_clean(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            regress, "PROBES",
+            {"paths.fast.speedup": ("BENCH_fake.json", _fast_probe)},
+        )
+        _write_baseline(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--check"]) == 0
+
+    def test_threshold_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            regress, "PROBES",
+            {"paths.slow.speedup": ("BENCH_fake.json", _slow_probe)},
+        )
+        _write_baseline(tmp_path, slow=2.2)
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--check", "--check-threshold", "0.05"]) == 4
+        assert main(["bench", "--check", "--check-threshold", "0.25"]) == 0
+        capsys.readouterr()
+
+
+class TestCollectAppBench:
+    def test_payload_shape(self, monkeypatch):
+        monkeypatch.setattr(regress, "APP_PATHS", {
+            "fast": (_fast_probe, "a fast path"),
+            "slow": (_slow_probe, "a slow path"),
+        })
+        payload = regress.collect_app_bench("2026-08-06", host="test")
+        assert payload["generated"] == "2026-08-06"
+        assert payload["paths"]["fast"]["speedup"] == pytest.approx(10.0)
+        assert payload["paths"]["slow"]["speedup"] == pytest.approx(2.0)
+        assert payload["paths_at_10x"] == ["fast"]
+        assert payload["criteria"]["regression_threshold"] == \
+            regress.REGRESSION_THRESHOLD
+
+    def test_committed_baseline_meets_criteria(self):
+        """The repo's BENCH_app.json honors its own 3-of-N 10x bar."""
+        root = regress.default_baseline_dir()
+        path = root / "BENCH_app.json"
+        doc = json.loads(path.read_text())
+        assert len(doc["paths_at_10x"]) >= doc["criteria"]["min_paths_at_10x"]
+        for name in doc["paths_at_10x"]:
+            assert doc["paths"][name]["speedup"] >= 10.0
+
+
+class TestProbeRegistry:
+    def test_probes_map_to_committed_metrics(self):
+        """Every gated metric exists in its committed baseline file."""
+        root = regress.default_baseline_dir()
+        for metric, (filename, _probe) in regress.PROBES.items():
+            doc = json.loads((root / filename).read_text())
+            assert regress._lookup(doc, metric) is not None, metric

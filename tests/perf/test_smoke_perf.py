@@ -55,3 +55,33 @@ def test_persistent_cache_at_least_10x_faster(tmp_path):
         f"cached characterization only {t_cold / t_warm:.1f}x faster "
         f"({t_cold * 1e3:.1f}ms -> {t_warm * 1e3:.1f}ms)"
     )
+
+
+def test_app_fast_paths_clear_generous_floors():
+    """The PR-4 vectorized paths, with wide margins for slow CI hosts.
+
+    The committed BENCH_app.json records the real numbers; these floors
+    only catch a fast path silently degrading to its scalar fallback.
+    """
+    from repro.perf.regress import APP_PATHS
+
+    floors = {"tiling": 10.0, "matching": 5.0, "centroids": 5.0}
+    for name, floor in floors.items():
+        probe, _workload = APP_PATHS[name]
+        t_slow, t_fast = probe()
+        assert t_slow / t_fast >= floor, (
+            f"{name} path only {t_slow / t_fast:.1f}x faster "
+            f"({t_slow * 1e3:.1f}ms -> {t_fast * 1e3:.2f}ms)"
+        )
+
+
+def test_at_least_three_paths_reach_10x():
+    """The PR's acceptance bar: >= 10x on at least 3 of the app paths."""
+    from repro.perf.regress import APP_PATHS
+
+    speedups = {}
+    for name in ("tiling", "matching", "centroids"):
+        probe, _workload = APP_PATHS[name]
+        t_slow, t_fast = probe()
+        speedups[name] = t_slow / t_fast
+    assert sum(s >= 10.0 for s in speedups.values()) >= 3, speedups

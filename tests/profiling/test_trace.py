@@ -147,3 +147,131 @@ class TestWorkloadFromTrace:
     def test_iterations_validated(self):
         with pytest.raises(ProfilingError):
             workload_from_trace("x", sequential_trace(16), iterations=0)
+
+
+# ----------------------------------------------------------------------
+# vectorized CSV decoder vs the csv-module reference
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robustness.faults import FaultPlan
+from repro.robustness.inject import inject_faults
+
+
+def parse_both(text, access_size=4):
+    fast = RecordedTrace.from_csv(io.StringIO(text), access_size=access_size,
+                                  vectorized=True)
+    slow = RecordedTrace.from_csv(io.StringIO(text), access_size=access_size,
+                                  vectorized=False)
+    return fast, slow
+
+
+EDGE_CASE_TEXTS = (
+    "offset,rw\n0,R\n4,W\n8,r\n64,w\n",       # plain
+    "0,0\n4,1\n",                             # numeric flags
+    "\n\noffset,rw\n\n12,w\n\n8,r\n",         # blank lines everywhere
+    "offset,rw\r\n16,W\r\n20,R\r\n",          # CRLF endings
+    "0,R\r4,W\r",                             # bare-CR endings
+    "﻿offset,rw\n0,w\n",                 # UTF-8 BOM
+    " 8 , W \n 12 , r \n",                    # padded cells
+    "08,w\n012,R\n",                          # leading zeros
+    "# trace dump\n0,r\n4,w\n",               # non-numeric first line
+    "0,r,extra,cols\n4,w,x\n",                # extra columns ignored
+    "0,write\n4,read\n8,st\n12,ld\n",         # long flag spellings
+    "0,R\n4,W",                               # no trailing newline
+    "999999999999999999,w\n0,r\n",            # 18-digit offset
+    '"0","W"\n"4","r"\n',                     # quoted cells
+)
+
+
+class TestVectorizedCsv:
+    @pytest.mark.parametrize("text", EDGE_CASE_TEXTS)
+    def test_equivalent_to_scalar(self, text):
+        fast, slow = parse_both(text)
+        assert fast.offsets.tolist() == slow.offsets.tolist()
+        assert fast.is_write.tolist() == slow.is_write.tolist()
+        assert fast.access_size == slow.access_size
+
+    @pytest.mark.parametrize("text", [
+        "5\n0,r\n",            # row missing the rw cell
+        "0,r\n7\n",            # ...in any position
+    ])
+    def test_short_row_error_identical(self, text):
+        with pytest.raises(ProfilingError) as fast_err:
+            RecordedTrace.from_csv(io.StringIO(text), vectorized=True)
+        with pytest.raises(ProfilingError) as slow_err:
+            RecordedTrace.from_csv(io.StringIO(text), vectorized=False)
+        assert str(fast_err.value) == str(slow_err.value)
+
+    @pytest.mark.parametrize("text", [
+        "-4,r\n",                       # negative offset
+        "--5,w\n",
+        "18446744073709551615,w\n",     # > int64
+        "offset,rw\n",                  # no data rows
+        "",                             # empty file
+    ])
+    def test_rejections_raise_same_type(self, text):
+        for vectorized in (True, False):
+            with pytest.raises(
+                    (ProfilingError, OverflowError, ValueError)) as err:
+                RecordedTrace.from_csv(io.StringIO(text),
+                                       vectorized=vectorized)
+            if vectorized:
+                first_type = type(err.value)
+            else:
+                assert type(err.value) is first_type
+
+    def test_injection_uses_scalar_path(self):
+        text = "0,R\n4,W\n8,r\n"
+        clean = RecordedTrace.from_csv(io.StringIO(text), vectorized=False)
+        with inject_faults(FaultPlan(seed=0)):
+            injected = RecordedTrace.from_csv(io.StringIO(text),
+                                              vectorized=True)
+        assert injected.offsets.tolist() == clean.offsets.tolist()
+        assert injected.is_write.tolist() == clean.is_write.tolist()
+
+    @given(
+        offsets=st.lists(
+            st.integers(min_value=0, max_value=10 ** 17),
+            min_size=1, max_size=60,
+        ),
+        flags=st.lists(
+            st.sampled_from(["r", "w", "R", "W", "0", "1", "read", "write",
+                             "st", "ld", "true", "false"]),
+            min_size=1, max_size=60,
+        ),
+        header=st.booleans(),
+        crlf=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_traces_agree(self, offsets, flags, header, crlf):
+        rows = [f"{o},{f}" for o, f in zip(offsets, flags)]
+        text = ("offset,rw\n" if header else "") + "\n".join(rows) + "\n"
+        if crlf:
+            text = text.replace("\n", "\r\n")
+        fast, slow = parse_both(text)
+        assert fast.offsets.tolist() == slow.offsets.tolist()
+        assert fast.is_write.tolist() == slow.is_write.tolist()
+
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        access_size=st.sampled_from([1, 4, 8, 64]),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_npz_round_trip(self, tmp_path_factory, n, access_size,
+                                     seed):
+        rng = np.random.default_rng(seed)
+        original = RecordedTrace(
+            offsets=rng.integers(0, 1 << 40, size=n).astype(np.int64),
+            is_write=rng.random(n) < 0.5,
+            access_size=access_size,
+        )
+        path = tmp_path_factory.mktemp("npz") / "trace.npz"
+        original.save_npz(path)
+        loaded = RecordedTrace.from_npz(path)
+        assert np.array_equal(loaded.offsets, original.offsets)
+        assert np.array_equal(loaded.is_write, original.is_write)
+        assert loaded.access_size == original.access_size
