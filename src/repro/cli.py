@@ -17,7 +17,13 @@ code:
   against the committed ``BENCH_*.json`` baselines and exits 4 when
   one regressed more than 25 % (see :mod:`repro.perf.regress`);
 - ``tune <app> <board> [--model SC]`` — run the Fig-2 flow on one of
-  the bundled case studies (``shwfs`` or ``orbslam``);
+  the bundled case studies (``shwfs`` or ``orbslam``); ``--trace FILE``
+  writes the run's spans as a Chrome/Perfetto trace and
+  ``--report FILE`` the full :class:`~repro.obs.report.TuneReport`
+  JSON;
+- ``obs summary [artifact]`` — aggregate a trace artifact (Chrome or
+  JSONL) — or the current process's live buffers — into a plain-text
+  span/metric summary;
 - ``compare <app> <board>`` — execute the application under all three
   communication models and print the measured times;
 - ``sweep <app> <board>`` — what-if sensitivity sweep of the ZC path
@@ -34,6 +40,10 @@ Commands return the text to print, or a ``(text, exit_code)`` pair
 when a non-zero exit must not go through the error path (``validate``
 reporting violations).  Structured failures print as
 ``error[CODE]: message`` on stderr with exit code 2.
+
+The global ``--obs-off`` flag (before the subcommand) disables the
+:mod:`repro.obs` instrumentation for the invocation; ``REPRO_OBS=0``
+does the same for a whole environment.
 """
 
 from __future__ import annotations
@@ -102,8 +112,8 @@ def cmd_tune(args: argparse.Namespace) -> str:
     """Run the decision flow for a bundled application."""
     board = get_board(args.board)
     pipeline = _get_pipeline(args.app)
-    report = pipeline.tune(_framework_from_args(args), board,
-                           current_model=args.model)
+    framework = _framework_from_args(args)
+    report = pipeline.tune(framework, board, current_model=args.model)
     rec = report.recommendation
     table = Table(
         f"Tuning {args.app} on {board.display_name} (currently {args.model})",
@@ -119,7 +129,44 @@ def cmd_tune(args: argparse.Namespace) -> str:
     table.add_row("recommendation", rec.model.value)
     if rec.estimated_speedup_pct is not None:
         table.add_row("estimated speedup (%)", rec.estimated_speedup_pct)
-    return table.render() + f"\n\nreason: {rec.reason}"
+    text = table.render() + f"\n\nreason: {rec.reason}"
+    text += _write_tune_artifacts(args, framework)
+    return text
+
+
+def _write_tune_artifacts(args: argparse.Namespace,
+                          framework: Framework) -> str:
+    """Write ``tune --trace`` / ``--report`` artifacts; footer lines."""
+    import pathlib
+
+    footer = ""
+    if getattr(args, "trace", None):
+        from repro.obs import export
+
+        export.write_chrome_trace(args.trace)
+        footer += f"\ntrace written to {args.trace}"
+    if getattr(args, "report", None):
+        tune_report = framework.last_tune_report
+        if tune_report is None:
+            raise ReproError(
+                "the pipeline did not run Framework.tune, so there is "
+                "no tune report to write",
+                code="OBS_NO_TUNE_REPORT",
+            )
+        pathlib.Path(args.report).write_text(tune_report.to_json())
+        footer += f"\nreport written to {args.report}"
+    return footer
+
+
+def cmd_obs(args: argparse.Namespace) -> str:
+    """Summarize a trace artifact (or the live buffers)."""
+    from repro.obs import export
+
+    if args.artifact:
+        spans, snapshot = export.load_artifact(args.artifact)
+        return (f"artifact: {args.artifact}\n"
+                + export.summary(spans, snapshot))
+    return export.summary()
 
 
 def cmd_compare(args: argparse.Namespace) -> str:
@@ -235,11 +282,17 @@ def cmd_cache(args: argparse.Namespace) -> str:
         removed = cache.clear()
         return (f"removed {removed} cached characterization(s) from "
                 f"{cache.directory}")
-    entries = cache.entries()
+    scanned = cache.scan()
+    corrupt = [(path, reason) for path, status, reason in scanned
+               if status == "corrupt"]
     lines = [f"characterization cache at {cache.directory}: "
-             f"{len(entries)} entry(ies)"]
-    for path in entries:
-        lines.append(f"  {path.name} ({path.stat().st_size} bytes)")
+             f"{len(scanned)} entry(ies), {len(corrupt)} corrupt"]
+    for path, status, reason in scanned:
+        lines.append(f"  {path.name} ({path.stat().st_size} bytes) "
+                     f"[{status}: {reason}]")
+    if corrupt:
+        lines.append("corrupt entries are treated as misses; "
+                     "`repro cache clear` removes them")
     return "\n".join(lines)
 
 
@@ -250,7 +303,8 @@ def cmd_bench(args: argparse.Namespace):
     if args.check:
         from repro.perf.regress import check
 
-        return check(threshold=args.check_threshold)
+        return check(threshold=args.check_threshold,
+                     trace_path=args.check_trace)
 
     from repro.perf.grid import run_grid
 
@@ -318,6 +372,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "report": cmd_report,
     "cache": cmd_cache,
     "bench": cmd_bench,
+    "obs": cmd_obs,
 }
 
 
@@ -334,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="CPU-iGPU communication tuning framework (DAC 2021 "
                     "reproduction)",
     )
+    parser.add_argument("--obs-off", action="store_true",
+                        help="disable tracing and metrics for this "
+                             "invocation (also: REPRO_OBS=0)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("boards", help="list board presets")
@@ -357,6 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
         if extra:
             p.add_argument("--model", default="SC", choices=["SC", "UM", "ZC"],
                            help="the application's current model")
+            p.add_argument("--trace", default=None, metavar="FILE",
+                           help="write the run's spans as a Chrome/Perfetto "
+                                "trace JSON")
+            p.add_argument("--report", default=None, metavar="FILE",
+                           help="write the full tune report (every "
+                                "decision intermediate) as JSON")
             add_cache_flags(p)
 
     p = sub.add_parser(
@@ -387,7 +451,18 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FRAC",
                    help="flag a speedup more than FRAC below its baseline "
                         "(default: 0.25)")
+    p.add_argument("--check-trace", default=None, metavar="FILE",
+                   help="where --check writes its post-mortem trace on "
+                        "failure (default: bench-check-trace.json next to "
+                        "the baselines)")
     add_cache_flags(p)
+
+    p = sub.add_parser(
+        "obs", help="summarize a trace artifact or the live obs buffers")
+    p.add_argument("action", choices=["summary"])
+    p.add_argument("artifact", nargs="?", default=None,
+                   help="a Chrome-trace or JSONL artifact to summarize "
+                        "(default: this process's live buffers)")
 
     p = sub.add_parser("sweep", help="ZC-path what-if sensitivity sweep")
     p.add_argument("app", choices=["shwfs", "orbslam"])
@@ -435,6 +510,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.obs_off:
+        from repro.obs import state as obs_state
+
+        obs_state.disable()
     try:
         result = _COMMANDS[args.command](args)
     except ReproError as error:

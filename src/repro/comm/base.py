@@ -11,6 +11,7 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError, WorkloadError
 from repro.comm.report import ExecutionReport, IterationBreakdown
 from repro.kernels.workload import Workload
@@ -84,22 +85,26 @@ class CommModel(abc.ABC):
             stream = workload.cpu_task.build_streams(
                 placed.cpu_buffers, soc.board.cpu.l1.line_size
             )
-            cpu_phase = soc.run_cpu(
-                workload.cpu_task.name,
-                workload.cpu_task.compute_cycles(),
-                stream,
-                mode=mode,
-            )
+            with obs.span("comm.phase.cpu", model=self.name,
+                          task=workload.cpu_task.name):
+                cpu_phase = soc.run_cpu(
+                    workload.cpu_task.name,
+                    workload.cpu_task.compute_cycles(),
+                    stream,
+                    mode=mode,
+                )
         if workload.gpu_kernel is not None:
             stream = workload.gpu_kernel.build_streams(
                 placed.gpu_buffers, soc.board.gpu.l1.line_size
             )
-            gpu_phase = soc.run_gpu(
-                workload.gpu_kernel.name,
-                workload.gpu_kernel.total_flops(),
-                stream,
-                mode=mode,
-            )
+            with obs.span("comm.phase.gpu", model=self.name,
+                          kernel=workload.gpu_kernel.name):
+                gpu_phase = soc.run_gpu(
+                    workload.gpu_kernel.name,
+                    workload.gpu_kernel.total_flops(),
+                    stream,
+                    mode=mode,
+                )
         return cpu_phase, gpu_phase
 
     # ------------------------------------------------------------------
@@ -182,6 +187,9 @@ class CommModel(abc.ABC):
             dram_bytes=dram_bytes,
             copied_bytes=float(copied_per_iteration) * n,
         )
+        obs.counter_inc(f"comm.execute.{self.name}")
+        obs.observe("comm.kernel_time_s", report.kernel_time_s)
+        obs.observe("comm.copy_time_s", report.copy_time_s)
         return report
 
 

@@ -16,6 +16,7 @@ model for cache-dependent applications.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.comm.base import CommModel, PlacedWorkload, register_model
 from repro.comm.report import ExecutionReport, IterationBreakdown
 from repro.kernels.workload import Workload
@@ -52,26 +53,34 @@ class StandardCopyModel(CommModel):
             stream = workload.cpu_task.build_streams(
                 placed.cpu_buffers, soc.board.cpu.l1.line_size
             )
-            cpu_phase = soc.run_cpu(
-                workload.cpu_task.name,
-                workload.cpu_task.compute_cycles(),
-                stream,
-                mode=mode,
-            )
-        copy_time += soc.copy(workload.bytes_to_gpu).time_s
+            with obs.span("comm.phase.cpu", model=self.name,
+                          task=workload.cpu_task.name):
+                cpu_phase = soc.run_cpu(
+                    workload.cpu_task.name,
+                    workload.cpu_task.compute_cycles(),
+                    stream,
+                    mode=mode,
+                )
+        with obs.span("comm.phase.copy", model=self.name,
+                      direction="to_gpu", bytes=workload.bytes_to_gpu):
+            copy_time += soc.copy(workload.bytes_to_gpu).time_s
         flush_time += soc.flush_cpu_caches().time_s
         if workload.gpu_kernel is not None:
             stream = workload.gpu_kernel.build_streams(
                 placed.gpu_buffers, soc.board.gpu.l1.line_size
             )
-            gpu_phase = soc.run_gpu(
-                workload.gpu_kernel.name,
-                workload.gpu_kernel.total_flops(),
-                stream,
-                mode=mode,
-            )
+            with obs.span("comm.phase.gpu", model=self.name,
+                          kernel=workload.gpu_kernel.name):
+                gpu_phase = soc.run_gpu(
+                    workload.gpu_kernel.name,
+                    workload.gpu_kernel.total_flops(),
+                    stream,
+                    mode=mode,
+                )
         flush_time += soc.flush_gpu_caches().time_s
-        copy_time += soc.copy(workload.bytes_to_cpu).time_s
+        with obs.span("comm.phase.copy", model=self.name,
+                      direction="to_cpu", bytes=workload.bytes_to_cpu):
+            copy_time += soc.copy(workload.bytes_to_cpu).time_s
 
         self._last_phases = (cpu_phase, gpu_phase)
         return IterationBreakdown(
@@ -85,10 +94,12 @@ class StandardCopyModel(CommModel):
     def execute(self, workload: Workload, soc: SoC,
                 mode: str = "auto") -> ExecutionReport:
         """Run ``workload`` under SC and report timing/energy."""
-        placed = self.place(workload, soc)
-        with soc.communication(self.name):
-            first = self._iteration(placed, soc, mode)
-            steady = self._iteration(placed, soc, mode)
+        with obs.span("comm.execute", model=self.name,
+                      workload=workload.name, board=soc.board.name):
+            placed = self.place(workload, soc)
+            with soc.communication(self.name):
+                first = self._iteration(placed, soc, mode)
+                steady = self._iteration(placed, soc, mode)
         cpu_phase, gpu_phase = self._last_phases
         return self._finalize(
             workload,

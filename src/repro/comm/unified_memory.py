@@ -15,6 +15,7 @@ Table I (UM slightly above SC on both boards) is applied as the board's
 
 from __future__ import annotations
 
+from repro import obs
 from repro.comm.base import CommModel, PlacedWorkload, register_model
 from repro.comm.report import ExecutionReport, IterationBreakdown
 from repro.kernels.workload import Direction, Workload
@@ -73,7 +74,9 @@ class UnifiedMemoryModel(CommModel):
                 placed.gpu_buffers, soc.board.gpu.l1.line_size
             )
             factor = soc.board.um_throughput_factor
-            with soc.gpu.hierarchy.scaled_bandwidths(factor):
+            with obs.span("comm.phase.gpu", model=self.name,
+                          kernel=workload.gpu_kernel.name), \
+                    soc.gpu.hierarchy.scaled_bandwidths(factor):
                 gpu_phase = soc.run_gpu(
                     workload.gpu_kernel.name,
                     workload.gpu_kernel.total_flops(),
@@ -95,10 +98,12 @@ class UnifiedMemoryModel(CommModel):
     def execute(self, workload: Workload, soc: SoC,
                 mode: str = "auto") -> ExecutionReport:
         """Run ``workload`` under UM and report timing/energy."""
-        placed = self.place(workload, soc)
-        with soc.communication(self.name):
-            first = self._iteration(placed, soc, mode, cold=True)
-            steady = self._iteration(placed, soc, mode, cold=False)
+        with obs.span("comm.execute", model=self.name,
+                      workload=workload.name, board=soc.board.name):
+            placed = self.place(workload, soc)
+            with soc.communication(self.name):
+                first = self._iteration(placed, soc, mode, cold=True)
+                steady = self._iteration(placed, soc, mode, cold=False)
         cpu_phase, gpu_phase = self._last_phases
         return self._finalize(
             workload,

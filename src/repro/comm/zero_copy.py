@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.comm.base import CommModel, PlacedWorkload, register_model
 from repro.errors import ConfigurationError
 from repro.comm.report import ExecutionReport, IterationBreakdown
@@ -145,10 +146,12 @@ class ZeroCopyModel(CommModel):
     def execute(self, workload: Workload, soc: SoC,
                 mode: str = "auto") -> ExecutionReport:
         """Run ``workload`` under ZC and report timing/energy."""
-        placed = self.place(workload, soc)
-        with soc.communication(self.name):
-            first = self._iteration(placed, soc, mode)
-            steady = self._iteration(placed, soc, mode)
+        with obs.span("comm.execute", model=self.name,
+                      workload=workload.name, board=soc.board.name):
+            placed = self.place(workload, soc)
+            with soc.communication(self.name):
+                first = self._iteration(placed, soc, mode)
+                steady = self._iteration(placed, soc, mode)
         cpu_phase, gpu_phase = self._last_phases
         return self._finalize(
             workload,

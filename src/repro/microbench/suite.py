@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import MicrobenchmarkError, ModelError
 from repro.microbench.first import FirstBenchResult, FirstMicroBenchmark
 from repro.microbench.second import SecondBenchResult, SecondMicroBenchmark
@@ -66,14 +67,18 @@ class MicrobenchmarkSuite:
 
     def run_all(self, board: BoardConfig) -> SuiteResults:
         """Run MB1-MB3 on a fresh SoC for ``board``."""
-        soc = SoC(board)
-        first = self.first.run(soc)
-        second = self.second.run(
-            soc,
-            gpu_peak_throughput=first.gpu_max_throughput["SC"],
-            cpu_peak_throughput=first.cpu_max_throughput["SC"],
-        )
-        third = self.third.run(soc)
+        with obs.span("microbench.suite", board=board.name):
+            soc = SoC(board)
+            with obs.span("microbench.mb1", board=board.name):
+                first = self.first.run(soc)
+            with obs.span("microbench.mb2", board=board.name):
+                second = self.second.run(
+                    soc,
+                    gpu_peak_throughput=first.gpu_max_throughput["SC"],
+                    cpu_peak_throughput=first.cpu_max_throughput["SC"],
+                )
+            with obs.span("microbench.mb3", board=board.name):
+                third = self.third.run(soc)
         results = SuiteResults(first=first, second=second, third=third)
         self._raw[board.name] = results
         return results
@@ -140,6 +145,7 @@ class MicrobenchmarkSuite:
         when the budget is exhausted, annotated with the attempt count.
         """
         if not force and board.name in self._cache:
+            obs.counter_inc("microbench.characterize.memory_hit")
             return self._cache[board.name]
         if not force:
             persisted = self._persistent_load(board)
@@ -153,6 +159,10 @@ class MicrobenchmarkSuite:
                 characterization = self._characterize_once(board)
                 break
             except (MicrobenchmarkError, ModelError) as error:
+                obs.event("microbench.characterize.attempt_failed",
+                          board=board.name, attempt=attempt + 1,
+                          code=error.code)
+                obs.counter_inc("microbench.characterize.failed_attempts")
                 if attempts == 1:
                     raise  # no retry budget: preserve the raw error
                 last_error = error

@@ -18,12 +18,15 @@ everything in one :class:`TuningReport`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.errors import ModelError, ReproError
+from repro.obs.report import TuneReport
 from repro.kernels.workload import Workload
 from repro.model.decision import Recommendation, decide, keep_current
 
@@ -89,6 +92,9 @@ class Framework:
 
             suite.cache = CharacterizationCache(cache_dir)
         self.suite = suite
+        #: The :class:`~repro.obs.report.TuneReport` of the most recent
+        #: :meth:`tune` call (``repro tune --report`` serializes it).
+        self.last_tune_report: Optional[TuneReport] = None
 
     # ------------------------------------------------------------------
     # pieces
@@ -102,13 +108,16 @@ class Framework:
         locate a threshold (see
         :meth:`repro.microbench.suite.MicrobenchmarkSuite.characterize`).
         """
-        return self.suite.characterize(board, force=force, retries=retries)
+        with obs.span("characterize", board=board.name, force=force):
+            return self.suite.characterize(board, force=force, retries=retries)
 
     def profile(self, workload: Workload, board: BoardConfig,
                 model: str = "SC") -> AppProfile:
         """Profile the application under one communication model."""
-        soc = SoC(board)
-        return Profiler(soc).profile(workload, model=model)
+        with obs.span("profile", workload=workload.name, board=board.name,
+                      model=model):
+            soc = SoC(board)
+            return Profiler(soc).profile(workload, model=model)
 
     # ------------------------------------------------------------------
     # the full flow
@@ -135,28 +144,61 @@ class Framework:
                 code="MODEL_UNKNOWN",
                 details={"model": current_model},
             )
-        if strict:
-            device = self.characterize(board)
-            profile = self.profile(workload, board, model=current_model.upper())
-            recommendation = decide(profile, device)
-        else:
-            device, profile, recommendation = self._tune_degraded(
-                workload, board, current_model.upper()
+        timings: Dict[str, float] = {}
+        tune_start = time.perf_counter()
+        with obs.span("tune", workload=workload.name, board=board.name,
+                      model=current_model.upper(), strict=strict) as tune_span:
+            if strict:
+                device = self._timed("characterize", timings,
+                                     self.characterize, board)
+                profile = self._timed(
+                    "profile", timings, self.profile, workload, board,
+                    model=current_model.upper(),
+                )
+                with obs.span("decide", workload=workload.name):
+                    start = time.perf_counter()
+                    recommendation = decide(profile, device)
+                    timings["decide"] = time.perf_counter() - start
+            else:
+                device, profile, recommendation = self._tune_degraded(
+                    workload, board, current_model.upper(), timings
+                )
+            timings["tune"] = time.perf_counter() - tune_start
+            report = TuningReport(
+                workload_name=workload.name,
+                board_name=board.name,
+                current_model=current_model.upper(),
+                profile=profile,
+                device=device,
+                cpu_cache_usage_pct=self._usage_pct(
+                    profile_cpu_cache_usage, profile, strict=strict),
+                gpu_cache_usage_pct=self._usage_pct(
+                    profile_gpu_cache_usage, profile,
+                    device.gpu_peak_throughput if device is not None else None,
+                    strict=strict),
+                recommendation=recommendation,
             )
-        return TuningReport(
-            workload_name=workload.name,
-            board_name=board.name,
-            current_model=current_model.upper(),
-            profile=profile,
-            device=device,
-            cpu_cache_usage_pct=self._usage_pct(
-                profile_cpu_cache_usage, profile, strict=strict),
-            gpu_cache_usage_pct=self._usage_pct(
-                profile_gpu_cache_usage, profile,
-                device.gpu_peak_throughput if device is not None else None,
-                strict=strict),
-            recommendation=recommendation,
-        )
+            tune_span.set(
+                recommendation=recommendation.model.value,
+                zone=int(recommendation.zone)
+                if recommendation.zone is not None else None,
+                degraded=recommendation.degraded,
+            )
+        obs.counter_inc("framework.tune")
+        if recommendation.degraded:
+            obs.counter_inc("framework.tune.degraded")
+        self.last_tune_report = TuneReport.from_tuning(report,
+                                                       timings_s=timings)
+        return report
+
+    @staticmethod
+    def _timed(stage: str, timings: Dict[str, float], fn, *args, **kwargs):
+        """Run one tune stage, recording its wall-clock under ``stage``."""
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            timings[stage] = time.perf_counter() - start
 
     @staticmethod
     def _usage_pct(metric, profile, *args, strict: bool) -> float:
@@ -172,27 +214,40 @@ class Framework:
             return float("nan")
 
     def _tune_degraded(self, workload: Workload, board: BoardConfig,
-                       current_model: str):
+                       current_model: str,
+                       timings: Optional[Dict[str, float]] = None):
         """The ``strict=False`` flow: absorb structured errors stage by
         stage and fall back to :func:`keep_current` when a stage dies."""
+        timings = {} if timings is None else timings
         caveats = []
         device = None
         profile = None
         try:
-            device = self.characterize(
-                board, retries=self.DEGRADED_CHARACTERIZE_RETRIES
+            device = self._timed(
+                "characterize", timings, self.characterize,
+                board, retries=self.DEGRADED_CHARACTERIZE_RETRIES,
             )
         except ReproError as error:
+            obs.event("tune.stage_failed", stage="characterize",
+                      code=error.code)
             caveats.append(f"characterization failed — {error.code}: "
                            f"{error.message}")
         if device is not None:
             try:
-                profile = self.profile(workload, board, model=current_model)
+                profile = self._timed(
+                    "profile", timings, self.profile,
+                    workload, board, model=current_model,
+                )
             except ReproError as error:
+                obs.event("tune.stage_failed", stage="profile",
+                          code=error.code)
                 caveats.append(f"profiling failed — {error.code}: "
                                f"{error.message}")
         if device is not None and profile is not None:
-            recommendation = decide(profile, device, strict=False)
+            with obs.span("decide", workload=workload.name):
+                recommendation = self._timed(
+                    "decide", timings, decide, profile, device, strict=False,
+                )
             return device, profile, recommendation
         recommendation = keep_current(
             current_model,
@@ -213,6 +268,11 @@ class Framework:
         and each workload adds only its own profiling run.  Reports
         keep the input order.
         """
+        with obs.span("tune_many", board=board.name, workloads=len(workloads)):
+            return self._tune_many(workloads, board, current_model, strict)
+
+    def _tune_many(self, workloads: Sequence[Workload], board: BoardConfig,
+                   current_model: str, strict: bool) -> List[TuningReport]:
         if strict:
             self.characterize(board)  # shared by every report below
         else:
@@ -235,5 +295,8 @@ class Framework:
         Table III / Table V)."""
         from repro.comm.base import get_model
 
-        soc = SoC(board)
-        return {model: get_model(model).execute(workload, soc) for model in ALL_MODELS}
+        with obs.span("compare_models", workload=workload.name,
+                      board=board.name):
+            soc = SoC(board)
+            return {model: get_model(model).execute(workload, soc)
+                    for model in ALL_MODELS}

@@ -1,0 +1,398 @@
+"""Exporters: JSONL, Chrome trace-event JSON, and a text summary.
+
+Three consumers, three formats:
+
+- :func:`write_jsonl` / :func:`load_jsonl` — one JSON object per line
+  (spans first, one trailing metrics record), byte-stable across a
+  load/dump round trip, for archival and diffing;
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``B``/``E`` duration pairs, ``X`` instants) that
+  ``chrome://tracing`` and https://ui.perfetto.dev load directly;
+  :func:`validate_chrome_trace` checks a document against the subset of
+  the spec the CI gate enforces;
+- :func:`summary` — a plain-text per-span-name aggregate plus the
+  metrics snapshot, for ``repro obs summary`` and post-mortems.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Span
+
+#: Category tag on every emitted Chrome trace event.
+CHROME_CATEGORY = "repro"
+
+#: The only phase names this package emits (and the CI gate accepts).
+CHROME_PHASES = ("B", "E", "X")
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce one attribute value to a JSON-representable type."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """A stable JSON-friendly view of one span."""
+    return {
+        "record": "span",
+        "name": span.name,
+        "kind": span.kind,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "pid": span.pid,
+        "tid": span.tid,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "attributes": {
+            str(k): _json_safe(v) for k, v in span.attributes.items()
+        },
+    }
+
+
+def span_from_dict(data: Mapping[str, Any]) -> Span:
+    """Rebuild a span from :func:`span_to_dict`."""
+    return Span(
+        name=data["name"],
+        kind=data.get("kind", "span"),
+        start_s=data["start_s"],
+        end_s=data["end_s"],
+        pid=data["pid"],
+        tid=data["tid"],
+        span_id=data["span_id"],
+        parent_id=data.get("parent_id"),
+        attributes=dict(data.get("attributes", {})),
+    )
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+
+def _dump_line(payload: Mapping[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def jsonl_lines(
+    spans: Optional[Iterable[Span]] = None,
+    snapshot: Optional[Mapping[str, Any]] = None,
+) -> List[str]:
+    """The JSONL lines for ``spans`` plus one trailing metrics record.
+
+    Defaults to the live trace buffer and registry.  Re-encoding the
+    objects :func:`load_jsonl` returns reproduces these lines byte for
+    byte.
+    """
+    if spans is None:
+        spans = obs_trace.get_spans()
+    if snapshot is None:
+        snapshot = obs_metrics.REGISTRY.snapshot()
+    lines = [_dump_line(span_to_dict(span)) for span in spans]
+    lines.append(_dump_line({"record": "metrics", "snapshot": snapshot}))
+    return lines
+
+
+def write_jsonl(
+    path: os.PathLike,
+    spans: Optional[Iterable[Span]] = None,
+    snapshot: Optional[Mapping[str, Any]] = None,
+) -> pathlib.Path:
+    """Write the JSONL export; returns the path written."""
+    target = pathlib.Path(path)
+    target.write_text("\n".join(jsonl_lines(spans, snapshot)) + "\n")
+    return target
+
+
+def load_jsonl(text: str) -> Tuple[List[Span], Dict[str, Any]]:
+    """Parse a JSONL export back into ``(spans, metrics_snapshot)``."""
+    spans: List[Span] = []
+    snapshot: Dict[str, Any] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError as error:
+            raise ReproError(
+                f"JSONL line {number} is not valid JSON: {error}",
+                code="OBS_JSONL_PARSE",
+                details={"line": number},
+            ) from error
+        record = data.get("record")
+        if record == "span":
+            spans.append(span_from_dict(data))
+        elif record == "metrics":
+            snapshot = data.get("snapshot", {})
+        else:
+            raise ReproError(
+                f"JSONL line {number} has unknown record type {record!r}",
+                code="OBS_JSONL_RECORD",
+                details={"line": number, "record": record},
+            )
+    return spans, snapshot
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(spans: Optional[Iterable[Span]] = None) -> Dict[str, Any]:
+    """A Chrome trace-event document for ``spans`` (default: the live
+    buffer).
+
+    Spans become ``B``/``E`` pairs, instant events zero-duration ``X``
+    entries; timestamps are microseconds from the earliest span start,
+    and the event list is sorted so ``ts`` is monotonic.
+    """
+    if spans is None:
+        spans = obs_trace.get_spans()
+    spans = list(spans)
+    origin = min((s.start_s for s in spans), default=0.0)
+
+    def us(t: float) -> float:
+        return round((t - origin) * 1e6, 3)
+
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        args = {str(k): _json_safe(v) for k, v in span.attributes.items()}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["span_id"] = span.span_id
+        common = {"name": span.name, "cat": CHROME_CATEGORY,
+                  "pid": span.pid, "tid": span.tid}
+        if span.kind == "event":
+            events.append(dict(common, ph="X", ts=us(span.start_s),
+                               dur=0.0, args=args))
+        else:
+            events.append(dict(common, ph="B", ts=us(span.start_s),
+                               args=args))
+            events.append(dict(common, ph="E", ts=us(span.end_s)))
+    # Stable sort: within one timestamp, "E" must precede "B"/"X" so a
+    # child closing exactly when a sibling opens keeps the stacks
+    # balanced; deeper spans opened later, so stability handles ties.
+    events.sort(key=lambda e: (e["ts"], 0 if e["ph"] == "E" else 1))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: os.PathLike, spans: Optional[Iterable[Span]] = None
+) -> pathlib.Path:
+    """Write a Chrome trace JSON file; returns the path written."""
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(chrome_trace(spans), indent=1,
+                                 sort_keys=True) + "\n")
+    return target
+
+
+def validate_chrome_trace(doc: Mapping[str, Any]) -> int:
+    """Check ``doc`` against the trace-event subset this package emits.
+
+    Enforced: a ``traceEvents`` list; every event carries ``name``,
+    ``ph``, ``ts``, ``pid`` and ``tid``; phases are only ``B``, ``E``
+    or ``X``; timestamps are monotonically non-decreasing; and every
+    ``B`` is closed by a matching ``E`` per ``(pid, tid)`` lane.
+    Returns the number of events; raises :class:`ReproError` on the
+    first violation.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ReproError("trace document has no traceEvents list",
+                         code="OBS_TRACE_SCHEMA")
+    last_ts = None
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    for index, entry in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in entry:
+                raise ReproError(
+                    f"trace event {index} is missing {key!r}",
+                    code="OBS_TRACE_SCHEMA",
+                    details={"index": index, "missing": key},
+                )
+        phase = entry["ph"]
+        if phase not in CHROME_PHASES:
+            raise ReproError(
+                f"trace event {index} has phase {phase!r}; expected one "
+                f"of {CHROME_PHASES}",
+                code="OBS_TRACE_PHASE",
+                details={"index": index, "phase": phase},
+            )
+        ts = entry["ts"]
+        if last_ts is not None and ts < last_ts:
+            raise ReproError(
+                f"trace event {index} goes back in time "
+                f"({ts} < {last_ts})",
+                code="OBS_TRACE_TS",
+                details={"index": index, "ts": ts, "previous": last_ts},
+            )
+        last_ts = ts
+        lane = stacks.setdefault((entry["pid"], entry["tid"]), [])
+        if phase == "B":
+            lane.append(entry["name"])
+        elif phase == "E":
+            if not lane:
+                raise ReproError(
+                    f"trace event {index} closes a span that never "
+                    f"opened in its lane",
+                    code="OBS_TRACE_BALANCE",
+                    details={"index": index, "name": entry["name"]},
+                )
+            lane.pop()
+    unbalanced = {lane: stack for lane, stack in stacks.items() if stack}
+    if unbalanced:
+        raise ReproError(
+            f"{sum(len(s) for s in unbalanced.values())} span(s) were "
+            f"never closed",
+            code="OBS_TRACE_BALANCE",
+            details={"open": {str(k): v for k, v in unbalanced.items()}},
+        )
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# artifact loading + text summary
+# ----------------------------------------------------------------------
+
+
+def _spans_from_chrome(doc: Mapping[str, Any]) -> List[Span]:
+    """Reconstruct spans from a Chrome trace document (lossy: ids are
+    reassigned from the args when present)."""
+    spans: List[Span] = []
+    open_stacks: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+    for entry in doc.get("traceEvents", []):
+        lane = (entry["pid"], entry["tid"])
+        args = dict(entry.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        if entry["ph"] == "B":
+            open_stacks.setdefault(lane, []).append(
+                {"entry": entry, "span_id": span_id, "parent_id": parent_id,
+                 "attributes": args}
+            )
+        elif entry["ph"] == "E":
+            begun = open_stacks.get(lane, [])
+            if not begun:
+                continue
+            record = begun.pop()
+            spans.append(Span(
+                name=record["entry"]["name"],
+                start_s=record["entry"]["ts"] / 1e6,
+                end_s=entry["ts"] / 1e6,
+                pid=entry["pid"],
+                tid=entry["tid"],
+                span_id=record["span_id"] or 0,
+                parent_id=record["parent_id"],
+                attributes=record["attributes"],
+            ))
+        elif entry["ph"] == "X":
+            spans.append(Span(
+                name=entry["name"],
+                start_s=entry["ts"] / 1e6,
+                end_s=entry["ts"] / 1e6 + entry.get("dur", 0.0) / 1e6,
+                pid=entry["pid"],
+                tid=entry["tid"],
+                span_id=span_id or 0,
+                parent_id=parent_id,
+                kind="event",
+                attributes=args,
+            ))
+    spans.sort(key=lambda s: s.start_s)
+    return spans
+
+
+def load_artifact(path: os.PathLike) -> Tuple[List[Span], Dict[str, Any]]:
+    """Load a JSONL or Chrome trace artifact into ``(spans, metrics)``."""
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError as error:
+        raise ReproError(
+            f"cannot read observability artifact {path}: {error.strerror}",
+            code="OBS_ARTIFACT_IO",
+            details={"path": str(path)},
+        ) from error
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None  # not one JSON document; maybe JSONL
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return _spans_from_chrome(doc), {}
+    try:
+        return load_jsonl(text)
+    except ReproError as error:
+        raise ReproError(
+            f"{path} is neither JSONL nor a Chrome trace",
+            code="OBS_ARTIFACT_PARSE",
+            details={"path": str(path), "cause": error.code},
+        ) from error
+
+
+def summary(
+    spans: Optional[Iterable[Span]] = None,
+    snapshot: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """A plain-text run summary (per-name span aggregate + metrics)."""
+    if spans is None:
+        spans = obs_trace.get_spans()
+    if snapshot is None:
+        snapshot = obs_metrics.REGISTRY.snapshot()
+    spans = list(spans)
+    timed = [s for s in spans if s.kind == "span"]
+    events = [s for s in spans if s.kind == "event"]
+
+    lines = [f"observability summary — {len(timed)} span(s), "
+             f"{len(events)} event(s), {len(snapshot)} metric(s)"]
+    if timed:
+        by_name: Dict[str, List[float]] = {}
+        for span in timed:
+            by_name.setdefault(span.name, []).append(span.duration_s)
+        lines.append("")
+        lines.append("spans (count, total, mean):")
+        width = max(len(name) for name in by_name)
+        for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+            durations = by_name[name]
+            total = sum(durations)
+            lines.append(
+                f"  {name:<{width}}  x{len(durations):<5d} "
+                f"{total * 1e3:10.3f} ms  {total / len(durations) * 1e3:10.3f} ms"
+            )
+    if events:
+        by_name = {}
+        for item in events:
+            by_name.setdefault(item.name, []).append(0.0)
+        lines.append("")
+        lines.append("events:")
+        for name in sorted(by_name):
+            lines.append(f"  {name}: {len(by_name[name])}")
+    if snapshot:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(snapshot):
+            metric = snapshot[name]
+            kind = metric.get("kind")
+            if kind == "histogram":
+                count = metric.get("count", 0)
+                mean = (metric.get("sum", 0.0) / count) if count else 0.0
+                lines.append(
+                    f"  {name} [histogram]: count={count} "
+                    f"mean={mean:.6g} min={metric.get('min')} "
+                    f"max={metric.get('max')}"
+                )
+            else:
+                lines.append(f"  {name} [{kind}]: {metric.get('value')}")
+    return "\n".join(lines)

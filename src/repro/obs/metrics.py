@@ -1,0 +1,189 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Instrumented call sites use the module-level helpers —
+:func:`counter_inc`, :func:`gauge_set`, :func:`observe` — which consult
+the :mod:`repro.obs.state` kill switch before touching the shared
+:data:`REGISTRY`, so a disabled process pays only the flag check.
+
+The registry is intentionally small: names are flat dotted strings
+(``perf.cache.hit``), values are numbers, histograms use fixed upper
+bounds chosen at first use.  ``snapshot()`` returns a plain
+JSON-friendly dict the exporters and the CLI summary render.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs import state
+
+#: Default histogram upper bounds — seconds-scale timings from the
+#: microsecond to the ten-second range (an implicit +inf bucket tops
+#: them off).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name!r} cannot decrease (got {amount})",
+                code="OBS_COUNTER_DECREASE",
+                details={"name": self.name, "amount": amount},
+            )
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ReproError(
+                f"histogram {name!r} needs ascending bucket bounds, "
+                f"got {list(buckets)}",
+                code="OBS_HISTOGRAM_BUCKETS",
+                details={"name": name, "buckets": list(buckets)},
+            )
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        # One count per bound plus the +inf overflow bucket.
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """A thread-safe, name-keyed collection of metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+                return metric
+        if metric.kind != kind:
+            raise ReproError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}",
+                code="OBS_METRIC_KIND",
+                details={"name": name, "registered": metric.kind,
+                         "requested": kind},
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at first
+        use; later calls may omit them)."""
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets or DEFAULT_BUCKETS),
+            "histogram",
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-friendly copy of every metric, sorted by name."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.to_dict() for name, metric in items}
+
+    def reset(self) -> None:
+        """Forget every metric (names and values)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+#: The process-wide registry every instrumented site writes to.
+REGISTRY = MetricsRegistry()
+
+
+def counter_inc(name: str, amount: int = 1) -> None:
+    """Increment a registry counter (no-op when disabled)."""
+    if state.ENABLED:
+        REGISTRY.counter(name).inc(amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a registry gauge (no-op when disabled)."""
+    if state.ENABLED:
+        REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float,
+            buckets: Optional[Sequence[float]] = None) -> None:
+    """Record one histogram observation (no-op when disabled)."""
+    if state.ENABLED:
+        REGISTRY.histogram(name, buckets).observe(value)

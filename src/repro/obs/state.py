@@ -1,0 +1,44 @@
+"""The observability kill switch.
+
+One module-level flag guards every instrumentation call site in the
+package: when :data:`ENABLED` is ``False``, ``span()`` returns a shared
+no-op object and the metric helpers return without touching the
+registry, so the instrumented code paths cost one attribute load and a
+branch (< 2 % on the ``repro bench`` probes, asserted by
+``tests/obs/test_overhead.py``).
+
+The flag starts from the ``REPRO_OBS`` environment variable (``0``,
+``off`` or ``false`` disable it) and the CLI's global ``--obs-off``
+flips it per invocation.  It lives in its own tiny module so that
+:mod:`repro.obs.trace` and :mod:`repro.obs.metrics` can both consult it
+without importing each other.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable pre-setting the switch for a whole process.
+OBS_ENV = "REPRO_OBS"
+
+#: The one module-level flag every instrumentation site checks.
+ENABLED = os.environ.get(OBS_ENV, "1").strip().lower() not in (
+    "0", "off", "false", "no",
+)
+
+
+def enabled() -> bool:
+    """Whether instrumentation currently records anything."""
+    return ENABLED
+
+
+def enable() -> None:
+    """Turn span/metric recording on."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn every instrumentation site into a no-op."""
+    global ENABLED
+    ENABLED = False

@@ -12,6 +12,12 @@ invalidate the entry automatically.  ``repro cache clear`` (or
 Entries are written atomically (temp file + ``os.replace``) and any
 unreadable, corrupt or key-mismatched file is treated as a miss, so a
 stale or damaged cache can slow a run down but never change a result.
+The *outcomes* are nonetheless kept distinct — ``hit``, ``miss``
+(absent or re-keyed entry) and ``corrupt`` (unreadable, unparsable or
+structurally broken entry) — recorded in :attr:`CharacterizationCache.
+last_outcome`, counted in the :mod:`repro.obs` metrics registry
+(``perf.cache.hit``/``miss``/``corrupt``) and surfaced per entry by
+``repro cache info`` via :meth:`CharacterizationCache.scan`.
 """
 
 from __future__ import annotations
@@ -22,9 +28,10 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import repro
+from repro import obs
 from repro.model.device import DeviceCharacterization
 from repro.model.thresholds import SweepPoint, ThresholdAnalysis
 from repro.soc.board import BoardConfig
@@ -118,27 +125,60 @@ class CharacterizationCache:
     def __init__(self, directory: Optional[os.PathLike] = None) -> None:
         self.directory = pathlib.Path(directory) if directory is not None \
             else default_cache_dir()
+        #: Outcome of the most recent :meth:`load`:
+        #: ``"hit"``, ``"miss"`` or ``"corrupt"`` (``None`` before any).
+        self.last_outcome: Optional[str] = None
 
     def _path(self, board_name: str, key: str) -> pathlib.Path:
         return self.directory / f"{board_name}-{key[:16]}.json"
 
+    def _outcome(self, outcome: str, path: pathlib.Path,
+                 reason: str) -> None:
+        """Record one load outcome (metric counter + structured event)."""
+        self.last_outcome = outcome
+        obs.counter_inc(f"perf.cache.{outcome}")
+        if outcome == "corrupt":
+            obs.event("perf.cache.corrupt", path=str(path), reason=reason)
+
     def load(
         self, board: BoardConfig, signature: Mapping[str, Any]
     ) -> Optional[DeviceCharacterization]:
-        """The cached characterization for these exact inputs, or None."""
+        """The cached characterization for these exact inputs, or None.
+
+        Every call records a distinct outcome: ``hit``; ``miss`` for an
+        absent or re-keyed (stale-parameters) entry; ``corrupt`` for a
+        file that exists but cannot be read, parsed or rebuilt.  All
+        non-hits return ``None`` — a damaged cache can slow a run down
+        but never change a result.
+        """
         key = cache_key(board, signature)
         path = self._path(board.name, key)
+        if not path.exists():
+            self._outcome("miss", path, "absent")
+            return None
         try:
             data = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
+            self._outcome("corrupt", path, "unreadable")
             return None
-        if not isinstance(data, dict) or data.get("key") != key:
+        except ValueError:
+            self._outcome("corrupt", path, "invalid JSON")
+            return None
+        if not isinstance(data, dict):
+            self._outcome("corrupt", path, "not a JSON object")
+            return None
+        if data.get("key") != key:
+            # A legitimately stale entry: the board/parameters/version
+            # hash moved on, so this file simply is not our entry.
+            self._outcome("miss", path, "key mismatch")
             return None
         try:
-            return characterization_from_dict(data["device"])
-        except Exception:
-            # A corrupt or incompatible entry is a miss, never an error.
+            device = characterization_from_dict(data["device"])
+        except Exception as error:
+            self._outcome("corrupt", path, f"broken payload: {error}")
             return None
+        self._outcome("hit", path, "ok")
+        return device
 
     def store(
         self,
@@ -176,6 +216,37 @@ class CharacterizationCache:
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob("*.json"))
+
+    @staticmethod
+    def classify(path: pathlib.Path) -> Tuple[str, str]:
+        """``("ok"|"corrupt", reason)`` for one entry file.
+
+        Key staleness cannot be judged without the live board and suite
+        parameters, so this checks structural integrity only: readable,
+        valid JSON, the expected envelope, and a payload that rebuilds
+        into a :class:`DeviceCharacterization`.
+        """
+        try:
+            data = json.loads(path.read_text())
+        except OSError:
+            return "corrupt", "unreadable"
+        except ValueError:
+            return "corrupt", "invalid JSON"
+        if not isinstance(data, dict):
+            return "corrupt", "not a JSON object"
+        missing = [k for k in ("key", "board", "version", "device")
+                   if k not in data]
+        if missing:
+            return "corrupt", f"missing field(s): {', '.join(missing)}"
+        try:
+            characterization_from_dict(data["device"])
+        except Exception as error:
+            return "corrupt", f"broken payload: {error}"
+        return "ok", f"board {data['board']}, version {data['version']}"
+
+    def scan(self) -> List[Tuple[pathlib.Path, str, str]]:
+        """Classify every on-disk entry as ``(path, status, reason)``."""
+        return [(path, *self.classify(path)) for path in self.entries()]
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -16,7 +16,12 @@ the arrays are placed in :mod:`multiprocessing.shared_memory` segments
 once and every worker maps them instead of unpickling a private copy.
 The transport degrades in order — shared memory, per-task pickling,
 in-process serial — and :attr:`ParallelRunner.last_transport` reports
-which level actually ran.
+which level actually ran, per calling thread (a runner shared across
+threads never sees another thread's outcome).  Each degradation step
+also emits a structured ``parallel.transport_degraded`` event through
+:mod:`repro.obs` with the reason, so a silent fallback is silent no
+more; worker spans are captured in the worker processes and merged
+into the parent trace.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 import functools
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
@@ -39,8 +45,15 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
+from repro.obs import trace as obs_trace
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Transport → gauge level for ``perf.parallel.transport_level``
+#: (higher is cheaper per task).
+_TRANSPORT_LEVELS = {"inline": 0, "pickle": 1, "shared": 2}
 
 #: (array name, segment name, shape, dtype) descriptors a worker uses
 #: to map the parent's segments.
@@ -61,11 +74,40 @@ class ParallelRunner:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
         self.parallel = parallel
-        #: How the last :meth:`map` actually ran ("parallel"/"serial").
-        self.last_mode: Optional[str] = None
-        #: How the last :meth:`map_shared` shipped its arrays
-        #: ("shared"/"pickle"/"inline").
-        self.last_transport: Optional[str] = None
+        # Outcome attributes live in thread-local storage so a runner
+        # shared across threads reports each caller its own result.
+        self._outcome = threading.local()
+
+    @property
+    def last_mode(self) -> Optional[str]:
+        """How this thread's last :meth:`map` ran ("parallel"/"serial")."""
+        return getattr(self._outcome, "mode", None)
+
+    @last_mode.setter
+    def last_mode(self, value: Optional[str]) -> None:
+        self._outcome.mode = value
+
+    @property
+    def last_transport(self) -> Optional[str]:
+        """How this thread's last :meth:`map_shared` shipped its arrays
+        ("shared"/"pickle"/"inline")."""
+        return getattr(self._outcome, "transport", None)
+
+    @last_transport.setter
+    def last_transport(self, value: Optional[str]) -> None:
+        self._outcome.transport = value
+        if value is not None:
+            obs.counter_inc(f"perf.parallel.transport.{value}")
+            obs.gauge_set("perf.parallel.transport_level",
+                          _TRANSPORT_LEVELS.get(value, -1))
+
+    @staticmethod
+    def _degraded(from_transport: str, to_transport: str,
+                  reason: str) -> None:
+        """Emit the structured degradation event for one fallback step."""
+        obs.event("parallel.transport_degraded", transport_from=from_transport,
+                  transport_to=to_transport, reason=reason)
+        obs.counter_inc("perf.parallel.degraded")
 
     def map(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``worker`` to every item; results keep input order."""
@@ -79,12 +121,32 @@ class ParallelRunner:
             return self._serial(worker, items)
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(worker, items))
-        except (BrokenProcessPool, OSError, pickle.PicklingError):
+                results = self._merge_traced(
+                    pool.map(self._traced(worker), items)
+                )
+        except (BrokenProcessPool, OSError, pickle.PicklingError) as error:
             # Pool infrastructure failed (fork unavailable, result not
             # picklable, worker process died): redo the work serially.
+            self._degraded("pool", "serial", type(error).__name__)
             return self._serial(worker, items)
         self.last_mode = "parallel"
+        return results
+
+    @staticmethod
+    def _traced(worker: Callable[[T], R]):
+        """Wrap ``worker`` so its spans ship back from the pool."""
+        return functools.partial(
+            _traced_call, obs_trace.current_context(), worker
+        )
+
+    @staticmethod
+    def _merge_traced(pairs) -> List[R]:
+        """Unwrap ``(result, spans)`` pairs, folding spans into the
+        parent trace."""
+        results = []
+        for result, spans in pairs:
+            obs_trace.merge_spans(spans)
+            results.append(result)
         return results
 
     def _serial(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
@@ -123,17 +185,22 @@ class ParallelRunner:
             self.last_transport = "inline"
             return []
         workers = self.max_workers or default_workers(len(items))
-        if not self.parallel or workers == 1 or len(items) == 1 \
-                or not _picklable(worker, items):
+        if not self.parallel or workers == 1 or len(items) == 1:
+            return self._inline(worker, arrays, items)
+        if not _picklable(worker, items):
+            self._degraded("shared", "inline", "worker or items unpicklable")
             return self._inline(worker, arrays, items)
         results = self._map_via_shared_memory(worker, arrays, items, workers)
         if results is not None:
             return results
         try:
-            call = functools.partial(_pickled_call, worker, arrays)
+            call = functools.partial(
+                _pickled_call, obs_trace.current_context(), worker, arrays
+            )
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(call, items))
-        except (BrokenProcessPool, OSError, pickle.PicklingError):
+                results = self._merge_traced(pool.map(call, items))
+        except (BrokenProcessPool, OSError, pickle.PicklingError) as error:
+            self._degraded("pickle", "inline", type(error).__name__)
             return self._inline(worker, arrays, items)
         self.last_mode = "parallel"
         self.last_transport = "pickle"
@@ -164,14 +231,16 @@ class ParallelRunner:
                     del view
                     specs.append((name, shm.name, arr.shape, arr.dtype.str))
                 call = functools.partial(
-                    _shared_call, worker, _tracker_pid(), tuple(specs)
+                    _shared_call, obs_trace.current_context(), worker,
+                    _tracker_pid(), tuple(specs)
                 )
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(call, items))
+                    results = self._merge_traced(pool.map(call, items))
             except (ImportError, ValueError, BrokenProcessPool, OSError,
-                    pickle.PicklingError):
+                    pickle.PicklingError) as error:
                 # No shared memory on this platform, segment creation
                 # failed, or the pool broke: degrade to pickling.
+                self._degraded("shared", "pickle", type(error).__name__)
                 return None
         finally:
             for shm in segments:
@@ -220,12 +289,28 @@ def _untrack_segment(shm) -> None:
         pass
 
 
+def _traced_call(
+    ctx: "obs_trace.TraceContext",
+    worker: Callable[[T], R],
+    item: T,
+) -> Tuple[R, list]:
+    """Worker-side trampoline for :meth:`ParallelRunner.map`: run one
+    item under a span and ship ``(result, spans)`` back for merging."""
+
+    def run() -> R:
+        with obs_trace.span("parallel.worker"):
+            return worker(item)
+
+    return obs_trace.capture(ctx, run)
+
+
 def _shared_call(
+    ctx: "obs_trace.TraceContext",
     worker: Callable[[Mapping[str, np.ndarray], T], R],
     parent_tracker_pid: Optional[int],
     specs: Tuple[_SegmentSpec, ...],
     item: T,
-) -> R:
+) -> Tuple[R, list]:
     """Worker-side trampoline: map the parent's segments and run.
 
     Forked workers inherit the parent's resource tracker, where the
@@ -234,35 +319,45 @@ def _shared_call(
     """
     from multiprocessing import shared_memory
 
-    segments = []
-    arrays: Dict[str, np.ndarray] = {}
-    try:
-        for name, segment_name, shape, dtype in specs:
-            shm = shared_memory.SharedMemory(name=segment_name)
-            if parent_tracker_pid is None \
-                    or _tracker_pid() != parent_tracker_pid:
-                _untrack_segment(shm)
-            segments.append(shm)
-            arrays[name] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
-        return worker(arrays, item)
-    finally:
-        arrays.clear()
-        for shm in segments:
-            try:
-                shm.close()
-            except BufferError:
-                # The worker kept a view alive (against the contract);
-                # the mapping dies with the process instead.
-                pass
+    def run() -> R:
+        segments = []
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for name, segment_name, shape, dtype in specs:
+                shm = shared_memory.SharedMemory(name=segment_name)
+                if parent_tracker_pid is None \
+                        or _tracker_pid() != parent_tracker_pid:
+                    _untrack_segment(shm)
+                segments.append(shm)
+                arrays[name] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+            with obs_trace.span("parallel.worker", transport="shared"):
+                return worker(arrays, item)
+        finally:
+            arrays.clear()
+            for shm in segments:
+                try:
+                    shm.close()
+                except BufferError:
+                    # The worker kept a view alive (against the
+                    # contract); the mapping dies with the process.
+                    pass
+
+    return obs_trace.capture(ctx, run)
 
 
 def _pickled_call(
+    ctx: "obs_trace.TraceContext",
     worker: Callable[[Mapping[str, np.ndarray], T], R],
     arrays: Dict[str, np.ndarray],
     item: T,
-) -> R:
+) -> Tuple[R, list]:
     """Worker-side trampoline for the pickled-arrays transport."""
-    return worker(arrays, item)
+
+    def run() -> R:
+        with obs_trace.span("parallel.worker", transport="pickle"):
+            return worker(arrays, item)
+
+    return obs_trace.capture(ctx, run)
 
 
 def _picklable(worker, items) -> bool:

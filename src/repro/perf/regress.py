@@ -10,6 +10,12 @@ and :func:`check` reports exit code :data:`EXIT_REGRESSION`.
 The same probes produce the ``BENCH_app.json`` payload
 (:func:`collect_app_bench`), so the baselines and the gate always
 measure identical workload shapes.
+
+Every probe run is traced (``bench.probe`` spans) and its timings are
+published through the :mod:`repro.obs` metrics registry as
+``bench.<metric>.scalar_s`` / ``vectorized_s`` / ``speedup`` gauges.
+When the gate fails, :func:`check` writes a Chrome-trace artifact next
+to the baselines (or to ``trace_path``) for post-mortem inspection.
 """
 
 from __future__ import annotations
@@ -22,12 +28,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
+
 #: A metric regresses when its fresh speedup drops more than this
 #: fraction below the committed baseline.
 REGRESSION_THRESHOLD = 0.25
 
 #: Process exit code :func:`check` reports for a regression.
 EXIT_REGRESSION = 4
+
+#: Default file name for the post-mortem trace a failed gate writes.
+DEFAULT_TRACE_NAME = "bench-check-trace.json"
 
 #: (scalar seconds, vectorized seconds) for one fast path.
 _TimingPair = Tuple[float, float]
@@ -339,8 +350,12 @@ def run_checks(
         if baseline is None:
             checks.append(MetricCheck(metric, filename, None, None, threshold))
             continue
-        scalar_s, vectorized_s = probe()
+        with obs.span("bench.probe", metric=metric, baseline_file=filename):
+            scalar_s, vectorized_s = probe()
         measured = scalar_s / vectorized_s if vectorized_s > 0 else 0.0
+        obs.gauge_set(f"bench.{metric}.scalar_s", scalar_s)
+        obs.gauge_set(f"bench.{metric}.vectorized_s", vectorized_s)
+        obs.gauge_set(f"bench.{metric}.speedup", measured)
         checks.append(
             MetricCheck(metric, filename, baseline, measured, threshold)
         )
@@ -350,9 +365,18 @@ def run_checks(
 def check(
     baseline_dir: Optional[Path] = None,
     threshold: float = REGRESSION_THRESHOLD,
+    trace_path: Optional[Path] = None,
 ) -> Tuple[str, int]:
-    """Run the gate; returns the report and the process exit code."""
-    checks = run_checks(baseline_dir, threshold)
+    """Run the gate; returns the report and the process exit code.
+
+    When the gate fails (exit :data:`EXIT_REGRESSION`) and tracing is
+    enabled, the probe spans and metric gauges are written as a
+    Chrome-trace artifact — to ``trace_path`` when given, else
+    :data:`DEFAULT_TRACE_NAME` in the baseline directory — and the
+    report's last line names the file.
+    """
+    with obs.span("bench.check", threshold=threshold):
+        checks = run_checks(baseline_dir, threshold)
     from repro.analysis.tables import Table
 
     table = Table(
@@ -374,6 +398,9 @@ def check(
     regressed = [item for item in checks if item.regressed]
     compared = [item for item in checks if not item.skipped]
     if regressed:
+        for item in regressed:
+            obs.event("bench.regressed", metric=item.metric,
+                      baseline=item.baseline, measured=item.measured)
         verdict = (f"{len(regressed)} of {len(compared)} metric(s) regressed "
                    f"more than {threshold * 100:.0f}% below baseline")
         code = EXIT_REGRESSION
@@ -381,7 +408,30 @@ def check(
         verdict = (f"all {len(compared)} compared metric(s) within "
                    f"{threshold * 100:.0f}% of baseline")
         code = 0
-    return table.render() + "\n" + verdict, code
+    report = table.render() + "\n" + verdict
+    if code == EXIT_REGRESSION:
+        artifact = _write_failure_trace(baseline_dir, trace_path)
+        if artifact is not None:
+            report += f"\npost-mortem trace written to {artifact}"
+    return report, code
+
+
+def _write_failure_trace(
+    baseline_dir: Optional[Path], trace_path: Optional[Path]
+) -> Optional[Path]:
+    """Persist the probe trace after a failed gate; None when disabled."""
+    from repro.obs import export, state
+
+    if not state.ENABLED:
+        return None
+    if trace_path is None:
+        root = Path(baseline_dir) if baseline_dir else default_baseline_dir()
+        trace_path = root / DEFAULT_TRACE_NAME
+    try:
+        export.write_chrome_trace(Path(trace_path))
+    except OSError:
+        return None
+    return Path(trace_path)
 
 
 # ----------------------------------------------------------------------

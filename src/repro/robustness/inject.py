@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
+from repro import obs
 from repro.errors import ProfilingError, SimulationError
 from repro.profiling.counters import AppProfile
 from repro.profiling.profiler import Profiler
@@ -71,8 +72,11 @@ class InjectionLog:
     events: List[InjectionEvent] = field(default_factory=list)
 
     def record(self, kind: FaultKind, site: str, detail: str) -> None:
-        """Append one fired fault."""
+        """Append one fired fault (and mirror it into the obs layer)."""
         self.events.append(InjectionEvent(kind=kind, site=site, detail=detail))
+        obs.event("robustness.fault_fired", kind=kind.value, site=site,
+                  detail=detail)
+        obs.counter_inc(f"robustness.fault.{kind.value}")
 
     def counts(self) -> Dict[str, int]:
         """Fired-fault counts by kind (stable ordering)."""

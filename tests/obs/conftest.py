@@ -1,0 +1,20 @@
+"""Observability test fixtures: every test starts from clean buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, state, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Enabled instrumentation, empty span buffer, empty registry."""
+    saved = state.ENABLED
+    state.enable()
+    trace.clear()
+    metrics.REGISTRY.reset()
+    yield
+    trace.clear()
+    metrics.REGISTRY.reset()
+    state.ENABLED = saved

@@ -1,0 +1,144 @@
+"""Exporters: JSONL round trips, Chrome trace validity, summaries."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import trace
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    load_artifact,
+    load_jsonl,
+    span_from_dict,
+    span_to_dict,
+    summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import counter_inc
+from repro.obs.trace import event, span
+
+
+def _record_tree():
+    with span("tune", board="nano"):
+        with span("characterize"):
+            pass
+        with span("profile"):
+            event("tick", n=1)
+    counter_inc("framework.tune")
+
+
+class TestJsonl:
+    def test_round_trip_is_byte_stable(self, tmp_path):
+        _record_tree()
+        path = write_jsonl(tmp_path / "run.jsonl")
+        text = path.read_text()
+        spans, snapshot = load_jsonl(text)
+        assert [s.name for s in spans] == \
+            ["characterize", "tick", "profile", "tune"]
+        assert snapshot["framework.tune"]["value"] == 1
+        # Re-encoding the loaded objects reproduces the file byte for
+        # byte — nothing is lost or reordered.
+        assert "\n".join(jsonl_lines(spans, snapshot)) + "\n" == text
+
+    def test_span_dict_round_trip(self):
+        _record_tree()
+        for original in trace.get_spans():
+            assert span_from_dict(span_to_dict(original)) == original
+
+    def test_parse_errors_are_structured(self):
+        with pytest.raises(ReproError) as excinfo:
+            load_jsonl("not json\n")
+        assert excinfo.value.code == "OBS_JSONL_PARSE"
+        with pytest.raises(ReproError) as excinfo:
+            load_jsonl('{"record":"mystery"}\n')
+        assert excinfo.value.code == "OBS_JSONL_RECORD"
+
+
+class TestChromeTrace:
+    def test_emitted_trace_validates(self):
+        _record_tree()
+        doc = chrome_trace()
+        count = validate_chrome_trace(doc)
+        # 3 spans -> B+E each, 1 event -> X.
+        assert count == 7
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"B", "E", "X"}
+
+    def test_timestamps_monotonic_and_relative(self):
+        _record_tree()
+        ts = [e["ts"] for e in chrome_trace()["traceEvents"]]
+        assert ts == sorted(ts)
+        assert ts[0] == 0.0
+
+    def test_args_carry_span_linkage(self):
+        _record_tree()
+        doc = chrome_trace()
+        begins = {e["name"]: e for e in doc["traceEvents"]
+                  if e["ph"] == "B"}
+        tune_id = begins["tune"]["args"]["span_id"]
+        assert begins["characterize"]["args"]["parent_id"] == tune_id
+        assert begins["tune"]["args"]["board"] == "nano"
+
+    def test_validator_rejects_bad_phase(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "M", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        with pytest.raises(ReproError) as excinfo:
+            validate_chrome_trace(doc)
+        assert excinfo.value.code == "OBS_TRACE_PHASE"
+
+    def test_validator_rejects_time_travel(self):
+        doc = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 5, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 4, "pid": 1, "tid": 1},
+        ]}
+        with pytest.raises(ReproError) as excinfo:
+            validate_chrome_trace(doc)
+        assert excinfo.value.code == "OBS_TRACE_TS"
+
+    def test_validator_rejects_unbalanced_lanes(self):
+        doc = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        with pytest.raises(ReproError) as excinfo:
+            validate_chrome_trace(doc)
+        assert excinfo.value.code == "OBS_TRACE_BALANCE"
+
+
+class TestArtifacts:
+    def test_load_artifact_chrome(self, tmp_path):
+        _record_tree()
+        path = write_chrome_trace(tmp_path / "trace.json")
+        spans, snapshot = load_artifact(path)
+        assert {s.name for s in spans} == \
+            {"tune", "characterize", "profile", "tick"}
+        assert snapshot == {}  # chrome traces carry no metrics
+
+    def test_load_artifact_jsonl(self, tmp_path):
+        _record_tree()
+        path = write_jsonl(tmp_path / "run.jsonl")
+        spans, snapshot = load_artifact(path)
+        assert len(spans) == 4
+        assert "framework.tune" in snapshot
+
+    def test_load_artifact_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ReproError) as excinfo:
+            load_artifact(path)
+        assert excinfo.value.code == "OBS_ARTIFACT_PARSE"
+
+
+class TestSummary:
+    def test_renders_spans_events_and_metrics(self):
+        _record_tree()
+        text = summary()
+        assert "3 span(s), 1 event(s), 1 metric(s)" in text
+        assert "tune" in text
+        assert "tick: 1" in text
+        assert "framework.tune [counter]: 1" in text
+
+    def test_empty_summary(self):
+        assert "0 span(s)" in summary()

@@ -1,0 +1,97 @@
+"""Metrics registry: counters, gauges, histograms, and the helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import metrics, state
+from repro.obs.metrics import (
+    REGISTRY,
+    counter_inc,
+    gauge_set,
+    Histogram,
+    MetricsRegistry,
+    observe,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter_inc("c", 2)
+        counter_inc("c")
+        assert REGISTRY.counter("c").value == 3
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ReproError) as excinfo:
+            REGISTRY.counter("c").inc(-1)
+        assert excinfo.value.code == "OBS_COUNTER_DECREASE"
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge_set("g", 1.0)
+        gauge_set("g", -2.5)
+        assert REGISTRY.gauge("g").value == -2.5
+
+    def test_unset_gauge_is_none(self):
+        assert REGISTRY.gauge("fresh").value is None
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0, 0.1):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]  # <=1, <=10, +inf
+        assert hist.count == 4
+        assert hist.min == 0.1
+        assert hist.max == 50.0
+        assert hist.sum == pytest.approx(55.6)
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ReproError) as excinfo:
+            Histogram("bad", buckets=(2.0, 1.0))
+        assert excinfo.value.code == "OBS_HISTOGRAM_BUCKETS"
+
+    def test_helper_uses_default_buckets(self):
+        observe("timing", 1e-3)
+        hist = REGISTRY.histogram("timing")
+        assert hist.buckets == metrics.DEFAULT_BUCKETS
+        assert hist.count == 1
+
+
+class TestRegistry:
+    def test_kind_collision_raises(self):
+        REGISTRY.counter("name")
+        with pytest.raises(ReproError) as excinfo:
+            REGISTRY.gauge("name")
+        assert excinfo.value.code == "OBS_METRIC_KIND"
+
+    def test_snapshot_is_json_friendly_and_sorted(self):
+        counter_inc("b.counter")
+        gauge_set("a.gauge", 7)
+        observe("c.hist", 0.5)
+        snap = REGISTRY.snapshot()
+        assert list(snap) == ["a.gauge", "b.counter", "c.hist"]
+        assert snap["b.counter"] == {"kind": "counter", "value": 1}
+        assert snap["a.gauge"]["value"] == 7.0
+        assert snap["c.hist"]["kind"] == "histogram"
+
+    def test_reset_forgets_everything(self):
+        counter_inc("x")
+        REGISTRY.reset()
+        assert len(REGISTRY) == 0
+
+    def test_independent_registries(self):
+        other = MetricsRegistry()
+        other.counter("only-here").inc()
+        assert len(other) == 1
+        assert len(REGISTRY) == 0
+
+
+class TestKillSwitch:
+    def test_helpers_are_noops_when_disabled(self):
+        state.disable()
+        counter_inc("c")
+        gauge_set("g", 1)
+        observe("h", 2.0)
+        assert len(REGISTRY) == 0

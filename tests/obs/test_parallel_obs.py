@@ -1,0 +1,140 @@
+"""Observability of the parallel fan-out: worker-span merging across a
+real ProcessPoolExecutor, degradation events, thread-safe outcomes."""
+
+import os
+import threading
+
+import numpy as np
+
+from repro.obs import trace
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_spans, span
+from repro.perf.parallel import ParallelRunner
+
+
+def _spanned_square(x):
+    with span("task.body", item=x):
+        return x * x
+
+
+def _shared_sum(arrays, scale):
+    return float(arrays["data"].sum()) * scale
+
+
+class _Unpicklable:
+    def __call__(self, arrays, item):
+        return item
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+
+class TestWorkerSpanMerging:
+    def test_pool_fanout_merges_worker_spans(self):
+        runner = ParallelRunner(max_workers=2)
+        with span("fanout") as live:
+            parent_id = live.span_id
+            results = runner.map(_spanned_square, range(4))
+        assert results == [0, 1, 4, 9]
+        if runner.last_mode != "parallel":
+            return  # pool unavailable in this sandbox: nothing to merge
+        spans = get_spans()
+        workers = [s for s in spans if s.name == "parallel.worker"]
+        bodies = [s for s in spans if s.name == "task.body"]
+        assert len(workers) == 4
+        assert len(bodies) == 4
+        # Every worker span roots at the fan-out point; every task body
+        # nests under its worker span (ids were re-keyed on merge).
+        worker_ids = {s.span_id for s in workers}
+        assert all(s.parent_id == parent_id for s in workers)
+        assert all(s.parent_id in worker_ids for s in bodies)
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))
+
+    def test_worker_spans_keep_worker_pids(self):
+        runner = ParallelRunner(max_workers=2)
+        with span("fanout"):
+            runner.map(_spanned_square, range(4))
+        if runner.last_mode != "parallel":
+            return  # pool unavailable in this sandbox: nothing to check
+        workers = [s for s in get_spans() if s.name == "parallel.worker"]
+        assert all(s.pid != os.getpid() for s in workers)
+
+    def test_merged_trace_is_chrome_valid(self):
+        with span("fanout"):
+            ParallelRunner(max_workers=2).map(_spanned_square, range(3))
+        assert validate_chrome_trace(chrome_trace()) > 0
+
+    def test_serial_path_still_traces(self):
+        with span("fanout") as live:
+            parent_id = live.span_id
+            ParallelRunner(parallel=False).map(_spanned_square, range(2))
+        bodies = [s for s in get_spans() if s.name == "task.body"]
+        assert len(bodies) == 2
+        assert all(s.parent_id == parent_id for s in bodies)
+        assert all(s.pid == os.getpid() for s in bodies)
+
+
+class TestDegradationEvents:
+    def test_unpicklable_worker_emits_structured_event(self):
+        runner = ParallelRunner(max_workers=2)
+        data = {"data": np.ones(8)}
+        results = runner.map_shared(_Unpicklable(), data, [1, 2])
+        assert results == [1, 2]
+        assert runner.last_transport == "inline"
+        events = [s for s in get_spans()
+                  if s.name == "parallel.transport_degraded"]
+        assert len(events) == 1
+        assert events[0].attributes["transport_from"] == "shared"
+        assert events[0].attributes["transport_to"] == "inline"
+        assert REGISTRY.counter("perf.parallel.degraded").value == 1
+
+    def test_transport_outcome_feeds_the_registry(self):
+        runner = ParallelRunner(max_workers=2)
+        data = {"data": np.arange(16, dtype=float)}
+        results = runner.map_shared(_shared_sum, data, [1.0, 2.0])
+        assert results == [data["data"].sum(), data["data"].sum() * 2]
+        transport = runner.last_transport
+        assert transport in ("shared", "pickle", "inline")
+        assert REGISTRY.counter(
+            f"perf.parallel.transport.{transport}").value == 1
+        level = REGISTRY.gauge("perf.parallel.transport_level").value
+        assert level == {"inline": 0, "pickle": 1, "shared": 2}[transport]
+
+
+class TestThreadSafety:
+    def test_last_transport_is_per_thread(self):
+        runner = ParallelRunner(parallel=False)
+        data = {"data": np.ones(4)}
+        seen = {}
+
+        def drive(tag):
+            runner.map_shared(_shared_sum, data, [1.0])
+            seen[tag] = runner.last_transport
+
+        threads = [threading.Thread(target=drive, args=(i,))
+                   for i in range(4)]
+        runner.last_transport = None  # main thread's own slot
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every worker thread saw its own outcome; the main thread's
+        # value was never clobbered by any of them.
+        assert all(v == "inline" for v in seen.values())
+        assert runner.last_transport is None
+
+    def test_outcome_unset_in_fresh_thread(self):
+        runner = ParallelRunner(parallel=False)
+        runner.map_shared(_shared_sum, {"data": np.ones(2)}, [1.0])
+        assert runner.last_transport == "inline"
+        observed = {}
+
+        def peek():
+            observed["transport"] = runner.last_transport
+
+        t = threading.Thread(target=peek)
+        t.start()
+        t.join()
+        assert observed["transport"] is None

@@ -1,0 +1,170 @@
+"""Span tracing: nesting, attributes, the kill switch, thread safety."""
+
+import threading
+
+from repro.obs import state, trace
+from repro.obs.trace import NULL_SPAN, event, get_spans, span
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = get_spans()
+        assert inner.name == "inner"
+        assert outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_a_parent(self):
+        with span("root"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        a, b, root = get_spans()
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_monotonic_and_contained(self):
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = get_spans()
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert inner.duration_s >= 0.0
+
+    def test_event_nests_under_current_span(self):
+        with span("work"):
+            event("tick", step=3)
+        tick, work = get_spans()
+        assert tick.kind == "event"
+        assert tick.parent_id == work.span_id
+        assert tick.attributes == {"step": 3}
+        assert tick.duration_s == 0.0
+
+
+class TestAttributes:
+    def test_initial_and_set(self):
+        with span("s", board="nano") as live:
+            live.set(zone=2)
+        (recorded,) = get_spans()
+        assert recorded.attributes == {"board": "nano", "zone": 2}
+
+    def test_exception_recorded_and_propagated(self):
+        try:
+            with span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (recorded,) = get_spans()
+        assert recorded.attributes["error"] == "ValueError"
+
+
+class TestKillSwitch:
+    def test_disabled_returns_shared_null_span(self):
+        state.disable()
+        assert span("anything", a=1) is NULL_SPAN
+        with span("nothing") as live:
+            live.set(ignored=True)
+        event("nothing-either")
+        assert get_spans() == []
+
+    def test_reenable_records_again(self):
+        state.disable()
+        with span("off"):
+            pass
+        state.enable()
+        with span("on"):
+            pass
+        assert [s.name for s in get_spans()] == ["on"]
+
+
+class TestBufferManagement:
+    def test_clear_empties_buffer(self):
+        with span("x"):
+            pass
+        trace.clear()
+        assert get_spans() == []
+        assert trace.dropped_spans() == 0
+
+    def test_cap_drops_instead_of_growing(self, monkeypatch):
+        monkeypatch.setattr(trace, "MAX_SPANS", 2)
+        for _ in range(4):
+            with span("s"):
+                pass
+        assert len(get_spans()) == 2
+        assert trace.dropped_spans() == 2
+
+
+class TestThreads:
+    def test_threads_get_independent_nesting(self):
+        """A thread started outside any span roots its own tree."""
+        done = threading.Event()
+
+        def worker():
+            with span("thread-root"):
+                pass
+            done.set()
+
+        with span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        by_name = {s.name: s for s in get_spans()}
+        # The worker thread inherited no context (fresh thread), so its
+        # root has no parent; the main root is separate.
+        assert by_name["thread-root"].parent_id is None
+        assert by_name["thread-root"].tid != by_name["main-root"].tid
+
+
+class TestCaptureAndMerge:
+    def test_capture_collects_only_the_task_spans(self):
+        with span("preexisting"):
+            pass
+        ctx = trace.current_context()
+
+        def task():
+            with span("captured"):
+                pass
+            return 42
+
+        result, collected = trace.capture(ctx, task)
+        assert result == 42
+        assert [s.name for s in collected] == ["captured"]
+        # The captured span moved out of the buffer...
+        assert [s.name for s in get_spans()] == ["preexisting"]
+        # ...and merge folds it back with a fresh id.
+        trace.merge_spans(collected)
+        names = [s.name for s in get_spans()]
+        assert names == ["preexisting", "captured"]
+
+    def test_merge_rekeys_colliding_ids(self):
+        with span("parent") as live:
+            parent_id = live.span_id
+            ctx = trace.current_context()
+
+        def task():
+            with span("child"):
+                with span("grandchild"):
+                    pass
+
+        _, collected = trace.capture(ctx, task)
+        trace.merge_spans(collected)
+        by_name = {s.name: s for s in get_spans()}
+        child = by_name["child"]
+        grandchild = by_name["grandchild"]
+        assert child.parent_id == parent_id
+        assert grandchild.parent_id == child.span_id
+        ids = [s.span_id for s in get_spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_disabled_context_skips_capture(self):
+        ctx = trace.TraceContext(enabled=False, parent_id=None)
+        result, collected = trace.capture(ctx, lambda: "ok")
+        assert result == "ok"
+        assert collected == []
