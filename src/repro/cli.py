@@ -33,6 +33,10 @@ code:
   and how the decision flow coped (see :mod:`repro.robustness`);
 - ``validate <board> [--app APP]`` — run the runtime invariant guard
   suite over every communication model (exit 3 on violations);
+- ``chaos [--schedules N] [--seed S]`` — run seeded chaos schedules
+  (fault plans × strict/deadline/retry/breaker configurations) over
+  full ``tune_many`` runs and assert every failure is accounted for
+  (exit 5 on violations, see :mod:`repro.resilience.chaos`);
 - ``report [results_dir]`` — aggregate archived benchmark artefacts
   into one ``REPORT.md`` (see :mod:`repro.analysis.export`).
 
@@ -110,10 +114,17 @@ def cmd_characterize(args: argparse.Namespace) -> str:
 
 def cmd_tune(args: argparse.Namespace) -> str:
     """Run the decision flow for a bundled application."""
+    import contextlib
+
     board = get_board(args.board)
     pipeline = _get_pipeline(args.app)
     framework = _framework_from_args(args)
-    report = pipeline.tune(framework, board, current_model=args.model)
+    with contextlib.ExitStack() as stack:
+        if getattr(args, "deadline_s", None):
+            from repro.resilience.deadline import Deadline, deadline_scope
+
+            stack.enter_context(deadline_scope(Deadline.after(args.deadline_s)))
+        report = pipeline.tune(framework, board, current_model=args.model)
     rec = report.recommendation
     table = Table(
         f"Tuning {args.app} on {board.display_name} (currently {args.model})",
@@ -273,6 +284,31 @@ def cmd_validate(args: argparse.Namespace):
     return text, (0 if report.passed else 3)
 
 
+def cmd_chaos(args: argparse.Namespace):
+    """Run the seeded chaos soak (exit 5 on violations)."""
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(
+        schedules=args.schedules,
+        seed=args.seed,
+        apps=args.apps,
+        boards=args.boards,
+        deadline_s=args.deadline_s,
+        validate_guards=not args.no_validate,
+    )
+    if args.json:
+        import json
+        import pathlib
+
+        pathlib.Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    text = report.render()
+    if args.json:
+        text += f"\nreport written to {args.json}"
+    return text, (0 if report.passed else 5)
+
+
 def cmd_cache(args: argparse.Namespace) -> str:
     """Inspect or clear the persistent characterization cache."""
     from repro.perf.cache import CharacterizationCache
@@ -293,6 +329,13 @@ def cmd_cache(args: argparse.Namespace) -> str:
     if corrupt:
         lines.append("corrupt entries are treated as misses; "
                      "`repro cache clear` removes them")
+    quarantined = cache.quarantined()
+    if quarantined:
+        lines.append(f"{len(quarantined)} quarantined corrupt "
+                     f"entry(ies) (moved aside on load):")
+        for path in quarantined:
+            lines.append(f"  {path.name} ({path.stat().st_size} bytes) "
+                         f"[quarantined]")
     return "\n".join(lines)
 
 
@@ -369,6 +412,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "sweep": cmd_sweep,
     "inject": cmd_inject,
     "validate": cmd_validate,
+    "chaos": cmd_chaos,
     "report": cmd_report,
     "cache": cmd_cache,
     "bench": cmd_bench,
@@ -421,6 +465,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--report", default=None, metavar="FILE",
                            help="write the full tune report (every "
                                 "decision intermediate) as JSON")
+            p.add_argument("--deadline-s", type=float, default=None,
+                           metavar="S",
+                           help="bound the whole flow by a cooperative "
+                                "deadline (structured DEADLINE_EXCEEDED "
+                                "past the budget)")
             add_cache_flags(p)
 
     p = sub.add_parser(
@@ -497,6 +546,28 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KIND[:TARGET[:MAGNITUDE[:PROB]]]",
                    help="inject faults while validating, to demonstrate "
                         "guard coverage")
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the seeded full-pipeline chaos soak (exit 5 on "
+             "violations)")
+    p.add_argument("--schedules", type=int, default=25,
+                   help="how many chaos schedules to run (default: 25)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="soak seed; schedule i is a pure function of "
+                        "(seed, i)")
+    p.add_argument("--apps", nargs="+", default=["shwfs", "orbslam"],
+                   choices=["shwfs", "orbslam"])
+    p.add_argument("--boards", nargs="+", default=None,
+                   choices=available_boards())
+    p.add_argument("--deadline-s", type=float, default=None, metavar="S",
+                   help="pin every schedule's deadline budget instead of "
+                        "drawing it per schedule")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip the post-schedule clean-stack guard "
+                        "validation")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the full soak report as JSON")
 
     p = sub.add_parser("report",
                        help="aggregate benchmark artefacts into REPORT.md")

@@ -137,3 +137,25 @@ class MicrobenchmarkError(ReproError):
     (e.g. a sweep too short to locate a threshold)."""
 
     default_code = "MICROBENCH_FAILED"
+
+
+class DeadlineError(ReproError):
+    """A cooperative deadline expired before the work completed.
+
+    Raised by :mod:`repro.resilience.deadline` checkpoints and by the
+    hard future-timeouts in :class:`~repro.perf.parallel.ParallelRunner`.
+    ``details`` always carries the stage that tripped, the budget, the
+    elapsed time and whatever partial progress the raise site knew
+    about (completed stages, finished items)."""
+
+    default_code = "DEADLINE_EXCEEDED"
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open for the requested seam.
+
+    The call was shed without being attempted; ``details`` carries the
+    seam name, the consecutive-failure count that tripped the breaker
+    and the time remaining until the half-open probe."""
+
+    default_code = "BREAKER_OPEN"

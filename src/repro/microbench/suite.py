@@ -21,6 +21,8 @@ from repro.microbench.first import FirstBenchResult, FirstMicroBenchmark
 from repro.microbench.second import SecondBenchResult, SecondMicroBenchmark
 from repro.microbench.third import ThirdBenchResult, ThirdMicroBenchmark
 from repro.model.device import DeviceCharacterization
+from repro.resilience.deadline import checkpoint
+from repro.resilience.retry import RetryPolicy
 from repro.soc.board import BoardConfig
 from repro.soc.soc import SoC
 
@@ -66,17 +68,27 @@ class MicrobenchmarkSuite:
         self._raw: Dict[str, SuiteResults] = {}
 
     def run_all(self, board: BoardConfig) -> SuiteResults:
-        """Run MB1-MB3 on a fresh SoC for ``board``."""
+        """Run MB1-MB3 on a fresh SoC for ``board``.
+
+        The micro-benchmark boundaries are cooperative deadline
+        checkpoints: a suite running under
+        :func:`repro.resilience.deadline.deadline_scope` stops with a
+        structured ``DEADLINE_EXCEEDED`` between benchmarks instead of
+        overshooting the budget.
+        """
         with obs.span("microbench.suite", board=board.name):
             soc = SoC(board)
+            checkpoint("microbench.mb1", board=board.name)
             with obs.span("microbench.mb1", board=board.name):
                 first = self.first.run(soc)
+            checkpoint("microbench.mb2", board=board.name)
             with obs.span("microbench.mb2", board=board.name):
                 second = self.second.run(
                     soc,
                     gpu_peak_throughput=first.gpu_max_throughput["SC"],
                     cpu_peak_throughput=first.cpu_max_throughput["SC"],
                 )
+            checkpoint("microbench.mb3", board=board.name)
             with obs.span("microbench.mb3", board=board.name):
                 third = self.third.run(soc)
         results = SuiteResults(first=first, second=second, third=third)
@@ -126,23 +138,29 @@ class MicrobenchmarkSuite:
         self.cache.store(board, self.cache_signature(), device)
 
     def characterize(self, board: BoardConfig, force: bool = False,
-                     retries: int = 0) -> DeviceCharacterization:
+                     retries: int = 0,
+                     retry_policy: Optional[RetryPolicy] = None
+                     ) -> DeviceCharacterization:
         """Characterize ``board`` (cached by board name).
 
         With a persistent cache attached, a content-hash hit (same
         board, same micro-benchmark parameters, same package version)
         skips the suite entirely; ``force=True`` recomputes and
         refreshes both caches.  Fault injection bypasses the persistent
-        cache in both directions.
+        cache in both directions.  Concurrent *misses* for one key are
+        collapsed by a keyed single-flight (lock-file based across
+        processes), so a stampede of cold callers characterizes once.
 
-        ``retries`` bounds the additional attempts made when a sweep
-        fails to locate a threshold or yields an inconsistent
-        characterization (:class:`MicrobenchmarkError` /
-        :class:`ModelError`).  Each attempt re-runs the whole suite on
-        a fresh SoC — under fault injection the plan's RNG advances, so
-        a retry *is* a reseed of the perturbations; on clean hardware a
-        retry re-measures a noisy run.  The last error is re-raised
-        when the budget is exhausted, annotated with the attempt count.
+        Retries are governed by a declarative
+        :class:`~repro.resilience.retry.RetryPolicy` — pass one as
+        ``retry_policy``, or use the legacy ``retries`` integer, which
+        maps to ``RetryPolicy.from_attempts(retries)`` (no backoff, all
+        codes retryable).  Each attempt re-runs the whole suite on a
+        fresh SoC — under fault injection the plan's RNG advances, so a
+        retry *is* a reseed of the perturbations; on clean hardware a
+        retry re-measures a noisy run.  With a multi-attempt budget the
+        last error is re-raised as ``MICROBENCH_RETRIES_EXHAUSTED``,
+        annotated with the attempt count.
         """
         if not force and board.name in self._cache:
             obs.counter_inc("microbench.characterize.memory_hit")
@@ -152,32 +170,70 @@ class MicrobenchmarkSuite:
             if persisted is not None:
                 self._cache[board.name] = persisted
                 return persisted
-        attempts = max(1, retries + 1)
-        last_error = None
-        for attempt in range(attempts):
-            try:
-                characterization = self._characterize_once(board)
-                break
-            except (MicrobenchmarkError, ModelError) as error:
-                obs.event("microbench.characterize.attempt_failed",
-                          board=board.name, attempt=attempt + 1,
-                          code=error.code)
-                obs.counter_inc("microbench.characterize.failed_attempts")
-                if attempts == 1:
-                    raise  # no retry budget: preserve the raw error
-                last_error = error
-        else:
-            raise MicrobenchmarkError(
-                f"characterization of {board.name!r} failed after "
-                f"{attempts} attempt(s) — {last_error.code}: "
-                f"{last_error.message}",
-                code="MICROBENCH_RETRIES_EXHAUSTED",
-                details={"board": board.name, "attempts": attempts,
-                         "last_error": last_error.to_dict()},
-            ) from last_error
+        policy = retry_policy or RetryPolicy.from_attempts(retries)
+        characterization = self._characterize_deduped(board, policy, force)
         self._cache[board.name] = characterization
         self._persistent_store(board, characterization)
         return characterization
+
+    def _characterize_deduped(
+        self, board: BoardConfig, policy: RetryPolicy, force: bool
+    ) -> DeviceCharacterization:
+        """Single-flight wrapper around the retried suite run.
+
+        Active only when a persistent cache is attached (the lock file
+        lives next to the cache entries), injection is off (a follower
+        must not reuse another process's unperturbed result) and the
+        call is not ``force`` (which must recompute by definition).
+        """
+        from repro.robustness.inject import injection_active
+
+        if self.cache is None or force or injection_active():
+            return self._characterize_with_retries(board, policy)
+        from repro.perf.cache import cache_key
+
+        return self._single_flight().do(
+            cache_key(board, self.cache_signature()),
+            compute=lambda: self._characterize_with_retries(board, policy),
+            reload=lambda: self._persistent_load(board),
+        )
+
+    def _single_flight(self):
+        if getattr(self, "_sf", None) is None:
+            from repro.resilience.singleflight import SingleFlight
+
+            self._sf = SingleFlight(lock_dir=self.cache.directory)
+        return self._sf
+
+    def _characterize_with_retries(
+        self, board: BoardConfig, policy: RetryPolicy
+    ) -> DeviceCharacterization:
+        """Run the suite under ``policy``; annotate exhausted budgets."""
+        attempts_made = []
+
+        def on_attempt_failed(attempt: int, error) -> None:
+            attempts_made.append(attempt)
+            obs.event("microbench.characterize.attempt_failed",
+                      board=board.name, attempt=attempt, code=error.code)
+            obs.counter_inc("microbench.characterize.failed_attempts")
+
+        try:
+            return policy.call(
+                lambda: self._characterize_once(board),
+                exceptions=(MicrobenchmarkError, ModelError),
+                on_attempt_failed=on_attempt_failed,
+            )
+        except (MicrobenchmarkError, ModelError) as error:
+            if policy.max_attempts == 1:
+                raise  # no retry budget: preserve the raw error
+            attempts = len(attempts_made)
+            raise MicrobenchmarkError(
+                f"characterization of {board.name!r} failed after "
+                f"{attempts} attempt(s) — {error.code}: {error.message}",
+                code="MICROBENCH_RETRIES_EXHAUSTED",
+                details={"board": board.name, "attempts": attempts,
+                         "last_error": error.to_dict()},
+            ) from error
 
     def characterize_many(
         self,

@@ -18,6 +18,7 @@ everything in one :class:`TuningReport`.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -29,6 +30,14 @@ from repro.errors import ModelError, ReproError
 from repro.obs.report import TuneReport
 from repro.kernels.workload import Workload
 from repro.model.decision import Recommendation, decide, keep_current
+from repro.resilience.breaker import BreakerRegistry
+from repro.resilience.deadline import (
+    Deadline,
+    active_deadline,
+    checkpoint,
+    deadline_scope,
+)
+from repro.resilience.retry import RetryPolicy
 
 if TYPE_CHECKING:  # avoid a circular import with repro.microbench
     from repro.microbench.suite import MicrobenchmarkSuite
@@ -77,10 +86,29 @@ class TuningReport:
 
 
 class Framework:
-    """Device characterization + profiling + recommendation."""
+    """Device characterization + profiling + recommendation.
+
+    Resilience is opt-in and off by default (identical behaviour and
+    hot-path cost to before):
+
+    - ``breakers`` — a :class:`~repro.resilience.breaker.BreakerRegistry`
+      wraps the characterize/profile seams; a seam that keeps failing
+      trips open and further calls are shed immediately
+      (``BREAKER_OPEN``), which degraded mode converts into an instant
+      conservative ``KEEP_CURRENT``;
+    - ``retry_policy`` — the declarative
+      :class:`~repro.resilience.retry.RetryPolicy` degraded-mode
+      characterization runs under (default: the legacy bounded budget
+      of ``DEGRADED_CHARACTERIZE_RETRIES`` extra attempts, no backoff);
+    - ``tune(..., deadline_s=...)`` / an ambient
+      :func:`~repro.resilience.deadline.deadline_scope` — bounds the
+      flow end to end with cooperative checkpoints.
+    """
 
     def __init__(self, suite: Optional["MicrobenchmarkSuite"] = None,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 breakers: Optional[BreakerRegistry] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if suite is None:
             # Imported here to keep repro.model importable from the
             # micro-benchmarks without a cycle.
@@ -92,6 +120,8 @@ class Framework:
 
             suite.cache = CharacterizationCache(cache_dir)
         self.suite = suite
+        self.breakers = breakers
+        self.retry_policy = retry_policy
         #: The :class:`~repro.obs.report.TuneReport` of the most recent
         #: :meth:`tune` call (``repro tune --report`` serializes it).
         self.last_tune_report: Optional[TuneReport] = None
@@ -100,24 +130,42 @@ class Framework:
     # pieces
     # ------------------------------------------------------------------
 
+    def _guarded(self, seam: str, fn):
+        """Run one seam call under its circuit breaker, if enabled."""
+        if self.breakers is None:
+            return fn()
+        return self.breakers.call(seam, fn)
+
     def characterize(self, board: BoardConfig, force: bool = False,
-                     retries: int = 0) -> DeviceCharacterization:
+                     retries: int = 0,
+                     retry_policy: Optional[RetryPolicy] = None
+                     ) -> DeviceCharacterization:
         """Run (or reuse) the micro-benchmark characterization.
 
-        ``retries`` bounds the re-runs attempted when a sweep fails to
-        locate a threshold (see
+        ``retries`` / ``retry_policy`` bound the re-runs attempted when
+        a sweep fails to locate a threshold (see
         :meth:`repro.microbench.suite.MicrobenchmarkSuite.characterize`).
         """
+        checkpoint("characterize", board=board.name)
         with obs.span("characterize", board=board.name, force=force):
-            return self.suite.characterize(board, force=force, retries=retries)
+            return self._guarded(
+                "characterize",
+                lambda: self.suite.characterize(
+                    board, force=force, retries=retries,
+                    retry_policy=retry_policy,
+                ),
+            )
 
     def profile(self, workload: Workload, board: BoardConfig,
                 model: str = "SC") -> AppProfile:
         """Profile the application under one communication model."""
+        checkpoint("profile", workload=workload.name)
         with obs.span("profile", workload=workload.name, board=board.name,
                       model=model):
             soc = SoC(board)
-            return Profiler(soc).profile(workload, model=model)
+            return self._guarded(
+                "profile", lambda: Profiler(soc).profile(workload, model=model)
+            )
 
     # ------------------------------------------------------------------
     # the full flow
@@ -127,7 +175,8 @@ class Framework:
     DEGRADED_CHARACTERIZE_RETRIES = 2
 
     def tune(self, workload: Workload, board: BoardConfig,
-             current_model: str = "SC", strict: bool = True) -> TuningReport:
+             current_model: str = "SC", strict: bool = True,
+             deadline_s: Optional[float] = None) -> TuningReport:
         """Run the complete Fig-2 flow for one application.
 
         ``strict=True`` (default) preserves the raising behaviour: any
@@ -136,6 +185,15 @@ class Framework:
         characterization gets a bounded retry budget, and a failure of
         any stage yields a conservative ``KEEP_CURRENT`` recommendation
         with ``confidence=LOW`` and machine-readable ``caveats``.
+
+        ``deadline_s`` bounds the whole flow: stage boundaries (and the
+        micro-benchmark boundaries inside characterization) are
+        cooperative checkpoints, so an exhausted budget surfaces as
+        ``DEADLINE_EXCEEDED`` (strict) or as a conservative
+        ``KEEP_CURRENT`` with a ``DEADLINE_EXCEEDED`` caveat (degraded)
+        instead of overshooting.  An already-ambient deadline (from an
+        enclosing :func:`~repro.resilience.deadline.deadline_scope`) is
+        honoured when ``deadline_s`` is not given.
         """
         if current_model.upper() not in ALL_MODELS:
             raise ModelError(
@@ -146,15 +204,35 @@ class Framework:
             )
         timings: Dict[str, float] = {}
         tune_start = time.perf_counter()
+        with contextlib.ExitStack() as stack:
+            if deadline_s is not None:
+                stack.enter_context(deadline_scope(Deadline.after(deadline_s)))
+            report, recommendation = self._tune_under_scope(
+                workload, board, current_model, strict, timings, tune_start
+            )
+        obs.counter_inc("framework.tune")
+        if recommendation.degraded:
+            obs.counter_inc("framework.tune.degraded")
+        self.last_tune_report = TuneReport.from_tuning(report,
+                                                       timings_s=timings)
+        return report
+
+    def _tune_under_scope(self, workload: Workload, board: BoardConfig,
+                          current_model: str, strict: bool,
+                          timings: Dict[str, float], tune_start: float):
+        """The tune flow body, running inside any deadline scope."""
         with obs.span("tune", workload=workload.name, board=board.name,
                       model=current_model.upper(), strict=strict) as tune_span:
             if strict:
+                checkpoint("tune.characterize", workload=workload.name)
                 device = self._timed("characterize", timings,
                                      self.characterize, board)
+                checkpoint("tune.profile", workload=workload.name)
                 profile = self._timed(
                     "profile", timings, self.profile, workload, board,
                     model=current_model.upper(),
                 )
+                checkpoint("tune.decide", workload=workload.name)
                 with obs.span("decide", workload=workload.name):
                     start = time.perf_counter()
                     recommendation = decide(profile, device)
@@ -184,12 +262,7 @@ class Framework:
                 if recommendation.zone is not None else None,
                 degraded=recommendation.degraded,
             )
-        obs.counter_inc("framework.tune")
-        if recommendation.degraded:
-            obs.counter_inc("framework.tune.degraded")
-        self.last_tune_report = TuneReport.from_tuning(report,
-                                                       timings_s=timings)
-        return report
+        return report, recommendation
 
     @staticmethod
     def _timed(stage: str, timings: Dict[str, float], fn, *args, **kwargs):
@@ -213,36 +286,63 @@ class Framework:
                 raise
             return float("nan")
 
+    def _deadline_expired_caveat(self, stage: str) -> Optional[str]:
+        """A ``DEADLINE_EXCEEDED`` caveat when the ambient budget is
+        already gone — the degraded flow skips the stage outright
+        instead of starting work it cannot finish."""
+        deadline = active_deadline()
+        if deadline is None or not deadline.expired():
+            return None
+        obs.event("tune.stage_skipped", stage=stage,
+                  code="DEADLINE_EXCEEDED")
+        return (f"{stage} skipped — DEADLINE_EXCEEDED: budget of "
+                f"{deadline.budget_s:.3f}s exhausted")
+
     def _tune_degraded(self, workload: Workload, board: BoardConfig,
                        current_model: str,
                        timings: Optional[Dict[str, float]] = None):
         """The ``strict=False`` flow: absorb structured errors stage by
-        stage and fall back to :func:`keep_current` when a stage dies."""
+        stage and fall back to :func:`keep_current` when a stage dies.
+
+        An open circuit breaker or an exhausted ambient deadline shows
+        up here as just another coded failure (``BREAKER_OPEN``,
+        ``DEADLINE_EXCEEDED``): the stage is shed or skipped and the
+        answer is an immediate conservative ``KEEP_CURRENT``.
+        """
         timings = {} if timings is None else timings
         caveats = []
         device = None
         profile = None
-        try:
-            device = self._timed(
-                "characterize", timings, self.characterize,
-                board, retries=self.DEGRADED_CHARACTERIZE_RETRIES,
-            )
-        except ReproError as error:
-            obs.event("tune.stage_failed", stage="characterize",
-                      code=error.code)
-            caveats.append(f"characterization failed — {error.code}: "
-                           f"{error.message}")
-        if device is not None:
+        skipped = self._deadline_expired_caveat("characterization")
+        if skipped is not None:
+            caveats.append(skipped)
+        else:
             try:
-                profile = self._timed(
-                    "profile", timings, self.profile,
-                    workload, board, model=current_model,
+                device = self._timed(
+                    "characterize", timings, self.characterize, board,
+                    retries=self.DEGRADED_CHARACTERIZE_RETRIES,
+                    retry_policy=self.retry_policy,
                 )
             except ReproError as error:
-                obs.event("tune.stage_failed", stage="profile",
+                obs.event("tune.stage_failed", stage="characterize",
                           code=error.code)
-                caveats.append(f"profiling failed — {error.code}: "
+                caveats.append(f"characterization failed — {error.code}: "
                                f"{error.message}")
+        if device is not None:
+            skipped = self._deadline_expired_caveat("profiling")
+            if skipped is not None:
+                caveats.append(skipped)
+            else:
+                try:
+                    profile = self._timed(
+                        "profile", timings, self.profile,
+                        workload, board, model=current_model,
+                    )
+                except ReproError as error:
+                    obs.event("tune.stage_failed", stage="profile",
+                              code=error.code)
+                    caveats.append(f"profiling failed — {error.code}: "
+                                   f"{error.message}")
         if device is not None and profile is not None:
             with obs.span("decide", workload=workload.name):
                 recommendation = self._timed(
@@ -258,8 +358,8 @@ class Framework:
         return device, profile, recommendation
 
     def tune_many(self, workloads: Sequence[Workload], board: BoardConfig,
-                  current_model: str = "SC",
-                  strict: bool = True) -> List[TuningReport]:
+                  current_model: str = "SC", strict: bool = True,
+                  deadline_s: Optional[float] = None) -> List[TuningReport]:
         """Tune several applications against one board in one call.
 
         This is the paper's characterize-once / tune-many workflow as
@@ -267,9 +367,22 @@ class Framework:
         at most once — straight from the suite's cache when available —
         and each workload adds only its own profiling run.  Reports
         keep the input order.
+
+        ``deadline_s`` bounds the *whole batch*.  Strict mode raises
+        ``DEADLINE_EXCEEDED`` at the first item boundary past the
+        budget, with the completed/total counts in ``details``;
+        degraded mode instead answers every remaining workload with an
+        immediate conservative ``KEEP_CURRENT`` carrying a
+        ``DEADLINE_EXCEEDED`` caveat, so the report list stays complete
+        and ordered.
         """
         with obs.span("tune_many", board=board.name, workloads=len(workloads)):
-            return self._tune_many(workloads, board, current_model, strict)
+            with contextlib.ExitStack() as stack:
+                if deadline_s is not None:
+                    stack.enter_context(
+                        deadline_scope(Deadline.after(deadline_s))
+                    )
+                return self._tune_many(workloads, board, current_model, strict)
 
     def _tune_many(self, workloads: Sequence[Workload], board: BoardConfig,
                    current_model: str, strict: bool) -> List[TuningReport]:
@@ -280,15 +393,58 @@ class Framework:
             # report; warming the suite cache is best-effort only.
             try:
                 self.characterize(
-                    board, retries=self.DEGRADED_CHARACTERIZE_RETRIES
+                    board, retries=self.DEGRADED_CHARACTERIZE_RETRIES,
+                    retry_policy=self.retry_policy,
                 )
             except ReproError:
                 pass
-        return [
-            self.tune(workload, board, current_model=current_model,
-                      strict=strict)
-            for workload in workloads
-        ]
+        deadline = active_deadline()
+        reports: List[TuningReport] = []
+        for index, workload in enumerate(workloads):
+            if deadline is not None:
+                if strict:
+                    deadline.check("tune_many.item",
+                                   completed_reports=index,
+                                   total=len(workloads))
+                elif deadline.expired():
+                    obs.event("tune_many.deadline_shed",
+                              completed_reports=index, total=len(workloads))
+                    reports.extend(
+                        self._deadline_shed_report(w, board, current_model,
+                                                   deadline)
+                        for w in workloads[index:]
+                    )
+                    break
+            reports.append(
+                self.tune(workload, board, current_model=current_model,
+                          strict=strict)
+            )
+        return reports
+
+    def _deadline_shed_report(self, workload: Workload, board: BoardConfig,
+                              current_model: str,
+                              deadline: Deadline) -> TuningReport:
+        """An immediate conservative answer for a workload the batch
+        deadline left no budget for (degraded mode only)."""
+        caveat = (f"tuning skipped — DEADLINE_EXCEEDED: batch budget of "
+                  f"{deadline.budget_s:.3f}s exhausted")
+        recommendation = keep_current(
+            current_model,
+            caveat,
+            caveats=[caveat],
+            device=self.suite._cache.get(board.name),
+        )
+        obs.counter_inc("framework.tune.degraded")
+        return TuningReport(
+            workload_name=workload.name,
+            board_name=board.name,
+            current_model=current_model.upper(),
+            profile=None,
+            device=self.suite._cache.get(board.name),
+            cpu_cache_usage_pct=float("nan"),
+            gpu_cache_usage_pct=float("nan"),
+            recommendation=recommendation,
+        )
 
     def compare_models(self, workload: Workload, board: BoardConfig) -> Dict[str, object]:
         """Measure the workload under all three models (validation runs,

@@ -139,6 +139,26 @@ class CharacterizationCache:
         obs.counter_inc(f"perf.cache.{outcome}")
         if outcome == "corrupt":
             obs.event("perf.cache.corrupt", path=str(path), reason=reason)
+            self._quarantine(path, reason)
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a corrupt entry aside as ``<name>.corrupt``.
+
+        Quarantining on first detection keeps the damage visible
+        (``repro cache info`` lists quarantined files) without paying
+        the corrupt-parse path on every subsequent load — the entry
+        becomes a plain miss and the next store rewrites it.  Renames
+        are best-effort: an undeletable file stays where it is and
+        simply keeps classifying as corrupt.
+        """
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(str(path), str(target))
+        except OSError:
+            return
+        obs.counter_inc("perf.cache.quarantined")
+        obs.event("perf.cache.quarantined", path=str(path),
+                  quarantined_to=str(target), reason=reason)
 
     def load(
         self, board: BoardConfig, signature: Mapping[str, Any]
@@ -217,6 +237,12 @@ class CharacterizationCache:
             return []
         return sorted(self.directory.glob("*.json"))
 
+    def quarantined(self) -> List[pathlib.Path]:
+        """Corrupt entries moved aside by :meth:`load` (sorted)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.corrupt"))
+
     @staticmethod
     def classify(path: pathlib.Path) -> Tuple[str, str]:
         """``("ok"|"corrupt", reason)`` for one entry file.
@@ -249,9 +275,10 @@ class CharacterizationCache:
         return [(path, *self.classify(path)) for path in self.entries()]
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined files included); returns how
+        many were removed."""
         removed = 0
-        for path in self.entries():
+        for path in self.entries() + self.quarantined():
             try:
                 path.unlink()
                 removed += 1

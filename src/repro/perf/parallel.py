@@ -31,6 +31,7 @@ import os
 import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
     Callable,
@@ -46,7 +47,9 @@ from typing import (
 import numpy as np
 
 from repro import obs
+from repro.errors import DeadlineError
 from repro.obs import trace as obs_trace
+from repro.resilience.deadline import active_deadline, checkpoint
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -110,7 +113,19 @@ class ParallelRunner:
         obs.counter_inc("perf.parallel.degraded")
 
     def map(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Apply ``worker`` to every item; results keep input order."""
+        """Apply ``worker`` to every item; results keep input order.
+
+        Items are submitted as individual futures, so when the pool
+        infrastructure dies mid-flight (a worker process killed, fork
+        unavailable, a result unpicklable) the results already
+        harvested are *kept* and only the remaining items re-run
+        serially in this process — the degradation is reported through
+        a structured ``parallel.degraded`` event.  Under an ambient
+        :func:`~repro.resilience.deadline.deadline_scope` each future
+        is awaited with a hard timeout of the remaining budget (pool
+        workers cannot be checkpointed from the parent) and the serial
+        path checkpoints between items.
+        """
         items = list(items)
         if not items:
             self.last_mode = "serial"
@@ -119,18 +134,69 @@ class ParallelRunner:
         if not self.parallel or workers == 1 or len(items) == 1 \
                 or not _picklable(worker, items):
             return self._serial(worker, items)
+        completed: List[R] = []
+        pool = ProcessPoolExecutor(max_workers=workers)
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = self._merge_traced(
-                    pool.map(self._traced(worker), items)
+            futures = [pool.submit(self._traced(worker), item)
+                       for item in items]
+            for future in futures:
+                result, spans = self._await_future(
+                    future, pool, len(completed), len(items)
                 )
+                obs_trace.merge_spans(spans)
+                completed.append(result)
         except (BrokenProcessPool, OSError, pickle.PicklingError) as error:
             # Pool infrastructure failed (fork unavailable, result not
-            # picklable, worker process died): redo the work serially.
+            # picklable, worker process died): keep what finished and
+            # redo only the remaining items serially.
+            pool.shutdown(wait=False, cancel_futures=True)
+            remaining = items[len(completed):]
             self._degraded("pool", "serial", type(error).__name__)
-            return self._serial(worker, items)
+            obs.event("parallel.degraded", reason=type(error).__name__,
+                      completed=len(completed), remaining=len(remaining))
+            return completed + self._serial(worker, remaining,
+                                            offset=len(completed),
+                                            total=len(items))
+        except BaseException:
+            # A task exception or a deadline timeout: don't linger on
+            # the pool, cancel what hasn't started and propagate.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
         self.last_mode = "parallel"
-        return results
+        return completed
+
+    @staticmethod
+    def _await_future(future, pool, completed: int, total: int):
+        """One future's result, bounded by the ambient deadline.
+
+        Without an active deadline this is a plain blocking wait.  With
+        one, the wait is capped at the remaining budget; on expiry the
+        outstanding futures are cancelled and a structured
+        ``DEADLINE_EXCEEDED`` error reports how many items finished.
+        """
+        deadline = active_deadline()
+        if deadline is None:
+            return future.result()
+        try:
+            return future.result(timeout=max(0.0, deadline.remaining_s()))
+        except FuturesTimeoutError:
+            pool.shutdown(wait=False, cancel_futures=True)
+            obs.event("resilience.deadline_exceeded", stage="parallel.pool",
+                      budget_s=deadline.budget_s,
+                      elapsed_s=deadline.elapsed_s())
+            obs.counter_inc("resilience.deadline.exceeded")
+            raise DeadlineError(
+                f"deadline of {deadline.budget_s:g}s exceeded waiting for "
+                f"pool item {completed + 1}/{total}",
+                code="DEADLINE_EXCEEDED",
+                details={"stage": "parallel.pool",
+                         "budget_s": deadline.budget_s,
+                         "elapsed_s": deadline.elapsed_s(),
+                         "completed": list(deadline.completed),
+                         "completed_items": completed,
+                         "total_items": total},
+            ) from None
 
     @staticmethod
     def _traced(worker: Callable[[T], R]):
@@ -149,9 +215,20 @@ class ParallelRunner:
             results.append(result)
         return results
 
-    def _serial(self, worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def _serial(self, worker: Callable[[T], R], items: Sequence[T],
+                offset: int = 0, total: Optional[int] = None) -> List[R]:
+        """The in-process path; checkpoints between items so an ambient
+        deadline bounds it cooperatively.  ``offset``/``total`` label
+        the progress when this is the serial *tail* of a degraded pool
+        run."""
         self.last_mode = "serial"
-        return [worker(item) for item in items]
+        total = len(items) + offset if total is None else total
+        results: List[R] = []
+        for index, item in enumerate(items):
+            checkpoint("parallel.serial_item",
+                       completed_items=offset + index, total_items=total)
+            results.append(worker(item))
+        return results
 
     # ------------------------------------------------------------------
     # zero-copy fan-out
@@ -261,7 +338,12 @@ class ParallelRunner:
     ) -> List[R]:
         self.last_mode = "serial"
         self.last_transport = "inline"
-        return [worker(arrays, item) for item in items]
+        results: List[R] = []
+        for index, item in enumerate(items):
+            checkpoint("parallel.inline_item",
+                       completed_items=index, total_items=len(items))
+            results.append(worker(arrays, item))
+        return results
 
 
 def _tracker_pid() -> Optional[int]:

@@ -1,0 +1,231 @@
+"""Per-seam circuit breakers (closed → open → half-open).
+
+A seam that keeps failing (a wedged profiler, a board whose sweeps
+never converge) should stop being *attempted*: every further call
+burns a full characterization budget only to fail the same way.  A
+:class:`CircuitBreaker` counts consecutive structured failures on one
+seam and, past a threshold, *opens* — callers shed the call
+immediately with :class:`~repro.errors.CircuitOpenError`
+(``code="BREAKER_OPEN"``), which degraded mode converts into an
+instant conservative ``KEEP_CURRENT`` answer.  After a recovery
+window the breaker goes *half-open* and admits one probe call: success
+closes it, failure re-opens it.
+
+Every state transition is emitted as a ``resilience.breaker``
+:mod:`repro.obs` event and mirrored into a per-seam gauge
+(``resilience.breaker.<seam>.state``: 0 closed, 1 half-open, 2 open),
+so a trace shows exactly when and why a seam went dark.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro import obs
+from repro.errors import CircuitOpenError, ReproError
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Gauge encoding of the state (higher = less available).
+_STATE_LEVELS = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1,
+                 BreakerState.OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure isolation for one seam.
+
+    Args:
+        seam: the protected seam's name (``"characterize"``,
+            ``"profile"``, ...) — used in error details, events and
+            gauge names.
+        failure_threshold: consecutive structured failures that trip
+            the breaker open.
+        recovery_s: seconds an open breaker waits before admitting the
+            half-open probe.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, seam: str, failure_threshold: int = 3,
+                 recovery_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}",
+                code="BREAKER_CONFIG_INVALID",
+                details={"seam": seam,
+                         "failure_threshold": failure_threshold},
+            )
+        self.seam = seam
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        #: Code of the failure that tripped the breaker (for shedding
+        #: messages).
+        self.last_failure_code: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+
+    def _transition(self, to_state: BreakerState, reason: str) -> None:
+        from_state = self._state
+        if from_state is to_state:
+            return
+        self._state = to_state
+        obs.event("resilience.breaker", seam=self.seam,
+                  from_state=from_state.value, to_state=to_state.value,
+                  reason=reason)
+        obs.counter_inc(f"resilience.breaker.{self.seam}."
+                        f"{to_state.value}")
+        obs.gauge_set(f"resilience.breaker.{self.seam}.state",
+                      _STATE_LEVELS[to_state])
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, applying the open → half-open timer."""
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def _tick(self) -> None:
+        """Lock held: move OPEN to HALF_OPEN once recovery_s elapsed."""
+        if self._state is BreakerState.OPEN \
+                and self._opened_at is not None \
+                and self._clock() - self._opened_at >= self.recovery_s:
+            self._transition(BreakerState.HALF_OPEN, "recovery window elapsed")
+
+    def allow(self) -> bool:
+        """Whether a call may be attempted right now.
+
+        A half-open breaker admits the probe (the next outcome decides
+        whether it closes or re-opens)."""
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        """The protected call completed: reset (and close a probe)."""
+        with self._lock:
+            self._tick()
+            self._consecutive_failures = 0
+            self.last_failure_code = None
+            self._transition(BreakerState.CLOSED, "call succeeded")
+
+    def record_failure(self, error: Optional[ReproError] = None) -> None:
+        """The protected call failed with a structured error."""
+        with self._lock:
+            self._tick()
+            self._consecutive_failures += 1
+            if error is not None:
+                self.last_failure_code = error.code
+            if self._state is BreakerState.HALF_OPEN:
+                self._open("half-open probe failed")
+            elif self._consecutive_failures >= self.failure_threshold:
+                self._open(f"{self._consecutive_failures} consecutive "
+                           f"failures")
+
+    def _open(self, reason: str) -> None:
+        self._opened_at = self._clock()
+        self._transition(BreakerState.OPEN, reason)
+
+    # ------------------------------------------------------------------
+    # call protection
+    # ------------------------------------------------------------------
+
+    def shed_error(self) -> CircuitOpenError:
+        """The structured error a shed call surfaces."""
+        retry_in = None
+        if self._opened_at is not None:
+            retry_in = max(0.0, self.recovery_s
+                           - (self._clock() - self._opened_at))
+        obs.counter_inc(f"resilience.breaker.{self.seam}.shed")
+        return CircuitOpenError(
+            f"circuit breaker for seam {self.seam!r} is open after "
+            f"{self._consecutive_failures} consecutive failure(s)"
+            + (f" (last: {self.last_failure_code})"
+               if self.last_failure_code else ""),
+            code="BREAKER_OPEN",
+            details={"seam": self.seam,
+                     "consecutive_failures": self._consecutive_failures,
+                     "last_failure_code": self.last_failure_code,
+                     "retry_in_s": retry_in},
+        )
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` under this breaker.
+
+        Sheds immediately with :class:`CircuitOpenError` when open;
+        otherwise attempts the call and records its outcome.  Only
+        :class:`ReproError` counts as a breaker-visible failure —
+        anything else propagates without touching the state machine.
+        """
+        if not self.allow():
+            raise self.shed_error()
+        try:
+            result = fn()
+        except ReproError as error:
+            self.record_failure(error)
+            raise
+        self.record_success()
+        return result
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable view (chaos reports, ``repro chaos`` output)."""
+        return {
+            "seam": self.seam,
+            "state": self.state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "last_failure_code": self.last_failure_code,
+        }
+
+
+class BreakerRegistry:
+    """Per-seam breakers sharing one configuration.
+
+    The :class:`~repro.model.framework.Framework` owns one registry
+    (when resilience is enabled) and routes its characterize/profile
+    seams through it; the future serve tier will hold one per tenant.
+    """
+
+    def __init__(self, failure_threshold: int = 3, recovery_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, seam: str) -> CircuitBreaker:
+        """The breaker for ``seam`` (created closed on first use)."""
+        with self._lock:
+            breaker = self._breakers.get(seam)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    seam, failure_threshold=self.failure_threshold,
+                    recovery_s=self.recovery_s, clock=self._clock,
+                )
+                self._breakers[seam] = breaker
+            return breaker
+
+    def call(self, seam: str, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` under the seam's breaker."""
+        return self.get(seam).call(fn)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every known seam's :meth:`CircuitBreaker.snapshot`."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {seam: b.snapshot() for seam, b in sorted(breakers.items())}

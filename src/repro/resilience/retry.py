@@ -1,0 +1,135 @@
+"""Declarative retry policies with deterministic seeded backoff.
+
+PR 1 hard-coded a bounded characterization retry loop into
+``microbench/suite.py`` and a retry *count* into ``framework.py``.
+This module replaces both with one declarative object: a
+:class:`RetryPolicy` says how many attempts a seam gets, which
+structured error codes are worth retrying, and how long to back off
+between attempts — exponential with *deterministic seeded jitter*, so
+the same policy applied to the same failure sequence sleeps the same
+schedule (the chaos harness depends on this to assert budgets).
+
+Retries cooperate with the ambient :mod:`~repro.resilience.deadline`:
+each attempt boundary is a checkpoint, and a backoff sleep never
+overshoots the remaining budget.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro import obs
+from repro.errors import ReproError
+from repro.resilience.deadline import checkpoint, remaining_s
+
+#: Callback invoked after each failed attempt: (attempt_number, error).
+OnAttemptFailed = Callable[[int, ReproError], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a seam retries structured failures.
+
+    Attributes:
+        max_attempts: total attempts (1 = no retries).
+        base_delay_s: backoff before the first retry.
+        multiplier: exponential growth factor per retry.
+        max_delay_s: backoff ceiling.
+        jitter: fraction of the delay drawn uniformly (seeded) and
+            added, in ``[0, jitter * delay]``; 0 disables jitter.
+        seed: the jitter stream seed — the same policy on the same
+            failure sequence produces the identical sleep schedule.
+        retryable_codes: error codes worth retrying; ``None`` retries
+            every :class:`ReproError` the caller exposes to the policy.
+    """
+
+    max_attempts: int = 1
+    base_delay_s: float = 0.0
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.0
+    seed: int = 0
+    retryable_codes: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}",
+                code="RETRY_POLICY_INVALID",
+                details={"max_attempts": self.max_attempts},
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0 \
+                or self.jitter < 0 or self.multiplier < 1.0:
+            raise ReproError(
+                "backoff parameters must be non-negative "
+                "(multiplier >= 1.0)",
+                code="RETRY_POLICY_INVALID",
+                details={"base_delay_s": self.base_delay_s,
+                         "multiplier": self.multiplier,
+                         "max_delay_s": self.max_delay_s,
+                         "jitter": self.jitter},
+            )
+        if self.retryable_codes is not None:
+            object.__setattr__(self, "retryable_codes",
+                               tuple(self.retryable_codes))
+
+    @classmethod
+    def from_attempts(cls, retries: int, **overrides) -> "RetryPolicy":
+        """Adapt the legacy ``retries=N`` integer to a policy."""
+        return cls(max_attempts=max(1, retries + 1), **overrides)
+
+    def is_retryable(self, error: ReproError) -> bool:
+        """Whether this error's code is worth another attempt."""
+        if self.retryable_codes is None:
+            return True
+        return error.code in self.retryable_codes
+
+    def delay_s(self, retry_index: int, rng: random.Random) -> float:
+        """Backoff before retry ``retry_index`` (0-based), jittered."""
+        delay = min(self.max_delay_s,
+                    self.base_delay_s * (self.multiplier ** retry_index))
+        if self.jitter > 0:
+            delay += rng.uniform(0.0, self.jitter * delay)
+        return delay
+
+    def call(self, fn: Callable[[], object], *,
+             exceptions: Tuple[type, ...] = (ReproError,),
+             on_attempt_failed: Optional[OnAttemptFailed] = None,
+             sleep: Callable[[float], None] = time.sleep):
+        """Run ``fn`` under this policy.
+
+        ``exceptions`` narrows which exception types the policy may
+        absorb at all (they must be :class:`ReproError` subclasses so a
+        code is available); anything else propagates immediately.  The
+        last error re-raises unchanged when the budget is exhausted or
+        the code is not retryable — callers that want an "exhausted"
+        wrapper add it themselves.
+        """
+        rng = random.Random(self.seed)
+        for attempt in range(1, self.max_attempts + 1):
+            checkpoint("retry.attempt", attempt=attempt)
+            try:
+                return fn()
+            except exceptions as error:
+                if not isinstance(error, ReproError):
+                    raise
+                obs.counter_inc("resilience.retry.failed_attempts")
+                if on_attempt_failed is not None:
+                    on_attempt_failed(attempt, error)
+                if attempt == self.max_attempts \
+                        or not self.is_retryable(error):
+                    raise
+                delay = self.delay_s(attempt - 1, rng)
+                budget = remaining_s()
+                if budget is not None:
+                    # Never sleep past the ambient deadline; the next
+                    # checkpoint converts an expired budget into a
+                    # structured DEADLINE_EXCEEDED.
+                    delay = max(0.0, min(delay, budget))
+                if delay > 0:
+                    sleep(delay)
+                obs.counter_inc("resilience.retry.retries")
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,196 @@
+"""Keyed single-flight: collapse concurrent cache misses into one run.
+
+The characterization cache turns repeat work into a ~150× win, but a
+*cold* key under concurrency is a stampede: N threads (or processes)
+all miss, all run the full micro-benchmark suite, and N−1 of the runs
+are wasted.  :class:`SingleFlight` dedups them at two levels:
+
+- **in-process** — a per-key lock table: the first caller (the
+  *leader*) computes; concurrent callers (*followers*) block on the
+  key's event, then re-check the cache;
+- **cross-process** — an ``O_CREAT | O_EXCL`` lock file next to the
+  cache entry: the process that creates it leads, others poll the
+  cache until the lock disappears (leader finished), goes stale
+  (leader died — the waiter breaks the lock and takes over) or the
+  wait budget / ambient deadline runs out.
+
+Whatever happens, correctness never depends on the lock: a follower
+whose re-check still misses simply computes the value itself.  The
+dedup is an optimization with structured observability
+(``resilience.singleflight.{leader,follower,recompute}`` counters and
+``resilience.singleflight.*`` events), not a consistency mechanism.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+import time
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro import obs
+from repro.resilience.deadline import active_deadline, checkpoint
+
+T = TypeVar("T")
+
+#: How long a lock file may sit untouched before a waiter declares the
+#: leader dead and breaks the lock.
+DEFAULT_STALE_S = 60.0
+
+#: Default bound on how long a follower waits for a leader.
+DEFAULT_WAIT_S = 30.0
+
+#: Poll interval while waiting on a cross-process lock.
+DEFAULT_POLL_S = 0.02
+
+
+class SingleFlight:
+    """Per-key deduplication of concurrent computations.
+
+    Args:
+        lock_dir: directory for cross-process lock files; ``None``
+            restricts the dedup to threads of this process.
+        wait_s: longest a follower waits for a leader before computing
+            the value itself.
+        stale_s: age past which a lock file is considered abandoned.
+        poll_s: cross-process polling interval.
+    """
+
+    def __init__(self, lock_dir: Optional[os.PathLike] = None,
+                 wait_s: float = DEFAULT_WAIT_S,
+                 stale_s: float = DEFAULT_STALE_S,
+                 poll_s: float = DEFAULT_POLL_S) -> None:
+        self.lock_dir = pathlib.Path(lock_dir) if lock_dir is not None else None
+        self.wait_s = wait_s
+        self.stale_s = stale_s
+        self.poll_s = poll_s
+        self._lock = threading.Lock()
+        self._in_flight: Dict[str, threading.Event] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def do(self, key: str, compute: Callable[[], T],
+           reload: Optional[Callable[[], Optional[T]]] = None) -> T:
+        """Run ``compute`` for ``key`` exactly once across waiters.
+
+        ``reload`` re-checks the shared store (the on-disk cache) after
+        a wait; when it returns a non-``None`` value the follower uses
+        it and never computes.  Without ``reload`` a follower simply
+        recomputes once the leader finishes (in-process followers of
+        the same :class:`SingleFlight` still dedup the *window*).
+        """
+        event, leader = self._enter(key)
+        if not leader:
+            obs.counter_inc("resilience.singleflight.follower")
+            self._wait_in_process(key, event)
+            if reload is not None:
+                value = reload()
+                if value is not None:
+                    return value
+            obs.counter_inc("resilience.singleflight.recompute")
+            return compute()
+        try:
+            if self.lock_dir is not None:
+                return self._do_cross_process(key, compute, reload)
+            obs.counter_inc("resilience.singleflight.leader")
+            return compute()
+        finally:
+            self._exit(key, event)
+
+    # ------------------------------------------------------------------
+    # in-process dedup
+    # ------------------------------------------------------------------
+
+    def _enter(self, key: str):
+        """Register interest in ``key``; returns (event, is_leader)."""
+        with self._lock:
+            event = self._in_flight.get(key)
+            if event is not None:
+                return event, False
+            event = threading.Event()
+            self._in_flight[key] = event
+            return event, True
+
+    def _exit(self, key: str, event: threading.Event) -> None:
+        with self._lock:
+            self._in_flight.pop(key, None)
+        event.set()
+
+    def _wait_in_process(self, key: str, event: threading.Event) -> None:
+        """Block on the leader's event, checkpointing the deadline."""
+        end = time.monotonic() + self.wait_s
+        while not event.wait(timeout=self.poll_s):
+            checkpoint("singleflight.wait", key=key)
+            if time.monotonic() >= end:
+                obs.event("resilience.singleflight.wait_timeout", key=key)
+                return
+
+    # ------------------------------------------------------------------
+    # cross-process dedup
+    # ------------------------------------------------------------------
+
+    def _lock_path(self, key: str) -> pathlib.Path:
+        return self.lock_dir / f"{key}.lock"
+
+    def _try_acquire(self, path: pathlib.Path) -> bool:
+        """Atomically create the lock file; True when we now hold it."""
+        self.lock_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable directory: skip the cross-process layer rather
+            # than fail the computation.
+            return True
+        with os.fdopen(fd, "w") as handle:
+            handle.write(str(os.getpid()))
+        return True
+
+    def _release(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _lock_is_stale(self, path: pathlib.Path) -> bool:
+        try:
+            return time.time() - path.stat().st_mtime > self.stale_s
+        except OSError:
+            return False  # lock vanished — not stale, just gone
+
+    def _do_cross_process(self, key: str, compute: Callable[[], T],
+                          reload: Optional[Callable[[], Optional[T]]]) -> T:
+        path = self._lock_path(key)
+        if self._try_acquire(path):
+            obs.counter_inc("resilience.singleflight.leader")
+            try:
+                return compute()
+            finally:
+                self._release(path)
+        # Another process leads: poll until its lock clears, then
+        # re-check the shared store.
+        obs.counter_inc("resilience.singleflight.follower")
+        deadline = active_deadline()
+        end = time.monotonic() + self.wait_s
+        while path.exists():
+            checkpoint("singleflight.lockwait", key=key)
+            if self._lock_is_stale(path):
+                obs.event("resilience.singleflight.stale_lock", key=key)
+                self._release(path)
+                break
+            if time.monotonic() >= end or (
+                    deadline is not None and deadline.remaining_s()
+                    <= self.poll_s):
+                obs.event("resilience.singleflight.wait_timeout", key=key)
+                break
+            time.sleep(self.poll_s)
+        if reload is not None:
+            value = reload()
+            if value is not None:
+                return value
+        obs.counter_inc("resilience.singleflight.recompute")
+        return compute()

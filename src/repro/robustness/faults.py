@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Sequence, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -40,6 +40,14 @@ class FaultKind(enum.Enum):
       time by a large factor (fabric contention).
     - ``CACHE_MISREPORT`` — cache-usage counters are mis-scaled,
       yielding physically impossible usage percentages.
+    - ``STAGE_DELAY`` — a pipeline stage (characterization sweep or
+      profiler run) stalls for ``magnitude`` wall-clock seconds before
+      proceeding; the cooperative deadline layer must observe it.
+    - ``STAGE_HANG`` — a pipeline stage hangs indefinitely (wedged
+      profiler, non-converging sweep).  With a deadline active the
+      hang is cut short by ``DEADLINE_EXCEEDED``; without one, a
+      safety cap of ``magnitude`` seconds raises
+      ``STAGE_HANG_UNBOUNDED`` so a test run can never truly wedge.
     """
 
     COUNTER_NOISE = "counter-noise"
@@ -48,6 +56,8 @@ class FaultKind(enum.Enum):
     FLUSH_DROP = "flush-drop"
     COPY_STALL = "copy-stall"
     CACHE_MISREPORT = "cache-misreport"
+    STAGE_DELAY = "stage-delay"
+    STAGE_HANG = "stage-hang"
 
 
 #: Counter fields a counter-class fault may target ("*" = any of them).
@@ -66,7 +76,14 @@ COUNTER_TARGETS = (
 #: Flush-class targets.
 FLUSH_TARGETS = ("cpu", "gpu")
 
-#: Default magnitude per kind (noise sigma / stall factor / mis-scale).
+#: Stage-class targets (timing faults hit whole pipeline stages).
+STAGE_TARGETS = ("characterize", "profile")
+
+#: Timing fault kinds (real wall-clock effects, caught by deadlines).
+TIMING_KINDS = (FaultKind.STAGE_DELAY, FaultKind.STAGE_HANG)
+
+#: Default magnitude per kind (noise sigma / stall factor / mis-scale /
+#: delay seconds / hang safety-cap seconds).
 _DEFAULT_MAGNITUDE = {
     FaultKind.COUNTER_NOISE: 0.05,
     FaultKind.COUNTER_NAN: 1.0,
@@ -74,6 +91,8 @@ _DEFAULT_MAGNITUDE = {
     FaultKind.FLUSH_DROP: 1.0,
     FaultKind.COPY_STALL: 1000.0,
     FaultKind.CACHE_MISREPORT: 50.0,
+    FaultKind.STAGE_DELAY: 0.05,
+    FaultKind.STAGE_HANG: 2.0,
 }
 
 
@@ -137,6 +156,8 @@ class FaultSpec:
             return set(COUNTER_TARGETS)
         if self.kind is FaultKind.FLUSH_DROP:
             return set(FLUSH_TARGETS)
+        if self.kind in TIMING_KINDS:
+            return set(STAGE_TARGETS)
         return None  # COPY_STALL has a single implicit target
 
     def matches(self, target: str) -> bool:
@@ -270,16 +291,27 @@ class FaultPlan:
         )
 
     @classmethod
-    def chaos(cls, seed: int, max_faults: int = 3) -> "FaultPlan":
+    def chaos(cls, seed: int, max_faults: int = 3,
+              kinds: Optional[Sequence[FaultKind]] = None) -> "FaultPlan":
         """A randomized plan derived deterministically from ``seed``
-        (the fuzz smoke tests sweep seeds over this constructor)."""
+        (the fuzz smoke tests sweep seeds over this constructor).
+
+        ``kinds`` restricts which fault classes may be drawn; the
+        default keeps the original value-perturbing classes.  The
+        chaos harness (:mod:`repro.resilience.chaos`) passes the
+        timing kinds too, with wall-clock magnitudes kept small so a
+        25-schedule soak stays fast.
+        """
         if max_faults < 1:
             raise ConfigurationError(
                 "chaos plan needs room for at least one fault",
                 code="FAULT_PLAN_INVALID",
             )
         rng = random.Random(seed)
-        kinds = list(FaultKind)
+        if kinds is None:
+            kinds = [k for k in FaultKind if k not in TIMING_KINDS]
+        else:
+            kinds = list(kinds)
         specs = []
         for _ in range(rng.randint(1, max_faults)):
             kind = rng.choice(kinds)
@@ -287,12 +319,18 @@ class FaultPlan:
                 target = rng.choice(["*", *FLUSH_TARGETS])
             elif kind is FaultKind.COPY_STALL:
                 target = "*"
+            elif kind in TIMING_KINDS:
+                target = rng.choice(["*", *STAGE_TARGETS])
             else:
                 target = rng.choice(["*", *COUNTER_TARGETS])
             magnitude = {
                 FaultKind.COUNTER_NOISE: rng.uniform(0.01, 0.5),
                 FaultKind.COPY_STALL: rng.uniform(10.0, 5000.0),
                 FaultKind.CACHE_MISREPORT: rng.uniform(5.0, 500.0),
+                # Real wall-clock effects: keep them small enough that
+                # a seeded soak of dozens of schedules stays bounded.
+                FaultKind.STAGE_DELAY: rng.uniform(0.005, 0.05),
+                FaultKind.STAGE_HANG: rng.uniform(0.5, 1.5),
             }.get(kind, 0.0)
             specs.append(FaultSpec(kind=kind, target=target,
                                    magnitude=magnitude,

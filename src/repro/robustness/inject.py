@@ -15,6 +15,14 @@ The injector patches three seams for the duration of a ``with`` block:
   / ``COUNTER_DROP`` / ``CACHE_MISREPORT``).  Invalid results trip the
   profile validation (structured :class:`ProfilingError`); missing
   counters raise ``PROFILE_COUNTER_MISSING`` directly.
+- :meth:`MicrobenchmarkSuite.run_all` / :meth:`Profiler.profile` —
+  stage-level timing faults (``STAGE_DELAY`` / ``STAGE_HANG``): real
+  wall-clock stalls that the cooperative deadline layer
+  (:mod:`repro.resilience.deadline`) must observe.  A hang loops on
+  deadline checkpoints, so an active deadline converts it into a
+  structured ``DEADLINE_EXCEEDED``; without a deadline a safety cap
+  (the spec's magnitude, in seconds) raises ``STAGE_HANG_UNBOUNDED``
+  so the process can never truly wedge.
 
 All randomness comes from the plan's single seeded stream, consumed in
 simulation order — the same plan on the same scenario reproduces the
@@ -26,11 +34,13 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
 from repro import obs
 from repro.errors import ProfilingError, SimulationError
+from repro.microbench.suite import MicrobenchmarkSuite
 from repro.profiling.counters import AppProfile
 from repro.profiling.profiler import Profiler
 from repro.robustness.faults import (
@@ -134,12 +144,16 @@ class FaultInjector:
             "flush_cpu": SoC.flush_cpu_caches,
             "flush_gpu": SoC.flush_gpu_caches,
             "from_report": Profiler.__dict__["from_report"],
+            "run_all": MicrobenchmarkSuite.run_all,
+            "profile": Profiler.profile,
         }
         injector = self
         original_copy_time = SoC._copy_time
         original_flush_cpu = SoC.flush_cpu_caches
         original_flush_gpu = SoC.flush_gpu_caches
         original_from_report = Profiler.from_report  # unwrapped function
+        original_run_all = MicrobenchmarkSuite.run_all
+        original_profile = Profiler.profile
 
         def copy_time(soc, num_bytes, rate):
             time_s = original_copy_time(soc, num_bytes, rate)
@@ -160,10 +174,21 @@ class FaultInjector:
         def from_report(report):
             return injector._perturb_profile(original_from_report(report))
 
+        def run_all(suite, board):
+            injector._maybe_stage_fault("characterize")
+            return original_run_all(suite, board)
+
+        def profile(profiler, workload, model="SC", mode="auto"):
+            injector._maybe_stage_fault("profile")
+            return original_profile(profiler, workload, model=model,
+                                    mode=mode)
+
         SoC._copy_time = copy_time
         SoC.flush_cpu_caches = flush_cpu
         SoC.flush_gpu_caches = flush_gpu
         Profiler.from_report = staticmethod(from_report)
+        MicrobenchmarkSuite.run_all = run_all
+        Profiler.profile = profile
 
     def _unpatch(self) -> None:
         if not self._saved:
@@ -172,6 +197,8 @@ class FaultInjector:
         SoC.flush_cpu_caches = self._saved["flush_cpu"]
         SoC.flush_gpu_caches = self._saved["flush_gpu"]
         Profiler.from_report = self._saved["from_report"]
+        MicrobenchmarkSuite.run_all = self._saved["run_all"]
+        Profiler.profile = self._saved["profile"]
         self._saved = {}
 
     # ------------------------------------------------------------------
@@ -194,6 +221,46 @@ class FaultInjector:
                 )
                 return stalled
         return time_s
+
+    def _maybe_stage_fault(self, stage: str) -> None:
+        """Apply timing faults (delay/hang) targeting ``stage``.
+
+        Both sleep in small cooperative ticks so an active deadline
+        (:mod:`repro.resilience.deadline`) observes them; that is the
+        property the chaos harness asserts.
+        """
+        from repro.resilience.deadline import (
+            checkpoint,
+            sleep_cooperatively,
+        )
+
+        for spec in self.plan.specs_for(FaultKind.STAGE_DELAY):
+            if spec.matches(stage) and self._fires(spec):
+                self.log.record(
+                    FaultKind.STAGE_DELAY, f"stage.{stage}",
+                    f"{stage} delayed {spec.magnitude:.3f}s",
+                )
+                sleep_cooperatively(spec.magnitude, f"fault.delay.{stage}")
+        for spec in self.plan.specs_for(FaultKind.STAGE_HANG):
+            if spec.matches(stage) and self._fires(spec):
+                self.log.record(
+                    FaultKind.STAGE_HANG, f"stage.{stage}",
+                    f"{stage} hung (safety cap {spec.magnitude:.1f}s)",
+                )
+                start = time.monotonic()
+                while True:
+                    # An active deadline raises DEADLINE_EXCEEDED here.
+                    checkpoint(f"fault.hang.{stage}")
+                    if time.monotonic() - start >= spec.magnitude:
+                        raise SimulationError(
+                            f"injected hang at stage {stage!r} ran "
+                            f"unbounded for {spec.magnitude:.1f}s with no "
+                            f"deadline to cut it short",
+                            code="STAGE_HANG_UNBOUNDED",
+                            details={"stage": stage,
+                                     "cap_s": spec.magnitude},
+                        )
+                    time.sleep(0.002)
 
     def _maybe_drop_flush(self, side: str) -> bool:
         for spec in self.plan.specs_for(FaultKind.FLUSH_DROP):

@@ -98,3 +98,14 @@ class TestCli:
         out = capsys.readouterr().out
         assert "1 entry(ies), 0 corrupt" in out
         assert "corrupt entries are treated" not in out
+        assert "quarantined" not in out
+
+    def test_cache_info_lists_quarantined_entries(self, tmp_path, capsys):
+        cache, board, signature, _ = _populated(tmp_path)
+        cache.entries()[0].write_text("{broken")
+        cache.load(board, signature)  # detection moves the file aside
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 entry(ies), 0 corrupt" in out
+        assert "1 quarantined corrupt entry(ies)" in out
+        assert "[quarantined]" in out

@@ -126,6 +126,81 @@ class TestInvalidation:
         assert cache.clear() == 0
 
 
+class TestQuarantine:
+    def _corrupt_entry(self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        board = get_board("tx2")
+        path = cache.store(board, _signature(suite), device)
+        path.write_text("{not json")
+        return cache, board, _signature(suite), path
+
+    def test_corrupt_entry_is_moved_aside_on_load(self, tx2_characterization,
+                                                  tmp_path):
+        cache, board, sig, path = self._corrupt_entry(
+            tx2_characterization, tmp_path)
+        assert cache.load(board, sig) is None
+        assert not path.exists()
+        quarantined = cache.quarantined()
+        assert quarantined == [path.with_suffix(".corrupt")]
+        assert quarantined[0].read_text() == "{not json"
+
+    def test_second_load_is_a_plain_miss(self, tx2_characterization,
+                                         tmp_path):
+        from repro.obs.metrics import REGISTRY
+
+        cache, board, sig, _ = self._corrupt_entry(
+            tx2_characterization, tmp_path)
+        cache.load(board, sig)
+        before = REGISTRY.counter("perf.cache.quarantined").value
+        assert cache.load(board, sig) is None  # file is gone: a clean miss
+        assert REGISTRY.counter("perf.cache.quarantined").value == before
+
+    def test_quarantine_increments_counter(self, tx2_characterization,
+                                           tmp_path):
+        from repro.obs.metrics import REGISTRY
+
+        cache, board, sig, _ = self._corrupt_entry(
+            tx2_characterization, tmp_path)
+        before = REGISTRY.counter("perf.cache.quarantined").value
+        cache.load(board, sig)
+        assert REGISTRY.counter("perf.cache.quarantined").value == before + 1
+
+    def test_key_mismatch_is_not_quarantined(self, tx2_characterization,
+                                             tmp_path):
+        # A stale key is a miss, not corruption: the file stays put.
+        suite, device = tx2_characterization
+        cache = CharacterizationCache(tmp_path)
+        board = get_board("tx2")
+        path = cache.store(board, _signature(suite), device)
+        data = json.loads(path.read_text())
+        data["key"] = "0" * 64
+        path.write_text(json.dumps(data))
+        assert cache.load(board, _signature(suite)) is None
+        assert path.exists()
+        assert cache.quarantined() == []
+
+    def test_clear_removes_quarantined_files(self, tx2_characterization,
+                                             tmp_path):
+        cache, board, sig, _ = self._corrupt_entry(
+            tx2_characterization, tmp_path)
+        cache.load(board, sig)
+        assert cache.clear() == 1
+        assert cache.quarantined() == []
+
+    def test_quarantined_entry_does_not_block_refresh(
+            self, tx2_characterization, tmp_path):
+        suite, device = tx2_characterization
+        cache, board, sig, _ = self._corrupt_entry(
+            tx2_characterization, tmp_path)
+        cache.load(board, sig)
+        cache.store(board, sig, device)
+        loaded = cache.load(board, sig)
+        assert loaded is not None
+        assert characterization_to_dict(loaded) == \
+            characterization_to_dict(device)
+
+
 class TestSuiteIntegration:
     def test_characterize_skips_suite_on_hit(self, tmp_path):
         board = get_board("tx2")

@@ -147,12 +147,80 @@ class TestTuneMany:
 
 
 # ----------------------------------------------------------------------
-# zero-copy shared-memory fan-out
+# pool-death survival and deadline hard-timeouts
 # ----------------------------------------------------------------------
 
 import os
 
 import numpy as np
+
+from repro.errors import DeadlineError
+from repro.obs.trace import get_spans
+from repro.resilience.deadline import Deadline, deadline_scope
+
+
+def _die_in_worker(job):
+    """Kill the pool worker process for item 2; compute otherwise.
+
+    The parent's pid rides along in the job so the serial re-run (which
+    executes in the parent) completes instead of killing the test.
+    """
+    parent_pid, item = job
+    if item == 2 and os.getpid() != parent_pid:
+        os._exit(1)
+    return item * 10
+
+
+def _slow_worker(item):
+    import time
+
+    time.sleep(5.0)
+    return item
+
+
+class TestPoolDeath:
+    def test_survives_a_worker_dying_mid_pool(self):
+        runner = ParallelRunner(max_workers=2)
+        jobs = [(os.getpid(), item) for item in range(6)]
+        assert runner.map(_die_in_worker, jobs) == [i * 10 for i in range(6)]
+        assert runner.last_mode == "serial"
+
+    def test_pool_death_emits_structured_degradation(self):
+        runner = ParallelRunner(max_workers=2)
+        jobs = [(os.getpid(), item) for item in range(6)]
+        runner.map(_die_in_worker, jobs)
+        events = [s for s in get_spans() if s.name == "parallel.degraded"]
+        assert events
+        attrs = events[-1].attributes
+        assert attrs["reason"] == "BrokenProcessPool"
+        assert attrs["completed"] + attrs["remaining"] == 6
+
+
+class TestPoolDeadline:
+    def test_hard_timeout_on_stuck_workers(self):
+        import time
+
+        runner = ParallelRunner(max_workers=2)
+        start = time.monotonic()
+        with deadline_scope(Deadline.after(0.3)):
+            with pytest.raises(DeadlineError) as exc:
+                runner.map(_slow_worker, [1, 2, 3])
+        assert time.monotonic() - start < 4.0  # not the worker's 5 s
+        assert exc.value.code == "DEADLINE_EXCEEDED"
+        assert exc.value.details["stage"] == "parallel.pool"
+        assert exc.value.details["total_items"] == 3
+
+    def test_serial_path_checkpoints_between_items(self):
+        import time
+
+        runner = ParallelRunner(parallel=False)
+        with deadline_scope(Deadline.after(0.05)):
+            with pytest.raises(DeadlineError):
+                runner.map(lambda x: time.sleep(0.1), [1, 2, 3])
+
+    def test_no_deadline_means_plain_blocking_map(self):
+        runner = ParallelRunner(max_workers=2)
+        assert runner.map(_square, [1, 2, 3]) == [1, 4, 9]
 
 
 def _shared_sum(arrays, item):

@@ -1,0 +1,13 @@
+"""Shared fixtures for the resilience test package."""
+
+import pytest
+
+from repro.soc.board import get_board
+
+
+@pytest.fixture(scope="session")
+def shwfs_workload_tx2():
+    """The SHWFS workload calibrated for the TX2 (session-cached)."""
+    from repro.apps.shwfs import ShwfsPipeline
+
+    return ShwfsPipeline().workload(board_name=get_board("tx2").name)

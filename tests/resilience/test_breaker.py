@@ -1,0 +1,169 @@
+"""Circuit breakers: the state machine, shedding, and the registry."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ReproError
+from repro.obs.metrics import REGISTRY
+from repro.resilience.breaker import (
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _boom(code="SEAM_FAULT"):
+    raise ReproError("seam failed", code=code)
+
+
+def _breaker(threshold=2, recovery_s=10.0):
+    clock = FakeClock()
+    return CircuitBreaker("characterize", failure_threshold=threshold,
+                          recovery_s=recovery_s, clock=clock), clock
+
+
+class TestStateMachine:
+    def test_starts_closed(self):
+        breaker, _ = _breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ReproError) as exc:
+            CircuitBreaker("x", failure_threshold=0)
+        assert exc.value.code == "BREAKER_CONFIG_INVALID"
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = _breaker(threshold=3)
+        for _ in range(2):
+            with pytest.raises(ReproError):
+                breaker.call(_boom)
+        assert breaker.state is BreakerState.CLOSED
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _ = _breaker(threshold=2)
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        breaker.call(lambda: "ok")
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_sheds_with_structured_error(self):
+        breaker, _ = _breaker(threshold=1)
+        with pytest.raises(ReproError):
+            breaker.call(lambda: _boom(code="MICROBENCH_FAILED"))
+        with pytest.raises(CircuitOpenError) as exc:
+            breaker.call(lambda: "never runs")
+        error = exc.value
+        assert error.code == "BREAKER_OPEN"
+        assert error.details["seam"] == "characterize"
+        assert error.details["last_failure_code"] == "MICROBENCH_FAILED"
+        assert error.details["retry_in_s"] > 0
+
+    def test_half_open_after_recovery_then_closes_on_success(self):
+        breaker, clock = _breaker(threshold=1, recovery_s=10.0)
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+        breaker.call(lambda: "probe ok")
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = _breaker(threshold=1, recovery_s=10.0)
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert breaker.state is BreakerState.OPEN  # window restarted
+
+    def test_unstructured_exceptions_do_not_trip(self):
+        breaker, _ = _breaker(threshold=1)
+
+        def unstructured():
+            raise ValueError("infrastructure bug")
+
+        with pytest.raises(ValueError):
+            breaker.call(unstructured)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_snapshot(self):
+        breaker, _ = _breaker(threshold=1)
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["consecutive_failures"] == 1
+        assert snap["last_failure_code"] == "SEAM_FAULT"
+
+
+class TestObsIntegration:
+    def test_transitions_emit_counters_and_gauge(self):
+        breaker, _ = _breaker(threshold=1)
+        before = REGISTRY.counter(
+            "resilience.breaker.characterize.open").value
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        after = REGISTRY.counter(
+            "resilience.breaker.characterize.open").value
+        assert after == before + 1
+        assert REGISTRY.gauge(
+            "resilience.breaker.characterize.state").value == 2
+
+    def test_shed_counter(self):
+        breaker, _ = _breaker(threshold=1)
+        with pytest.raises(ReproError):
+            breaker.call(_boom)
+        before = REGISTRY.counter(
+            "resilience.breaker.characterize.shed").value
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: None)
+        assert REGISTRY.counter(
+            "resilience.breaker.characterize.shed").value == before + 1
+
+
+class TestRegistry:
+    def test_get_creates_one_breaker_per_seam(self):
+        registry = BreakerRegistry(failure_threshold=2)
+        assert registry.get("a") is registry.get("a")
+        assert registry.get("a") is not registry.get("b")
+
+    def test_call_routes_through_the_seam_breaker(self):
+        registry = BreakerRegistry(failure_threshold=1)
+        with pytest.raises(ReproError):
+            registry.call("profile", _boom)
+        with pytest.raises(CircuitOpenError):
+            registry.call("profile", lambda: "shed")
+        # other seams are unaffected
+        assert registry.call("characterize", lambda: "fine") == "fine"
+
+    def test_snapshot_covers_every_seam(self):
+        registry = BreakerRegistry(failure_threshold=1)
+        registry.call("a", lambda: 1)
+        with pytest.raises(ReproError):
+            registry.call("b", _boom)
+        snap = registry.snapshot()
+        assert set(snap) == {"a", "b"}
+        assert snap["a"]["state"] == "closed"
+        assert snap["b"]["state"] == "open"

@@ -1,0 +1,138 @@
+"""The chaos harness: determinism, accounting, and the CLI seam."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.resilience.chaos import (
+    ChaosOutcome,
+    ChaosSchedule,
+    build_schedule,
+    run_chaos,
+    run_schedule,
+)
+
+RECOGNIZED_STATUSES = {"clean", "recovered", "degraded", "error"}
+
+
+class TestSchedules:
+    def test_build_schedule_is_deterministic(self):
+        a = build_schedule(seed=3, index=5)
+        b = build_schedule(seed=3, index=5)
+        assert a == b
+
+    def test_different_indices_differ(self):
+        schedules = [build_schedule(seed=0, index=i) for i in range(10)]
+        assert len({s.fault_seed for s in schedules}) > 1
+
+    def test_explicit_deadline_pins_every_schedule(self):
+        schedules = [build_schedule(seed=0, index=i, deadline_s=2.5)
+                     for i in range(6)]
+        assert all(s.deadline_s == 2.5 for s in schedules)
+
+    def test_boards_and_apps_are_respected(self):
+        schedule = build_schedule(seed=0, index=0, apps=("shwfs",),
+                                  boards=("nano",))
+        assert schedule.apps == ("shwfs",)
+        assert schedule.board_name == "nano"
+
+    def test_to_dict_round_trip_fields(self):
+        data = build_schedule(seed=1, index=2).to_dict()
+        assert data["seed"] == 1 and data["index"] == 2
+        assert set(data) >= {"apps", "board", "strict", "deadline_s",
+                             "retry_attempts", "breaker_threshold"}
+
+
+@pytest.mark.fault
+class TestSoak:
+    def test_small_soak_passes_and_accounts_everything(self):
+        report = run_chaos(schedules=3, seed=0)
+        assert len(report.outcomes) == 3
+        assert report.passed, report.violations
+        for outcome in report.outcomes:
+            assert outcome.status in RECOGNIZED_STATUSES
+            assert outcome.wall_s >= 0
+        rendered = report.render()
+        assert "3 schedule(s)" in rendered
+        assert "no guard violations" in rendered
+
+    def test_soak_is_deterministic_in_classification(self):
+        first = run_chaos(schedules=2, seed=5)
+        second = run_chaos(schedules=2, seed=5)
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert a.schedule == b.schedule
+            assert a.status == b.status
+            assert a.error_code == b.error_code
+            assert a.faults_fired == b.faults_fired
+
+    def test_strict_error_outcomes_carry_codes(self):
+        report = run_chaos(schedules=6, seed=0, validate_guards=False)
+        errored = [o for o in report.outcomes if o.status == "error"]
+        assert all(o.error_code for o in errored)
+
+    def test_uncoded_escape_is_a_violation(self, monkeypatch):
+        schedule = build_schedule(seed=0, index=0)
+
+        import repro.model.framework as framework_mod
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("raw crash with no code")
+
+        monkeypatch.setattr(framework_mod.Framework, "tune_many", explode)
+        outcome = run_schedule(schedule, validate_guards=False)
+        assert outcome.status == "error"
+        assert outcome.error_code is None
+        assert not outcome.passed
+        assert any("uncoded" in v for v in outcome.violations)
+
+
+@pytest.mark.fault
+class TestCli:
+    def test_chaos_command_exit_zero_and_json(self, tmp_path, capsys):
+        artifact = tmp_path / "soak.json"
+        code = main(["chaos", "--schedules", "2", "--seed", "0",
+                     "--no-validate", "--json", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 schedule(s)" in out
+        data = json.loads(artifact.read_text())
+        assert data["passed"] is True
+        assert len(data["outcomes"]) == 2
+
+
+class TestClassification:
+    def _outcome(self, **overrides):
+        schedule = build_schedule(seed=0, index=0)
+        base = dict(schedule=schedule, status="clean", wall_s=0.1)
+        base.update(overrides)
+        return ChaosOutcome(**base)
+
+    def test_degraded_without_codes_is_a_violation(self):
+        from repro.resilience.chaos import _classify
+
+        outcome = self._outcome(degraded_reports=1, total_reports=1,
+                                caveat_codes=[])
+        _classify(outcome)
+        assert outcome.status == "degraded"
+        assert not outcome.passed
+
+    def test_hang_cap_violation(self):
+        from repro.resilience.chaos import HANG_CAP_S, _classify
+
+        outcome = self._outcome(wall_s=HANG_CAP_S + 1)
+        _classify(outcome)
+        assert any("hang" in v for v in outcome.violations)
+
+    def test_deadline_overshoot_violation(self):
+        from repro.resilience.chaos import _classify
+
+        schedule = ChaosSchedule(
+            index=0, seed=0, apps=("shwfs",), board_name="tx2",
+            strict=True, deadline_s=1.0, retry_attempts=1,
+            breaker_threshold=None, fault_seed=0, max_faults=1,
+        )
+        outcome = ChaosOutcome(schedule=schedule, status="clean",
+                               wall_s=10.0)
+        _classify(outcome)
+        assert any("overshot" in v for v in outcome.violations)

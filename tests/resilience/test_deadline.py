@@ -1,0 +1,113 @@
+"""Cooperative deadlines: budget accounting, ambient scope, checkpoints."""
+
+import pytest
+
+from repro.errors import DeadlineError, ReproError
+from repro.resilience.deadline import (
+    Deadline,
+    active_deadline,
+    checkpoint,
+    deadline_scope,
+    remaining_s,
+    sleep_cooperatively,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestDeadline:
+    def test_budget_accounting(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining_s() == 2.0
+        clock.advance(0.5)
+        assert deadline.elapsed_s() == 0.5
+        assert deadline.remaining_s() == 1.5
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.expired()
+
+    def test_invalid_budget(self):
+        with pytest.raises(ReproError) as exc:
+            Deadline(0.0)
+        assert exc.value.code == "DEADLINE_INVALID"
+        with pytest.raises(ReproError):
+            Deadline(-1.0)
+
+    def test_check_records_completed_stages(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("stage-a")
+        deadline.check("stage-b")
+        assert deadline.completed == ["stage-a", "stage-b"]
+
+    def test_check_raises_structured_error_with_progress(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("stage-a")
+        clock.advance(2.0)
+        with pytest.raises(DeadlineError) as exc:
+            deadline.check("stage-b", items_done=3)
+        error = exc.value
+        assert error.code == "DEADLINE_EXCEEDED"
+        assert error.details["stage"] == "stage-b"
+        assert error.details["budget_s"] == 1.0
+        assert error.details["completed"] == ["stage-a"]
+        assert error.details["items_done"] == 3
+
+    def test_deadline_error_is_repro_error(self):
+        assert issubclass(DeadlineError, ReproError)
+
+
+class TestAmbientScope:
+    def test_no_ambient_deadline_by_default(self):
+        assert active_deadline() is None
+        assert remaining_s() is None
+        checkpoint("free")  # must be a no-op, not a crash
+
+    def test_scope_sets_and_restores(self):
+        deadline = Deadline(5.0)
+        with deadline_scope(deadline):
+            assert active_deadline() is deadline
+            assert remaining_s() is not None
+        assert active_deadline() is None
+
+    def test_checkpoint_raises_inside_expired_scope(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineError):
+                checkpoint("late-stage")
+
+    def test_nested_scope_shadows_and_restores(self):
+        outer = Deadline(10.0)
+        inner = Deadline(1.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert active_deadline() is inner
+            assert active_deadline() is outer
+
+    def test_none_scope_clears(self):
+        with deadline_scope(Deadline(5.0)):
+            with deadline_scope(None):
+                assert active_deadline() is None
+
+
+class TestSleepCooperatively:
+    def test_plain_sleep_without_deadline(self):
+        sleep_cooperatively(0.0, "noop")  # returns immediately
+
+    def test_sleep_raises_when_budget_gone(self):
+        with deadline_scope(Deadline(0.001)):
+            with pytest.raises(DeadlineError):
+                sleep_cooperatively(0.5, "stall", tick_s=0.001)

@@ -1,0 +1,146 @@
+"""RetryPolicy: budgets, allowlists, deterministic backoff schedules."""
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineError, ReproError
+from repro.resilience.deadline import Deadline, deadline_scope
+from repro.resilience.retry import RetryPolicy
+
+
+def _flaky(fail_times, code="TRANSIENT_FAULT"):
+    """A callable failing the first ``fail_times`` invocations."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= fail_times:
+            raise ReproError(f"attempt {calls['n']} failed", code=code)
+        return calls["n"]
+
+    fn.calls = calls
+    return fn
+
+
+class TestPolicyValidation:
+    def test_defaults_are_single_attempt(self):
+        assert RetryPolicy().max_attempts == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": -0.1},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ReproError) as exc:
+            RetryPolicy(**kwargs)
+        assert exc.value.code == "RETRY_POLICY_INVALID"
+
+    def test_from_attempts_maps_legacy_integer(self):
+        assert RetryPolicy.from_attempts(0).max_attempts == 1
+        assert RetryPolicy.from_attempts(2).max_attempts == 3
+        assert RetryPolicy.from_attempts(-1).max_attempts == 1
+
+
+class TestCall:
+    def test_success_needs_no_budget(self):
+        assert RetryPolicy().call(lambda: 42) == 42
+
+    def test_retries_until_success(self):
+        fn = _flaky(2)
+        assert RetryPolicy(max_attempts=3).call(fn) == 3
+        assert fn.calls["n"] == 3
+
+    def test_exhaustion_reraises_last_error_unchanged(self):
+        fn = _flaky(5)
+        with pytest.raises(ReproError) as exc:
+            RetryPolicy(max_attempts=3).call(fn)
+        assert exc.value.code == "TRANSIENT_FAULT"
+        assert "attempt 3" in exc.value.message
+        assert fn.calls["n"] == 3
+
+    def test_non_retryable_code_fails_fast(self):
+        fn = _flaky(5, code="FATAL_FAULT")
+        policy = RetryPolicy(max_attempts=3,
+                             retryable_codes=("TRANSIENT_FAULT",))
+        with pytest.raises(ReproError):
+            policy.call(fn)
+        assert fn.calls["n"] == 1
+
+    def test_retryable_code_in_allowlist_retries(self):
+        fn = _flaky(1)
+        policy = RetryPolicy(max_attempts=2,
+                             retryable_codes=("TRANSIENT_FAULT",))
+        assert policy.call(fn) == 2
+
+    def test_exceptions_filter_narrows_absorption(self):
+        def fn():
+            raise ValueError("not structured")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=3).call(fn)
+
+    def test_on_attempt_failed_callback(self):
+        seen = []
+        fn = _flaky(2)
+        RetryPolicy(max_attempts=3).call(
+            fn, on_attempt_failed=lambda n, e: seen.append((n, e.code)))
+        assert seen == [(1, "TRANSIENT_FAULT"), (2, "TRANSIENT_FAULT")]
+
+
+class TestBackoff:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                             multiplier=2.0, max_delay_s=10.0)
+        rng = random.Random(0)
+        assert policy.delay_s(0, rng) == pytest.approx(0.1)
+        assert policy.delay_s(1, rng) == pytest.approx(0.2)
+        assert policy.delay_s(2, rng) == pytest.approx(0.4)
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0,
+                             multiplier=10.0, max_delay_s=2.0)
+        assert policy.delay_s(3, random.Random(0)) == pytest.approx(2.0)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                             jitter=0.5, seed=7)
+        a = [policy.delay_s(i, random.Random(7)) for i in range(3)]
+        b = [policy.delay_s(i, random.Random(7)) for i in range(3)]
+        assert a == b
+        assert all(0.1 * 2 ** i <= d <= 0.1 * 2 ** i * 1.5
+                   for i, d in enumerate(a))
+
+    def test_sleep_schedule_is_deterministic(self):
+        def run():
+            slept = []
+            fn = _flaky(2)
+            RetryPolicy(max_attempts=3, base_delay_s=0.05, jitter=0.5,
+                        seed=3).call(fn, sleep=slept.append)
+            return slept
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) == 2
+
+    def test_backoff_never_sleeps_past_deadline(self):
+        slept = []
+        fn = _flaky(1)
+        with deadline_scope(Deadline(0.01)):
+            RetryPolicy(max_attempts=2, base_delay_s=5.0).call(
+                fn, sleep=slept.append)
+        assert all(duration <= 0.01 for duration in slept)
+
+    def test_expired_deadline_beats_retry_budget(self):
+        clock_budget = Deadline(0.000001)
+        import time as _time
+
+        _time.sleep(0.001)
+        fn = _flaky(5)
+        with deadline_scope(clock_budget):
+            with pytest.raises(DeadlineError):
+                RetryPolicy(max_attempts=5).call(fn)
+        # the attempt checkpoint tripped before burning the full budget
+        assert fn.calls["n"] < 5

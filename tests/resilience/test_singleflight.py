@@ -1,0 +1,150 @@
+"""Single-flight dedup: in-process, cross-process locks, staleness."""
+
+import threading
+import time
+
+from repro.resilience.singleflight import SingleFlight
+
+
+class Compute:
+    """A slow-ish computation counting its invocations (thread-safe)."""
+
+    def __init__(self, value="result", delay_s=0.05):
+        self.value = value
+        self.delay_s = delay_s
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            self.calls += 1
+        time.sleep(self.delay_s)
+        return self.value
+
+
+class TestInProcess:
+    def test_single_caller_computes(self):
+        sf = SingleFlight()
+        compute = Compute()
+        assert sf.do("key", compute) == "result"
+        assert compute.calls == 1
+
+    def test_concurrent_callers_with_reload_compute_once(self):
+        sf = SingleFlight()
+        compute = Compute()
+        store = {}
+
+        def compute_and_store():
+            value = compute()
+            store["key"] = value
+            return value
+
+        results = []
+
+        def caller():
+            results.append(sf.do("key", compute_and_store,
+                                 reload=lambda: store.get("key")))
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == ["result"] * 4
+        assert compute.calls == 1
+
+    def test_follower_without_reload_recomputes(self):
+        sf = SingleFlight()
+        compute = Compute()
+        results = []
+
+        def caller():
+            results.append(sf.do("key", compute))
+
+        threads = [threading.Thread(target=caller) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # the window is deduped, but correctness never depends on it:
+        # the follower recomputes because it cannot re-check a store
+        assert results == ["result"] * 2
+        assert compute.calls == 2
+
+    def test_distinct_keys_do_not_serialize(self):
+        sf = SingleFlight()
+        a, b = Compute("a"), Compute("b")
+        assert sf.do("ka", a) == "a"
+        assert sf.do("kb", b) == "b"
+        assert (a.calls, b.calls) == (1, 1)
+
+
+class TestCrossProcess:
+    def test_leader_creates_and_removes_lock_file(self, tmp_path):
+        sf = SingleFlight(lock_dir=tmp_path)
+        lock = tmp_path / "key.lock"
+
+        def compute():
+            assert lock.exists()
+            return "value"
+
+        assert sf.do("key", compute) == "value"
+        assert not lock.exists()
+
+    def test_foreign_lock_holds_follower_until_released(self, tmp_path):
+        sf = SingleFlight(lock_dir=tmp_path, wait_s=5.0, poll_s=0.01)
+        lock = tmp_path / "key.lock"
+        lock.write_text("12345")  # another process leads
+        store = {}
+
+        def release_later():
+            time.sleep(0.05)
+            store["key"] = "from-leader"
+            lock.unlink()
+
+        releaser = threading.Thread(target=release_later)
+        releaser.start()
+        compute = Compute("recomputed", delay_s=0.0)
+        result = sf.do("key", compute, reload=lambda: store.get("key"))
+        releaser.join()
+        assert result == "from-leader"
+        assert compute.calls == 0
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+
+        sf = SingleFlight(lock_dir=tmp_path, wait_s=5.0, stale_s=0.5)
+        lock = tmp_path / "key.lock"
+        lock.write_text("dead-leader")
+        old = time.time() - 60.0
+        os.utime(lock, (old, old))
+        compute = Compute("recovered", delay_s=0.0)
+        assert sf.do("key", compute) == "recovered"
+        assert compute.calls == 1
+        assert not lock.exists()
+
+    def test_wait_timeout_falls_back_to_compute(self, tmp_path):
+        sf = SingleFlight(lock_dir=tmp_path, wait_s=0.05, poll_s=0.01,
+                          stale_s=60.0)
+        (tmp_path / "key.lock").write_text("slow-leader")
+        compute = Compute("fallback", delay_s=0.0)
+        assert sf.do("key", compute) == "fallback"
+        assert compute.calls == 1
+
+    def test_unwritable_lock_dir_still_computes(self, tmp_path):
+        import os
+
+        if os.geteuid() == 0:  # root ignores mode bits
+            import pytest
+
+            pytest.skip("permission bits do not bind as root")
+        locked = tmp_path / "no-write"
+        locked.mkdir()
+        locked.chmod(0o500)
+        try:
+            sf = SingleFlight(lock_dir=locked)
+            compute = Compute("still-works", delay_s=0.0)
+            assert sf.do("key", compute) == "still-works"
+            assert compute.calls == 1
+        finally:
+            locked.chmod(0o700)

@@ -92,8 +92,30 @@ class TestFaultPlan:
         assert len(specs) == 1
         assert specs[0].kind is FaultKind.FLUSH_DROP
 
-    def test_standard_covers_every_kind(self):
-        assert set(FaultPlan.standard(seed=0).kinds) == set(FaultKind)
+    def test_standard_covers_every_value_kind(self):
+        # Timing faults (delay/hang) are chaos-only: the standard plan
+        # keeps every value-perturbing class.
+        from repro.robustness.faults import TIMING_KINDS
+
+        expected = set(FaultKind) - set(TIMING_KINDS)
+        assert set(FaultPlan.standard(seed=0).kinds) == expected
+
+    def test_chaos_can_draw_timing_kinds(self):
+        from repro.robustness.faults import TIMING_KINDS
+
+        drawn = set()
+        for seed in range(40):
+            plan = FaultPlan.chaos(seed=seed, max_faults=4,
+                                   kinds=list(FaultKind))
+            drawn |= set(plan.kinds)
+        assert drawn & set(TIMING_KINDS)
+
+    def test_chaos_default_excludes_timing_kinds(self):
+        from repro.robustness.faults import TIMING_KINDS
+
+        for seed in range(20):
+            plan = FaultPlan.chaos(seed=seed, max_faults=4)
+            assert not set(plan.kinds) & set(TIMING_KINDS)
 
     def test_rng_streams_independent_and_deterministic(self):
         plan = FaultPlan.standard(seed=11)
