@@ -1,0 +1,59 @@
+"""Serving layer — coalesced vs serial sustained tune throughput.
+
+Not a paper artefact: this benchmark records the wall-clock win of the
+``repro.serve`` coalescing front end and the behaviour of the sharded
+LRU characterization store under churn (the numbers summarized in
+``BENCH_serve.json``), so serving regressions show up next to the
+reproduction tables.  Both tests run the very probes that generate the
+committed baseline (:mod:`repro.serve.bench`), keeping the benchmark,
+the baseline and the exit-4 gate on one measurement path.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.serve.bench import serving_probe, store_churn_probe
+
+
+def test_coalesced_serving_speedup(benchmark, archive, tmp_path):
+    """Serial vs coalesced decisions/sec on a warm store (>= 3x)."""
+    result = run_once(
+        benchmark, lambda: serving_probe(cache_dir=str(tmp_path)))
+
+    table = Table(
+        f"Tune serving throughput ({result['requests']} requests, "
+        f"{result['distinct_questions']} distinct questions)",
+        ["front end", "time (s)", "decisions/s", "speedup"],
+    )
+    table.add_row("serial (one tune per request)",
+                  f"{result['serial_s']:.3f}",
+                  f"{result['serial_decisions_per_s']:.0f}", "1.0x")
+    table.add_row("coalesced (window + dedup)",
+                  f"{result['coalesced_s']:.3f}",
+                  f"{result['coalesced_decisions_per_s']:.0f}",
+                  f"{result['speedup']:.1f}x")
+    archive("serve_throughput.txt", table.render())
+    assert result["shed"] == 0
+    assert result["speedup"] >= 3.0
+
+
+def test_store_hit_rate_under_churn(benchmark, archive):
+    """Skewed traffic through a byte-budgeted store keeps the hot set."""
+    result = run_once(benchmark, store_churn_probe)
+
+    table = Table(
+        f"Sharded store under churn ({result['accesses']} accesses, "
+        f"budget {result['budget_entries']} of "
+        f"{result['hot_boards'] + result['cold_boards']} boards)",
+        ["quantity", "value"],
+    )
+    table.add_row("hits", result["hits"])
+    table.add_row("misses", result["misses"])
+    table.add_row("hit rate", f"{result['hit_rate']:.3f}")
+    table.add_row("evictions", result["evictions"])
+    table.add_row("resident entries", result["resident_entries"])
+    archive("serve_store_churn.txt", table.render())
+    # The 4-in-5-hot pattern keeps the hot set resident: the ceiling
+    # is 4/5 (every cold access misses), and the LRU should stay
+    # within a few misses of it.
+    assert result["hit_rate"] >= 0.7
+    assert result["evictions"] > 0

@@ -9,7 +9,12 @@ code:
   results persist in the on-disk characterization cache
   (``--no-cache`` / ``--cache-dir DIR`` to opt out or relocate);
 - ``cache info|clear [--dir DIR]`` — inspect or invalidate the
-  persistent characterization cache;
+  persistent characterization store (per-shard entry/byte/hit-rate
+  stats and the LRU byte budget);
+- ``serve [requests.json] [--bench]`` — answer a one-shot stream of
+  tune requests through the coalescing multi-tenant server, or
+  ``--bench`` it with synthetic traffic and report serial vs coalesced
+  sustained throughput (see :mod:`repro.serve`);
 - ``bench [--apps ...] [--boards ...] [--jobs N]`` — run the app ×
   board benchmark grid in parallel and print (or ``--output`` as JSON)
   the tuned recommendation and measured per-model times per cell;
@@ -310,18 +315,18 @@ def cmd_chaos(args: argparse.Namespace):
 
 
 def cmd_cache(args: argparse.Namespace) -> str:
-    """Inspect or clear the persistent characterization cache."""
-    from repro.perf.cache import CharacterizationCache
+    """Inspect or clear the persistent characterization store."""
+    from repro.perf.cache import ShardedCharacterizationStore
 
-    cache = CharacterizationCache(args.dir)
+    store = ShardedCharacterizationStore(args.dir)
     if args.action == "clear":
-        removed = cache.clear()
+        removed = store.clear()
         return (f"removed {removed} cached characterization(s) from "
-                f"{cache.directory}")
-    scanned = cache.scan()
+                f"{store.directory}")
+    scanned = store.scan()
     corrupt = [(path, reason) for path, status, reason in scanned
                if status == "corrupt"]
-    lines = [f"characterization cache at {cache.directory}: "
+    lines = [f"characterization cache at {store.directory}: "
              f"{len(scanned)} entry(ies), {len(corrupt)} corrupt"]
     for path, status, reason in scanned:
         lines.append(f"  {path.name} ({path.stat().st_size} bytes) "
@@ -329,14 +334,137 @@ def cmd_cache(args: argparse.Namespace) -> str:
     if corrupt:
         lines.append("corrupt entries are treated as misses; "
                      "`repro cache clear` removes them")
-    quarantined = cache.quarantined()
+    quarantined = store.quarantined()
     if quarantined:
         lines.append(f"{len(quarantined)} quarantined corrupt "
                      f"entry(ies) (moved aside on load):")
         for path in quarantined:
             lines.append(f"  {path.name} ({path.stat().st_size} bytes) "
                          f"[quarantined]")
+    lines.append(
+        f"{store.num_shards} shards, LRU byte budget {store.max_bytes} "
+        f"({store.shard_budget} bytes/shard)")
+    for stat in store.shard_stats():
+        if not (stat.entries or stat.quarantined or stat.hits
+                or stat.misses):
+            continue
+        traffic = (f"hit rate {stat.hit_rate:.2f} "
+                   f"({stat.hits}/{stat.hits + stat.misses}) since "
+                   f"process start" if stat.hit_rate is not None
+                   else "no traffic this process")
+        lines.append(f"  {stat.name}: {stat.entries} entry(ies), "
+                     f"{stat.bytes} bytes, {stat.quarantined} "
+                     f"quarantined, {traffic}")
     return "\n".join(lines)
+
+
+def cmd_serve(args: argparse.Namespace) -> str:
+    """Drive the coalescing tune server (one-shot file or self-bench)."""
+    import json
+    import pathlib
+
+    if args.bench:
+        return _serve_bench(args)
+    if not args.requests_file:
+        raise ReproError(
+            "serve needs a requests file or --bench (the CLI has no "
+            "long-running listener; `repro serve requests.json` answers "
+            "a one-shot stream, `repro serve --bench` self-drives "
+            "synthetic traffic)",
+            code="SERVE_BAD_REQUEST",
+        )
+    from repro.serve.coalescer import TuneRequest
+    from repro.serve.server import serve_all
+
+    raw = json.loads(pathlib.Path(args.requests_file).read_text())
+    if not isinstance(raw, list):
+        raise ReproError(
+            f"{args.requests_file} must hold a JSON array of request "
+            "objects", code="SERVE_BAD_REQUEST",
+        )
+    allowed = {"board", "app", "current_model", "strict", "deadline_s",
+               "tenant"}
+    requests = []
+    for index, row in enumerate(raw):
+        if not isinstance(row, dict) or not allowed.issuperset(row):
+            unknown = sorted(set(row) - allowed) if isinstance(row, dict) \
+                else [type(row).__name__]
+            raise ReproError(
+                f"request #{index} has unsupported fields: "
+                + ", ".join(str(k) for k in unknown),
+                code="SERVE_BAD_REQUEST",
+            )
+        requests.append(TuneRequest(**row))
+    config = _serve_config(args, len(requests))
+    answers = serve_all(requests, framework=_framework_from_args(args),
+                        config=config)
+    table = Table(
+        f"Served {len(answers)} request(s) "
+        f"(window {config.window_s * 1e3:g} ms, "
+        f"max batch {config.max_batch})",
+        ["tenant", "app/workload", "board", "status", "recommend",
+         "batch", "shared"],
+    )
+    for answer in answers:
+        request = answer.request
+        recommendation = (answer.report.recommendation.model.value
+                          if answer.report is not None else "-")
+        table.add_row(request.tenant or "-", request.workload_name,
+                      request.board, answer.status, recommendation,
+                      answer.batch_size, answer.coalesced_with)
+    shed = sum(1 for answer in answers if answer.shed)
+    errors = sum(1 for answer in answers if answer.status == "error")
+    return table.render() + f"\nshed: {shed}, errors: {errors}"
+
+
+def _serve_config(args: argparse.Namespace, requests: int):
+    """A :class:`ServeConfig` from the CLI flags (validated)."""
+    from repro.serve.server import ServeConfig
+
+    max_pending = args.max_pending
+    if max_pending is None:
+        max_pending = max(ServeConfig().max_pending, requests)
+    return ServeConfig(window_s=args.window_s, max_batch=args.max_batch,
+                       max_pending=max_pending).validated()
+
+
+def _serve_bench(args: argparse.Namespace) -> str:
+    """``repro serve --bench``: the sustained-throughput self-drive."""
+    import json
+    import pathlib
+    import time
+
+    from repro.serve.bench import collect_serve_bench, serving_probe
+
+    config = _serve_config(args, args.requests)
+    footer = ""
+    if args.json:
+        payload = collect_serve_bench(
+            generated=time.strftime("%Y-%m-%d"), requests=args.requests)
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        serving = payload["serving"]
+        churn = payload["store_churn"]
+        footer = (f"\nstore churn: hit rate {churn['hit_rate']}, "
+                  f"{churn['evictions']} eviction(s)"
+                  f"\nbaseline written to {args.json}")
+    else:
+        serving = serving_probe(args.requests, config=config)
+    lines = [
+        f"Serve bench — {serving['requests']} requests over "
+        f"{serving['distinct_questions']} distinct questions "
+        f"(window {serving['window_s'] * 1e3:g} ms, "
+        f"max batch {serving['max_batch']})",
+        f"  serial:    {serving['serial_decisions_per_s']} decisions/s "
+        f"({serving['serial_s']} s)",
+        f"  coalesced: {serving['coalesced_decisions_per_s']} decisions/s "
+        f"({serving['coalesced_s']} s)",
+        f"  speedup: {serving['speedup']}x in {serving['batches']} "
+        f"batch(es), mean size {serving['mean_batch_size']}, "
+        f"{serving['coalesced_answers']} coalesced answer(s), "
+        f"{serving['shed']} shed",
+    ]
+    return "\n".join(lines) + footer
 
 
 def cmd_bench(args: argparse.Namespace):
@@ -416,6 +544,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "report": cmd_report,
     "cache": cmd_cache,
     "bench": cmd_bench,
+    "serve": cmd_serve,
     "obs": cmd_obs,
 }
 
@@ -504,6 +633,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where --check writes its post-mortem trace on "
                         "failure (default: bench-check-trace.json next to "
                         "the baselines)")
+    add_cache_flags(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer a stream of tune requests through the coalescing "
+             "server (or --bench it)")
+    p.add_argument("requests_file", nargs="?", default=None,
+                   help="JSON array of request objects "
+                        '({"board": ..., "app": ..., ...}) to answer '
+                        "as one concurrent stream")
+    p.add_argument("--bench", action="store_true",
+                   help="self-drive the server with synthetic "
+                        "multi-tenant traffic and report serial vs "
+                        "coalesced sustained throughput")
+    p.add_argument("--requests", type=int, default=48,
+                   help="how many synthetic requests --bench submits "
+                        "(default: 48)")
+    p.add_argument("--window-s", type=float, default=0.005, metavar="S",
+                   help="coalescing time window (default: 0.005)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="size window: a full batch dispatches "
+                        "immediately (default: 16)")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="in-flight bound past which requests are shed "
+                        "(default: 64, raised to the --bench request "
+                        "count)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="with --bench: write the full BENCH_serve.json "
+                        "baseline payload")
     add_cache_flags(p)
 
     p = sub.add_parser(

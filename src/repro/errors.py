@@ -159,3 +159,14 @@ class CircuitOpenError(ReproError):
     and the time remaining until the half-open probe."""
 
     default_code = "BREAKER_OPEN"
+
+
+class ServeError(ReproError):
+    """A tune-serving request could not be accepted or executed.
+
+    Raised by :mod:`repro.serve` for structural problems (submitting to
+    a stopped server, malformed requests).  Overload is *not* an error:
+    the server sheds it into a degraded ``KEEP_CURRENT`` answer with a
+    ``SERVE_OVERLOADED`` caveat instead of raising."""
+
+    default_code = "SERVE_ERROR"

@@ -58,9 +58,12 @@ class MicrobenchmarkSuite:
         self.second = second or SecondMicroBenchmark()
         self.third = third or ThirdMicroBenchmark(num_elements=_SUITE_MB3_ELEMENTS)
         if cache is None and cache_dir is not None:
-            from repro.perf.cache import CharacterizationCache
+            # The sharded store is the default persistent backend: same
+            # correctness contract as the flat cache plus LRU budgets,
+            # per-shard metrics and legacy flat-entry migration.
+            from repro.perf.cache import ShardedCharacterizationStore
 
-            cache = CharacterizationCache(cache_dir)
+            cache = ShardedCharacterizationStore(cache_dir)
         #: Optional persistent on-disk cache; ``None`` keeps the suite's
         #: persistence opt-in (the CLI turns it on by default).
         self.cache = cache
@@ -173,7 +176,6 @@ class MicrobenchmarkSuite:
         policy = retry_policy or RetryPolicy.from_attempts(retries)
         characterization = self._characterize_deduped(board, policy, force)
         self._cache[board.name] = characterization
-        self._persistent_store(board, characterization)
         return characterization
 
     def _characterize_deduped(
@@ -185,16 +187,30 @@ class MicrobenchmarkSuite:
         lives next to the cache entries), injection is off (a follower
         must not reuse another process's unperturbed result) and the
         call is not ``force`` (which must recompute by definition).
+
+        The computed value is persisted *inside* the flight — before
+        the leader's lock is released — so a cross-process follower
+        that waited out the lock always finds the entry on its
+        re-check.  (Persisting after the dedup returned would reopen
+        the stampede: lock gone, store still empty, follower
+        recomputes.)
         """
         from repro.robustness.inject import injection_active
 
         if self.cache is None or force or injection_active():
-            return self._characterize_with_retries(board, policy)
+            value = self._characterize_with_retries(board, policy)
+            self._persistent_store(board, value)
+            return value
         from repro.perf.cache import cache_key
+
+        def compute_and_persist() -> DeviceCharacterization:
+            value = self._characterize_with_retries(board, policy)
+            self._persistent_store(board, value)
+            return value
 
         return self._single_flight().do(
             cache_key(board, self.cache_signature()),
-            compute=lambda: self._characterize_with_retries(board, policy),
+            compute=compute_and_persist,
             reload=lambda: self._persistent_load(board),
         )
 

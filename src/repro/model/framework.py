@@ -116,9 +116,9 @@ class Framework:
 
             suite = MicrobenchmarkSuite(cache_dir=cache_dir)
         elif cache_dir is not None and suite.cache is None:
-            from repro.perf.cache import CharacterizationCache
+            from repro.perf.cache import ShardedCharacterizationStore
 
-            suite.cache = CharacterizationCache(cache_dir)
+            suite.cache = ShardedCharacterizationStore(cache_dir)
         self.suite = suite
         self.breakers = breakers
         self.retry_policy = retry_policy

@@ -12,7 +12,9 @@ workflow:
   and the ``repro bench`` grid;
 - :mod:`repro.perf.cache` — a persistent on-disk characterization
   cache keyed by a content hash of the board, the micro-benchmark
-  parameters and the package version;
+  parameters and the package version, and its default backend
+  :class:`~repro.perf.cache.ShardedCharacterizationStore` (key-prefix
+  shards, byte-budgeted LRU eviction, per-shard hit/miss metrics);
 - :mod:`repro.perf.regress` — the ``repro bench --check`` regression
   gate comparing fresh fast-path speedups against the committed
   ``BENCH_*.json`` baselines.
@@ -33,10 +35,13 @@ from repro.perf.batch import (
 )
 from repro.perf.cache import (
     CharacterizationCache,
+    ShardedCharacterizationStore,
+    ShardStats,
     cache_key,
     characterization_from_dict,
     characterization_to_dict,
     default_cache_dir,
+    default_store_budget,
 )
 from repro.perf.parallel import ParallelRunner
 from repro.perf.regress import (
@@ -61,9 +66,12 @@ __all__ = [
     "collect_app_bench",
     "run_checks",
     "CharacterizationCache",
+    "ShardedCharacterizationStore",
+    "ShardStats",
     "cache_key",
     "characterization_from_dict",
     "characterization_to_dict",
     "default_cache_dir",
+    "default_store_budget",
     "ParallelRunner",
 ]

@@ -18,6 +18,19 @@ structurally broken entry) — recorded in :attr:`CharacterizationCache.
 last_outcome`, counted in the :mod:`repro.obs` metrics registry
 (``perf.cache.hit``/``miss``/``corrupt``) and surfaced per entry by
 ``repro cache info`` via :meth:`CharacterizationCache.scan`.
+
+:class:`ShardedCharacterizationStore` promotes the per-process cache
+to a *shared store* for multi-tenant serving (:mod:`repro.serve`):
+entries are spread over key-prefix shard directories (``shard-XX/``),
+each shard keeps a byte-budgeted LRU index on disk (``_index.json``,
+logical-clock recency, deterministic eviction order), per-shard
+hit/miss and eviction counters flow through :mod:`repro.obs`
+(``perf.store.shard.XX.hit``/``miss``, ``perf.store.evicted``), and
+concurrent cold misses are collapsed by the cross-process single-flight
+the suite already wires around :meth:`CharacterizationCache.load`.
+Legacy flat entries are migrated into their shard on first touch, and
+the LRU index is advisory only — a missing or stale index is rebuilt
+from the directory, never trusted over it.
 """
 
 from __future__ import annotations
@@ -28,16 +41,32 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import repro
 from repro import obs
+from repro.errors import ReproError
 from repro.model.device import DeviceCharacterization
 from repro.model.thresholds import SweepPoint, ThresholdAnalysis
 from repro.soc.board import BoardConfig
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the store's default byte budget.
+STORE_BUDGET_ENV = "REPRO_CACHE_BUDGET_BYTES"
+
+#: Default shard count of :class:`ShardedCharacterizationStore`.
+DEFAULT_SHARDS = 8
+
+#: Default total byte budget across all shards (64 MiB — thousands of
+#: characterizations; small enough that a runaway sweep cannot fill the
+#: disk).
+DEFAULT_STORE_BUDGET = 64 * 1024 * 1024
+
+#: Per-shard LRU index file name (never globbed as an entry).
+INDEX_NAME = "_index.json"
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -161,7 +190,8 @@ class CharacterizationCache:
                   quarantined_to=str(target), reason=reason)
 
     def load(
-        self, board: BoardConfig, signature: Mapping[str, Any]
+        self, board: BoardConfig, signature: Mapping[str, Any],
+        _key: Optional[str] = None,
     ) -> Optional[DeviceCharacterization]:
         """The cached characterization for these exact inputs, or None.
 
@@ -170,8 +200,11 @@ class CharacterizationCache:
         file that exists but cannot be read, parsed or rebuilt.  All
         non-hits return ``None`` — a damaged cache can slow a run down
         but never change a result.
+
+        ``_key`` lets a subclass that already paid for the content hash
+        pass it down instead of hashing the board twice per load.
         """
-        key = cache_key(board, signature)
+        key = _key if _key is not None else cache_key(board, signature)
         path = self._path(board.name, key)
         if not path.exists():
             self._outcome("miss", path, "absent")
@@ -205,9 +238,10 @@ class CharacterizationCache:
         board: BoardConfig,
         signature: Mapping[str, Any],
         device: DeviceCharacterization,
+        _key: Optional[str] = None,
     ) -> pathlib.Path:
         """Persist one characterization atomically; returns its path."""
-        key = cache_key(board, signature)
+        key = _key if _key is not None else cache_key(board, signature)
         path = self._path(board.name, key)
         payload = {
             "key": key,
@@ -231,17 +265,26 @@ class CharacterizationCache:
             raise
         return path
 
-    def entries(self) -> List[pathlib.Path]:
-        """Entry files currently on disk (sorted)."""
+    def _glob(self, suffix: str) -> List[pathlib.Path]:
+        """Matching files in the flat layout *and* any shard subdirs.
+
+        Index files (``_``-prefixed) are bookkeeping, not entries, so
+        they never count; a flat cache pointed at a sharded directory
+        (or vice versa) still sees every entry.
+        """
         if not self.directory.is_dir():
             return []
-        return sorted(self.directory.glob("*.json"))
+        found = list(self.directory.glob(f"*.{suffix}"))
+        found.extend(self.directory.glob(f"shard-*/*.{suffix}"))
+        return sorted(p for p in found if not p.name.startswith("_"))
+
+    def entries(self) -> List[pathlib.Path]:
+        """Entry files currently on disk (sorted, all shards)."""
+        return self._glob("json")
 
     def quarantined(self) -> List[pathlib.Path]:
         """Corrupt entries moved aside by :meth:`load` (sorted)."""
-        if not self.directory.is_dir():
-            return []
-        return sorted(self.directory.glob("*.corrupt"))
+        return self._glob("corrupt")
 
     @staticmethod
     def classify(path: pathlib.Path) -> Tuple[str, str]:
@@ -275,8 +318,9 @@ class CharacterizationCache:
         return [(path, *self.classify(path)) for path in self.entries()]
 
     def clear(self) -> int:
-        """Delete every entry (quarantined files included); returns how
-        many were removed."""
+        """Delete every entry (quarantined files included, all shards);
+        returns how many were removed.  Shard LRU indexes are dropped
+        too so no index survives the entries it described."""
         removed = 0
         for path in self.entries() + self.quarantined():
             try:
@@ -284,4 +328,319 @@ class CharacterizationCache:
                 removed += 1
             except OSError:
                 pass
+        if self.directory.is_dir():
+            for index in self.directory.glob(f"shard-*/{INDEX_NAME}"):
+                try:
+                    index.unlink()
+                except OSError:
+                    pass
         return removed
+
+
+# ----------------------------------------------------------------------
+# the sharded shared store
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardStats:
+    """One shard's on-disk footprint and since-process-start traffic."""
+
+    name: str
+    entries: int
+    bytes: int
+    quarantined: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits / (hits + misses) since process start; None without
+        traffic."""
+        total = self.hits + self.misses
+        return self.hits / total if total else None
+
+
+def default_store_budget() -> int:
+    """``$REPRO_CACHE_BUDGET_BYTES`` or :data:`DEFAULT_STORE_BUDGET`."""
+    override = os.environ.get(STORE_BUDGET_ENV)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return DEFAULT_STORE_BUDGET
+
+
+class ShardedCharacterizationStore(CharacterizationCache):
+    """A multi-tenant shared characterization store.
+
+    Same correctness contract as :class:`CharacterizationCache` (a
+    damaged store is slower, never wrong) plus the serving-scale
+    behaviours:
+
+    - **key-prefix shards** — entry files live under
+      ``shard-XX/`` chosen by the leading bits of the content hash, so
+      concurrent tenants spread their directory traffic and per-shard
+      stats stay meaningful;
+    - **byte-budgeted LRU** — each shard owns
+      ``max_bytes / num_shards``; storing past the budget evicts the
+      least-recently-used entries (deterministically: by logical
+      recency, ties by name) until the shard fits again.  The newest
+      entry is never evicted, so one oversized characterization cannot
+      thrash;
+    - **on-disk index** — recency survives process restarts via a
+      per-shard ``_index.json`` with a logical clock.  The index is
+      advisory: missing, stale or corrupt indexes are rebuilt from the
+      directory listing and never override what is actually on disk;
+    - **metrics** — ``perf.store.shard.XX.hit``/``miss`` counters,
+      ``perf.store.evicted`` + per-eviction events, on top of the base
+      ``perf.cache.*`` outcomes.
+
+    Stampede protection is unchanged: the suite wires
+    :class:`~repro.resilience.singleflight.SingleFlight` (in-process
+    events + cross-process lock files in :attr:`directory`) around cold
+    misses, so N concurrent tenants characterize once.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 num_shards: int = DEFAULT_SHARDS,
+                 max_bytes: Optional[int] = None) -> None:
+        super().__init__(directory)
+        if num_shards < 1:
+            raise ReproError(
+                f"store needs at least one shard, got {num_shards}",
+                code="CACHE_SHARDS_INVALID",
+                details={"num_shards": num_shards},
+            )
+        self.num_shards = int(num_shards)
+        self.max_bytes = int(max_bytes) if max_bytes is not None \
+            else default_store_budget()
+        self._index_lock = threading.Lock()
+        # Hit recency is buffered here (insertion-ordered, re-touch
+        # moves to the end) and folded into the on-disk index by the
+        # next store/evict on the shard: a warm hit costs no disk I/O,
+        # which keeps the characterization_cache fast-path speedup.
+        self._pending_touches: Dict[pathlib.Path, Dict[str, None]] = {}
+
+    # ------------------------------------------------------------------
+    # shard routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """The shard index owning a content-hash key."""
+        return int(key[:4], 16) % self.num_shards
+
+    @staticmethod
+    def shard_name(shard: int) -> str:
+        return f"shard-{shard:02x}"
+
+    def shard_dir(self, shard: int) -> pathlib.Path:
+        return self.directory / self.shard_name(shard)
+
+    def _path(self, board_name: str, key: str) -> pathlib.Path:
+        return self.shard_dir(self.shard_of(key)) / \
+            f"{board_name}-{key[:16]}.json"
+
+    @property
+    def shard_budget(self) -> int:
+        """Byte budget of one shard."""
+        return max(1, self.max_bytes // self.num_shards)
+
+    # ------------------------------------------------------------------
+    # load/store with LRU accounting
+    # ------------------------------------------------------------------
+
+    def load(
+        self, board: BoardConfig, signature: Mapping[str, Any]
+    ) -> Optional[DeviceCharacterization]:
+        key = cache_key(board, signature)
+        self._migrate_flat(board.name, key)
+        device = super().load(board, signature, _key=key)
+        shard = self.shard_of(key)
+        if device is not None:
+            obs.counter_inc(f"perf.store.shard.{shard:02x}.hit")
+            self._touch(self._path(board.name, key))
+        else:
+            obs.counter_inc(f"perf.store.shard.{shard:02x}.miss")
+        return device
+
+    def store(
+        self,
+        board: BoardConfig,
+        signature: Mapping[str, Any],
+        device: DeviceCharacterization,
+    ) -> pathlib.Path:
+        key = cache_key(board, signature)
+        path = self._path(board.name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stored = super().store(board, signature, device, _key=key)
+        self._record_store(stored)
+        return stored
+
+    def _migrate_flat(self, board_name: str, key: str) -> None:
+        """Adopt a legacy flat-layout entry into its shard (best
+        effort) so a pre-shard cache keeps its warm state."""
+        flat = self.directory / f"{board_name}-{key[:16]}.json"
+        if not flat.is_file():
+            return
+        target = self._path(board_name, key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(str(flat), str(target))
+        except OSError:
+            return
+        self._record_store(target)
+        obs.event("perf.store.migrated", entry=target.name,
+                  shard=target.parent.name)
+
+    # ------------------------------------------------------------------
+    # the per-shard LRU index
+    # ------------------------------------------------------------------
+
+    def _read_index(self, shard_dir: pathlib.Path) -> Dict[str, Any]:
+        """The shard's index, reconciled against the directory.
+
+        Entries on disk but unknown to the index are adopted (recency
+        0, name order — deterministic); index rows whose file vanished
+        are dropped.  An unreadable index is simply rebuilt.
+        """
+        index: Dict[str, Any] = {"seq": 0, "entries": {}}
+        path = shard_dir / INDEX_NAME
+        try:
+            data = json.loads(path.read_text())
+            if (isinstance(data, dict) and isinstance(data.get("seq"), int)
+                    and isinstance(data.get("entries"), dict)):
+                index = {"seq": data["seq"], "entries": {}}
+                for name, row in data["entries"].items():
+                    if (isinstance(row, dict)
+                            and isinstance(row.get("bytes"), int)
+                            and isinstance(row.get("seq"), int)):
+                        index["entries"][name] = {
+                            "bytes": row["bytes"], "seq": row["seq"],
+                        }
+        except (OSError, ValueError):
+            pass
+        on_disk = {}
+        if shard_dir.is_dir():
+            for entry in sorted(shard_dir.glob("*.json")):
+                if entry.name.startswith("_"):
+                    continue
+                try:
+                    on_disk[entry.name] = entry.stat().st_size
+                except OSError:
+                    continue
+        rows = {
+            name: {"bytes": on_disk[name],
+                   "seq": index["entries"].get(name, {"seq": 0})["seq"]}
+            for name in on_disk
+        }
+        return {"seq": index["seq"], "entries": rows}
+
+    def _write_index(self, shard_dir: pathlib.Path,
+                     index: Dict[str, Any]) -> None:
+        """Atomically persist the index (best effort — advisory data)."""
+        path = shard_dir / INDEX_NAME
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(shard_dir), prefix="_index",
+                                       suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(index, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def _touch(self, path: pathlib.Path) -> None:
+        """Buffer an entry's recency bump after a hit (memory only).
+
+        Persisting the index on every hit would tax the warm fast path
+        with write syscalls, so hits are deferred: recency reaches disk
+        with the shard's next store/evict.  A process that only ever
+        reads leaves no recency trail — acceptable for advisory LRU
+        data (eviction order within the writing process is exact).
+        """
+        with self._index_lock:
+            pending = self._pending_touches.setdefault(path.parent, {})
+            pending.pop(path.name, None)  # re-touch moves to the end
+            pending[path.name] = None
+
+    def _record_store(self, path: pathlib.Path) -> None:
+        """Index a fresh entry, then evict the shard back under budget."""
+        with self._index_lock:
+            index = self._read_index(path.parent)
+            for name in self._pending_touches.pop(path.parent, {}):
+                if name in index["entries"]:
+                    index["seq"] += 1
+                    index["entries"][name]["seq"] = index["seq"]
+            index["seq"] += 1
+            try:
+                size = path.stat().st_size
+            except OSError:
+                return
+            index["entries"][path.name] = {"bytes": size, "seq": index["seq"]}
+            self._evict_locked(path.parent, index, keep=path.name)
+            self._write_index(path.parent, index)
+
+    def _evict_locked(self, shard_dir: pathlib.Path, index: Dict[str, Any],
+                      keep: str) -> None:
+        """Drop LRU entries until the shard fits its budget.
+
+        Victims are chosen by (recency, name) — a pure function of the
+        access history, so a fixed insertion order always evicts the
+        same entries.  ``keep`` (the entry just stored) is exempt.
+        """
+        rows = index["entries"]
+        total = sum(row["bytes"] for row in rows.values())
+        while total > self.shard_budget:
+            victims = sorted(
+                (name for name in rows if name != keep),
+                key=lambda name: (rows[name]["seq"], name),
+            )
+            if not victims:
+                break
+            victim = victims[0]
+            try:
+                (shard_dir / victim).unlink()
+            except OSError:
+                pass
+            total -= rows.pop(victim)["bytes"]
+            obs.counter_inc("perf.store.evicted")
+            obs.event("perf.store.evicted", entry=victim,
+                      shard=shard_dir.name, shard_budget=self.shard_budget)
+
+    # ------------------------------------------------------------------
+    # introspection (``repro cache info``)
+    # ------------------------------------------------------------------
+
+    def shard_stats(self) -> List[ShardStats]:
+        """Per-shard footprint + since-process-start hit/miss traffic."""
+        snapshot = obs.REGISTRY.snapshot()
+
+        def count(name: str) -> int:
+            row = snapshot.get(name)
+            return int(row["value"]) if row else 0
+
+        stats = []
+        for shard in range(self.num_shards):
+            shard_dir = self.shard_dir(shard)
+            entries = [p for p in sorted(shard_dir.glob("*.json"))
+                       if not p.name.startswith("_")] \
+                if shard_dir.is_dir() else []
+            size = 0
+            for entry in entries:
+                try:
+                    size += entry.stat().st_size
+                except OSError:
+                    pass
+            quarantined = len(list(shard_dir.glob("*.corrupt"))) \
+                if shard_dir.is_dir() else 0
+            label = f"{shard:02x}"
+            stats.append(ShardStats(
+                name=self.shard_name(shard),
+                entries=len(entries),
+                bytes=size,
+                quarantined=quarantined,
+                hits=count(f"perf.store.shard.{label}.hit"),
+                misses=count(f"perf.store.shard.{label}.miss"),
+            ))
+        return stats

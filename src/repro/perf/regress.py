@@ -9,7 +9,10 @@ and :func:`check` reports exit code :data:`EXIT_REGRESSION`.
 
 The same probes produce the ``BENCH_app.json`` payload
 (:func:`collect_app_bench`), so the baselines and the gate always
-measure identical workload shapes.
+measure identical workload shapes.  The serving fast path is gated the
+same way: ``serving.speedup`` compares coalesced vs serial sustained
+decision throughput (measured by :mod:`repro.serve.bench`, baselined
+in ``BENCH_serve.json``).
 
 Every probe run is traced (``bench.probe`` spans) and its timings are
 published through the :mod:`repro.obs` metrics registry as
@@ -259,6 +262,18 @@ def _probe_whatif() -> _TimingPair:
     )
 
 
+def _probe_serving() -> _TimingPair:
+    """Serial vs coalesced sustained serving on a warm store.
+
+    One end-to-end run of each side (the serve probe already amortizes
+    noise over 48 requests), measured by :mod:`repro.serve.bench` with
+    exactly the traffic shape committed in ``BENCH_serve.json``.
+    """
+    from repro.serve.bench import serving_timing_pair
+
+    return serving_timing_pair()
+
+
 #: metric (dotted path into the baseline JSON) -> (baseline file, probe).
 PROBES: Dict[str, Tuple[str, Callable[[], _TimingPair]]] = {
     "mb2_sweep.nano.speedup": ("BENCH_perf.json", _probe_mb2_sweep),
@@ -269,6 +284,7 @@ PROBES: Dict[str, Tuple[str, Callable[[], _TimingPair]]] = {
     "paths.trace_csv.speedup": ("BENCH_app.json", _probe_trace),
     "paths.mb3_balance_sweep.speedup": ("BENCH_app.json", _probe_mb3),
     "paths.whatif_sweep.speedup": ("BENCH_app.json", _probe_whatif),
+    "serving.speedup": ("BENCH_serve.json", _probe_serving),
     # "scene" is reported in BENCH_app.json but not gated: its scatter
     # rasterizer is not a wall-clock win (speedup < 1), so a threshold
     # on it would only amplify timing noise.

@@ -1,0 +1,244 @@
+"""Sustained-throughput probes for the tune server.
+
+One source of truth, three consumers — the same functions generate the
+committed ``BENCH_serve.json`` baseline, feed the ``repro bench
+--check`` exit-4 regression gate (via :mod:`repro.perf.regress`), and
+back ``repro serve --bench`` / ``benchmarks/bench_serve.py`` — so the
+gate always measures exactly the shape the baseline recorded.
+
+Two probes:
+
+- :func:`serving_probe` — a fixed multi-tenant traffic mix (many
+  tenants, few distinct app × board questions: the paper makes *one*
+  decision per app × board, so production traffic is massively
+  duplicated) handled two ways on a **warm** characterization store:
+  serially (each request end to end through ``Framework.tune``, the
+  pre-serve behaviour) and coalesced (concurrent submission through
+  :class:`~repro.serve.server.TuneServer`).  Reports
+  decisions/second for both and the speedup the gate enforces;
+- :func:`store_churn_probe` — hit/miss/eviction behaviour of the
+  sharded LRU store under a working set larger than its byte budget.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.model.framework import Framework
+from repro.serve.coalescer import TuneRequest
+from repro.serve.server import ServeConfig, TuneServer, serve_all
+from repro.soc.board import get_board
+
+#: The default traffic mix: (app, board) questions the synthetic
+#: tenants keep asking.  Two apps × three boards = six distinct
+#: decisions, fanned out to many requests — the coalescer's habitat.
+DEFAULT_MIX: Tuple[Tuple[str, str], ...] = (
+    ("shwfs", "tx2"), ("orbslam", "tx2"),
+    ("shwfs", "xavier"), ("orbslam", "xavier"),
+    ("shwfs", "nano"), ("orbslam", "nano"),
+)
+
+#: Default request count for the committed baseline (8 tenants per
+#: distinct question).
+DEFAULT_REQUESTS = 48
+
+
+def traffic(requests: int = DEFAULT_REQUESTS,
+            mix: Tuple[Tuple[str, str], ...] = DEFAULT_MIX,
+            current_model: str = "SC") -> List[TuneRequest]:
+    """A deterministic round-robin request stream over ``mix``."""
+    stream = []
+    for index in range(requests):
+        app, board = mix[index % len(mix)]
+        stream.append(TuneRequest(
+            app=app, board=board, current_model=current_model,
+            tenant=f"tenant-{index:03d}",
+        ))
+    return stream
+
+
+def run_serial(requests: List[TuneRequest],
+               framework: Framework) -> float:
+    """Handle every request end to end, one at a time (the baseline).
+
+    This is the pre-serve behaviour of a naive front end: build the
+    workload, run ``Framework.tune``, answer, next — no window, no
+    dedup.  Returns the wall-clock seconds for the whole stream.
+    """
+    from repro.cli import _get_pipeline
+
+    start = time.perf_counter()
+    for request in requests:
+        board = get_board(request.board)
+        workload = request.workload
+        if workload is None:
+            workload = _get_pipeline(request.app).workload(
+                board_name=board.name)
+        framework.tune(workload, board,
+                       current_model=request.current_model,
+                       strict=request.strict)
+    return time.perf_counter() - start
+
+
+def run_coalesced(requests: List[TuneRequest], framework: Framework,
+                  config: Optional[ServeConfig] = None
+                  ) -> Tuple[float, List[Any], TuneServer]:
+    """Serve the stream through the coalescing server, submitted
+    concurrently; returns (seconds, answers, server)."""
+    server_box: List[TuneServer] = []
+
+    import asyncio
+
+    async def _run():
+        async with TuneServer(framework, config) as server:
+            server_box.append(server)
+            return await server.submit_many(requests)
+
+    start = time.perf_counter()
+    answers = asyncio.run(_run())
+    elapsed = time.perf_counter() - start
+    return elapsed, answers, server_box[0]
+
+
+def serving_probe(requests: int = DEFAULT_REQUESTS,
+                  config: Optional[ServeConfig] = None,
+                  cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Serial vs coalesced sustained throughput on a warm store.
+
+    Both sides see identical traffic and an identically warmed
+    characterization store (every board characterized once up front —
+    the steady state of a long-running service), so the measured gap is
+    purely the serving architecture: window coalescing, duplicate
+    fan-out and characterize-once batching.
+    """
+    config = config or ServeConfig(
+        max_pending=max(ServeConfig().max_pending, requests))
+    stream = traffic(requests)
+    with tempfile.TemporaryDirectory() as fallback_dir:
+        framework = Framework(cache_dir=cache_dir or fallback_dir)
+        boards = sorted({request.board for request in stream})
+        for name in boards:  # warm: characterize each board once
+            framework.characterize(get_board(name))
+
+        serial_s = run_serial(stream, framework)
+        coalesced_s, answers, server = run_coalesced(
+            stream, framework, config)
+
+    shed = [answer for answer in answers if answer.shed]
+    batches = server.stats.batches
+    return {
+        "requests": requests,
+        "distinct_questions": len({(r.app, r.board) for r in stream}),
+        "window_s": config.window_s,
+        "max_batch": config.max_batch,
+        "serial_s": round(serial_s, 4),
+        "coalesced_s": round(coalesced_s, 4),
+        "serial_decisions_per_s": round(requests / serial_s, 1),
+        "coalesced_decisions_per_s": round(requests / coalesced_s, 1),
+        "speedup": round(serial_s / coalesced_s, 1),
+        "batches": batches,
+        "mean_batch_size": round(requests / batches, 2) if batches else 0.0,
+        "coalesced_answers": server.stats.coalesced,
+        "shed": len(shed),
+    }
+
+
+def serving_timing_pair(requests: int = DEFAULT_REQUESTS
+                        ) -> Tuple[float, float]:
+    """(serial seconds, coalesced seconds) for the regression gate."""
+    result = serving_probe(requests)
+    return result["serial_s"], result["coalesced_s"]
+
+
+def store_churn_probe(hot_boards: int = 4,
+                      cold_boards: int = 8,
+                      accesses: int = 120,
+                      budget_entries: int = 6) -> Dict[str, Any]:
+    """Hit rate and evictions under skewed traffic beyond the budget.
+
+    Serving traffic is skewed — a few hot app × board questions plus a
+    long cold tail.  The probe drives a deterministic 4-in-5-hot
+    pattern (every 5th access walks the cold tail) through a store
+    whose byte budget only fits ``budget_entries`` of the
+    ``hot_boards + cold_boards`` distinct keys: the LRU keeps the hot
+    set resident while the cold tail churns through the remaining
+    slots.  Records the achieved hit rate, eviction count and resident
+    set so the baseline documents the store's behaviour under churn
+    (reported, not gated: the hit rate is a property of the pattern,
+    not a speed).
+    """
+    import dataclasses
+
+    from repro.microbench.suite import MicrobenchmarkSuite
+    from repro.perf.cache import ShardedCharacterizationStore
+
+    base_board = get_board("tx2")
+    hot = [dataclasses.replace(base_board, name=f"hot-{i:02d}")
+           for i in range(hot_boards)]
+    cold = [dataclasses.replace(base_board, name=f"cold-{i:02d}")
+            for i in range(cold_boards)]
+    suite = MicrobenchmarkSuite()
+    signature = suite.cache_signature()
+    device = suite.characterize(base_board)
+
+    with tempfile.TemporaryDirectory() as directory:
+        probe_store = ShardedCharacterizationStore(directory, num_shards=1)
+        probe_store.store(base_board, signature, device)
+        entry_bytes = probe_store.entries()[0].stat().st_size
+        probe_store.clear()
+        store = ShardedCharacterizationStore(
+            directory, num_shards=1,
+            max_bytes=entry_bytes * budget_entries + budget_entries,
+        )
+        snapshot = obs.REGISTRY.snapshot()
+        row = snapshot.get("perf.store.evicted")
+        evictions_before = int(row["value"]) if row else 0
+        hits = misses = 0
+        for index in range(accesses):
+            if index % 5 == 4:
+                board = cold[(index // 5) % len(cold)]
+            else:
+                board = hot[index % len(hot)]
+            if store.load(board, signature) is not None:
+                hits += 1
+            else:
+                misses += 1
+                store.store(board, signature, device)
+        snapshot = obs.REGISTRY.snapshot()
+        row = snapshot.get("perf.store.evicted")
+        evictions = (int(row["value"]) if row else 0) - evictions_before
+        resident = len(store.entries())
+    total = hits + misses
+    return {
+        "hot_boards": hot_boards,
+        "cold_boards": cold_boards,
+        "budget_entries": budget_entries,
+        "accesses": total,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 3) if total else 0.0,
+        "evictions": evictions,
+        "resident_entries": resident,
+    }
+
+
+def collect_serve_bench(generated: str, host: str = "vm",
+                        requests: int = DEFAULT_REQUESTS) -> Dict[str, Any]:
+    """Measure both probes and build the ``BENCH_serve.json`` payload."""
+    from repro.perf.regress import REGRESSION_THRESHOLD
+
+    serving = serving_probe(requests)
+    store = store_churn_probe()
+    return {
+        "criteria": {
+            "min_coalesced_speedup": 3.0,
+            "regression_threshold": REGRESSION_THRESHOLD,
+        },
+        "generated": generated,
+        "host": host,
+        "serving": serving,
+        "store_churn": store,
+    }

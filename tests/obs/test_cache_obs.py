@@ -6,7 +6,7 @@ from repro.cli import main
 from repro.microbench.suite import MicrobenchmarkSuite
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import get_spans
-from repro.perf.cache import CharacterizationCache
+from repro.perf.cache import CharacterizationCache, ShardedCharacterizationStore
 from repro.soc.board import get_board
 
 
@@ -14,7 +14,8 @@ def _populated(tmp_path, board_name="nano"):
     suite = MicrobenchmarkSuite(cache_dir=tmp_path)
     board = get_board(board_name)
     device = suite.characterize(board)
-    cache = CharacterizationCache(tmp_path)
+    # the default persistent backend is the sharded store
+    cache = ShardedCharacterizationStore(tmp_path)
     return cache, board, suite.cache_signature(), device
 
 
@@ -98,7 +99,8 @@ class TestCli:
         out = capsys.readouterr().out
         assert "1 entry(ies), 0 corrupt" in out
         assert "corrupt entries are treated" not in out
-        assert "quarantined" not in out
+        assert "[quarantined]" not in out
+        assert "quarantined corrupt entry(ies)" not in out
 
     def test_cache_info_lists_quarantined_entries(self, tmp_path, capsys):
         cache, board, signature, _ = _populated(tmp_path)

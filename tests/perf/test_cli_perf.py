@@ -33,6 +33,17 @@ class TestCacheCommand:
                      "--cache-dir", str(tmp_path)]) == 0
         assert list(tmp_path.glob("*.json")) == []
 
+    def test_info_reports_shards_and_budget(self, tmp_path, capsys):
+        assert main(["characterize", "tx2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "8 shards" in out
+        assert "LRU byte budget" in out
+        assert "shard-" in out
+        assert "hit rate" in out or "no traffic" in out
+
 
 class TestBenchCommand:
     def test_single_cell_grid(self, tmp_path, capsys):
