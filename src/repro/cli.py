@@ -90,14 +90,27 @@ def cmd_boards(args: argparse.Namespace) -> str:
     return table.render()
 
 
+def _surrogate_from_args(args: argparse.Namespace):
+    """The ``--surrogate FILE`` artifact, loaded; None without the flag."""
+    path = getattr(args, "surrogate", None)
+    if not path:
+        return None
+    from repro.explore.surrogate import CharacterizationSurrogate
+
+    return CharacterizationSurrogate.load(path)
+
+
 def _framework_from_args(args: argparse.Namespace) -> Framework:
-    """A framework honouring the CLI's cache flags (default: cached)."""
+    """A framework honouring the CLI's cache flags (default: cached)
+    and any ``--surrogate`` artifact."""
+    surrogate = _surrogate_from_args(args)
     cache_dir = getattr(args, "cache_dir", None)
     if getattr(args, "no_cache", False):
-        return Framework()
+        return Framework(surrogate=surrogate)
     from repro.perf.cache import default_cache_dir
 
-    return Framework(cache_dir=str(cache_dir or default_cache_dir()))
+    return Framework(cache_dir=str(cache_dir or default_cache_dir()),
+                     surrogate=surrogate)
 
 
 def cmd_characterize(args: argparse.Namespace) -> str:
@@ -145,6 +158,10 @@ def cmd_tune(args: argparse.Namespace) -> str:
     table.add_row("recommendation", rec.model.value)
     if rec.estimated_speedup_pct is not None:
         table.add_row("estimated speedup (%)", rec.estimated_speedup_pct)
+    if getattr(args, "surrogate", None):
+        table.add_row("device source",
+                      "surrogate (k-point probe)" if report.via_surrogate
+                      else "full characterization (surrogate fell back)")
     text = table.render() + f"\n\nreason: {rec.reason}"
     text += _write_tune_artifacts(args, framework)
     return text
@@ -323,6 +340,10 @@ def cmd_cache(args: argparse.Namespace) -> str:
         removed = store.clear()
         return (f"removed {removed} cached characterization(s) from "
                 f"{store.directory}")
+    if getattr(args, "json", False):
+        import json
+
+        return json.dumps(store.stats_payload(), indent=2, sort_keys=True)
     scanned = store.scan()
     corrupt = [(path, reason) for path, status, reason in scanned
                if status == "corrupt"]
@@ -491,6 +512,7 @@ def cmd_bench(args: argparse.Namespace):
         current_model=args.model,
         cache_dir=cache_dir,
         parallel=args.jobs != 1,
+        surrogate_path=getattr(args, "surrogate", None),
     )
     if args.output:
         import pathlib
@@ -512,6 +534,124 @@ def cmd_bench(args: argparse.Namespace):
         )
     footer = f"\nresults written to {args.output}" if args.output else ""
     return table.render() + footer
+
+
+def _parse_axis_specs(specs):
+    """``NAME=V1,V2,...`` CLI specs into :class:`Axis` objects."""
+    from repro.explore import Axis
+
+    axes = []
+    for spec in specs:
+        name, sep, values = spec.partition("=")
+        if not sep or not values:
+            raise ReproError(
+                f"--axis expects NAME=V1,V2,... got {spec!r}",
+                code="EXPLORE_BAD_AXIS", details={"spec": spec},
+            )
+        try:
+            parsed = tuple(float(v) for v in values.split(","))
+        except ValueError:
+            raise ReproError(
+                f"--axis values must be numbers, got {spec!r}",
+                code="EXPLORE_BAD_AXIS", details={"spec": spec},
+            )
+        axes.append(Axis(name.strip(), parsed))
+    return tuple(axes)
+
+
+def cmd_explore(args: argparse.Namespace) -> str:
+    """Sweep a board design space, fit + calibrate the surrogate,
+    check decision agreement, and persist the artifact."""
+    import time
+
+    from repro.explore import BoardSpace, fit_surrogate
+    from repro.microbench.suite import MicrobenchmarkSuite
+
+    axes = _parse_axis_specs(args.axis) if args.axis else None
+    space = BoardSpace(args.base, axes=axes,
+                       coherence=tuple(args.coherence))
+    cache_dir = None
+    if not args.no_cache:
+        from repro.perf.cache import default_cache_dir
+
+        cache_dir = str(args.cache_dir or default_cache_dir())
+    suite = MicrobenchmarkSuite(cache_dir=cache_dir)
+    surrogate, calibration, sweep = fit_surrogate(
+        space, suite, holdout=args.holdout, seed=args.seed,
+        parallel=args.jobs != 1, max_workers=args.jobs,
+    )
+
+    # Decision agreement on the held-out boards: the surrogate-backed
+    # flow must reproduce the full flow's recommendation on every one
+    # (a low-margin or out-of-trust query falls back to the full
+    # characterization, which agrees trivially).
+    pipeline = _get_pipeline(args.app)
+    fast_framework = Framework(suite=suite, surrogate=surrogate)
+    full_framework = Framework(suite=suite)
+    agreements = 0
+    surrogate_hits = 0
+    holdouts = space.sample(args.holdout, args.seed)
+    for board in holdouts:
+        workload = pipeline.workload(board_name=board.name)
+        fast = fast_framework.tune(workload, board)
+        full = full_framework.tune(workload, board)
+        surrogate_hits += 1 if fast.via_surrogate else 0
+        agreements += (
+            1 if fast.recommendation.model == full.recommendation.model
+            else 0
+        )
+
+    # Headline speedup: cold full characterization vs the surrogate
+    # answer (probe included), both on fresh suites.
+    target = space.sample(1, args.seed + 1)[0]
+    start = time.perf_counter()
+    MicrobenchmarkSuite().characterize(target)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    prediction = surrogate.characterize(target,
+                                        suite=MicrobenchmarkSuite())
+    fast_s = time.perf_counter() - start
+    speedup = cold_s / fast_s if prediction is not None and fast_s > 0 \
+        else None
+
+    surrogate.save(args.out)
+
+    table = Table(
+        f"Design-space exploration — {space.describe()}",
+        ["quantity", "value"],
+    )
+    table.add_row("swept boards", sweep.num_boards)
+    table.add_row("panels", len(surrogate.panels))
+    table.add_row("holdout boards", args.holdout)
+    table.add_row("decision agreement",
+                  f"{agreements}/{len(holdouts)}")
+    table.add_row("surrogate answers (rest fell back)",
+                  f"{surrogate_hits}/{len(holdouts)}")
+    if speedup is not None:
+        table.add_row("surrogate vs cold characterization",
+                      f"{speedup:.0f}x ({cold_s * 1e3:.1f} ms -> "
+                      f"{fast_s * 1e3:.2f} ms)")
+    else:
+        table.add_row("surrogate vs cold characterization",
+                      f"fell back ({surrogate.last_fallback_reason})")
+    bounds = Table(
+        "Calibrated error bounds (surrogate trusts itself only inside "
+        "these)",
+        ["output", "bound"],
+    )
+    headline = ("gpu_threshold_pct", "gpu_zone2_pct", "cpu_threshold_pct",
+                "gpu_tp_SC", "gpu_tp_ZC", "sc_zc_max_speedup",
+                "zc_sc_max_speedup")
+    for key in headline:
+        if key in surrogate.error_bounds:
+            value = surrogate.error_bounds[key]
+            unit = "pp" if key.endswith("_pct") else "rel"
+            bounds.add_row(key, f"{value:.4f} {unit}")
+    footer = f"\nsurrogate artifact written to {args.out}"
+    if agreements != len(holdouts):
+        footer += ("\nWARNING: decision disagreement on held-out "
+                   "boards — do not ship this artifact")
+    return table.render() + "\n" + bounds.render() + footer
 
 
 def cmd_report(args: argparse.Namespace) -> str:
@@ -546,6 +686,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "bench": cmd_bench,
     "serve": cmd_serve,
     "obs": cmd_obs,
+    "explore": cmd_explore,
 }
 
 
@@ -577,6 +718,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="skip the persistent characterization cache")
 
+    def add_surrogate_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--surrogate", default=None, metavar="FILE",
+                       help="a `repro explore` artifact: answer boards "
+                            "inside its trusted hull from k probe points "
+                            "instead of a full characterization")
+
     p = sub.add_parser("characterize", help="run the micro-benchmark suite")
     p.add_argument("board", choices=available_boards())
     add_cache_flags(p)
@@ -600,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "deadline (structured DEADLINE_EXCEEDED "
                                 "past the budget)")
             add_cache_flags(p)
+            add_surrogate_flag(p)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the characterization cache")
@@ -607,6 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default=None,
                    help="cache directory (default: $REPRO_CACHE_DIR or "
                         "~/.cache/repro/characterizations)")
+    p.add_argument("--json", action="store_true",
+                   help="with info: emit the full store state as JSON "
+                        "instead of the text table")
 
     p = sub.add_parser(
         "bench", help="run the app x board benchmark grid in parallel")
@@ -634,6 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "failure (default: bench-check-trace.json next to "
                         "the baselines)")
     add_cache_flags(p)
+    add_surrogate_flag(p)
 
     p = sub.add_parser(
         "serve",
@@ -662,6 +814,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="FILE",
                    help="with --bench: write the full BENCH_serve.json "
                         "baseline payload")
+    add_cache_flags(p)
+    add_surrogate_flag(p)
+
+    p = sub.add_parser(
+        "explore",
+        help="sweep a synthetic board design space and fit the "
+             "characterization surrogate")
+    p.add_argument("--base", default="tx2", choices=available_boards(),
+                   help="preset the space is derived from (default: tx2)")
+    p.add_argument("--axis", action="append", default=[],
+                   metavar="NAME=V1,V2,...",
+                   help="one swept axis as scale factors over the base "
+                        "(repeatable); axes: dram_bandwidth, gpu_clock, "
+                        "cpu_clock, zc_bandwidth, llc_size. Default: "
+                        "dram_bandwidth=0.8,1.0,1.25 "
+                        "gpu_clock=0.8,1.0,1.25 zc_bandwidth=0.5,1.0,2.0")
+    p.add_argument("--coherence", nargs="+", default=["inherit"],
+                   choices=["inherit", "io_coherent", "caches_disabled"],
+                   help="coherence panel(s) to sweep (default: inherit)")
+    p.add_argument("--holdout", type=int, default=4,
+                   help="off-grid boards for error-bound calibration and "
+                        "the agreement check (default: 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="holdout sampling seed (deterministic)")
+    p.add_argument("--out", default="surrogate.json", metavar="FILE",
+                   help="where to write the surrogate artifact "
+                        "(default: surrogate.json)")
+    p.add_argument("--app", default="shwfs", choices=["shwfs", "orbslam"],
+                   help="application driving the agreement check")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="sweep worker processes (1 forces serial)")
     add_cache_flags(p)
 
     p = sub.add_parser(

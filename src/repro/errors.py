@@ -170,3 +170,14 @@ class ServeError(ReproError):
     ``SERVE_OVERLOADED`` caveat instead of raising."""
 
     default_code = "SERVE_ERROR"
+
+
+class ExploreError(ReproError):
+    """A design-space sweep or surrogate operation failed structurally.
+
+    Raised by :mod:`repro.explore` for unusable artifacts (corrupt or
+    version-mismatched surrogate files, empty sweeps, calibration over
+    boards the surrogate cannot even locate).  A query the surrogate
+    merely *declines* is never an error — that is the fallback path."""
+
+    default_code = "EXPLORE_FAILED"

@@ -1,0 +1,694 @@
+"""``CharacterizationSurrogate``: answer tunes from k probe points.
+
+The surrogate is a structured multilinear interpolator over the swept
+grid of a :class:`BoardSpace` — one *panel* of per-output arrays per
+coherence mode, indexed by the space's axis values (interpolated in
+log-scale-factor space, since every axis is a multiplicative factor).
+It replaces the full MB1–MB3 characterization of an unseen board with:
+
+1. static location: fingerprint → panel, field ratios → coordinates,
+   coordinates → inside the trusted hull (never extrapolated);
+2. interpolation of thresholds, peak throughputs and max-speedups into
+   a synthetic :class:`DeviceCharacterization`;
+3. a k-point MB2 probe (``k = len(PROBE_FRACTIONS)`` GPU sweep points,
+   no MB1/MB3) checked against the interpolated expectations — a cheap
+   reality test that the physical board matches the model family;
+4. a decision-margin check by the caller: predicted cache usages must
+   clear the predicted thresholds by more than the calibrated error
+   bound, or the caller runs the full characterization instead.
+
+An **uncalibrated surrogate never answers**: error bounds come from
+holdout boards (:meth:`calibrate`) that are fully characterized and
+compared against the interpolation, and every trust decision above is
+phrased in terms of those bounds.  Every refusal increments
+``surrogate.fallback`` plus a ``surrogate.fallback.<reason>`` counter
+and is recorded in :attr:`last_fallback_reason`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro
+from repro import obs
+from repro.errors import ExploreError
+from repro.explore.space import (
+    AXIS_NAMES,
+    RATIO_RTOL,
+    Axis,
+    BoardSpace,
+    axis_coordinate,
+    base_field_values,
+    panel_fingerprint,
+)
+from repro.explore.sweep import (
+    PROBE_FRACTIONS,
+    SweepResult,
+    device_outputs,
+    sweep_space,
+)
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.model.device import DeviceCharacterization
+from repro.model.thresholds import ThresholdAnalysis
+from repro.soc.board import BoardConfig
+
+#: Artifact schema version (bumped on incompatible change).
+ARTIFACT_VERSION = 1
+
+#: Calibrated error bounds never shrink below these floors: absolute
+#: percentage points for ``*_pct`` keys, absolute for ``*_fraction``
+#: keys, relative for everything else (throughputs, speedups, probes).
+MIN_BOUND_PCT = 0.25
+MIN_BOUND_FRACTION = 0.002
+MIN_BOUND_REL = 0.01
+
+#: Safety factor applied over the worst holdout error.
+CALIBRATION_SAFETY = 1.5
+
+#: Probe measurements may deviate from expectation by
+#: ``max(2 * bound, PROBE_RTOL)`` relative before the probe fails.
+PROBE_RTOL = 0.05
+
+#: Decision margins must clear the error bound by at least this many
+#: percentage points of cache usage.
+DEFAULT_MARGIN_FLOOR_PCT = 1.0
+
+#: Fallback reasons (counter suffixes), for reference:
+FALLBACK_REASONS = (
+    "fault_injection", "uncalibrated", "unknown_panel",
+    "inconsistent_coords", "out_of_hull", "mixed_cell",
+    "invalid_prediction", "probe_mismatch", "low_margin",
+)
+
+
+def _bound_floor(key: str) -> float:
+    if key.endswith("_pct"):
+        return MIN_BOUND_PCT
+    if key.endswith("_fraction"):
+        return MIN_BOUND_FRACTION
+    return MIN_BOUND_REL
+
+
+def _is_relative(key: str) -> bool:
+    return not (key.endswith("_pct") or key.endswith("_fraction"))
+
+
+def _error(key: str, predicted: float, actual: float) -> Optional[float]:
+    """Prediction error in the key's native units (None = incomparable
+    because exactly one side has no value)."""
+    p_nan, a_nan = math.isnan(predicted), math.isnan(actual)
+    if p_nan and a_nan:
+        return 0.0
+    if p_nan or a_nan:
+        return None
+    if _is_relative(key):
+        scale = max(abs(actual), 1e-30)
+        return abs(predicted - actual) / scale
+    return abs(predicted - actual)
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One coherence mode's fitted grid."""
+
+    coherence: str
+    fingerprint: str
+    axes: Tuple[Axis, ...]
+    base_fields: Dict[str, Dict[str, float]]
+    grids: Dict[str, np.ndarray]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(len(axis.values) for axis in self.axes)
+
+
+@dataclass(frozen=True)
+class SurrogatePrediction:
+    """A trusted interpolated characterization for one query board."""
+
+    board: BoardConfig
+    device: DeviceCharacterization
+    outputs: Dict[str, float]
+    coords: Dict[str, float]
+    coherence: str
+    probed: bool = False
+
+
+@dataclass
+class CalibrationRow:
+    board_name: str
+    errors: Dict[str, float]
+
+
+@dataclass
+class CalibrationReport:
+    rows: List[CalibrationRow]
+    bounds: Dict[str, float]
+    safety: float
+
+
+class CharacterizationSurrogate:
+    """Interpolating surrogate over one or more swept panels."""
+
+    def __init__(
+        self,
+        panels: Sequence[Panel],
+        probe_fractions: Sequence[float] = PROBE_FRACTIONS,
+        error_bounds: Optional[Dict[str, float]] = None,
+        ratio_rtol: float = RATIO_RTOL,
+        probe_rtol: float = PROBE_RTOL,
+        margin_floor_pct: float = DEFAULT_MARGIN_FLOOR_PCT,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not panels:
+            raise ExploreError("a surrogate needs at least one panel")
+        self.panels: Dict[str, Panel] = {}
+        for panel in panels:
+            # Coherence rewrites that are no-ops on the base (e.g.
+            # "caches_disabled" on a board already in that mode) yield
+            # duplicate fingerprints; the grids are identical, keep the
+            # first.
+            self.panels.setdefault(panel.fingerprint, panel)
+        self.probe_fractions = tuple(probe_fractions)
+        self.error_bounds: Dict[str, float] = dict(error_bounds or {})
+        self.ratio_rtol = ratio_rtol
+        self.probe_rtol = probe_rtol
+        self.margin_floor_pct = margin_floor_pct
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.last_fallback_reason: Optional[str] = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_sweep(cls, sweep: SweepResult,
+                   meta: Optional[Dict[str, object]] = None
+                   ) -> "CharacterizationSurrogate":
+        """Fit panels from a completed sweep (uncalibrated)."""
+        panels = []
+        for panel_sweep in sweep.panels:
+            surfaces = panel_sweep.surfaces(sweep.space)
+            panels.append(Panel(
+                coherence=panel_sweep.coherence,
+                fingerprint=panel_fingerprint(panel_sweep.base),
+                axes=sweep.space.axes,
+                base_fields=base_field_values(panel_sweep.base),
+                grids=surfaces,
+            ))
+        info: Dict[str, object] = {
+            "base": sweep.space.base.name,
+            "space": sweep.space.describe(),
+            "version": repro.__version__,
+        }
+        info.update(meta or {})
+        obs.counter_inc("explore.fit")
+        return cls(panels,
+                   probe_fractions=sweep.panels[0].probe_fractions,
+                   meta=info)
+
+    # -- location ------------------------------------------------------
+
+    def _locate(self, board: BoardConfig):
+        """``(panel, coords)`` for an in-hull board, else
+        ``(None, reason)``."""
+        panel = self.panels.get(panel_fingerprint(board))
+        if panel is None:
+            return None, "unknown_panel"
+        swept = {axis.name: axis for axis in panel.axes}
+        coords: Dict[str, float] = {}
+        for name in AXIS_NAMES:
+            ratio = axis_coordinate(board, panel.base_fields[name], name,
+                                    rtol=self.ratio_rtol)
+            if ratio is None:
+                return None, "inconsistent_coords"
+            axis = swept.get(name)
+            if axis is None:
+                # Not a swept dimension: the board must sit on the
+                # panel base along it.
+                if abs(ratio - 1.0) > self.ratio_rtol:
+                    return None, "out_of_hull"
+            else:
+                if not (axis.lo * (1 - 1e-9) <= ratio
+                        <= axis.hi * (1 + 1e-9)):
+                    return None, "out_of_hull"
+                coords[name] = min(max(ratio, axis.lo), axis.hi)
+        return panel, coords
+
+    def covers(self, board: BoardConfig) -> bool:
+        """Whether the surrogate would answer for ``board`` (before the
+        runtime probe): calibrated, known panel, in-hull, clean cells."""
+        if not self.error_bounds:
+            return False
+        return self._predict(board)[0] is not None
+
+    # -- interpolation -------------------------------------------------
+
+    @staticmethod
+    def _weights(axes: Tuple[Axis, ...], coords: Dict[str, float]):
+        """Per-axis ``[(index, weight), ...]`` pairs, multilinear in
+        log-factor space, zero-weight corners dropped."""
+        per_axis = []
+        for axis in axes:
+            c = coords[axis.name]
+            values = axis.values
+            hi_idx = 0
+            while hi_idx < len(values) - 1 and values[hi_idx] < c * (1 - 1e-12):
+                hi_idx += 1
+            lo_idx = max(hi_idx - 1, 0)
+            lo_v, hi_v = values[lo_idx], values[min(lo_idx + 1,
+                                                    len(values) - 1)]
+            if hi_v <= lo_v:
+                per_axis.append([(lo_idx, 1.0)])
+                continue
+            t = ((math.log(c) - math.log(lo_v))
+                 / (math.log(hi_v) - math.log(lo_v)))
+            t = min(max(t, 0.0), 1.0)
+            pairs = []
+            if t < 1.0:
+                pairs.append((lo_idx, 1.0 - t))
+            if t > 0.0:
+                pairs.append((lo_idx + 1, t))
+            per_axis.append(pairs)
+        return per_axis
+
+    def _interpolate(self, panel: Panel, coords: Dict[str, float]):
+        """``(outputs, mixed_keys)``: per-key interpolated values and
+        the keys whose supporting cell mixes NaN and finite corners."""
+        per_axis = self._weights(panel.axes, coords)
+        corners: List[Tuple[Tuple[int, ...], float]] = []
+        for combo in itertools.product(*per_axis):
+            idx = tuple(i for i, _ in combo)
+            weight = 1.0
+            for _, w in combo:
+                weight *= w
+            if weight > 0.0:
+                corners.append((idx, weight))
+        outputs: Dict[str, float] = {}
+        mixed: set = set()
+        for key, grid in panel.grids.items():
+            values = np.array([grid[idx] for idx, _ in corners])
+            weights = np.array([w for _, w in corners])
+            nan_mask = np.isnan(values)
+            if nan_mask.all():
+                outputs[key] = float("nan")
+            elif nan_mask.any():
+                outputs[key] = float("nan")
+                mixed.add(key)
+            else:
+                outputs[key] = float(np.dot(values, weights))
+        return outputs, mixed
+
+    # -- prediction ----------------------------------------------------
+
+    #: Keys a usable prediction must have finite (model tables are
+    #: checked separately against the panel's fitted models).
+    _REQUIRED = (
+        "gpu_threshold_pct", "gpu_threshold_fraction",
+        "cpu_threshold_pct", "cpu_threshold_fraction",
+        "gpu_tp_SC", "gpu_tp_ZC", "cpu_tp_SC", "cpu_tp_ZC",
+        "sc_zc_max_speedup", "zc_sc_max_speedup",
+    )
+
+    def _predict(self, board: BoardConfig):
+        """``(prediction, None)`` or ``(None, reason)`` — static path
+        only (no probe, no calibration requirement, no counters)."""
+        located = self._locate(board)
+        if located[0] is None:
+            return None, located[1]
+        panel, coords = located
+        outputs, mixed = self._interpolate(panel, coords)
+        required = set(self._REQUIRED) | {
+            key for key in panel.grids
+            if key.startswith(("probe_zc@", "probe_sc@"))
+        }
+        if mixed & required or ("gpu_zone2_pct" in mixed):
+            return None, "mixed_cell"
+        if any(math.isnan(outputs.get(key, float("nan")))
+               for key in self._REQUIRED):
+            return None, "mixed_cell"
+        try:
+            device = self._device_from(board, panel, outputs)
+        except Exception:
+            return None, "invalid_prediction"
+        return SurrogatePrediction(
+            board=board, device=device, outputs=outputs,
+            coords=coords, coherence=panel.coherence), None
+
+    @staticmethod
+    def _device_from(board: BoardConfig, panel: Panel,
+                     outputs: Dict[str, float]) -> DeviceCharacterization:
+        def table(prefix: str) -> Dict[str, float]:
+            out = {}
+            for key in panel.grids:
+                if key.startswith(prefix):
+                    value = outputs.get(key, float("nan"))
+                    if not math.isnan(value):
+                        out[key[len(prefix):]] = max(value, 1e-30)
+            return out
+
+        def clip_pct(value: float) -> float:
+            return min(max(value, 0.0), 100.0)
+
+        zone2_pct = outputs["gpu_zone2_pct"]
+        zone2_fraction = outputs["gpu_zone2_fraction"]
+        gpu = ThresholdAnalysis(
+            threshold_pct=clip_pct(outputs["gpu_threshold_pct"]),
+            threshold_fraction=max(outputs["gpu_threshold_fraction"], 1e-9),
+            zone2_pct=(None if math.isnan(zone2_pct)
+                       else clip_pct(zone2_pct)),
+            zone2_fraction=(None if math.isnan(zone2_fraction)
+                            else max(zone2_fraction, 1e-9)),
+            peak_throughput=max(outputs["gpu_tp_SC"], 1e-30),
+            points=(),
+        )
+        cpu = ThresholdAnalysis(
+            threshold_pct=clip_pct(outputs["cpu_threshold_pct"]),
+            threshold_fraction=max(outputs["cpu_threshold_fraction"], 1e-9),
+            zone2_pct=None,
+            zone2_fraction=None,
+            peak_throughput=max(outputs["cpu_tp_SC"], 1e-30),
+            points=(),
+        )
+        return DeviceCharacterization(
+            board_name=board.name,
+            io_coherent=board.io_coherent,
+            gpu_cache_throughput=table("gpu_tp_"),
+            cpu_cache_throughput=table("cpu_tp_"),
+            gpu_thresholds=gpu,
+            cpu_thresholds=cpu,
+            sc_zc_max_speedup=max(outputs["sc_zc_max_speedup"], 1.0),
+            zc_sc_max_speedup=max(outputs["zc_sc_max_speedup"], 1.0),
+        )
+
+    # -- the runtime answer path ---------------------------------------
+
+    def record_fallback(self, reason: str) -> None:
+        self.last_fallback_reason = reason
+        obs.counter_inc("surrogate.fallback")
+        obs.counter_inc(f"surrogate.fallback.{reason}")
+
+    def characterize(
+        self,
+        board: BoardConfig,
+        suite: Optional[MicrobenchmarkSuite] = None,
+        probe: bool = True,
+    ) -> Optional[SurrogatePrediction]:
+        """The trusted fast path: predict + k-point reality probe.
+
+        Returns ``None`` (recording the reason) whenever the answer
+        cannot be trusted; the caller must then run the full
+        characterization.  Never consulted under fault injection —
+        the surrogate's expectations describe the healthy system.
+        """
+        from repro.robustness.inject import injection_active
+
+        self.last_fallback_reason = None
+        with obs.span("surrogate.characterize", board=board.name) as span:
+            if injection_active():
+                self.record_fallback("fault_injection")
+                span.set(outcome="fallback", reason="fault_injection")
+                return None
+            if not self.error_bounds:
+                self.record_fallback("uncalibrated")
+                span.set(outcome="fallback", reason="uncalibrated")
+                return None
+            prediction, reason = self._predict(board)
+            if prediction is None:
+                self.record_fallback(reason)
+                span.set(outcome="fallback", reason=reason)
+                return None
+            if probe:
+                if suite is None:
+                    suite = MicrobenchmarkSuite()
+                if not self._probe_ok(board, prediction.outputs, suite):
+                    self.record_fallback("probe_mismatch")
+                    span.set(outcome="fallback", reason="probe_mismatch")
+                    return None
+                prediction = SurrogatePrediction(
+                    board=prediction.board, device=prediction.device,
+                    outputs=prediction.outputs, coords=prediction.coords,
+                    coherence=prediction.coherence, probed=True)
+            span.set(outcome="hit", probed=prediction.probed)
+            return prediction
+
+    def _probe_ok(self, board: BoardConfig, outputs: Dict[str, float],
+                  suite: MicrobenchmarkSuite) -> bool:
+        """Measure k MB2 GPU points and compare against expectations."""
+        points = suite.probe_points(board, self.probe_fractions)
+        measured = {p.fraction: p for p in points}
+        for fraction in self.probe_fractions:
+            point = None
+            for f, p in measured.items():
+                if abs(f - fraction) <= 1e-9 * max(fraction, 1e-30):
+                    point = p
+                    break
+            if point is None:
+                return False
+            for prefix, actual in (("probe_zc", point.zc_throughput),
+                                   ("probe_sc", point.sc_throughput)):
+                key = f"{prefix}@{fraction:.6g}"
+                expected = outputs.get(key, float("nan"))
+                if math.isnan(expected):
+                    return False
+                bound = self.error_bounds.get(key, self.probe_rtol)
+                tol = max(2.0 * bound, self.probe_rtol)
+                if abs(actual - expected) > tol * max(abs(expected), 1e-30):
+                    return False
+        return True
+
+    def decision_margin_ok(
+        self,
+        prediction: SurrogatePrediction,
+        cpu_usage_pct: float,
+        gpu_usage_pct: float,
+    ) -> bool:
+        """Whether the decision survives the calibrated error bounds.
+
+        GPU usage is ``workload_bytes / (peak_throughput * time)`` — a
+        relative error on the predicted peak propagates one-to-one into
+        the usage — so the usage must clear each predicted threshold by
+        the propagated usage error plus the threshold's own bound plus
+        the configured floor.  CPU usage does not depend on the
+        characterization; only the CPU threshold bound applies.
+        """
+        bounds = self.error_bounds
+        if not bounds:
+            return False
+        if math.isnan(cpu_usage_pct) or math.isnan(gpu_usage_pct):
+            return False
+        inf = float("inf")
+        device = prediction.device
+        usage_err = abs(gpu_usage_pct) * bounds.get("gpu_tp_SC", inf)
+        floor = self.margin_floor_pct
+        gpu_margin = (usage_err + bounds.get("gpu_threshold_pct", inf)
+                      + floor)
+        if abs(gpu_usage_pct - device.gpu_threshold_pct) <= gpu_margin:
+            return False
+        zone2 = device.gpu_zone2_pct
+        if zone2 > device.gpu_threshold_pct:
+            zone2_margin = (usage_err
+                            + bounds.get("gpu_zone2_pct",
+                                         bounds.get("gpu_threshold_pct",
+                                                    inf))
+                            + floor)
+            if abs(gpu_usage_pct - zone2) <= zone2_margin:
+                return False
+        cpu_margin = bounds.get("cpu_threshold_pct", inf) + floor
+        if abs(cpu_usage_pct - device.cpu_threshold_pct) <= cpu_margin:
+            return False
+        return True
+
+    # -- calibration ---------------------------------------------------
+
+    def calibrate(
+        self,
+        space: BoardSpace,
+        suite: Optional[MicrobenchmarkSuite] = None,
+        n: int = 4,
+        seed: int = 0,
+        safety: float = CALIBRATION_SAFETY,
+    ) -> CalibrationReport:
+        """Fit error bounds from ``n`` off-grid holdout boards.
+
+        Each holdout is fully characterized and compared against the
+        interpolation; the per-output worst error times ``safety``
+        (floored per key class) becomes the trust bound.  Until this
+        runs, :meth:`characterize` refuses every query.
+        """
+        if n < 1:
+            raise ExploreError("calibration needs >= 1 holdout board")
+        suite = suite if suite is not None else MicrobenchmarkSuite()
+        boards = space.sample(n, seed)
+        rows: List[CalibrationRow] = []
+        worst: Dict[str, float] = {}
+        with obs.span("explore.calibrate", holdouts=n, seed=seed):
+            for board in boards:
+                located = self._locate(board)
+                if located[0] is None:
+                    raise ExploreError(
+                        f"holdout board {board.name!r} is outside the "
+                        f"surrogate ({located[1]}); calibrate with the "
+                        f"space the surrogate was fitted on",
+                        details={"board": board.name,
+                                 "reason": located[1]})
+                panel, coords = located
+                predicted, _ = self._interpolate(panel, coords)
+                actual = device_outputs(suite.characterize(board),
+                                        self.probe_fractions)
+                errors: Dict[str, float] = {}
+                keys = set(predicted) | set(actual)
+                for key in keys:
+                    err = _error(key, predicted.get(key, float("nan")),
+                                 actual.get(key, float("nan")))
+                    if err is None:
+                        # One side has the output, the other does not
+                        # (e.g. a zone-2 that appears off-grid): make
+                        # the key untrustworthy.
+                        err = float("inf")
+                    errors[key] = err
+                    worst[key] = max(worst.get(key, 0.0), err)
+                rows.append(CalibrationRow(board_name=board.name,
+                                           errors=errors))
+            bounds = {
+                key: max(safety * err, _bound_floor(key))
+                for key, err in worst.items()
+                if math.isfinite(err)
+            }
+            self.error_bounds = bounds
+            obs.counter_inc("explore.calibrate.holdouts", n)
+        return CalibrationReport(rows=rows, bounds=dict(bounds),
+                                 safety=safety)
+
+    # -- persistence ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        def encode_grid(grid: np.ndarray) -> List:
+            return [None if math.isnan(v) else v
+                    for v in grid.ravel().tolist()]
+
+        return {
+            "artifact_version": ARTIFACT_VERSION,
+            "probe_fractions": list(self.probe_fractions),
+            "error_bounds": dict(self.error_bounds),
+            "ratio_rtol": self.ratio_rtol,
+            "probe_rtol": self.probe_rtol,
+            "margin_floor_pct": self.margin_floor_pct,
+            "meta": dict(self.meta),
+            "panels": [
+                {
+                    "coherence": panel.coherence,
+                    "fingerprint": panel.fingerprint,
+                    "axes": [{"name": a.name, "values": list(a.values)}
+                             for a in panel.axes],
+                    "base_fields": panel.base_fields,
+                    "shape": list(panel.shape),
+                    "grids": {key: encode_grid(grid)
+                              for key, grid in panel.grids.items()},
+                }
+                for panel in self.panels.values()
+            ],
+        }
+
+    def save(self, path: str) -> None:
+        """Atomically persist the artifact as JSON."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                        suffix=".surrogate.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]
+                  ) -> "CharacterizationSurrogate":
+        version = payload.get("artifact_version")
+        if version != ARTIFACT_VERSION:
+            raise ExploreError(
+                f"surrogate artifact version {version!r} is not "
+                f"supported (expected {ARTIFACT_VERSION})",
+                details={"found": version,
+                         "expected": ARTIFACT_VERSION})
+        panels = []
+        for entry in payload["panels"]:
+            axes = tuple(Axis(a["name"], tuple(a["values"]))
+                         for a in entry["axes"])
+            shape = tuple(entry["shape"])
+            grids = {}
+            for key, flat in entry["grids"].items():
+                arr = np.array(
+                    [float("nan") if v is None else float(v)
+                     for v in flat], dtype=float)
+                grids[key] = arr.reshape(shape)
+            panels.append(Panel(
+                coherence=entry["coherence"],
+                fingerprint=entry["fingerprint"],
+                axes=axes,
+                base_fields={
+                    axis: {path: float(v) for path, v in fields.items()}
+                    for axis, fields in entry["base_fields"].items()
+                },
+                grids=grids,
+            ))
+        return cls(
+            panels,
+            probe_fractions=tuple(payload["probe_fractions"]),
+            error_bounds=dict(payload.get("error_bounds") or {}),
+            ratio_rtol=float(payload.get("ratio_rtol", RATIO_RTOL)),
+            probe_rtol=float(payload.get("probe_rtol", PROBE_RTOL)),
+            margin_floor_pct=float(
+                payload.get("margin_floor_pct",
+                            DEFAULT_MARGIN_FLOOR_PCT)),
+            meta=dict(payload.get("meta") or {}),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "CharacterizationSurrogate":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ExploreError(
+                f"cannot load surrogate artifact {path!r}: {exc}",
+                details={"path": path}) from exc
+        return cls.from_dict(payload)
+
+
+def fit_surrogate(
+    space: BoardSpace,
+    suite: Optional[MicrobenchmarkSuite] = None,
+    holdout: int = 4,
+    seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> Tuple["CharacterizationSurrogate", CalibrationReport, SweepResult]:
+    """Sweep + fit + calibrate in one call (the ``repro explore`` core).
+
+    The holdout seed is offset from the sweep so calibration boards are
+    genuinely off-grid draws.
+    """
+    suite = suite if suite is not None else MicrobenchmarkSuite()
+    t0 = time.perf_counter()
+    sweep = sweep_space(space, suite, parallel=parallel,
+                        max_workers=max_workers)
+    surrogate = CharacterizationSurrogate.from_sweep(sweep)
+    report = surrogate.calibrate(space, suite, n=holdout, seed=seed)
+    surrogate.meta["fit_seconds"] = round(time.perf_counter() - t0, 3)
+    surrogate.meta["holdout"] = holdout
+    surrogate.meta["seed"] = seed
+    return surrogate, report, sweep

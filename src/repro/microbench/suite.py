@@ -315,6 +315,42 @@ class MicrobenchmarkSuite:
         """Raw micro-benchmark results of the last run on a board."""
         return self._raw.get(board_name)
 
+    def probe_points(self, board: BoardConfig,
+                     fractions: Sequence[float]) -> List["SweepPoint"]:
+        """MB2's GPU sweep at just ``fractions`` — the surrogate's
+        k-point reality probe (no MB1/MB3, no threshold analysis).
+
+        Runs through the batch engine's GPU side only when vectorized
+        evaluation is available; each sweep point is an independent
+        ZC-vs-SC measurement, so restricting the fractions yields the
+        same values the full sweep would have produced at them.
+        """
+        from repro.robustness.inject import injection_active
+
+        bench = SecondMicroBenchmark(
+            fractions=tuple(fractions),
+            array_bytes=self.second.array_bytes,
+            sweep_repeats=self.second.sweep_repeats,
+            vectorized=self.second.vectorized,
+        )
+        soc = SoC(board)
+        with obs.span("microbench.probe", board=board.name,
+                      points=len(bench.fractions)):
+            points = None
+            if bench.vectorized and not injection_active():
+                from repro.perf.batch import (
+                    BatchUnsupported,
+                    vectorized_second_sweep,
+                )
+                try:
+                    points, _ = vectorized_second_sweep(
+                        bench, soc, sides=("gpu",))
+                except BatchUnsupported:
+                    points = None
+            if points is None:
+                points = bench._sweep_gpu(soc)
+        return list(points)
+
 
 def _characterize_worker(job) -> DeviceCharacterization:
     """One board's characterization in a worker process.

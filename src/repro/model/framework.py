@@ -40,6 +40,7 @@ from repro.resilience.deadline import (
 from repro.resilience.retry import RetryPolicy
 
 if TYPE_CHECKING:  # avoid a circular import with repro.microbench
+    from repro.explore.surrogate import CharacterizationSurrogate
     from repro.microbench.suite import MicrobenchmarkSuite
 from repro.model.device import DeviceCharacterization
 from repro.profiling.counters import AppProfile
@@ -67,6 +68,9 @@ class TuningReport:
     cpu_cache_usage_pct: float
     gpu_cache_usage_pct: float
     recommendation: Recommendation
+    #: True when ``device`` is a surrogate interpolation (k probe
+    #: points) rather than a full MB1–MB3 characterization.
+    via_surrogate: bool = False
 
     @property
     def kernel_time_s(self) -> float:
@@ -108,7 +112,9 @@ class Framework:
     def __init__(self, suite: Optional["MicrobenchmarkSuite"] = None,
                  cache_dir: Optional[str] = None,
                  breakers: Optional[BreakerRegistry] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 surrogate: Optional["CharacterizationSurrogate"] = None
+                 ) -> None:
         if suite is None:
             # Imported here to keep repro.model importable from the
             # micro-benchmarks without a cycle.
@@ -122,6 +128,10 @@ class Framework:
         self.suite = suite
         self.breakers = breakers
         self.retry_policy = retry_policy
+        #: Default :class:`~repro.explore.surrogate.CharacterizationSurrogate`
+        #: consulted by strict :meth:`tune` calls (``tune(...,
+        #: surrogate=...)`` overrides per call).
+        self.surrogate = surrogate
         #: The :class:`~repro.obs.report.TuneReport` of the most recent
         #: :meth:`tune` call (``repro tune --report`` serializes it).
         self.last_tune_report: Optional[TuneReport] = None
@@ -176,7 +186,9 @@ class Framework:
 
     def tune(self, workload: Workload, board: BoardConfig,
              current_model: str = "SC", strict: bool = True,
-             deadline_s: Optional[float] = None) -> TuningReport:
+             deadline_s: Optional[float] = None,
+             surrogate: Optional["CharacterizationSurrogate"] = None
+             ) -> TuningReport:
         """Run the complete Fig-2 flow for one application.
 
         ``strict=True`` (default) preserves the raising behaviour: any
@@ -194,6 +206,16 @@ class Framework:
         instead of overshooting.  An already-ambient deadline (from an
         enclosing :func:`~repro.resilience.deadline.deadline_scope`) is
         honoured when ``deadline_s`` is not given.
+
+        ``surrogate`` (or the framework-level default) enables the
+        fast path: a strict tune first asks the
+        :class:`~repro.explore.surrogate.CharacterizationSurrogate`,
+        which answers from k MB2 probe points when the board is inside
+        its calibrated trust region — the full characterization runs
+        only when the surrogate declines or the decision margin is
+        thinner than the calibrated error bounds.  Degraded mode
+        ignores the surrogate entirely (its guarantees are phrased for
+        the healthy flow).
         """
         if current_model.upper() not in ALL_MODELS:
             raise ModelError(
@@ -204,11 +226,14 @@ class Framework:
             )
         timings: Dict[str, float] = {}
         tune_start = time.perf_counter()
+        if surrogate is None:
+            surrogate = self.surrogate
         with contextlib.ExitStack() as stack:
             if deadline_s is not None:
                 stack.enter_context(deadline_scope(Deadline.after(deadline_s)))
             report, recommendation = self._tune_under_scope(
-                workload, board, current_model, strict, timings, tune_start
+                workload, board, current_model, strict, timings, tune_start,
+                surrogate=surrogate,
             )
         obs.counter_inc("framework.tune")
         if recommendation.degraded:
@@ -219,19 +244,29 @@ class Framework:
 
     def _tune_under_scope(self, workload: Workload, board: BoardConfig,
                           current_model: str, strict: bool,
-                          timings: Dict[str, float], tune_start: float):
+                          timings: Dict[str, float], tune_start: float,
+                          surrogate: Optional[
+                              "CharacterizationSurrogate"] = None):
         """The tune flow body, running inside any deadline scope."""
         with obs.span("tune", workload=workload.name, board=board.name,
                       model=current_model.upper(), strict=strict) as tune_span:
+            via_surrogate = False
             if strict:
                 checkpoint("tune.characterize", workload=workload.name)
-                device = self._timed("characterize", timings,
-                                     self.characterize, board)
-                checkpoint("tune.profile", workload=workload.name)
-                profile = self._timed(
-                    "profile", timings, self.profile, workload, board,
-                    model=current_model.upper(),
-                )
+                device = None
+                profile = None
+                if surrogate is not None:
+                    device, profile, via_surrogate = self._tune_via_surrogate(
+                        surrogate, workload, board, current_model, timings)
+                if device is None:
+                    device = self._timed("characterize", timings,
+                                         self.characterize, board)
+                if profile is None:
+                    checkpoint("tune.profile", workload=workload.name)
+                    profile = self._timed(
+                        "profile", timings, self.profile, workload, board,
+                        model=current_model.upper(),
+                    )
                 checkpoint("tune.decide", workload=workload.name)
                 with obs.span("decide", workload=workload.name):
                     start = time.perf_counter()
@@ -255,14 +290,54 @@ class Framework:
                     device.gpu_peak_throughput if device is not None else None,
                     strict=strict),
                 recommendation=recommendation,
+                via_surrogate=via_surrogate,
             )
             tune_span.set(
                 recommendation=recommendation.model.value,
                 zone=int(recommendation.zone)
                 if recommendation.zone is not None else None,
                 degraded=recommendation.degraded,
+                via_surrogate=via_surrogate,
             )
         return report, recommendation
+
+    def _tune_via_surrogate(self, surrogate: "CharacterizationSurrogate",
+                            workload: Workload, board: BoardConfig,
+                            current_model: str, timings: Dict[str, float]):
+        """Attempt the surrogate fast path of one strict tune.
+
+        Returns ``(device, profile, True)`` on a trusted answer.  On
+        any refusal the device is ``None`` and the caller runs the full
+        characterization; the profile (if already measured for the
+        margin check) is reused rather than re-run.
+        """
+        prediction = self._timed(
+            "surrogate", timings, surrogate.characterize, board,
+            suite=self.suite,
+        )
+        if prediction is None:
+            return None, None, False
+        checkpoint("tune.profile", workload=workload.name)
+        profile = self._timed(
+            "profile", timings, self.profile, workload, board,
+            model=current_model.upper(),
+        )
+        # The margin check needs the usages the decision will see; a
+        # structurally bad profile fails strictly later in the full
+        # flow, so here it simply withholds trust.
+        try:
+            gpu_usage = profile_gpu_cache_usage(
+                profile, prediction.device.gpu_peak_throughput)
+            cpu_usage = profile_cpu_cache_usage(profile)
+            margin_ok = surrogate.decision_margin_ok(
+                prediction, cpu_usage, gpu_usage)
+        except ReproError:
+            margin_ok = False
+        if not margin_ok:
+            surrogate.record_fallback("low_margin")
+            return None, profile, False
+        obs.counter_inc("surrogate.hit")
+        return prediction.device, profile, True
 
     @staticmethod
     def _timed(stage: str, timings: Dict[str, float], fn, *args, **kwargs):
@@ -359,7 +434,9 @@ class Framework:
 
     def tune_many(self, workloads: Sequence[Workload], board: BoardConfig,
                   current_model: str = "SC", strict: bool = True,
-                  deadline_s: Optional[float] = None) -> List[TuningReport]:
+                  deadline_s: Optional[float] = None,
+                  surrogate: Optional["CharacterizationSurrogate"] = None
+                  ) -> List[TuningReport]:
         """Tune several applications against one board in one call.
 
         This is the paper's characterize-once / tune-many workflow as
@@ -376,18 +453,28 @@ class Framework:
         ``DEADLINE_EXCEEDED`` caveat, so the report list stays complete
         and ordered.
         """
+        if surrogate is None:
+            surrogate = self.surrogate
         with obs.span("tune_many", board=board.name, workloads=len(workloads)):
             with contextlib.ExitStack() as stack:
                 if deadline_s is not None:
                     stack.enter_context(
                         deadline_scope(Deadline.after(deadline_s))
                     )
-                return self._tune_many(workloads, board, current_model, strict)
+                return self._tune_many(workloads, board, current_model,
+                                       strict, surrogate)
 
     def _tune_many(self, workloads: Sequence[Workload], board: BoardConfig,
-                   current_model: str, strict: bool) -> List[TuningReport]:
+                   current_model: str, strict: bool,
+                   surrogate: Optional["CharacterizationSurrogate"] = None
+                   ) -> List[TuningReport]:
         if strict:
-            self.characterize(board)  # shared by every report below
+            # Shared by every report below — unless the surrogate's
+            # trust region covers the board, in which case the per-item
+            # fast path answers from probe points and pre-paying the
+            # full characterization would forfeit exactly that saving.
+            if surrogate is None or not surrogate.covers(board):
+                self.characterize(board)
         else:
             # Degraded mode absorbs a failed characterization per
             # report; warming the suite cache is best-effort only.
@@ -417,7 +504,7 @@ class Framework:
                     break
             reports.append(
                 self.tune(workload, board, current_model=current_model,
-                          strict=strict)
+                          strict=strict, surrogate=surrogate)
             )
         return reports
 

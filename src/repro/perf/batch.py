@@ -224,15 +224,26 @@ def _assemble_points(point_cls, fractions, sc, zc):
 
 
 def vectorized_second_sweep(
-    bench: "SecondMicroBenchmark", soc: SoC
+    bench: "SecondMicroBenchmark",
+    soc: SoC,
+    sides: Tuple[str, ...] = ("gpu", "cpu"),
 ) -> Tuple[List["SweepPoint"], List["SweepPoint"]]:
-    """Both MB2 sweeps of ``bench`` on ``soc`` via the batch engine."""
-    gpu_points = mb2_gpu_points(
-        soc, bench.fractions, bench.array_bytes, bench.sweep_repeats
-    )
-    cpu_points = mb2_cpu_points(
-        soc, bench.fractions, bench.array_bytes, bench.sweep_repeats
-    )
+    """MB2 sweeps of ``bench`` on ``soc`` via the batch engine.
+
+    ``sides`` restricts the work: the surrogate's k-point probe only
+    needs the GPU sweep, and skipping the CPU side halves its cost.  A
+    skipped side returns an empty point list.
+    """
+    gpu_points: List["SweepPoint"] = []
+    cpu_points: List["SweepPoint"] = []
+    if "gpu" in sides:
+        gpu_points = mb2_gpu_points(
+            soc, bench.fractions, bench.array_bytes, bench.sweep_repeats
+        )
+    if "cpu" in sides:
+        cpu_points = mb2_cpu_points(
+            soc, bench.fractions, bench.array_bytes, bench.sweep_repeats
+        )
     return gpu_points, cpu_points
 
 

@@ -644,3 +644,45 @@ class ShardedCharacterizationStore(CharacterizationCache):
                 misses=count(f"perf.store.shard.{label}.miss"),
             ))
         return stats
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``repro cache info --json`` document: everything the
+        text table renders, as one JSON-friendly dict (explore/bench
+        scripts consume this instead of scraping the table)."""
+        entries = []
+        quarantined_total = 0
+        for path, status, reason in self.scan():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            entries.append({
+                "name": path.name,
+                "shard": path.parent.name,
+                "bytes": size,
+                "status": status,
+                "reason": reason,
+            })
+        shards = []
+        for stat in self.shard_stats():
+            quarantined_total += stat.quarantined
+            shards.append({
+                "name": stat.name,
+                "entries": stat.entries,
+                "bytes": stat.bytes,
+                "quarantined": stat.quarantined,
+                "hits": stat.hits,
+                "misses": stat.misses,
+                "hit_rate": stat.hit_rate,
+            })
+        return {
+            "directory": str(self.directory),
+            "num_shards": self.num_shards,
+            "max_bytes": self.max_bytes,
+            "shard_budget": self.shard_budget,
+            "entries": entries,
+            "total_entries": len(entries),
+            "total_bytes": sum(e["bytes"] for e in entries),
+            "quarantined": quarantined_total,
+            "shards": shards,
+        }

@@ -262,6 +262,57 @@ def _probe_whatif() -> _TimingPair:
     )
 
 
+@functools.lru_cache(maxsize=None)
+def _surrogate_fixture():
+    """A small calibrated surrogate over a tx2-based 2-axis space,
+    plus a held-out in-hull target board.
+
+    Cached so the sweep+fit cost (a few dozen characterizations) is
+    paid once per process no matter how often the probe reruns.
+    """
+    from repro.explore import Axis, BoardSpace, fit_surrogate
+    from repro.microbench.suite import MicrobenchmarkSuite
+
+    space = BoardSpace(
+        "tx2",
+        axes=(
+            Axis("dram_bandwidth", (0.8, 1.0, 1.25)),
+            Axis("zc_bandwidth", (0.5, 1.0, 2.0)),
+        ),
+    )
+    suite = MicrobenchmarkSuite()
+    surrogate, _, _ = fit_surrogate(space, suite, holdout=2, seed=7)
+    target = space.board_at((0.9, 1.4))
+    return surrogate, target
+
+
+def _probe_surrogate() -> _TimingPair:
+    """Cold full characterization vs surrogate answer (k probe points).
+
+    Both sides run on a fresh suite (no memory or store cache) for the
+    same held-out in-hull board; the fast side asserts the surrogate
+    actually answered — a silent fallback would otherwise time the full
+    characterization and report a bogus ~1x.
+    """
+    from repro.microbench.suite import MicrobenchmarkSuite
+
+    surrogate, target = _surrogate_fixture()
+
+    def fast():
+        prediction = surrogate.characterize(
+            target, suite=MicrobenchmarkSuite())
+        assert prediction is not None, (
+            f"surrogate fell back ({surrogate.last_fallback_reason}) on "
+            f"the probe's in-hull board {target.name!r}"
+        )
+
+    return _timing_pair(
+        lambda: MicrobenchmarkSuite().characterize(target),
+        fast,
+        slow_repeats=2,
+    )
+
+
 def _probe_serving() -> _TimingPair:
     """Serial vs coalesced sustained serving on a warm store.
 
@@ -285,6 +336,7 @@ PROBES: Dict[str, Tuple[str, Callable[[], _TimingPair]]] = {
     "paths.mb3_balance_sweep.speedup": ("BENCH_app.json", _probe_mb3),
     "paths.whatif_sweep.speedup": ("BENCH_app.json", _probe_whatif),
     "serving.speedup": ("BENCH_serve.json", _probe_serving),
+    "explore.surrogate_speedup": ("BENCH_perf.json", _probe_surrogate),
     # "scene" is reported in BENCH_app.json but not gated: its scatter
     # rasterizer is not a wall-clock win (speedup < 1), so a threshold
     # on it would only amplify timing noise.

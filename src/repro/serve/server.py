@@ -111,8 +111,15 @@ class TuneServer:
     """
 
     def __init__(self, framework: Optional[Framework] = None,
-                 config: Optional[ServeConfig] = None) -> None:
+                 config: Optional[ServeConfig] = None,
+                 surrogate: Optional[Any] = None) -> None:
         self.framework = framework if framework is not None else Framework()
+        #: Optional :class:`~repro.explore.surrogate.CharacterizationSurrogate`
+        #: consulted by every strict batch — boards inside a known swept
+        #: space are answered from probe points instead of a full
+        #: characterization.  Overrides the framework's own default.
+        self.surrogate = (surrogate if surrogate is not None
+                          else self.framework.surrogate)
         self.config = (config or ServeConfig()).validated()
         self.stats = ServeStats()
         self._coalescer = Coalescer(window_s=self.config.window_s,
@@ -369,6 +376,7 @@ class TuneServer:
                 reports = self.framework.tune_many(
                     [job.workload for job in jobs], batch.board,
                     current_model=model, strict=strict,
+                    surrogate=self.surrogate,
                 )
                 return [(report, None) for report in reports]
             except ReproError:
@@ -380,7 +388,7 @@ class TuneServer:
                 try:
                     results.append((self.framework.tune(
                         job.workload, batch.board, current_model=model,
-                        strict=strict), None))
+                        strict=strict, surrogate=self.surrogate), None))
                 except ReproError as error:
                     obs.event("serve.job_failed", code=error.code,
                               workload=job.items[0].request.workload_name)
@@ -390,14 +398,17 @@ class TuneServer:
 
 def serve_all(requests: Sequence[TuneRequest],
               framework: Optional[Framework] = None,
-              config: Optional[ServeConfig] = None) -> List[TuneAnswer]:
+              config: Optional[ServeConfig] = None,
+              surrogate: Optional[Any] = None) -> List[TuneAnswer]:
     """Convenience wrapper: serve a request list on a private loop.
 
     Submissions are concurrent (so the coalescer sees them in one
-    window); answers keep the input order.
+    window); answers keep the input order.  ``surrogate`` enables the
+    probe-point fast path for boards inside a swept space.
     """
     async def _run() -> List[TuneAnswer]:
-        async with TuneServer(framework, config) as server:
+        async with TuneServer(framework, config,
+                              surrogate=surrogate) as server:
             return await server.submit_many(requests)
 
     return asyncio.run(_run())

@@ -29,6 +29,7 @@ Key behavioural differences the presets encode (paper §IV-A):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
@@ -259,3 +260,142 @@ def register_board(name: str, factory: Callable[[], BoardConfig]) -> None:
     if key in _REGISTRY:
         raise ConfigurationError(f"board {name!r} already registered")
     _REGISTRY[key] = factory
+
+
+# ----------------------------------------------------------------------
+# synthetic variants (the design-space explorer's board generator)
+# ----------------------------------------------------------------------
+
+#: Coherence-mode choices accepted by :func:`derive_board`.
+COHERENCE_CHOICES = ("inherit", "io_coherent", "caches_disabled")
+
+#: Snoop latency a synthesized I/O-coherent variant inherits when its
+#: base was not I/O coherent (the Xavier preset's measured value).
+_DEFAULT_SNOOP_LATENCY_S = 0.4e-6
+
+#: CPU uncached-path latency a synthesized caches-disabled variant
+#: inherits when its base kept the CPU caches on (the TX2's value).
+_DEFAULT_CPU_UNCACHED_LATENCY_S = 100e-9
+
+
+def _is_power_of_two(value: float) -> bool:
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        # Fractions 1/2^k scale a power-of-two geometry legally too.
+        inverse = 1.0 / value if value > 0 else 0.0
+        return inverse > 0 and inverse == int(inverse) and \
+            int(inverse) & (int(inverse) - 1) == 0
+    return ivalue & (ivalue - 1) == 0
+
+
+def _with_coherence(zero_copy: ZeroCopyBehavior,
+                    coherence: str) -> ZeroCopyBehavior:
+    """The base board's ZC behaviour re-expressed under ``coherence``."""
+    if coherence == "inherit":
+        return zero_copy
+    if coherence == "io_coherent":
+        return ZeroCopyBehavior(
+            mode=CoherenceMode.ZC_IO_COHERENT,
+            gpu_zc_bandwidth=zero_copy.gpu_zc_bandwidth,
+            cpu_zc_bandwidth=zero_copy.cpu_zc_bandwidth,
+            gpu_llc_disabled=True,
+            cpu_llc_disabled=False,
+            snoop_latency_s=zero_copy.snoop_latency_s
+            or _DEFAULT_SNOOP_LATENCY_S,
+            cpu_uncached_latency_s=zero_copy.cpu_uncached_latency_s,
+        )
+    if coherence == "caches_disabled":
+        return ZeroCopyBehavior(
+            mode=CoherenceMode.ZC_CACHES_DISABLED,
+            gpu_zc_bandwidth=zero_copy.gpu_zc_bandwidth,
+            cpu_zc_bandwidth=zero_copy.cpu_zc_bandwidth,
+            gpu_llc_disabled=True,
+            cpu_llc_disabled=True,
+            snoop_latency_s=0.0,
+            cpu_uncached_latency_s=zero_copy.cpu_uncached_latency_s
+            or _DEFAULT_CPU_UNCACHED_LATENCY_S,
+        )
+    raise ConfigurationError(
+        f"unknown coherence mode {coherence!r}; expected one of "
+        f"{COHERENCE_CHOICES}"
+    )
+
+
+def derive_board(
+    base: BoardConfig,
+    name: str,
+    dram_bandwidth: float = 1.0,
+    gpu_clock: float = 1.0,
+    cpu_clock: float = 1.0,
+    zc_bandwidth: float = 1.0,
+    llc_size: float = 1.0,
+    coherence: str = "inherit",
+    display_name: str = "",
+) -> BoardConfig:
+    """A synthetic variant of ``base`` scaled along the explorer's axes.
+
+    The scale factors are multiplicative against the base preset and
+    each one moves every field that physically co-varies with it:
+    ``dram_bandwidth`` scales the DRAM pins *and* the fabric,
+    ``gpu_clock``/``cpu_clock`` scale a core's frequency together with
+    its cache bandwidths (on-chip SRAM runs in the core clock domain),
+    ``zc_bandwidth`` scales both zero-copy paths, and ``llc_size``
+    (a power of two, so the set count stays a mask) scales both LLCs.
+    ``coherence`` rewrites the ZC behaviour to the Xavier-style
+    I/O-coherent variant or the Nano/TX2 caches-disabled variant.
+
+    Deterministic: same base + same factors ⇒ an identical (frozen,
+    fully validated) :class:`BoardConfig`.
+    """
+    for label, factor in (("dram_bandwidth", dram_bandwidth),
+                          ("gpu_clock", gpu_clock),
+                          ("cpu_clock", cpu_clock),
+                          ("zc_bandwidth", zc_bandwidth),
+                          ("llc_size", llc_size)):
+        if factor <= 0:
+            raise ConfigurationError(
+                f"{name}: {label} scale must be positive, got {factor}"
+            )
+    if not _is_power_of_two(llc_size):
+        raise ConfigurationError(
+            f"{name}: llc_size scale must be a power of two (the set "
+            f"count must stay a mask), got {llc_size}"
+        )
+    cpu = dataclasses.replace(
+        base.cpu,
+        frequency_hz=base.cpu.frequency_hz * cpu_clock,
+        l1_bandwidth=base.cpu.l1_bandwidth * cpu_clock,
+        llc_bandwidth=base.cpu.llc_bandwidth * cpu_clock,
+        llc=dataclasses.replace(
+            base.cpu.llc, size_bytes=int(base.cpu.llc.size_bytes * llc_size)
+        ),
+    )
+    gpu = dataclasses.replace(
+        base.gpu,
+        frequency_hz=base.gpu.frequency_hz * gpu_clock,
+        l1_bandwidth=base.gpu.l1_bandwidth * gpu_clock,
+        llc_bandwidth=base.gpu.llc_bandwidth * gpu_clock,
+        llc=dataclasses.replace(
+            base.gpu.llc, size_bytes=int(base.gpu.llc.size_bytes * llc_size)
+        ),
+    )
+    zero_copy = dataclasses.replace(
+        _with_coherence(base.zero_copy, coherence),
+        gpu_zc_bandwidth=base.zero_copy.gpu_zc_bandwidth * zc_bandwidth,
+        cpu_zc_bandwidth=base.zero_copy.cpu_zc_bandwidth * zc_bandwidth,
+    )
+    return dataclasses.replace(
+        base,
+        name=name,
+        display_name=display_name or f"{base.display_name} [{name}]",
+        cpu=cpu,
+        gpu=gpu,
+        dram=dataclasses.replace(
+            base.dram, peak_bandwidth=base.dram.peak_bandwidth * dram_bandwidth
+        ),
+        interconnect=dataclasses.replace(
+            base.interconnect,
+            total_bandwidth=base.interconnect.total_bandwidth * dram_bandwidth,
+        ),
+        zero_copy=zero_copy,
+    )

@@ -1,0 +1,36 @@
+"""Shared fixtures for the design-space explorer tests.
+
+Fitting a surrogate sweeps a 3x3 grid plus holdout boards, so the fitted
+surrogate is session-scoped and shared by every test that only reads it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import Axis, BoardSpace, fit_surrogate
+from repro.microbench.suite import MicrobenchmarkSuite
+
+
+@pytest.fixture(scope="session")
+def tx2_space() -> BoardSpace:
+    """A small 2-axis space around the TX2 preset (9 grid boards)."""
+    return BoardSpace(
+        "tx2",
+        axes=(
+            Axis("dram_bandwidth", (0.8, 1.0, 1.25)),
+            Axis("zc_bandwidth", (0.5, 1.0, 2.0)),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted(tx2_space):
+    """(surrogate, calibration report, sweep) fitted over ``tx2_space``."""
+    suite = MicrobenchmarkSuite()
+    return fit_surrogate(tx2_space, suite=suite, holdout=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def surrogate(fitted):
+    return fitted[0]

@@ -1,0 +1,101 @@
+"""CLI surface of the explorer: ``repro explore``, ``--surrogate``,
+``repro cache info --json``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCacheInfoJson:
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert main(["characterize", "tx2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--dir", str(tmp_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["directory"] == str(tmp_path)
+        assert payload["total_entries"] == 1
+        assert payload["num_shards"] == 8
+        assert len(payload["shards"]) == 8
+        (entry,) = payload["entries"]
+        assert entry["name"].startswith("tx2")
+        assert entry["status"] == "ok"
+
+    def test_json_on_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "info", "--dir", str(tmp_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_entries"] == 0
+        assert payload["entries"] == []
+
+
+class TestExploreParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.base == "tx2"
+        assert args.holdout == 4
+        assert args.out == "surrogate.json"
+
+    def test_axis_spec(self):
+        args = build_parser().parse_args(
+            ["explore", "--axis", "dram_bandwidth=0.8,1.0,1.25"])
+        assert args.axis == ["dram_bandwidth=0.8,1.0,1.25"]
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--base", "orin"])
+
+
+class TestExploreCommand:
+    def test_malformed_axis_exits_with_code(self, tmp_path, capsys):
+        assert main(["explore", "--axis", "dram_bandwidth",
+                     "--out", str(tmp_path / "s.json")]) == 2
+        err = capsys.readouterr().err
+        assert "EXPLORE_BAD_AXIS" in err
+
+    def test_unknown_axis_exits_with_code(self, tmp_path, capsys):
+        assert main(["explore", "--axis", "warp_width=1,2",
+                     "--out", str(tmp_path / "s.json")]) == 2
+
+    def test_small_sweep_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "surrogate.json"
+        assert main([
+            "explore",
+            "--axis", "dram_bandwidth=0.8,1.0,1.25",
+            "--axis", "zc_bandwidth=0.5,1.0,2.0",
+            "--holdout", "2", "--seed", "7", "--jobs", "1",
+            "--app", "orbslam",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "Design-space exploration" in text or "surrogate" in text
+        assert out.exists()
+        payload = json.loads(out.read_text())
+        assert payload["artifact_version"] == 1
+
+        # The artifact round-trips through the tune fast path.
+        from repro.explore import CharacterizationSurrogate
+
+        surrogate = CharacterizationSurrogate.load(out)
+        assert surrogate.error_bounds
+
+    def test_tune_reports_device_source(self, tmp_path, capsys):
+        out = tmp_path / "surrogate.json"
+        assert main([
+            "explore",
+            "--axis", "dram_bandwidth=0.8,1.0,1.25",
+            "--axis", "zc_bandwidth=0.5,1.0,2.0",
+            "--holdout", "2", "--seed", "7", "--jobs", "1",
+            "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["tune", "orbslam", "tx2",
+                     "--surrogate", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "device source" in text
+        assert "surrogate" in text

@@ -1,0 +1,174 @@
+"""Property and unit tests for the design-space generator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ReproError
+from repro.explore import (
+    AXIS_NAMES,
+    Axis,
+    BoardSpace,
+    axis_coordinate,
+    base_field_values,
+    default_axes,
+    panel_fingerprint,
+)
+from repro.robustness.guards import validate
+from repro.soc.board import available_boards, derive_board, get_board
+
+
+@pytest.fixture(scope="module")
+def shwfs_workload_tx2():
+    from repro.apps.shwfs import ShwfsPipeline
+
+    return ShwfsPipeline().workload(board_name=get_board("tx2").name)
+
+
+class TestAxis:
+    def test_known_names_only(self):
+        with pytest.raises(ReproError):
+            Axis("warp_width", (0.5, 1.0))
+
+    def test_values_strictly_increasing(self):
+        with pytest.raises(ReproError):
+            Axis("dram_bandwidth", (1.0, 1.0))
+        with pytest.raises(ReproError):
+            Axis("dram_bandwidth", (1.25, 0.8))
+
+    def test_at_least_two_values(self):
+        with pytest.raises(ReproError):
+            Axis("gpu_clock", (1.0,))
+
+    def test_lo_hi(self):
+        axis = Axis("gpu_clock", (0.8, 1.0, 1.25))
+        assert axis.lo == pytest.approx(0.8)
+        assert axis.hi == pytest.approx(1.25)
+
+
+class TestBoardSpace:
+    def test_default_axes_cover_known_names(self):
+        for axis in default_axes():
+            assert axis.name in AXIS_NAMES
+
+    def test_grid_shape_and_size(self):
+        space = BoardSpace("tx2")
+        assert space.grid_size == len(list(space.grid_points()))
+        expected = 1
+        for axis in space.axes:
+            expected *= len(axis.values)
+        assert space.grid_size == expected
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ReproError):
+            BoardSpace("tx2", axes=(
+                Axis("gpu_clock", (0.8, 1.0)),
+                Axis("gpu_clock", (1.0, 1.25)),
+            ))
+
+    def test_unknown_coherence_rejected(self):
+        with pytest.raises(ReproError):
+            BoardSpace("tx2", coherence=("write_through",))
+
+    def test_board_names_unique(self):
+        space = BoardSpace("tx2")
+        names = [b.name for b in space.all_grid_boards()]
+        assert len(names) == len(set(names))
+
+    def test_base_point_reproduces_preset_fields(self):
+        space = BoardSpace("tx2")
+        board = space.board_at(tuple(1.0 for _ in space.axes))
+        base = get_board("tx2")
+        assert board.dram.peak_bandwidth == pytest.approx(
+            base.dram.peak_bandwidth)
+        assert board.gpu.frequency_hz == pytest.approx(base.gpu.frequency_hz)
+
+
+class TestDerivedBoardProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        base=st.sampled_from(sorted(available_boards())),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=4),
+    )
+    def test_sampling_is_deterministic(self, base, seed, n):
+        space = BoardSpace(base)
+        first = space.sample(n, seed=seed)
+        second = space.sample(n, seed=seed)
+        assert [b.name for b in first] == [b.name for b in second]
+        assert [dataclasses.asdict(b) for b in first] == \
+            [dataclasses.asdict(b) for b in second]
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_sampled_boards_pass_guard_suite(self, shwfs_workload_tx2, seed):
+        space = BoardSpace("tx2")
+        (board,) = space.sample(1, seed=seed)
+        report = validate(board, shwfs_workload_tx2,
+                          models=("SC", "ZC"), characterize=False)
+        assert not report.violations, report.render()
+
+    def test_grid_boards_pass_guard_suite(self, shwfs_workload_tx2):
+        space = BoardSpace("tx2", axes=(
+            Axis("dram_bandwidth", (0.8, 1.25)),
+            Axis("zc_bandwidth", (0.5, 2.0)),
+        ))
+        for board in space.all_grid_boards():
+            report = validate(board, shwfs_workload_tx2,
+                              models=("SC", "ZC"), characterize=False)
+            assert not report.violations, report.render()
+
+    def test_llc_size_must_stay_power_of_two(self):
+        base = get_board("tx2")
+        with pytest.raises((ReproError, ConfigurationError)):
+            derive_board(base, "bad-llc", llc_size=1.3)
+
+
+class TestPanelGeometry:
+    def test_fingerprint_masks_swept_axes(self):
+        base = get_board("tx2")
+        scaled = derive_board(base, "tx2-fast-dram", dram_bandwidth=1.25,
+                              gpu_clock=0.9)
+        assert panel_fingerprint(scaled) == panel_fingerprint(base)
+
+    def test_fingerprint_differs_across_presets(self):
+        assert panel_fingerprint(get_board("tx2")) != \
+            panel_fingerprint(get_board("xavier"))
+
+    def test_coherence_variants_get_distinct_fingerprints(self):
+        # TX2 ships with ZC caches disabled: forcing io_coherent is a real
+        # change (distinct fingerprint) while caches_disabled is a no-op
+        # (fingerprint collapses back onto the base panel).
+        base = get_board("tx2")
+        coherent = derive_board(base, "tx2-io", coherence="io_coherent")
+        noop = derive_board(base, "tx2-nc", coherence="caches_disabled")
+        assert panel_fingerprint(coherent) != panel_fingerprint(base)
+        assert panel_fingerprint(noop) == panel_fingerprint(base)
+
+    def test_axis_coordinate_roundtrip(self):
+        base = get_board("tx2")
+        fields = base_field_values(base)
+        scaled = derive_board(base, "tx2-x", dram_bandwidth=1.17)
+        ratio = axis_coordinate(scaled, fields["dram_bandwidth"],
+                                "dram_bandwidth")
+        assert ratio == pytest.approx(1.17)
+        untouched = axis_coordinate(scaled, fields["gpu_clock"], "gpu_clock")
+        assert untouched == pytest.approx(1.0)
+
+    def test_axis_coordinate_rejects_inconsistent_fields(self):
+        base = get_board("tx2")
+        fields = base_field_values(base)
+        # Scale only one of the two zero-copy bandwidths by hand.
+        tampered = dataclasses.replace(
+            base,
+            zero_copy=dataclasses.replace(
+                base.zero_copy,
+                gpu_zc_bandwidth=base.zero_copy.gpu_zc_bandwidth * 2.0,
+            ),
+        )
+        assert axis_coordinate(tampered, fields["zc_bandwidth"],
+                               "zc_bandwidth") is None

@@ -1,0 +1,223 @@
+"""Unit tests for the characterization surrogate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore import (
+    PROBE_FRACTIONS,
+    CharacterizationSurrogate,
+    device_outputs,
+    sweep_space,
+)
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.soc.board import derive_board, get_board
+
+
+class TestSweep:
+    def test_sweep_covers_every_grid_board(self, tx2_space, fitted):
+        _, _, sweep = fitted
+        assert sweep.num_boards == tx2_space.grid_size
+        (panel,) = sweep.panels
+        assert len(panel.devices) == tx2_space.grid_size
+
+    def test_surfaces_are_grid_shaped(self, tx2_space, fitted):
+        _, _, sweep = fitted
+        (panel,) = sweep.panels
+        surfaces = panel.surfaces(tx2_space)
+        assert "gpu_threshold_pct" in surfaces
+        for grid in surfaces.values():
+            assert grid.shape == tx2_space.shape
+
+    def test_device_outputs_expose_probe_points(self, fitted):
+        _, _, sweep = fitted
+        device = sweep.panels[0].devices[0]
+        outputs = device_outputs(device, PROBE_FRACTIONS)
+        for fraction in PROBE_FRACTIONS:
+            zc = outputs[f"probe_zc@{fraction:.6g}"]
+            sc = outputs[f"probe_sc@{fraction:.6g}"]
+            assert zc > 0.0 and sc > 0.0
+
+
+class TestPrediction:
+    def test_grid_point_prediction_matches_swept_device(self, tx2_space,
+                                                        fitted):
+        surrogate, _, sweep = fitted
+        point = (1.0, 1.0)
+        board = tx2_space.board_at(point)
+        prediction = surrogate.characterize(board,
+                                            suite=MicrobenchmarkSuite())
+        assert prediction is not None
+        assert prediction.probed
+        index = list(tx2_space.grid_points()).index(point)
+        swept = sweep.panels[0].devices[index]
+        expected = device_outputs(swept, PROBE_FRACTIONS)
+        for key, value in expected.items():
+            got = prediction.outputs[key]
+            if math.isnan(value):
+                assert math.isnan(got)
+            else:
+                assert got == pytest.approx(value, rel=1e-6), key
+
+    def test_off_grid_prediction_within_calibrated_bounds(self, tx2_space,
+                                                          fitted):
+        surrogate, report, _ = fitted
+        board = tx2_space.board_at((0.9, 1.4))
+        prediction = surrogate.characterize(board,
+                                            suite=MicrobenchmarkSuite())
+        assert prediction is not None
+        device = MicrobenchmarkSuite().characterize(board)
+        actual = device_outputs(device, PROBE_FRACTIONS)
+        key = "gpu_threshold_pct"
+        assert abs(prediction.outputs[key] - actual[key]) <= \
+            report.bounds[key] + 0.5
+
+    def test_prediction_device_is_decidable(self, tx2_space, surrogate):
+        board = tx2_space.board_at((1.1, 0.8))
+        prediction = surrogate.characterize(board,
+                                            suite=MicrobenchmarkSuite())
+        assert prediction is not None
+        device = prediction.device
+        assert device.board_name == board.name
+        assert device.gpu_thresholds.threshold_pct > 0.0
+        assert device.sc_zc_max_speedup >= 1.0
+        assert device.zc_sc_max_speedup >= 1.0
+
+
+class TestFallbacks:
+    def test_uncalibrated_never_answers(self, tx2_space, fitted):
+        _, _, sweep = fitted
+        raw = CharacterizationSurrogate.from_sweep(sweep)
+        assert not raw.error_bounds
+        board = tx2_space.board_at((1.0, 1.0))
+        assert not raw.covers(board)
+        assert raw.characterize(board, probe=False) is None
+        assert raw.last_fallback_reason == "uncalibrated"
+
+    def test_out_of_hull_falls_back(self, tx2_space, surrogate):
+        base = get_board("tx2")
+        outside = derive_board(base, "tx2-hot-dram", dram_bandwidth=2.0)
+        assert not surrogate.covers(outside)
+        assert surrogate.characterize(outside, probe=False) is None
+        assert surrogate.last_fallback_reason == "out_of_hull"
+
+    def test_unswept_axis_excursion_is_out_of_hull(self, surrogate):
+        base = get_board("tx2")
+        moved = derive_board(base, "tx2-oc", gpu_clock=1.3)
+        assert surrogate.characterize(moved, probe=False) is None
+        assert surrogate.last_fallback_reason == "out_of_hull"
+
+    def test_unknown_panel_falls_back(self, surrogate):
+        nano = get_board("nano")
+        assert not surrogate.covers(nano)
+        assert surrogate.characterize(nano, probe=False) is None
+        assert surrogate.last_fallback_reason == "unknown_panel"
+
+    def test_fault_injection_disables_surrogate(self, tx2_space, surrogate):
+        from repro.robustness.faults import FaultPlan
+        from repro.robustness.inject import inject_faults
+
+        board = tx2_space.board_at((1.0, 1.0))
+        with inject_faults(FaultPlan.chaos(seed=3)):
+            assert surrogate.characterize(board, probe=False) is None
+        assert surrogate.last_fallback_reason == "fault_injection"
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, tx2_space, surrogate):
+        path = tmp_path / "surrogate.json"
+        surrogate.save(path)
+        restored = CharacterizationSurrogate.load(path)
+        board = tx2_space.board_at((0.9, 1.4))
+        original = surrogate.characterize(board, probe=False)
+        loaded = restored.characterize(board, probe=False)
+        assert original is not None and loaded is not None
+        for key, value in original.outputs.items():
+            got = loaded.outputs[key]
+            if math.isnan(value):
+                assert math.isnan(got)
+            else:
+                assert got == pytest.approx(value, rel=0, abs=0), key
+        assert restored.error_bounds == pytest.approx(surrogate.error_bounds)
+
+    def test_load_rejects_unknown_version(self, tmp_path, surrogate):
+        payload = surrogate.to_dict()
+        payload["artifact_version"] = 99
+        with pytest.raises(ExploreError):
+            CharacterizationSurrogate.from_dict(payload)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ExploreError):
+            CharacterizationSurrogate.load(tmp_path / "nope.json")
+
+
+class TestCalibration:
+    def test_calibration_report_has_rows_and_bounds(self, fitted):
+        _, report, _ = fitted
+        assert len(report.rows) == 2
+        assert report.bounds["gpu_threshold_pct"] >= 0.25
+        assert report.safety == pytest.approx(1.5)
+
+    def test_calibrate_requires_at_least_one_holdout(self, tx2_space,
+                                                     fitted):
+        _, _, sweep = fitted
+        raw = CharacterizationSurrogate.from_sweep(sweep)
+        with pytest.raises(ExploreError):
+            raw.calibrate(tx2_space, n=0)
+
+
+class TestProbe:
+    def test_probe_mismatch_falls_back(self, tx2_space, fitted, monkeypatch):
+        surrogate, _, _ = fitted
+        board = tx2_space.board_at((1.0, 1.0))
+        suite = MicrobenchmarkSuite()
+        real = suite.probe_points(board, PROBE_FRACTIONS)
+
+        def skewed(board_arg, fractions):
+            points = real if tuple(fractions) == tuple(PROBE_FRACTIONS) \
+                else suite.probe_points(board_arg, fractions)
+            import dataclasses as dc
+
+            return [dc.replace(p, zc_throughput=p.zc_throughput * 3.0)
+                    for p in points]
+
+        monkeypatch.setattr(suite, "probe_points", skewed)
+        assert surrogate.characterize(board, suite=suite) is None
+        assert surrogate.last_fallback_reason == "probe_mismatch"
+
+    def test_probe_points_match_full_sweep(self, tx2_space):
+        board = tx2_space.board_at((1.0, 1.0))
+        suite = MicrobenchmarkSuite()
+        points = suite.probe_points(board, PROBE_FRACTIONS)
+        assert len(points) == len(PROBE_FRACTIONS)
+        device = suite.characterize(board)
+        full = {p.fraction: p for p in device.gpu_thresholds.points}
+        for probe in points:
+            match = min(full, key=lambda f: abs(f - probe.fraction))
+            assert match == pytest.approx(probe.fraction, rel=1e-9)
+            assert probe.zc_throughput == pytest.approx(
+                full[match].zc_throughput, rel=0.05)
+            assert probe.sc_throughput == pytest.approx(
+                full[match].sc_throughput, rel=0.05)
+
+
+class TestObservability:
+    def test_fallback_counters(self, surrogate):
+        from repro.obs import metrics, state
+
+        saved = state.ENABLED
+        state.enable()
+        metrics.REGISTRY.reset()
+        try:
+            surrogate.characterize(get_board("nano"), probe=False)
+            registry = metrics.REGISTRY
+            assert registry.counter("surrogate.fallback").value >= 1
+            assert registry.counter(
+                "surrogate.fallback.unknown_panel").value >= 1
+        finally:
+            metrics.REGISTRY.reset()
+            state.ENABLED = saved

@@ -1,0 +1,90 @@
+"""Paper fidelity under the surrogate fast path.
+
+The Tables II-V decisions for the three paper boards must be identical
+whether the surrogate is disabled or enabled: the presets sit outside
+this surrogate's trust region (the swept hull deliberately excludes
+ratio 1.0, and Nano/Xavier have foreign panel fingerprints), so every
+preset tune must fall back to the full characterization — never
+silently extrapolate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.orbslam import OrbPipeline
+from repro.apps.shwfs import ShwfsPipeline
+from repro.explore import Axis, BoardSpace, fit_surrogate
+from repro.microbench.suite import MicrobenchmarkSuite
+from repro.model.decision import RecommendedModel
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+
+BOARDS = ("nano", "tx2", "xavier")
+
+
+@pytest.fixture(scope="module")
+def off_hull_surrogate():
+    """Calibrated surrogate whose hull excludes every preset board."""
+    space = BoardSpace("tx2", axes=(
+        Axis("dram_bandwidth", (1.1, 1.5)),
+        Axis("zc_bandwidth", (1.1, 1.5)),
+    ))
+    surrogate, _, _ = fit_surrogate(space, suite=MicrobenchmarkSuite(),
+                                    holdout=1, seed=5)
+    return surrogate
+
+
+@pytest.fixture(scope="module")
+def reports(characterization_suite, off_hull_surrogate):
+    """(baseline, with-surrogate) tuning reports per board and app."""
+    plain = Framework(suite=characterization_suite)
+    fast = Framework(suite=characterization_suite,
+                     surrogate=off_hull_surrogate)
+    out = {}
+    for name in BOARDS:
+        board = get_board(name)
+        for app, pipeline in (("shwfs", ShwfsPipeline()),
+                              ("orbslam", OrbPipeline())):
+            workload = pipeline.workload(board_name=name)
+            out[(name, app)] = (plain.tune(workload, board),
+                                fast.tune(workload, board))
+    return out
+
+
+class TestPresetsFallBack:
+    def test_no_preset_is_covered(self, off_hull_surrogate):
+        for name in BOARDS:
+            assert not off_hull_surrogate.covers(get_board(name)), name
+
+    def test_fallback_reasons_are_honest(self, off_hull_surrogate):
+        surrogate = off_hull_surrogate
+        assert surrogate.characterize(get_board("tx2"), probe=False) is None
+        assert surrogate.last_fallback_reason == "out_of_hull"
+        for name in ("nano", "xavier"):
+            assert surrogate.characterize(get_board(name),
+                                          probe=False) is None
+            assert surrogate.last_fallback_reason == "unknown_panel"
+
+    def test_no_tune_went_via_surrogate(self, reports):
+        for (name, app), (_, fast) in reports.items():
+            assert not fast.via_surrogate, (name, app)
+
+
+class TestDecisionsUnchanged:
+    def test_decisions_identical_with_and_without_surrogate(self, reports):
+        for key, (plain, fast) in reports.items():
+            assert fast.recommendation.model == \
+                plain.recommendation.model, key
+            assert fast.recommendation.zone == plain.recommendation.zone, key
+
+    def test_paper_table_decisions_hold(self, reports):
+        # Table II: SH-WFS keeps SC on Nano/TX2, switches to ZC on
+        # Xavier. Tables IV/V: ORB stays on SC on TX2 (zone 3).
+        for _, fast in (reports[("nano", "shwfs")],
+                        reports[("tx2", "shwfs")]):
+            assert fast.recommendation.model is RecommendedModel.NO_CHANGE
+        _, xavier = reports[("xavier", "shwfs")]
+        assert xavier.recommendation.model is RecommendedModel.ZERO_COPY
+        _, orb_tx2 = reports[("tx2", "orbslam")]
+        assert orb_tx2.recommendation.model is RecommendedModel.NO_CHANGE
