@@ -1,0 +1,69 @@
+"""Streaming engine — incremental windows and sustained re-tune rate.
+
+Not a paper artefact: this benchmark records the wall-clock win of the
+``repro.stream`` prefix-sum window aggregation over the naive
+per-window recompute, and the end-to-end online re-tune throughput
+(the numbers summarized in ``BENCH_stream.json``).  Both tests run the
+very probes that generate the committed baseline
+(:mod:`repro.stream.bench`), keeping the benchmark, the baseline and
+the exit-4 gate on one measurement path.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import Table
+from repro.stream.bench import (
+    INCREMENTAL_EVENTS,
+    INCREMENTAL_STRIDE,
+    INCREMENTAL_WINDOW,
+    _bench_features,
+    incremental_timing_pair,
+    run_throughput,
+)
+from repro.stream.window import WindowSpec, sliding_window_sums
+
+
+def test_incremental_window_speedup(benchmark, archive):
+    """Prefix-sum windows vs naive recompute (>= 10x, bit-identical)."""
+    recompute_s, incremental_s = run_once(benchmark,
+                                          incremental_timing_pair)
+    speedup = recompute_s / incremental_s
+
+    spec = WindowSpec(window=INCREMENTAL_WINDOW, stride=INCREMENTAL_STRIDE)
+    features = _bench_features()
+    _, fast = sliding_window_sums(features, spec, incremental=True)
+    _, slow = sliding_window_sums(features, spec, incremental=False)
+    assert np.array_equal(fast, slow)
+
+    table = Table(
+        f"Incremental windowed metrics ({INCREMENTAL_EVENTS} events, "
+        f"window {INCREMENTAL_WINDOW}, stride {INCREMENTAL_STRIDE})",
+        ["aggregation", "time (s)", "speedup"],
+    )
+    table.add_row("naive per-window recompute", f"{recompute_s:.3f}", "1.0x")
+    table.add_row("incremental prefix sums", f"{incremental_s:.4f}",
+                  f"{speedup:.1f}x")
+    archive("stream_incremental.txt", table.render())
+    assert speedup >= 10.0
+
+
+def test_sustained_decision_rate(benchmark, archive):
+    """End-to-end streaming re-tune rate on a stationary stream."""
+    result = run_once(benchmark, run_throughput)
+
+    table = Table(
+        f"Sustained online re-tuning ({result.events} events on "
+        f"{result.board_name})",
+        ["quantity", "value"],
+    )
+    table.add_row("windows", result.windows)
+    table.add_row("decisions", result.decisions)
+    table.add_row("drift windows", result.drift_windows)
+    table.add_row("flips", len(result.flips))
+    table.add_row("decisions/sec", f"{result.decisions_per_sec:.0f}")
+    archive("stream_throughput.txt", table.render())
+    # A stationary stream must not drift, and production rate means
+    # comfortably faster than any plausible event-ingest cadence.
+    assert result.drift_windows == 0
+    assert result.decisions_per_sec >= 100.0

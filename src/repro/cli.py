@@ -15,6 +15,12 @@ code:
   tune requests through the coalescing multi-tenant server, or
   ``--bench`` it with synthetic traffic and report serial vs coalesced
   sustained throughput (see :mod:`repro.serve`);
+- ``stream [app] [board] [--window N] [--hysteresis N]
+  [--chunk-size N]`` — online re-tuning over a streaming trace or
+  synthetic counter stream: incremental windowed metrics, drift
+  detection, hysteresis-gated flips, optional ``--contend APP``
+  multi-app contention and ``--bench`` for the gated stream metrics
+  (see :mod:`repro.stream` and ``docs/streaming.md``);
 - ``bench [--apps ...] [--boards ...] [--jobs N]`` — run the app ×
   board benchmark grid in parallel and print (or ``--output`` as JSON)
   the tuned recommendation and measured per-model times per cell;
@@ -77,6 +83,18 @@ def _get_pipeline(app: str):
         from repro.apps.orbslam import OrbPipeline
 
         return OrbPipeline()
+    raise ReproError(f"unknown application {app!r}; available: shwfs, orbslam")
+
+
+def _build_workload(app: str):
+    if app == "shwfs":
+        from repro.apps.shwfs import build_shwfs_workload
+
+        return build_shwfs_workload()
+    if app == "orbslam":
+        from repro.apps.orbslam import build_orbslam_workload
+
+        return build_orbslam_workload()
     raise ReproError(f"unknown application {app!r}; available: shwfs, orbslam")
 
 
@@ -404,7 +422,7 @@ def cmd_serve(args: argparse.Namespace) -> str:
             "objects", code="SERVE_BAD_REQUEST",
         )
     allowed = {"board", "app", "current_model", "strict", "deadline_s",
-               "tenant"}
+               "tenant", "profile"}
     requests = []
     for index, row in enumerate(raw):
         if not isinstance(row, dict) or not allowed.issuperset(row):
@@ -415,6 +433,18 @@ def cmd_serve(args: argparse.Namespace) -> str:
                 + ", ".join(str(k) for k in unknown),
                 code="SERVE_BAD_REQUEST",
             )
+        if row.get("profile") is not None:
+            from repro.profiling.counters import AppProfile
+
+            row = dict(row)
+            try:
+                row["profile"] = AppProfile(**row["profile"])
+            except TypeError as exc:
+                raise ReproError(
+                    f"request #{index} has a malformed profile object: "
+                    f"{exc}",
+                    code="SERVE_BAD_REQUEST",
+                )
         requests.append(TuneRequest(**row))
     config = _serve_config(args, len(requests))
     answers = serve_all(requests, framework=_framework_from_args(args),
@@ -484,6 +514,166 @@ def _serve_bench(args: argparse.Namespace) -> str:
         f"batch(es), mean size {serving['mean_batch_size']}, "
         f"{serving['coalesced_answers']} coalesced answer(s), "
         f"{serving['shed']} shed",
+    ]
+    return "\n".join(lines) + footer
+
+
+def cmd_stream(args: argparse.Namespace) -> str:
+    """Online re-tuning over a streaming trace or counter stream."""
+    import json
+    import pathlib
+
+    if args.bench:
+        return _stream_bench(args)
+
+    from repro.errors import StreamError
+    from repro.stream import (
+        CounterWindowSource,
+        MultiAppStreamTuner,
+        StreamConfig,
+        StreamTuner,
+        TraceWindowSource,
+    )
+
+    config = StreamConfig(window=args.window, stride=args.stride,
+                          hysteresis=args.hysteresis,
+                          chunk_size=args.chunk_size).validated()
+    board = get_board(args.board)
+    framework = _framework_from_args(args)
+    device = framework.characterize(board)
+
+    def counter_source(app: str) -> CounterWindowSource:
+        profile = framework.profile(_build_workload(app), board,
+                                    model=args.model)
+        return CounterWindowSource.from_profile(profile,
+                                                samples=args.samples)
+
+    if args.trace:
+        if args.contend or args.drift_to:
+            raise StreamError(
+                "--trace streams one recorded application; --contend "
+                "and --drift-to drive synthetic counter streams",
+                code="STREAM_BAD_APPSET",
+            )
+        if not pathlib.Path(args.trace).is_file():
+            raise StreamError(
+                f"trace file not found: {args.trace}",
+                code="STREAM_BAD_TRACE",
+                details={"path": str(args.trace)},
+            )
+        source = TraceWindowSource.from_csv(
+            args.trace, chunk_size=args.chunk_size,
+            workload_name=pathlib.Path(args.trace).stem,
+            board_name=args.board, initial_model=args.model)
+    elif args.drift_to:
+        before = framework.profile(_build_workload(args.app), board,
+                                   model=args.model)
+        after = framework.profile(_build_workload(args.drift_to), board,
+                                  model=args.model)
+        source = CounterWindowSource.drifting(before, after,
+                                              samples=args.samples)
+    else:
+        source = counter_source(args.app)
+
+    if args.contend:
+        sources = [source] + [counter_source(app) for app in args.contend]
+        result = MultiAppStreamTuner(framework, sources, device,
+                                     config).run()
+        text = _render_multi_stream(result, board, config)
+    else:
+        result = StreamTuner(framework, source, device, config).run()
+        text = _render_stream(result, board, config)
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+        text += f"\nrun summary written to {args.json}"
+    return text
+
+
+def _render_stream(result, board, config) -> str:
+    """Text summary of one single-app streaming run."""
+    table = Table(
+        f"Streamed {result.workload_name} on {board.display_name} "
+        f"(window {config.window}, stride {config.stride}, "
+        f"hysteresis {config.hysteresis})",
+        ["quantity", "value"],
+    )
+    table.add_row("events", result.events)
+    table.add_row("windows", result.windows)
+    table.add_row("decisions", result.decisions)
+    table.add_row("drift windows", result.drift_windows)
+    table.add_row("window mode", result.window_mode or "-")
+    table.add_row("decisions/sec", round(result.decisions_per_sec, 1))
+    table.add_row("model", f"{result.initial_model} -> "
+                           f"{result.final_model}")
+    lines = [table.render()]
+    lines.extend(_flip_lines(result.flips))
+    return "\n".join(lines)
+
+
+def _render_multi_stream(result, board, config) -> str:
+    """Text summary of a lockstep multi-app contention run."""
+    table = Table(
+        f"Streamed {len(result.apps)} contending apps on "
+        f"{board.display_name} (window {config.window}, "
+        f"hysteresis {config.hysteresis})",
+        ["app", "model", "decisions", "flips", "eff. GPU thr. (%)"],
+    )
+    for app in result.apps:
+        table.add_row(app.workload_name,
+                      f"{app.initial_model} -> {app.final_model}",
+                      app.decisions, len(app.flips),
+                      round(app.effective_gpu_threshold_pct, 2))
+    lines = [table.render(),
+             f"{result.windows} aligned window(s), fixed point "
+             f"{'converged' if result.converged else 'cycled'} "
+             f"(max {result.max_fixed_point_iterations} iteration(s)), "
+             f"{round(result.decisions_per_sec, 1)} decisions/sec"]
+    for app in result.apps:
+        lines.extend(_flip_lines(app.flips, prefix=f"{app.workload_name}: "))
+    return "\n".join(lines)
+
+
+def _flip_lines(flips, prefix: str = "") -> List[str]:
+    """One explainable line per committed flip."""
+    if not flips:
+        return [f"{prefix}no flips (model held for the whole stream)"]
+    lines = []
+    for flip in flips:
+        d = flip.to_dict()
+        drift = "drift" if d["drift"] else "no drift"
+        lines.append(
+            f"{prefix}flip @ emission {d['emission']}: {d['from']} -> "
+            f"{d['to']} [{drift}] — {d['reason']}")
+    return lines
+
+
+def _stream_bench(args: argparse.Namespace) -> str:
+    """``repro stream --bench``: measure the gated stream metrics."""
+    import json
+    import pathlib
+    import time
+
+    from repro.stream.bench import collect_stream_bench
+
+    payload = collect_stream_bench(generated=time.strftime("%Y-%m-%d"))
+    footer = ""
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        footer = f"\nbaseline written to {args.json}"
+    stream = payload["stream"]
+    inc = stream["incremental"]
+    thr = stream["throughput"]
+    lines = [
+        "Stream bench — gated metrics for BENCH_stream.json",
+        f"  incremental windows: {stream['incremental_speedup']}x over "
+        f"naive recompute ({inc['recompute_s']} s -> "
+        f"{inc['incremental_s']} s on {inc['events']} events, window "
+        f"{inc['window']}, stride {inc['stride']})",
+        f"  sustained re-tune rate: {stream['decisions_per_sec']} "
+        f"decisions/sec ({thr['decisions']} decisions, "
+        f"{thr['workload']})",
     ]
     return "\n".join(lines) + footer
 
@@ -685,6 +875,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "cache": cmd_cache,
     "bench": cmd_bench,
     "serve": cmd_serve,
+    "stream": cmd_stream,
     "obs": cmd_obs,
     "explore": cmd_explore,
 }
@@ -816,6 +1007,53 @@ def build_parser() -> argparse.ArgumentParser:
                         "baseline payload")
     add_cache_flags(p)
     add_surrogate_flag(p)
+
+    p = sub.add_parser(
+        "stream",
+        help="online re-tuning over a streaming trace: incremental "
+             "windows, drift detection, hysteresis flips, multi-app "
+             "contention")
+    p.add_argument("app", nargs="?", default="shwfs",
+                   choices=["shwfs", "orbslam"],
+                   help="bundled application driving the synthetic "
+                        "counter stream (default: shwfs)")
+    p.add_argument("board", nargs="?", default="xavier",
+                   choices=available_boards(),
+                   help="board to stream on (default: xavier)")
+    p.add_argument("--model", default="SC", choices=["SC", "UM", "ZC"],
+                   help="the application's current (initial) model")
+    p.add_argument("--window", type=int, default=2048,
+                   help="events per sliding window (default: 2048)")
+    p.add_argument("--stride", type=int, default=64,
+                   help="events between window emissions (default: 64)")
+    p.add_argument("--hysteresis", type=int, default=3,
+                   help="consecutive emissions that must propose the "
+                        "same target before a flip commits (default: 3)")
+    p.add_argument("--chunk-size", type=int, default=8192,
+                   help="bounded-memory ingest chunk, in events "
+                        "(default: 8192)")
+    p.add_argument("--samples", type=int, default=8192,
+                   help="synthetic counter ticks to stream "
+                        "(default: 8192)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="stream a recorded access-trace CSV through the "
+                        "locality model instead of synthetic counters")
+    p.add_argument("--drift-to", default=None,
+                   choices=["shwfs", "orbslam"], metavar="APP",
+                   help="switch the counter stream to this app's "
+                        "profile halfway through (drift/flip demo)")
+    p.add_argument("--contend", action="append", default=[],
+                   choices=["shwfs", "orbslam"], metavar="APP",
+                   help="a co-resident app sharing the memory system "
+                        "(repeatable): decide every window through the "
+                        "contention fixed point")
+    p.add_argument("--bench", action="store_true",
+                   help="measure the gated stream metrics (incremental "
+                        "speedup and sustained decisions/sec)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the run summary (or with --bench the "
+                        "BENCH_stream.json payload) as JSON")
+    add_cache_flags(p)
 
     p = sub.add_parser(
         "explore",

@@ -181,3 +181,16 @@ class ExploreError(ReproError):
     merely *declines* is never an error — that is the fallback path."""
 
     default_code = "EXPLORE_FAILED"
+
+
+class StreamError(ReproError):
+    """A streaming re-tune run is misconfigured or structurally broken.
+
+    Raised by :mod:`repro.stream` for bad knobs (window/stride/
+    hysteresis/chunk-size out of range — ``STREAM_BAD_*`` codes),
+    mismatched feature schemas, and contention passes over inconsistent
+    app sets.  Drift, flips and non-converged contention fixed points
+    are *results*, not errors — they come back in the
+    :class:`~repro.stream.engine.StreamResult`."""
+
+    default_code = "STREAM_ERROR"

@@ -242,6 +242,94 @@ class Framework:
                                                        timings_s=timings)
         return report
 
+    def retune(self, profile: AppProfile,
+               board: Optional[BoardConfig] = None,
+               device: Optional[DeviceCharacterization] = None,
+               strict: bool = True) -> TuningReport:
+        """Re-run the decision flow from an already-measured profile.
+
+        This is the online half of the Fig-2 flow: no workload replay,
+        no profiling — the caller already holds fresh counters (a
+        window of a live stream, a profile shipped with a serve
+        request) and only needs the decision re-evaluated against the
+        board's characterization.  Pass ``device`` to reuse a
+        characterization in hand (the streaming engine does — one
+        characterization per run, thousands of retunes); otherwise the
+        board is characterized through the normal cached path.
+
+        Like :meth:`tune`, the result lands in ``last_tune_report`` so
+        every streaming flip is explainable from a serializable
+        :class:`~repro.obs.report.TuneReport`.
+        """
+        if profile.model.upper() not in ALL_MODELS:
+            raise ModelError(
+                f"unknown communication model {profile.model!r}; "
+                f"expected one of {ALL_MODELS}",
+                code="MODEL_UNKNOWN",
+                details={"model": profile.model},
+            )
+        if device is None and board is None:
+            raise ModelError(
+                "retune needs a device characterization or a board",
+                code="MODEL_NO_DEVICE",
+                details={"profile": profile.workload_name},
+            )
+        timings: Dict[str, float] = {}
+        start = time.perf_counter()
+        with obs.span("retune", workload=profile.workload_name,
+                      board=profile.board_name,
+                      model=profile.model.upper(),
+                      strict=strict) as retune_span:
+            if device is None:
+                try:
+                    device = self._timed("characterize", timings,
+                                         self.characterize, board)
+                except ReproError as error:
+                    if strict:
+                        raise
+                    obs.event("tune.stage_failed", stage="characterize",
+                              code=error.code)
+            if device is None:
+                recommendation = keep_current(
+                    profile.model,
+                    "characterization failed",
+                    caveats=(f"characterization failed — "
+                             f"{error.code}: {error.message}",),
+                )
+            else:
+                with obs.span("decide", workload=profile.workload_name):
+                    recommendation = self._timed(
+                        "decide", timings, decide, profile, device,
+                        strict=strict)
+            timings["retune"] = time.perf_counter() - start
+            report = TuningReport(
+                workload_name=profile.workload_name,
+                board_name=profile.board_name,
+                current_model=profile.model.upper(),
+                profile=profile,
+                device=device,
+                cpu_cache_usage_pct=self._usage_pct(
+                    profile_cpu_cache_usage, profile, strict=strict),
+                gpu_cache_usage_pct=self._usage_pct(
+                    profile_gpu_cache_usage, profile,
+                    device.gpu_peak_throughput
+                    if device is not None else None,
+                    strict=strict),
+                recommendation=recommendation,
+            )
+            retune_span.set(
+                recommendation=recommendation.model.value,
+                zone=int(recommendation.zone)
+                if recommendation.zone is not None else None,
+                degraded=recommendation.degraded,
+            )
+        obs.counter_inc("framework.retune")
+        if recommendation.degraded:
+            obs.counter_inc("framework.tune.degraded")
+        self.last_tune_report = TuneReport.from_tuning(report,
+                                                       timings_s=timings)
+        return report
+
     def _tune_under_scope(self, workload: Workload, board: BoardConfig,
                           current_model: str, strict: bool,
                           timings: Dict[str, float], tune_start: float,

@@ -325,6 +325,25 @@ def _probe_serving() -> _TimingPair:
     return serving_timing_pair()
 
 
+def _probe_stream_incremental() -> _TimingPair:
+    """Prefix-sum window aggregation vs naive per-window recompute."""
+    from repro.stream.bench import incremental_timing_pair
+
+    return incremental_timing_pair()
+
+
+def _probe_stream_decisions() -> _TimingPair:
+    """Sustained streaming re-tune throughput.
+
+    Returns ``(1.0, seconds_per_decision)``: the gate's
+    scalar/vectorized ratio then equals decisions/sec, so the
+    25 %-below-baseline failure rule acts as a rate floor.
+    """
+    from repro.stream.bench import decisions_timing_pair
+
+    return decisions_timing_pair()
+
+
 #: metric (dotted path into the baseline JSON) -> (baseline file, probe).
 PROBES: Dict[str, Tuple[str, Callable[[], _TimingPair]]] = {
     "mb2_sweep.nano.speedup": ("BENCH_perf.json", _probe_mb2_sweep),
@@ -337,6 +356,10 @@ PROBES: Dict[str, Tuple[str, Callable[[], _TimingPair]]] = {
     "paths.whatif_sweep.speedup": ("BENCH_app.json", _probe_whatif),
     "serving.speedup": ("BENCH_serve.json", _probe_serving),
     "explore.surrogate_speedup": ("BENCH_perf.json", _probe_surrogate),
+    "stream.incremental_speedup": ("BENCH_stream.json",
+                                   _probe_stream_incremental),
+    "stream.decisions_per_sec": ("BENCH_stream.json",
+                                 _probe_stream_decisions),
     # "scene" is reported in BENCH_app.json but not gated: its scatter
     # rasterizer is not a wall-clock win (speedup < 1), so a threshold
     # on it would only amplify timing noise.

@@ -255,6 +255,123 @@ class RecordedTrace:
             access_size=access_size,
         )
 
+    @classmethod
+    def iter_chunks(
+        cls,
+        source: Union[str, pathlib.Path, io.TextIOBase],
+        chunk_size: int = 65536,
+        vectorized: bool = True,
+    ):
+        """Decode an ``offset,rw`` CSV stream in bounded memory.
+
+        Yields :data:`TRACE_ROW_DTYPE` arrays of exactly ``chunk_size``
+        rows (the final chunk may be shorter; a stream whose row count
+        is an exact multiple yields no empty tail chunk).  Blocks are
+        read a bounded number of characters at a time and parsed with
+        the same strict-form NumPy fast path as :meth:`from_csv` — the
+        scalar ``csv`` parser remains the per-block fallback (quoted
+        cells, non-ASCII text, an active fault injector), so the
+        concatenated chunks are row-identical to a whole-file
+        :meth:`from_csv` parse, errors included.
+
+        A stream with no trace rows at all raises the same
+        :class:`~repro.errors.ProfilingError` as :meth:`from_csv`.
+        """
+        if chunk_size < 1:
+            raise ProfilingError(
+                f"chunk_size must be >= 1, got {chunk_size}",
+                code="TRACE_BAD_CHUNK",
+                details={"chunk_size": chunk_size},
+            )
+        if isinstance(source, (str, pathlib.Path)):
+            with open(source, "r", newline="") as handle:
+                yield from cls._iter_chunks(handle, chunk_size, vectorized)
+        else:
+            yield from cls._iter_chunks(source, chunk_size, vectorized)
+
+    @classmethod
+    def _iter_chunks(cls, handle: io.TextIOBase, chunk_size: int,
+                     vectorized: bool):
+        # Enough characters per read that the NumPy fast path amortizes
+        # its setup, bounded so memory stays O(read + chunk), not O(file).
+        read_chars = max(1 << 16, min(chunk_size * 16, 1 << 22))
+        carry = ""
+        first = True
+        pending: list = []
+        pending_rows = 0
+        total_rows = 0
+        while True:
+            block = handle.read(read_chars)
+            if not block:
+                break
+            text = carry + block
+            if first:
+                if text.startswith("\ufeff"):
+                    text = text[1:]
+                first = False
+            text, carry = cls._split_complete_lines(text)
+            if not text:
+                continue
+            rows = cls._parse_block(text, vectorized)
+            if len(rows):
+                pending.append(rows)
+                pending_rows += len(rows)
+                total_rows += len(rows)
+            while pending_rows >= chunk_size:
+                merged = pending[0] if len(pending) == 1 \
+                    else np.concatenate(pending)
+                yield merged[:chunk_size]
+                remainder = merged[chunk_size:]
+                pending = [remainder] if len(remainder) else []
+                pending_rows = len(remainder)
+        if carry:
+            rows = cls._parse_block(carry, vectorized)
+            if len(rows):
+                pending.append(rows)
+                pending_rows += len(rows)
+                total_rows += len(rows)
+        while pending_rows > 0:
+            merged = pending[0] if len(pending) == 1 \
+                else np.concatenate(pending)
+            yield merged[:chunk_size]
+            remainder = merged[chunk_size:]
+            pending = [remainder] if len(remainder) else []
+            pending_rows = len(remainder)
+        if total_rows == 0:
+            raise ProfilingError("the CSV contained no trace rows")
+
+    @staticmethod
+    def _split_complete_lines(text: str):
+        """``(complete, partial)``: everything through the last line
+        terminator, and the tail to carry into the next block.
+
+        A block ending in a bare ``\\r`` holds that byte back too — it
+        may be the first half of a ``\\r\\n`` pair split across reads.
+        """
+        cut = text.rfind("\n")
+        if cut >= 0:
+            head, tail = text[:cut + 1], text[cut + 1:]
+        else:
+            # \r-only line endings: the final \r might pair with a \n
+            # in the next block, so it can never close a line here.
+            cut = text.rfind("\r", 0, len(text) - 1)
+            if cut < 0:
+                return "", text
+            head, tail = text[:cut + 1], text[cut + 1:]
+        if head.endswith("\r"):
+            return head[:-1], "\r" + tail
+        return head, tail
+
+    @classmethod
+    def _parse_block(cls, text: str, vectorized: bool) -> np.ndarray:
+        """One block through the same parser choice as :meth:`from_csv`."""
+        rows: Optional[np.ndarray] = None
+        if vectorized and '"' not in text and not _injection_active():
+            rows = cls._parse_csv_vectorized(text)
+        if rows is None:
+            rows = cls._parse_csv_scalar(io.StringIO(text, newline=""))
+        return rows
+
     @staticmethod
     def _parse_csv_scalar(handle: io.TextIOBase) -> np.ndarray:
         """Reference parser: one ``csv`` row at a time."""

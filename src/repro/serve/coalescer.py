@@ -37,6 +37,7 @@ from repro.errors import ServeError
 from repro.kernels.workload import Workload
 from repro.model.decision import keep_current
 from repro.model.framework import TuningReport
+from repro.profiling.counters import AppProfile
 
 #: Default coalescing window: long enough to catch a concurrent burst,
 #: short enough to stay invisible next to a single profile run.
@@ -54,17 +55,22 @@ SERVE_APPS = ("shwfs", "orbslam")
 class TuneRequest:
     """One tenant's tune question.
 
-    Either ``app`` names a bundled application (its workload is built
-    deterministically for the board) or ``workload`` carries an
-    explicit :class:`~repro.kernels.workload.Workload`.  ``deadline_s``
-    is a per-request budget measured from submission; a request whose
-    budget expires while queued is shed with a coded degraded answer
-    instead of being served late.
+    Exactly one of three payloads: ``app`` names a bundled application
+    (its workload is built deterministically for the board),
+    ``workload`` carries an explicit
+    :class:`~repro.kernels.workload.Workload`, or ``profile`` ships
+    already-measured counters — the online re-tune path: no profiling
+    runs server-side, the framework only re-evaluates the Fig-2
+    decision (``Framework.retune``) against the board's cached
+    characterization.  ``deadline_s`` is a per-request budget measured
+    from submission; a request whose budget expires while queued is
+    shed with a coded degraded answer instead of being served late.
     """
 
     board: str
     app: Optional[str] = None
     workload: Optional[Workload] = None
+    profile: Optional[AppProfile] = None
     current_model: str = "SC"
     strict: bool = False
     deadline_s: Optional[float] = None
@@ -72,13 +78,25 @@ class TuneRequest:
 
     def validate(self) -> None:
         """Raise a structured :class:`ServeError` on a malformed request."""
-        if (self.app is None) == (self.workload is None):
+        payloads = sum(p is not None
+                       for p in (self.app, self.workload, self.profile))
+        if payloads != 1:
             raise ServeError(
-                "a request names exactly one of 'app' or 'workload', got "
-                f"app={self.app!r}, workload="
-                f"{getattr(self.workload, 'name', None)!r}",
+                "a request names exactly one of 'app', 'workload' or "
+                f"'profile', got app={self.app!r}, workload="
+                f"{getattr(self.workload, 'name', None)!r}, profile="
+                f"{getattr(self.profile, 'workload_name', None)!r}",
                 code="SERVE_BAD_REQUEST",
                 details={"app": self.app, "board": self.board},
+            )
+        if (self.profile is not None
+                and self.profile.board_name != self.board):
+            raise ServeError(
+                f"profile was measured on {self.profile.board_name!r} "
+                f"but the request targets {self.board!r}",
+                code="SERVE_BAD_REQUEST",
+                details={"profile_board": self.profile.board_name,
+                         "board": self.board},
             )
         if self.app is not None and self.app not in SERVE_APPS:
             raise ServeError(
@@ -97,7 +115,11 @@ class TuneRequest:
     @property
     def workload_name(self) -> str:
         """The name the answer reports for this request's workload."""
-        return self.workload.name if self.workload is not None else str(self.app)
+        if self.workload is not None:
+            return self.workload.name
+        if self.profile is not None:
+            return self.profile.workload_name
+        return str(self.app)
 
 
 @dataclass(frozen=True)
@@ -182,13 +204,18 @@ class UniqueJob:
     ``items`` are every request this job answers: requests for the
     same bundled app on the same board (same model, same strictness —
     guaranteed by the batch key) are answer-identical by construction,
-    so they share one tune.  Requests carrying explicit workloads are
-    never deduplicated — workload equality is not checkable cheaply.
+    so they share one tune.  Profile-carrying re-tune requests dedupe
+    by value — :class:`~repro.profiling.counters.AppProfile` is a
+    frozen (hashable) dataclass, so N streams re-asking about the same
+    window share one ``Framework.retune``.  Requests carrying explicit
+    workloads are never deduplicated — workload equality is not
+    checkable cheaply.
     """
 
     dedupe_key: Tuple[Any, ...]
     items: List[PendingItem] = field(default_factory=list)
     workload: Optional[Workload] = None
+    profile: Optional[AppProfile] = None
 
 
 class Coalescer:
@@ -278,11 +305,14 @@ def plan_unique_jobs(items: List[PendingItem]) -> List[UniqueJob]:
         request = item.request
         if request.workload is not None:
             key: Tuple[Any, ...] = ("workload", next(fresh))
+        elif request.profile is not None:
+            key = ("profile", request.profile)
         else:
             key = ("app", request.app, request.board)
         job = jobs.get(key)
         if job is None:
-            job = UniqueJob(dedupe_key=key, workload=request.workload)
+            job = UniqueJob(dedupe_key=key, workload=request.workload,
+                            profile=request.profile)
             jobs[key] = job
         job.items.append(item)
     return list(jobs.values())

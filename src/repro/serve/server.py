@@ -340,7 +340,7 @@ class TuneServer:
                          batch: PendingBatch) -> None:
         """Attach workloads, memoizing bundled-app builds per board."""
         for job in jobs:
-            if job.workload is not None:
+            if job.workload is not None or job.profile is not None:
                 continue
             app = job.items[0].request.app
             memo_key = (str(app), batch.key.board)
@@ -372,28 +372,59 @@ class TuneServer:
         model = batch.key.current_model
         strict = batch.key.strict
         with deadline_scope(scope):
-            try:
-                reports = self.framework.tune_many(
-                    [job.workload for job in jobs], batch.board,
-                    current_model=model, strict=strict,
-                    surrogate=self.surrogate,
-                )
-                return [(report, None) for report in reports]
-            except ReproError:
-                obs.counter_inc("serve.batch_fallback")
-            # One request's failure must not fail its neighbours: re-run
-            # the batch serially with per-job error isolation.
-            results: List[Tuple[Optional[Any], Optional[Dict[str, Any]]]] = []
-            for job in jobs:
+            results: Dict[int, Tuple[Optional[Any],
+                                     Optional[Dict[str, Any]]]] = {}
+            # Profile-carrying re-tune jobs never touch the profiler:
+            # each re-runs only the decision flow against the cached
+            # characterization (Framework.retune), with per-job error
+            # isolation — a bad shipped profile must not fail the
+            # workload jobs riding the same batch.
+            tune_indexed: List[Tuple[int, UniqueJob]] = []
+            for index, job in enumerate(jobs):
+                if job.profile is None:
+                    tune_indexed.append((index, job))
+                    continue
                 try:
-                    results.append((self.framework.tune(
-                        job.workload, batch.board, current_model=model,
-                        strict=strict, surrogate=self.surrogate), None))
+                    results[index] = (self.framework.retune(
+                        job.profile, board=batch.board,
+                        strict=strict), None)
                 except ReproError as error:
                     obs.event("serve.job_failed", code=error.code,
                               workload=job.items[0].request.workload_name)
-                    results.append((None, error.to_dict()))
-            return results
+                    results[index] = (None, error.to_dict())
+            if tune_indexed:
+                tune_results = self._execute_tune_jobs(
+                    [job for _, job in tune_indexed], batch, model, strict)
+                for (index, _), result in zip(tune_indexed, tune_results):
+                    results[index] = result
+            return [results[index] for index in range(len(jobs))]
+
+    def _execute_tune_jobs(
+        self, jobs: List[UniqueJob], batch: PendingBatch, model: str,
+        strict: bool,
+    ) -> List[Tuple[Optional[Any], Optional[Dict[str, Any]]]]:
+        try:
+            reports = self.framework.tune_many(
+                [job.workload for job in jobs], batch.board,
+                current_model=model, strict=strict,
+                surrogate=self.surrogate,
+            )
+            return [(report, None) for report in reports]
+        except ReproError:
+            obs.counter_inc("serve.batch_fallback")
+        # One request's failure must not fail its neighbours: re-run
+        # the batch serially with per-job error isolation.
+        results: List[Tuple[Optional[Any], Optional[Dict[str, Any]]]] = []
+        for job in jobs:
+            try:
+                results.append((self.framework.tune(
+                    job.workload, batch.board, current_model=model,
+                    strict=strict, surrogate=self.surrogate), None))
+            except ReproError as error:
+                obs.event("serve.job_failed", code=error.code,
+                          workload=job.items[0].request.workload_name)
+                results.append((None, error.to_dict()))
+        return results
 
 
 def serve_all(requests: Sequence[TuneRequest],

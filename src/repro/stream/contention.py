@@ -1,0 +1,235 @@
+"""Multi-app contention over one SoC's shared memory paths.
+
+N co-resident applications share the DRAM controller and the zero-copy
+(system-memory) path.  One app's communication-model choice changes
+another's thresholds — an app that moves to ZC adds sustained traffic
+on the exact path a second app's ZC kernels depend on, shrinking the
+GPU cache-usage zone in which ZC still wins for that second app (the
+real-time interference concern of Ali & Yun, arXiv 1712.08738).
+
+The model is deliberately simple and fully deterministic:
+
+- each app's **demand** on the DRAM and ZC paths is its off-chip
+  traffic rate ``bytes * (1 - l1_hit) / kernel_runtime`` attributed to
+  the path its current model uses (ZC traffic loads both the ZC path
+  and DRAM; copy-model traffic loads DRAM only);
+- an app's **effective device** degrades the ZC throughput — and
+  proportionally the GPU threshold/zone-2 bounds and the SC→ZC speedup
+  cap — by ``1 / (1 + w · others_demand / path_capacity)``, one factor
+  per path;
+- :meth:`ContentionModel.resolve` runs the Fig-2 flow per app against
+  its effective device and iterates to a **fixed point** with
+  simultaneous updates (every app re-decides against the *previous*
+  round's choices, so the outcome is independent of app order).  A
+  revisited state is a cycle: the pass stops, reports
+  ``converged=False`` and keeps the lexicographically smallest state
+  on the cycle so the answer is still deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.model.decision import Recommendation, decide
+from repro.model.device import DeviceCharacterization
+from repro.profiling.counters import AppProfile
+from repro.stream.engine import proposed_model
+
+
+@dataclass(frozen=True)
+class ContentionConfig:
+    """Weights and bounds of the contention model."""
+
+    #: Pressure weight of other apps' DRAM traffic.
+    dram_weight: float = 0.5
+    #: Pressure weight of other apps' ZC-path traffic.
+    zc_weight: float = 1.0
+    #: Fixed-point iteration cap (a cycle is detected earlier).
+    max_iterations: int = 16
+
+    def validated(self) -> "ContentionConfig":
+        if self.dram_weight < 0 or self.zc_weight < 0:
+            raise StreamError(
+                "contention weights cannot be negative",
+                code="STREAM_BAD_CONTENTION",
+                details={"dram_weight": self.dram_weight,
+                         "zc_weight": self.zc_weight},
+            )
+        if self.max_iterations < 1:
+            raise StreamError(
+                f"max_iterations must be >= 1, got {self.max_iterations}",
+                code="STREAM_BAD_CONTENTION",
+                details={"max_iterations": self.max_iterations},
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class AppWindow:
+    """One app's state entering a contention pass."""
+
+    profile: AppProfile
+    model: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "model", self.model.upper())
+
+
+@dataclass(frozen=True)
+class ContendedDecision:
+    """The contention pass's outcome for one app."""
+
+    workload_name: str
+    model: str
+    proposed: str
+    recommendation: Recommendation
+    dram_demand_bps: float
+    zc_demand_bps: float
+    #: The degraded thresholds this app actually decided against.
+    effective_gpu_threshold_pct: float
+    effective_zc_throughput: float
+
+    @property
+    def shifted(self) -> bool:
+        """True when contention moved this app's proposal."""
+        return self.proposed != self.model
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Fixed point (or detected cycle) of one contention pass."""
+
+    decisions: Tuple[ContendedDecision, ...]
+    iterations: int
+    converged: bool
+
+    @property
+    def models(self) -> Tuple[str, ...]:
+        return tuple(d.proposed for d in self.decisions)
+
+
+class ContentionModel:
+    """Degrades each app's effective bandwidth from the others' load."""
+
+    def __init__(self, config: ContentionConfig = ContentionConfig()
+                 ) -> None:
+        self.config = config.validated()
+
+    def demand_bps(self, profile: AppProfile, model: str
+                   ) -> Tuple[float, float]:
+        """``(dram_bps, zc_bps)`` demand of one app under one model."""
+        if profile.kernel_runtime_s <= 0:
+            return 0.0, 0.0
+        traffic = (profile.gpu_bytes_requested *
+                   (1.0 - profile.gpu_l1_hit_rate) /
+                   profile.kernel_runtime_s)
+        if model.upper() == "ZC":
+            return traffic, traffic
+        return traffic, 0.0
+
+    def effective_device(self, device: DeviceCharacterization,
+                         others_dram_bps: float, others_zc_bps: float
+                         ) -> DeviceCharacterization:
+        """The characterization one app sees under the others' load."""
+        cfg = self.config
+        f_dram = 1.0 / (1.0 + cfg.dram_weight * others_dram_bps /
+                        device.gpu_peak_throughput)
+        f_zc = 1.0 / (1.0 + cfg.zc_weight * others_zc_bps /
+                      device.gpu_zc_throughput)
+        factor = f_dram * f_zc
+        if factor >= 1.0:
+            return device
+        thresholds = device.gpu_thresholds
+        thresholds = replace(
+            thresholds,
+            threshold_pct=thresholds.threshold_pct * factor,
+            threshold_fraction=thresholds.threshold_fraction * factor,
+            zone2_pct=(thresholds.zone2_pct * factor
+                       if thresholds.zone2_pct is not None else None),
+            zone2_fraction=(thresholds.zone2_fraction * factor
+                            if thresholds.zone2_fraction is not None
+                            else None),
+        )
+        throughput: Dict[str, float] = dict(device.gpu_cache_throughput)
+        throughput["ZC"] = device.gpu_zc_throughput * factor
+        sc_zc = device.sc_zc_max_speedup
+        if sc_zc > 1.0:
+            sc_zc = 1.0 + (sc_zc - 1.0) * factor
+        return replace(device, gpu_cache_throughput=throughput,
+                       gpu_thresholds=thresholds,
+                       sc_zc_max_speedup=sc_zc)
+
+    def resolve(self, apps: Sequence[AppWindow],
+                device: DeviceCharacterization,
+                strict: bool = True) -> ContentionResult:
+        """Iterate per-app decisions to a fixed point."""
+        if not apps:
+            raise StreamError(
+                "a contention pass needs at least one app",
+                code="STREAM_BAD_APPSET",
+            )
+        for app in apps:
+            if app.profile.board_name != device.board_name:
+                raise StreamError(
+                    f"app {app.profile.workload_name!r} was profiled on "
+                    f"{app.profile.board_name!r} but the contention pass "
+                    f"runs on {device.board_name!r}",
+                    code="STREAM_BAD_APPSET",
+                    details={"workload": app.profile.workload_name,
+                             "profile_board": app.profile.board_name,
+                             "device_board": device.board_name},
+                )
+        cfg = self.config
+        state: Tuple[str, ...] = tuple(app.model for app in apps)
+        seen = {state}
+        decisions: Optional[Tuple[ContendedDecision, ...]] = None
+        for iteration in range(1, cfg.max_iterations + 1):
+            decisions = self._round(apps, device, state, strict)
+            next_state = tuple(d.proposed for d in decisions)
+            if next_state == state:
+                return ContentionResult(decisions=decisions,
+                                        iterations=iteration,
+                                        converged=True)
+            if next_state in seen:
+                # Oscillation: A's move makes B move makes A move back.
+                # Pick the smallest state on the cycle so the answer is
+                # order- and run-independent, and report non-convergence.
+                stable = min(next_state, state)
+                decisions = self._round(apps, device, stable, strict)
+                return ContentionResult(decisions=decisions,
+                                        iterations=iteration,
+                                        converged=False)
+            seen.add(next_state)
+            state = next_state
+        return ContentionResult(decisions=decisions,
+                                iterations=cfg.max_iterations,
+                                converged=False)
+
+    def _round(self, apps: Sequence[AppWindow],
+               device: DeviceCharacterization, state: Tuple[str, ...],
+               strict: bool) -> Tuple[ContendedDecision, ...]:
+        """One simultaneous re-decision round against ``state``."""
+        demands = [self.demand_bps(app.profile, model)
+                   for app, model in zip(apps, state)]
+        total_dram = sum(d for d, _ in demands)
+        total_zc = sum(z for _, z in demands)
+        decisions = []
+        for i, (app, model) in enumerate(zip(apps, state)):
+            own_dram, own_zc = demands[i]
+            effective = self.effective_device(
+                device, total_dram - own_dram, total_zc - own_zc)
+            profile = replace(app.profile, model=model)
+            recommendation = decide(profile, effective, strict=strict)
+            decisions.append(ContendedDecision(
+                workload_name=app.profile.workload_name,
+                model=model,
+                proposed=proposed_model(recommendation, model),
+                recommendation=recommendation,
+                dram_demand_bps=own_dram,
+                zc_demand_bps=own_zc,
+                effective_gpu_threshold_pct=effective.gpu_threshold_pct,
+                effective_zc_throughput=effective.gpu_zc_throughput,
+            ))
+        return tuple(decisions)

@@ -1,0 +1,75 @@
+"""Streaming fidelity: the paper's decisions survive the online path.
+
+Streaming the original (stationary) application behaviour through the
+windowed engine must reproduce exactly the Tables II-V decision the
+one-shot ``Framework`` flow makes — zero drift windows, no spurious
+flips, and a final model equal to the batch recommendation.  Anything
+else would mean the online engine changes the reproduction.
+"""
+
+import pytest
+
+from repro.model.decision import decide
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+from repro.stream.engine import StreamConfig, StreamTuner, proposed_model
+from repro.stream.sources import CounterWindowSource
+
+BOARDS = ("nano", "tx2", "xavier")
+APPS = ("shwfs", "orbslam")
+
+CONFIG = StreamConfig(window=1024, stride=128, hysteresis=3,
+                      chunk_size=2048)
+
+
+def build_workload(app):
+    if app == "shwfs":
+        from repro.apps.shwfs import build_shwfs_workload
+
+        return build_shwfs_workload()
+    from repro.apps.orbslam import build_orbslam_workload
+
+    return build_orbslam_workload()
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return Framework()
+
+
+@pytest.mark.parametrize("board_name", BOARDS)
+@pytest.mark.parametrize("app", APPS)
+def test_stationary_stream_reproduces_batch_decision(framework, board_name,
+                                                     app):
+    board = get_board(board_name)
+    device = framework.characterize(board)
+    profile = framework.profile(build_workload(app), board, model="SC")
+    reference = decide(profile, device)
+    expected_final = proposed_model(reference, "SC")
+
+    source = CounterWindowSource.from_profile(profile, samples=4096)
+    result = StreamTuner(framework, source, device, CONFIG).run()
+
+    # No drift on a stationary stream — ever.
+    assert result.drift_windows == 0
+    # The model settles on the batch answer: at most the one initial
+    # corrective flip, and no flapping afterwards.
+    assert result.final_model == expected_final
+    assert len(result.flips) == (0 if expected_final == "SC" else 1)
+    for flip in result.flips:
+        # The flip's own report was decided from the original model —
+        # it must carry the very Tables II-V recommendation, fully
+        # explained.
+        assert flip.to_model == expected_final
+        assert flip.report is not None
+        assert flip.report.recommendation.model is reference.model
+        assert flip.report.recommendation.zone is reference.zone
+        assert flip.tune_report is not None
+    if not result.flips:
+        # No flip means the stream kept proposing the current model:
+        # the last decision must agree with the batch flow verbatim.
+        assert result.last_recommendation.model is reference.model
+    # After settling, the stream is at equilibrium with the batch
+    # decision — the final recommendation proposes no further change.
+    assert proposed_model(result.last_recommendation,
+                          result.final_model) == result.final_model

@@ -1,0 +1,135 @@
+"""Profile-carrying re-tune requests riding the coalescing server."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ServeError
+from repro.model.framework import Framework
+from repro.serve.coalescer import (
+    PendingItem,
+    TuneRequest,
+    plan_unique_jobs,
+)
+from repro.serve.server import serve_all
+from repro.soc.board import get_board
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return Framework()
+
+
+@pytest.fixture(scope="module")
+def tx2_profile(framework):
+    from repro.apps.shwfs import build_shwfs_workload
+
+    return framework.profile(build_shwfs_workload(), get_board("tx2"),
+                             model="SC")
+
+
+class TestValidation:
+    def test_profile_is_a_full_payload(self, tx2_profile):
+        with pytest.raises(ServeError) as err:
+            TuneRequest(board="tx2", app="shwfs",
+                        profile=tx2_profile).validate()
+        assert err.value.code == "SERVE_BAD_REQUEST"
+
+    def test_profile_board_must_match(self, tx2_profile):
+        with pytest.raises(ServeError) as err:
+            TuneRequest(board="xavier", profile=tx2_profile).validate()
+        assert err.value.code == "SERVE_BAD_REQUEST"
+
+    def test_profile_only_is_valid(self, tx2_profile):
+        request = TuneRequest(board="tx2", profile=tx2_profile)
+        request.validate()
+        assert request.workload_name == tx2_profile.workload_name
+
+
+class TestDedupe:
+    def test_identical_profiles_share_one_job(self, tx2_profile):
+        items = [
+            PendingItem(request=TuneRequest(board="tx2",
+                                            profile=tx2_profile),
+                        future=None),
+            PendingItem(request=TuneRequest(board="tx2",
+                                            profile=tx2_profile,
+                                            tenant="other"),
+                        future=None),
+        ]
+        jobs = plan_unique_jobs(items)
+        assert len(jobs) == 1
+        assert jobs[0].profile == tx2_profile
+        assert len(jobs[0].items) == 2
+
+    def test_distinct_profiles_split(self, tx2_profile):
+        other = dataclasses.replace(
+            tx2_profile,
+            gpu_transactions=tx2_profile.gpu_transactions * 2)
+        items = [
+            PendingItem(request=TuneRequest(board="tx2",
+                                            profile=tx2_profile),
+                        future=None),
+            PendingItem(request=TuneRequest(board="tx2", profile=other),
+                        future=None),
+        ]
+        assert len(plan_unique_jobs(items)) == 2
+
+
+class TestServing:
+    def test_profile_requests_answered_via_retune(self, framework,
+                                                  tx2_profile):
+        requests = [
+            TuneRequest(board="tx2", profile=tx2_profile, tenant="a"),
+            TuneRequest(board="tx2", profile=tx2_profile, tenant="b"),
+        ]
+        answers = serve_all(requests, framework=framework)
+        assert all(answer.ok for answer in answers)
+        reference = framework.retune(tx2_profile, board=get_board("tx2"))
+        for answer in answers:
+            assert answer.report.recommendation.model is \
+                reference.recommendation.model
+            assert answer.report.workload_name == \
+                tx2_profile.workload_name
+        # Identical windows coalesce onto one retune.
+        assert answers[0].coalesced_with >= 1
+
+    def test_mixed_app_and_profile_batch(self, framework, tx2_profile):
+        requests = [
+            TuneRequest(board="tx2", app="shwfs"),
+            TuneRequest(board="tx2", profile=tx2_profile),
+        ]
+        answers = serve_all(requests, framework=framework)
+        assert all(answer.ok for answer in answers)
+        # Both paths answer the same underlying question identically.
+        assert answers[0].report.recommendation.model is \
+            answers[1].report.recommendation.model
+
+
+def test_cli_serve_accepts_profile_requests(tmp_path, capsys, framework,
+                                            tx2_profile):
+    requests = [
+        {"board": "tx2", "profile": dataclasses.asdict(tx2_profile),
+         "tenant": "stream-1"},
+        {"board": "tx2", "app": "shwfs", "tenant": "cold-start"},
+    ]
+    path = tmp_path / "requests.json"
+    path.write_text(json.dumps(requests))
+    assert main(["serve", str(path),
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "Served 2 request(s)" in out
+    assert "stream-1" in out
+    assert "shed: 0, errors: 0" in out
+
+
+def test_cli_serve_rejects_malformed_profile(tmp_path, capsys):
+    path = tmp_path / "requests.json"
+    path.write_text(json.dumps([
+        {"board": "tx2", "profile": {"workload_name": "x"}},
+    ]))
+    assert main(["serve", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "error[SERVE_BAD_REQUEST]" in err

@@ -1,0 +1,41 @@
+"""Shared fixtures: one characterized board and real app profiles.
+
+Session-scoped — characterization and profiling are deterministic, so
+every stream test can share them without coupling outcomes.
+"""
+
+import pytest
+
+from repro.model.framework import Framework
+from repro.soc.board import get_board
+
+
+@pytest.fixture(scope="session")
+def framework():
+    return Framework()
+
+
+@pytest.fixture(scope="session")
+def xavier_board():
+    return get_board("xavier")
+
+
+@pytest.fixture(scope="session")
+def xavier_device(framework, xavier_board):
+    return framework.characterize(xavier_board)
+
+
+@pytest.fixture(scope="session")
+def shwfs_profile(framework, xavier_board):
+    from repro.apps.shwfs import build_shwfs_workload
+
+    return framework.profile(build_shwfs_workload(), xavier_board,
+                             model="SC")
+
+
+@pytest.fixture(scope="session")
+def orbslam_profile(framework, xavier_board):
+    from repro.apps.orbslam import build_orbslam_workload
+
+    return framework.profile(build_orbslam_workload(), xavier_board,
+                             model="SC")

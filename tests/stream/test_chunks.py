@@ -1,0 +1,94 @@
+"""``RecordedTrace.iter_chunks``: bounded-memory parity with from_csv."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfilingError
+from repro.profiling.trace import RecordedTrace
+
+TEXTS = (
+    "offset,rw\n0,R\n4,W\n8,r\n64,w\n",   # plain with header
+    "0,0\n4,1\n",                          # numeric flags
+    "\n\noffset,rw\n\n12,w\n\n8,r\n",      # blank lines everywhere
+    "offset,rw\r\n16,W\r\n20,R\r\n",       # CRLF endings
+    "0,R\r4,W\r8,r\r",                     # bare-CR endings
+    "﻿offset,rw\n0,w\n4,r\n",         # UTF-8 BOM
+    " 8 , W \n 12 , r \n",                 # padded cells
+    "0,R\n4,W",                            # no trailing newline
+    '"0","W"\n"4","r"\n',                  # quoted cells (scalar path)
+    "999999999999999999,w\n0,r\n",         # 18-digit offset
+)
+
+
+def whole(text):
+    return RecordedTrace.from_csv(io.StringIO(text))
+
+
+def chunked(text, chunk_size):
+    return list(RecordedTrace.iter_chunks(io.StringIO(text),
+                                          chunk_size=chunk_size))
+
+
+class TestParity:
+    @pytest.mark.parametrize("text", TEXTS)
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 100])
+    def test_chunks_concatenate_to_from_csv(self, text, chunk_size):
+        reference = whole(text)
+        chunks = chunked(text, chunk_size)
+        rows = np.concatenate(chunks)
+        assert rows["offset"].tolist() == reference.offsets.tolist()
+        assert rows["write"].tolist() == reference.is_write.tolist()
+
+    def test_chunk_sizes_respected(self):
+        text = "".join(f"{i * 4},r\n" for i in range(10))
+        chunks = chunked(text, 4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_exact_multiple_has_no_empty_tail(self):
+        text = "".join(f"{i * 4},w\n" for i in range(8))
+        chunks = chunked(text, 4)
+        assert [len(c) for c in chunks] == [4, 4]
+
+    def test_chunk_larger_than_file(self):
+        chunks = chunked("0,r\n4,w\n", 10_000)
+        assert len(chunks) == 1 and len(chunks[0]) == 2
+
+    def test_empty_stream_raises_like_from_csv(self):
+        with pytest.raises(ProfilingError):
+            whole("offset,rw\n")
+        with pytest.raises(ProfilingError):
+            chunked("offset,rw\n", 4)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ProfilingError) as err:
+            chunked("0,r\n", 0)
+        assert err.value.code == "TRACE_BAD_CHUNK"
+
+    def test_error_parity_on_malformed_rows(self):
+        text = "0,r\n7\n"  # row missing the rw cell
+        with pytest.raises(ProfilingError):
+            whole(text)
+        with pytest.raises(ProfilingError):
+            chunked(text, 4)
+
+    @given(
+        offsets=st.lists(st.integers(0, 10 ** 17), min_size=1,
+                         max_size=120),
+        flags=st.lists(st.sampled_from(["r", "w", "R", "W", "0", "1"]),
+                       min_size=1, max_size=120),
+        chunk_size=st.integers(1, 50),
+        crlf=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_traces(self, offsets, flags, chunk_size, crlf):
+        end = "\r\n" if crlf else "\n"
+        rows = [f"{o},{f}" for o, f in zip(offsets, flags)]
+        text = end.join(rows) + end
+        reference = whole(text)
+        merged = np.concatenate(chunked(text, chunk_size))
+        assert merged["offset"].tolist() == reference.offsets.tolist()
+        assert merged["write"].tolist() == reference.is_write.tolist()

@@ -1,0 +1,186 @@
+"""Multi-app contention: coupling, fixed point, determinism."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.contention import (
+    AppWindow,
+    ContentionConfig,
+    ContentionModel,
+)
+from repro.stream.engine import MultiAppStreamTuner, StreamConfig
+from repro.stream.sources import CounterWindowSource
+
+
+def heavy(profile, factor=3):
+    """The same app with ``factor``x the GPU traffic (still plausible)."""
+    return replace(profile, gpu_transactions=profile.gpu_transactions *
+                   factor)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"dram_weight": -1.0}, {"zc_weight": -0.5}, {"max_iterations": 0},
+    ])
+    def test_bad_config(self, kwargs):
+        with pytest.raises(StreamError) as err:
+            ContentionConfig(**kwargs).validated()
+        assert err.value.code == "STREAM_BAD_CONTENTION"
+
+
+class TestDemand:
+    def test_zc_loads_both_paths(self, shwfs_profile):
+        model = ContentionModel()
+        dram, zc = model.demand_bps(shwfs_profile, "ZC")
+        assert dram > 0 and zc == dram
+
+    def test_copy_models_load_dram_only(self, shwfs_profile):
+        model = ContentionModel()
+        for copy_model in ("SC", "UM"):
+            dram, zc = model.demand_bps(shwfs_profile, copy_model)
+            assert dram > 0 and zc == 0.0
+
+
+class TestEffectiveDevice:
+    def test_no_load_leaves_device_untouched(self, xavier_device):
+        model = ContentionModel()
+        assert model.effective_device(xavier_device, 0.0, 0.0) \
+            is xavier_device
+
+    def test_load_shrinks_thresholds_and_zc(self, xavier_device):
+        model = ContentionModel()
+        demand = xavier_device.gpu_zc_throughput  # one saturating app
+        effective = model.effective_device(xavier_device, demand, demand)
+        assert effective.gpu_threshold_pct < xavier_device.gpu_threshold_pct
+        assert effective.gpu_zc_throughput < xavier_device.gpu_zc_throughput
+        assert effective.gpu_zone2_pct < xavier_device.gpu_zone2_pct
+        assert effective.sc_zc_max_speedup <= \
+            xavier_device.sc_zc_max_speedup
+
+    def test_more_load_degrades_more(self, xavier_device):
+        model = ContentionModel()
+        bw = xavier_device.gpu_zc_throughput
+        light = model.effective_device(xavier_device, bw / 4, bw / 4)
+        crush = model.effective_device(xavier_device, bw * 4, bw * 4)
+        assert crush.gpu_threshold_pct < light.gpu_threshold_pct
+
+
+class TestResolve:
+    def test_needs_apps(self, xavier_device):
+        with pytest.raises(StreamError) as err:
+            ContentionModel().resolve([], xavier_device)
+        assert err.value.code == "STREAM_BAD_APPSET"
+
+    def test_board_mismatch_rejected(self, xavier_device, shwfs_profile):
+        stray = replace(shwfs_profile, board_name="tx2")
+        with pytest.raises(StreamError) as err:
+            ContentionModel().resolve([AppWindow(stray, "SC")],
+                                      xavier_device)
+        assert err.value.code == "STREAM_BAD_APPSET"
+
+    def test_solo_matches_single_app_flow(self, xavier_device,
+                                          shwfs_profile):
+        # One app has no neighbours: the pass must answer exactly what
+        # decide() answers against the undegraded device.
+        from repro.model.decision import decide
+        from repro.stream.engine import proposed_model
+
+        result = ContentionModel().resolve(
+            [AppWindow(shwfs_profile, "SC")], xavier_device)
+        assert result.converged
+        # The converged model is the solo flow's answer (the final
+        # round re-decides *from* that state, so its recommendation is
+        # NO_CHANGE — the proposal is what must agree).
+        reference = decide(shwfs_profile, xavier_device)
+        assert result.decisions[0].proposed == \
+            proposed_model(reference, "SC")
+        assert result.decisions[0].effective_gpu_threshold_pct == \
+            pytest.approx(xavier_device.gpu_threshold_pct)
+
+    def test_neighbour_load_shifts_thresholds(self, xavier_device,
+                                              shwfs_profile,
+                                              orbslam_profile):
+        apps = [AppWindow(shwfs_profile, "ZC"),
+                AppWindow(heavy(orbslam_profile), "ZC")]
+        result = ContentionModel().resolve(apps, xavier_device)
+        for decision in result.decisions:
+            assert decision.effective_gpu_threshold_pct < \
+                xavier_device.gpu_threshold_pct
+
+    def test_deterministic(self, xavier_device, shwfs_profile,
+                           orbslam_profile):
+        apps = [AppWindow(shwfs_profile, "SC"),
+                AppWindow(heavy(orbslam_profile), "ZC")]
+        model = ContentionModel()
+        first = model.resolve(apps, xavier_device)
+        second = model.resolve(apps, xavier_device)
+        assert first.models == second.models
+        assert first.iterations == second.iterations
+        assert first.converged == second.converged
+        for a, b in zip(first.decisions, second.decisions):
+            assert a.effective_gpu_threshold_pct == \
+                b.effective_gpu_threshold_pct
+            assert a.dram_demand_bps == b.dram_demand_bps
+
+    def test_fixed_point_converges_on_real_profiles(
+            self, xavier_device, shwfs_profile, orbslam_profile):
+        apps = [AppWindow(shwfs_profile, "SC"),
+                AppWindow(orbslam_profile, "SC")]
+        result = ContentionModel().resolve(apps, xavier_device)
+        assert result.converged
+        assert result.iterations <= ContentionConfig().max_iterations
+
+
+class TestMultiAppEngine:
+    CONFIG = StreamConfig(window=1024, stride=256, hysteresis=2,
+                          chunk_size=2048)
+
+    def sources(self, shwfs_profile, orbslam_profile, samples=3072):
+        return [
+            CounterWindowSource.from_profile(shwfs_profile,
+                                             samples=samples),
+            CounterWindowSource.from_profile(orbslam_profile,
+                                             samples=samples),
+        ]
+
+    def test_needs_two_sources(self, framework, xavier_device,
+                               shwfs_profile):
+        source = CounterWindowSource.from_profile(shwfs_profile,
+                                                  samples=2048)
+        with pytest.raises(StreamError) as err:
+            MultiAppStreamTuner(framework, [source], xavier_device,
+                                self.CONFIG)
+        assert err.value.code == "STREAM_BAD_APPSET"
+
+    def test_lockstep_run_is_deterministic(self, framework, xavier_device,
+                                           shwfs_profile, orbslam_profile):
+        def run():
+            tuner = MultiAppStreamTuner(
+                framework,
+                self.sources(shwfs_profile, orbslam_profile),
+                xavier_device, self.CONFIG)
+            return tuner.run()
+
+        first, second = run(), run()
+        assert [a.final_model for a in first.apps] == \
+            [a.final_model for a in second.apps]
+        assert first.windows == second.windows
+        assert first.converged == second.converged
+        assert [[f.emission for f in a.flips] for a in first.apps] == \
+            [[f.emission for f in a.flips] for a in second.apps]
+
+    def test_contention_visible_in_results(self, framework, xavier_device,
+                                           shwfs_profile, orbslam_profile):
+        tuner = MultiAppStreamTuner(
+            framework, self.sources(shwfs_profile, orbslam_profile),
+            xavier_device, self.CONFIG)
+        result = tuner.run()
+        assert result.windows > 0
+        assert len(result.apps) == 2
+        for app in result.apps:
+            assert app.decisions == result.windows
+            # Contended thresholds can only sit at or below the solo one.
+            assert app.effective_gpu_threshold_pct <= \
+                xavier_device.gpu_threshold_pct + 1e-9
