@@ -42,8 +42,13 @@ code:
 - ``inject <app> <board> [--seed N] [--fault SPEC]...`` — run the
   Fig-2 flow under deterministic fault injection and report what fired
   and how the decision flow coped (see :mod:`repro.robustness`);
-- ``validate <board> [--app APP]`` — run the runtime invariant guard
-  suite over every communication model (exit 3 on violations);
+- ``validate <board> [--app APP] [--backend NAME]`` — run the runtime
+  invariant guard suite over every communication model (exit 3 on
+  violations);
+- ``crosscheck [--boards ...] [--apps ...] [--tolerance F]`` — run the
+  analytic and event-driven timing backends over the paper grid and
+  compare decisions (must agree exactly; exit 6 otherwise) and timings
+  (reported against the tolerance; see :mod:`repro.sim.crosscheck`);
 - ``chaos [--schedules N] [--seed S]`` — run seeded chaos schedules
   (fault plans × strict/deadline/retry/breaker configurations) over
   full ``tune_many`` runs and assert every failure is accounted for
@@ -119,16 +124,17 @@ def _surrogate_from_args(args: argparse.Namespace):
 
 
 def _framework_from_args(args: argparse.Namespace) -> Framework:
-    """A framework honouring the CLI's cache flags (default: cached)
-    and any ``--surrogate`` artifact."""
+    """A framework honouring the CLI's cache flags (default: cached),
+    any ``--surrogate`` artifact, and the ``--backend`` selection."""
     surrogate = _surrogate_from_args(args)
+    backend = getattr(args, "backend", None)
     cache_dir = getattr(args, "cache_dir", None)
     if getattr(args, "no_cache", False):
-        return Framework(surrogate=surrogate)
+        return Framework(surrogate=surrogate, backend=backend)
     from repro.perf.cache import default_cache_dir
 
     return Framework(cache_dir=str(cache_dir or default_cache_dir()),
-                     surrogate=surrogate)
+                     surrogate=surrogate, backend=backend)
 
 
 def cmd_characterize(args: argparse.Namespace) -> str:
@@ -225,7 +231,9 @@ def cmd_compare(args: argparse.Namespace) -> str:
     board = get_board(args.board)
     pipeline = _get_pipeline(args.app)
     workload = pipeline.workload(board_name=board.name)
-    results = Framework().compare_models(workload, board)
+    results = Framework(
+        backend=getattr(args, "backend", None)
+    ).compare_models(workload, board)
     table = Table(
         f"{args.app} on {board.display_name} — measured per iteration (us)",
         ["model", "total", "CPU", "kernel", "copy", "vs SC (%)"],
@@ -312,14 +320,15 @@ def cmd_validate(args: argparse.Namespace):
     pipeline = _get_pipeline(args.app)
     workload = pipeline.workload(board_name=board.name)
 
+    backend = getattr(args, "backend", None)
     if args.fault:
         plan = FaultPlan.from_cli(args.seed, args.fault)
         with inject_faults(plan) as injector:
-            report = validate(board, workload)
+            report = validate(board, workload, backend=backend)
         text = (f"{plan.describe()}\n{injector.log.render()}\n"
                 f"{report.render()}")
     else:
-        report = validate(board, workload)
+        report = validate(board, workload, backend=backend)
         text = report.render()
     return text, (0 if report.passed else 3)
 
@@ -347,6 +356,29 @@ def cmd_chaos(args: argparse.Namespace):
     if args.json:
         text += f"\nreport written to {args.json}"
     return text, (0 if report.passed else 5)
+
+
+def cmd_crosscheck(args: argparse.Namespace):
+    """Cross-check the timing backends (exit 6 on disagreement)."""
+    from repro.sim.config import SimConfig
+    from repro.sim.crosscheck import run_crosscheck
+
+    report = run_crosscheck(
+        boards=tuple(args.boards),
+        apps=tuple(args.apps),
+        tolerance=args.tolerance,
+        sim_config=SimConfig(seed=args.seed),
+    )
+    text = report.render()
+    if args.json:
+        import json
+        import pathlib
+
+        pathlib.Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        text += f"\nreport written to {args.json}"
+    return text, (0 if report.passed else 6)
 
 
 def cmd_cache(args: argparse.Namespace) -> str:
@@ -870,6 +902,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "sweep": cmd_sweep,
     "inject": cmd_inject,
     "validate": cmd_validate,
+    "crosscheck": cmd_crosscheck,
     "chaos": cmd_chaos,
     "report": cmd_report,
     "cache": cmd_cache,
@@ -909,6 +942,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="skip the persistent characterization cache")
 
+    def add_backend_flag(p: argparse.ArgumentParser) -> None:
+        from repro.sim.backend import BACKEND_NAMES
+
+        p.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                       help="timing backend: the closed-form analytic "
+                            "model (default) or the event-driven "
+                            "cache/DRAM simulator")
+
     def add_surrogate_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument("--surrogate", default=None, metavar="FILE",
                        help="a `repro explore` artifact: answer boards "
@@ -918,11 +959,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("characterize", help="run the micro-benchmark suite")
     p.add_argument("board", choices=available_boards())
     add_cache_flags(p)
+    add_backend_flag(p)
 
     for name, extra in (("tune", True), ("compare", False)):
         p = sub.add_parser(name, help=f"{name} a bundled application")
         p.add_argument("app", choices=["shwfs", "orbslam"])
         p.add_argument("board", choices=available_boards())
+        add_backend_flag(p)
         if extra:
             p.add_argument("--model", default="SC", choices=["SC", "UM", "ZC"],
                            help="the application's current model")
@@ -1125,6 +1168,24 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KIND[:TARGET[:MAGNITUDE[:PROB]]]",
                    help="inject faults while validating, to demonstrate "
                         "guard coverage")
+    add_backend_flag(p)
+
+    p = sub.add_parser(
+        "crosscheck",
+        help="cross-check the analytic and simulated timing backends "
+             "(exit 6 on decision disagreement)")
+    p.add_argument("--boards", nargs="+", default=list(available_boards()),
+                   choices=available_boards())
+    p.add_argument("--apps", nargs="+", default=["shwfs", "orbslam"],
+                   choices=["shwfs", "orbslam"])
+    p.add_argument("--tolerance", type=float, default=0.35, metavar="FRAC",
+                   help="relative-error tolerance for the timing rows "
+                        "(diagnostic; default: 0.35)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="simulator synthesis seed (same seed => "
+                        "identical report)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the full report as JSON")
 
     p = sub.add_parser(
         "chaos",

@@ -23,6 +23,7 @@ from repro.microbench.third import ThirdBenchResult, ThirdMicroBenchmark
 from repro.model.device import DeviceCharacterization
 from repro.resilience.deadline import checkpoint
 from repro.resilience.retry import RetryPolicy
+from repro.sim.backend import get_backend
 from repro.soc.board import BoardConfig
 from repro.soc.soc import SoC
 
@@ -53,7 +54,12 @@ class MicrobenchmarkSuite:
         third: Optional[ThirdMicroBenchmark] = None,
         cache: Optional["CharacterizationCache"] = None,
         cache_dir: Optional[str] = None,
+        backend=None,
     ) -> None:
+        #: Timing backend every suite SoC is built with; part of the
+        #: cache signature, so analytic and simulated characterizations
+        #: key (and persist) separately.
+        self.backend = get_backend(backend)
         self.first = first or FirstMicroBenchmark()
         self.second = second or SecondMicroBenchmark()
         self.third = third or ThirdMicroBenchmark(num_elements=_SUITE_MB3_ELEMENTS)
@@ -79,8 +85,9 @@ class MicrobenchmarkSuite:
         structured ``DEADLINE_EXCEEDED`` between benchmarks instead of
         overshooting the budget.
         """
-        with obs.span("microbench.suite", board=board.name):
-            soc = SoC(board)
+        with obs.span("microbench.suite", board=board.name,
+                      backend=self.backend.name):
+            soc = SoC(board, backend=self.backend)
             checkpoint("microbench.mb1", board=board.name)
             with obs.span("microbench.mb1", board=board.name):
                 first = self.first.run(soc)
@@ -102,6 +109,7 @@ class MicrobenchmarkSuite:
         """The micro-benchmark parameters a persistent entry is keyed
         by — any change re-keys (and thereby invalidates) the entry."""
         return {
+            "backend": self.backend.cache_token(),
             "first": {
                 "matrix_fraction_of_llc": self.first.matrix_fraction_of_llc,
                 "gpu_sweep_repeats": self.first.gpu_sweep_repeats,
@@ -287,7 +295,8 @@ class MicrobenchmarkSuite:
         if pending:
             runner = ParallelRunner(max_workers=max_workers, parallel=parallel)
             jobs = [
-                (board, self.cache_signature(), self.second.vectorized)
+                (board, self.cache_signature(), self.second.vectorized,
+                 self.backend)
                 for board in pending
             ]
             for board, device in zip(
@@ -333,7 +342,7 @@ class MicrobenchmarkSuite:
             sweep_repeats=self.second.sweep_repeats,
             vectorized=self.second.vectorized,
         )
-        soc = SoC(board)
+        soc = SoC(board, backend=self.backend)
         with obs.span("microbench.probe", board=board.name,
                       points=len(bench.fractions)):
             points = None
@@ -358,10 +367,11 @@ def _characterize_worker(job) -> DeviceCharacterization:
     Module-level (picklable); rebuilds an equivalent suite from the
     signature so the parent's suite object stays in the parent.
     """
-    board, signature, vectorized = job
+    board, signature, vectorized, backend = job
     suite = MicrobenchmarkSuite(
         first=FirstMicroBenchmark(**signature["first"]),
         second=SecondMicroBenchmark(vectorized=vectorized, **signature["second"]),
         third=ThirdMicroBenchmark(**signature["third"]),
+        backend=backend,
     )
     return suite.characterize(board)

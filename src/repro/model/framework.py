@@ -38,6 +38,7 @@ from repro.resilience.deadline import (
     deadline_scope,
 )
 from repro.resilience.retry import RetryPolicy
+from repro.sim.backend import get_backend
 
 if TYPE_CHECKING:  # avoid a circular import with repro.microbench
     from repro.explore.surrogate import CharacterizationSurrogate
@@ -113,19 +114,38 @@ class Framework:
                  cache_dir: Optional[str] = None,
                  breakers: Optional[BreakerRegistry] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 surrogate: Optional["CharacterizationSurrogate"] = None
+                 surrogate: Optional["CharacterizationSurrogate"] = None,
+                 backend=None,
                  ) -> None:
+        resolved_backend = get_backend(backend) if backend is not None else None
         if suite is None:
             # Imported here to keep repro.model importable from the
             # micro-benchmarks without a cycle.
             from repro.microbench.suite import MicrobenchmarkSuite
 
-            suite = MicrobenchmarkSuite(cache_dir=cache_dir)
-        elif cache_dir is not None and suite.cache is None:
-            from repro.perf.cache import ShardedCharacterizationStore
+            suite = MicrobenchmarkSuite(cache_dir=cache_dir,
+                                        backend=resolved_backend)
+        else:
+            if (resolved_backend is not None
+                    and resolved_backend != suite.backend):
+                raise ModelError(
+                    f"framework backend {resolved_backend.name!r} conflicts "
+                    f"with the suite's {suite.backend.name!r}",
+                    code="MODEL_BACKEND_CONFLICT",
+                    details={"framework": resolved_backend.name,
+                             "suite": suite.backend.name},
+                )
+            if cache_dir is not None and suite.cache is None:
+                from repro.perf.cache import ShardedCharacterizationStore
 
-            suite.cache = ShardedCharacterizationStore(cache_dir)
+                suite.cache = ShardedCharacterizationStore(cache_dir)
         self.suite = suite
+        #: Default timing backend for every stage (characterization
+        #: SoCs come from the suite, which shares it; profiling and
+        #: validation SoCs are built here).  Per-call ``backend=``
+        #: arguments override it through :meth:`_use_backend`.
+        self.backend = suite.backend
+        self._backend_suites = {suite.backend: suite}
         self.breakers = breakers
         self.retry_policy = retry_policy
         #: Default :class:`~repro.explore.surrogate.CharacterizationSurrogate`
@@ -145,6 +165,52 @@ class Framework:
         if self.breakers is None:
             return fn()
         return self.breakers.call(seam, fn)
+
+    def _suite_for(self, backend) -> "MicrobenchmarkSuite":
+        """The suite characterizing under ``backend``.
+
+        Suites are cached per backend (backends are hashable value
+        objects); each one shares the base suite's benchmark parameters
+        and persistent cache — entries cannot collide because the
+        backend identity is part of the cache signature.
+        """
+        suite = self._backend_suites.get(backend)
+        if suite is None:
+            from repro.microbench.suite import MicrobenchmarkSuite
+
+            base = self.suite
+            suite = MicrobenchmarkSuite(
+                first=base.first, second=base.second, third=base.third,
+                cache=base.cache, backend=backend,
+            )
+            self._backend_suites[backend] = suite
+        return suite
+
+    @contextlib.contextmanager
+    def _use_backend(self, backend):
+        """Temporarily retarget the framework at another backend.
+
+        ``None`` (or the current backend) is a no-op.  Otherwise the
+        suite and default backend are swapped for the scope; the
+        surrogate is dropped when the override is not analytic (its
+        calibration is phrased against the analytic model).
+        """
+        if backend is None:
+            yield
+            return
+        resolved = get_backend(backend)
+        if resolved == self.backend:
+            yield
+            return
+        saved = (self.suite, self.backend, self.surrogate)
+        self.suite = self._suite_for(resolved)
+        self.backend = resolved
+        if not resolved.is_analytic:
+            self.surrogate = None
+        try:
+            yield
+        finally:
+            self.suite, self.backend, self.surrogate = saved
 
     def characterize(self, board: BoardConfig, force: bool = False,
                      retries: int = 0,
@@ -171,8 +237,8 @@ class Framework:
         """Profile the application under one communication model."""
         checkpoint("profile", workload=workload.name)
         with obs.span("profile", workload=workload.name, board=board.name,
-                      model=model):
-            soc = SoC(board)
+                      model=model, backend=self.backend.name):
+            soc = SoC(board, backend=self.backend)
             return self._guarded(
                 "profile", lambda: Profiler(soc).profile(workload, model=model)
             )
@@ -187,7 +253,8 @@ class Framework:
     def tune(self, workload: Workload, board: BoardConfig,
              current_model: str = "SC", strict: bool = True,
              deadline_s: Optional[float] = None,
-             surrogate: Optional["CharacterizationSurrogate"] = None
+             surrogate: Optional["CharacterizationSurrogate"] = None,
+             backend=None,
              ) -> TuningReport:
         """Run the complete Fig-2 flow for one application.
 
@@ -226,9 +293,14 @@ class Framework:
             )
         timings: Dict[str, float] = {}
         tune_start = time.perf_counter()
-        if surrogate is None:
-            surrogate = self.surrogate
         with contextlib.ExitStack() as stack:
+            stack.enter_context(self._use_backend(backend))
+            if surrogate is None:
+                surrogate = self.surrogate
+            if not self.backend.is_analytic:
+                # The surrogate interpolates analytic probe points; a
+                # simulated tune must take the measured path.
+                surrogate = None
             if deadline_s is not None:
                 stack.enter_context(deadline_scope(Deadline.after(deadline_s)))
             report, recommendation = self._tune_under_scope(
@@ -523,7 +595,8 @@ class Framework:
     def tune_many(self, workloads: Sequence[Workload], board: BoardConfig,
                   current_model: str = "SC", strict: bool = True,
                   deadline_s: Optional[float] = None,
-                  surrogate: Optional["CharacterizationSurrogate"] = None
+                  surrogate: Optional["CharacterizationSurrogate"] = None,
+                  backend=None,
                   ) -> List[TuningReport]:
         """Tune several applications against one board in one call.
 
@@ -541,10 +614,13 @@ class Framework:
         ``DEADLINE_EXCEEDED`` caveat, so the report list stays complete
         and ordered.
         """
-        if surrogate is None:
-            surrogate = self.surrogate
         with obs.span("tune_many", board=board.name, workloads=len(workloads)):
             with contextlib.ExitStack() as stack:
+                stack.enter_context(self._use_backend(backend))
+                if surrogate is None:
+                    surrogate = self.surrogate
+                if not self.backend.is_analytic:
+                    surrogate = None
                 if deadline_s is not None:
                     stack.enter_context(
                         deadline_scope(Deadline.after(deadline_s))
@@ -621,13 +697,15 @@ class Framework:
             recommendation=recommendation,
         )
 
-    def compare_models(self, workload: Workload, board: BoardConfig) -> Dict[str, object]:
+    def compare_models(self, workload: Workload, board: BoardConfig,
+                       backend=None) -> Dict[str, object]:
         """Measure the workload under all three models (validation runs,
         Table III / Table V)."""
         from repro.comm.base import get_model
 
+        resolved = get_backend(backend) if backend is not None else self.backend
         with obs.span("compare_models", workload=workload.name,
-                      board=board.name):
-            soc = SoC(board)
+                      board=board.name, backend=resolved.name):
+            soc = SoC(board, backend=resolved)
             return {model: get_model(model).execute(workload, soc)
                     for model in ALL_MODELS}

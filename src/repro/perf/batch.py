@@ -61,6 +61,17 @@ def _require(condition: bool, why: str) -> None:
         )
 
 
+def _require_analytic(soc: SoC) -> None:
+    """Batch sweeps evaluate the closed form directly, so they are
+    analytic-only fast paths: under any other timing backend they
+    declare themselves unavailable and the caller falls back to the
+    scalar (per-point) path, which honours the backend."""
+    _require(
+        soc.backend.is_analytic,
+        f"batch sweeps are analytic-only (backend is {soc.backend.name!r})",
+    )
+
+
 def coalesced_rw_pair_transactions(
     counts: np.ndarray, element_size: int, line_size: int, warp_size: int
 ) -> np.ndarray:
@@ -128,6 +139,7 @@ def mb2_gpu_points(
     """
     from repro.model.thresholds import SweepPoint
 
+    _require_analytic(soc)
     element_size = 4
     elements = array_bytes // element_size
     _require(elements > 0, "array must hold at least one element")
@@ -176,6 +188,7 @@ def mb2_cpu_points(
     """
     from repro.model.thresholds import SweepPoint
 
+    _require_analytic(soc)
     element_size = 4
     elements = array_bytes // element_size
     _require(elements > 0, "array must hold at least one element")
@@ -263,6 +276,7 @@ def mb1_gpu_size_sweep(
     returns a :class:`~repro.soc.phase.BatchPhaseResult` whose rows
     align with ``llc_fractions``.
     """
+    _require_analytic(soc)
     element_size = 4
     llc_bytes = soc.board.gpu.llc.size_bytes
     counts = np.array(
@@ -335,6 +349,7 @@ def mb3_balance_results(
     from repro.microbench.third import ThirdBenchResult
     from repro.soc.soc import ALL_MODELS
 
+    _require_analytic(soc)
     balances = list(balances)
     _require(len(balances) > 0, "the balance sweep needs at least one point")
 

@@ -325,6 +325,41 @@ def _probe_serving() -> _TimingPair:
     return serving_timing_pair()
 
 
+def _probe_sim_sweep() -> _TimingPair:
+    """Scalar vs lockstep event-driven simulation of one phase sweep.
+
+    Replays the same linear + sparse virtual streams through the
+    simulated timing backend with the NumPy lockstep engine on and off
+    (results are pinned bit-identical by the ``tests/sim`` property
+    suite, so this measures pure engine throughput).
+    """
+    from repro.sim.backend import SimulatedBackend
+    from repro.sim.config import SimConfig
+    from repro.soc.board import get_board
+    from repro.soc.soc import SoC
+    from repro.soc.stream import AccessStream, PatternKind
+
+    board = get_board("xavier")
+
+    def run(vectorized: bool) -> None:
+        backend = SimulatedBackend(config=SimConfig(vectorized=vectorized))
+        soc = SoC(board, backend=backend)
+        for pattern in (PatternKind.LINEAR, PatternKind.SPARSE):
+            stream = AccessStream.virtual_stream(
+                pattern=pattern,
+                per_pass=1 << 16,
+                footprint_bytes=1 << 22,
+                transaction_size=64,
+                repeats=2,
+                write_fraction=0.5,
+            )
+            soc.gpu.hierarchy.process(stream, mode="auto")
+
+    return _timing_pair(
+        lambda: run(False), lambda: run(True), slow_repeats=1, fast_repeats=3
+    )
+
+
 def _probe_stream_incremental() -> _TimingPair:
     """Prefix-sum window aggregation vs naive per-window recompute."""
     from repro.stream.bench import incremental_timing_pair
@@ -356,6 +391,7 @@ PROBES: Dict[str, Tuple[str, Callable[[], _TimingPair]]] = {
     "paths.whatif_sweep.speedup": ("BENCH_app.json", _probe_whatif),
     "serving.speedup": ("BENCH_serve.json", _probe_serving),
     "explore.surrogate_speedup": ("BENCH_perf.json", _probe_surrogate),
+    "sim.sweep_throughput": ("BENCH_perf.json", _probe_sim_sweep),
     "stream.incremental_speedup": ("BENCH_stream.json",
                                    _probe_stream_incremental),
     "stream.decisions_per_sec": ("BENCH_stream.json",

@@ -313,6 +313,7 @@ def validate(
     mode: str = "auto",
     suite=None,
     characterize: bool = True,
+    backend=None,
 ) -> ValidationReport:
     """Run the guard suite over one board + workload.
 
@@ -321,11 +322,20 @@ def validate(
     a profile, and (optionally) characterizes the device and runs the
     strict decision flow.  Every failure is captured as a structured
     :class:`CheckOutcome` instead of propagating.
+
+    ``backend`` selects the timing backend the execution SoCs (and the
+    characterization suite, when one is built here) run on.  The guard
+    checks themselves are backend-agnostic — the invariants hold for
+    any timing engine, so the codes a violation raises are identical
+    under ``"analytic"`` and ``"simulated"``.
     """
     from repro.comm.base import get_model
     from repro.model.decision import decide
     from repro.profiling.profiler import Profiler
+    from repro.sim.backend import get_backend
     from repro.soc.soc import SoC
+
+    backend = get_backend(backend)
 
     report = ValidationReport(board_name=board.name,
                               workload_name=workload.name)
@@ -344,7 +354,7 @@ def validate(
 
     execution_reports = {}
     for model in models:
-        soc = SoC(board)
+        soc = SoC(board, backend=backend)
         guards = SoCGuards()
         soc.guards = guards
 
@@ -368,7 +378,7 @@ def validate(
     if characterize:
         if suite is None:
             from repro.microbench.suite import MicrobenchmarkSuite
-            suite = MicrobenchmarkSuite()
+            suite = MicrobenchmarkSuite(backend=backend)
         device = attempt(
             "characterize board (micro-benchmark sweeps converge)",
             lambda: suite.characterize(board),

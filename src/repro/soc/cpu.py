@@ -95,6 +95,7 @@ class CPUModel:
         config: CPUConfig,
         dram: DRAMModel,
         memory_port_bandwidth: float = float("inf"),
+        backend=None,
     ) -> None:
         self.config = config
         self.hierarchy = CacheHierarchy(
@@ -105,6 +106,7 @@ class CPUModel:
             dram=dram,
             memory_port_bandwidth=memory_port_bandwidth,
             name=f"{config.name}-hierarchy",
+            backend=backend,
         )
 
     def compute_time(self, compute_cycles: float) -> float:

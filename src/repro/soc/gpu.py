@@ -137,6 +137,7 @@ class GPUModel:
         config: GPUConfig,
         dram: DRAMModel,
         memory_port_bandwidth: float = float("inf"),
+        backend=None,
     ) -> None:
         self.config = config
         self.hierarchy = CacheHierarchy(
@@ -147,6 +148,7 @@ class GPUModel:
             dram=dram,
             memory_port_bandwidth=memory_port_bandwidth,
             name=f"{config.name}-hierarchy",
+            backend=backend,
         )
 
     @property

@@ -31,6 +31,18 @@ Small traces replay access-by-access through the exact LRU simulator;
 large regular traces use :mod:`repro.soc.analytic`.  ``mode="auto"``
 switches on trace size; both paths produce the same
 :class:`MemoryResult` shape and are cross-validated in the tests.
+
+Timing backends
+---------------
+
+The routing above is the *analytic* backend.  A hierarchy built with
+``backend="simulated"`` instead replays every stream — virtual ones
+through synthesized windows — through the event-driven bit-PLRU cache
+and DDR row-buffer simulator (:mod:`repro.sim`), producing the same
+:class:`MemoryResult` shape with simulator-derived DRAM timing.  The
+seam is :class:`repro.sim.backend.TimingBackend`; the analytic batch
+path (:meth:`CacheHierarchy.process_summaries`) declares itself
+analytic-only and refuses other backends.
 """
 
 from __future__ import annotations
@@ -41,7 +53,11 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim import dramsim as sim_dram
+from repro.sim import engine as sim_engine
+from repro.sim.backend import TimingBackend, get_backend
 from repro.soc import analytic
 from repro.soc.cache import CacheConfig, SetAssociativeCache
 from repro.soc.coherence import FlushCostModel
@@ -148,6 +164,7 @@ class CacheHierarchy:
         dram: DRAMModel,
         memory_port_bandwidth: float = float("inf"),
         name: str = "hierarchy",
+        backend=None,
     ) -> None:
         if not specs:
             raise ConfigurationError("a hierarchy needs at least one cache level")
@@ -156,6 +173,12 @@ class CacheHierarchy:
         self.caches = [SetAssociativeCache(spec.config) for spec in self.specs]
         self.dram = dram
         self.memory_port_bandwidth = memory_port_bandwidth
+        #: The timing backend serving :meth:`process` (analytic default).
+        self.backend: TimingBackend = get_backend(backend)
+        # Event-driven state, created lazily on first simulated use:
+        # one bit-PLRU state per level plus the DRAM row-buffer state.
+        self._sim_levels: Optional[List[sim_engine.CacheSimState]] = None
+        self._sim_dram: Optional[sim_dram.DRAMSimState] = None
         for i in range(1, len(self.specs)):
             inner, outer = self.specs[i - 1].config, self.specs[i].config
             if outer.line_size < inner.line_size:
@@ -180,10 +203,11 @@ class CacheHierarchy:
 
     def set_level_enabled(self, name: str, enabled: bool) -> None:
         """Enable or disable one level by its config name."""
-        for cache in self.caches:
+        for i, cache in enumerate(self.caches):
             if cache.config.name == name:
                 if not enabled and cache.enabled:
                     cache.invalidate()
+                    self._sim_invalidate_level(i)
                 cache.enabled = enabled
                 return
         raise ConfigurationError(f"no cache level named {name!r}")
@@ -192,20 +216,23 @@ class CacheHierarchy:
         """Enable or disable the last-level cache."""
         if not enabled and self.llc.enabled:
             self.llc.invalidate()
+            self._sim_invalidate_level(len(self.caches) - 1)
         self.llc.enabled = enabled
 
     def set_all_enabled(self, enabled: bool) -> None:
         """Enable or disable every level (zero-copy on TX2/Nano
         disables the whole CPU hierarchy's coherent levels)."""
-        for cache in self.caches:
+        for i, cache in enumerate(self.caches):
             if not enabled and cache.enabled:
                 cache.invalidate()
+                self._sim_invalidate_level(i)
             cache.enabled = enabled
 
     def reset(self) -> None:
         """Clear all cache contents and statistics."""
         for cache in self.caches:
             cache.reset()
+        self._sim_clear()
 
     @contextlib.contextmanager
     def scaled_bandwidths(self, factor: float) -> Iterator[None]:
@@ -228,26 +255,67 @@ class CacheHierarchy:
         """Drop all lines in every level without writing back."""
         for cache in self.caches:
             cache.invalidate()
+        self._sim_clear()
 
     def flush(self, cost_model: FlushCostModel) -> "FlushResult":
         """Flush every level (software coherence around GPU kernels).
 
         Returns the elapsed time and the dirty bytes written to DRAM.
+        Residency is whichever engine populated it: the exact LRU
+        arrays on the analytic backend, the bit-PLRU simulator state on
+        the event-driven one (they are never both populated).
         """
         total_time = 0.0
         total_bytes = 0
         dram_bw = min(self.memory_port_bandwidth, self.dram.config.effective_bandwidth)
-        for cache in self.caches:
+        for i, cache in enumerate(self.caches):
             if not cache.enabled:
                 continue
             resident = cache.resident_lines
             dirty = cache.dirty_lines
+            if self._sim_levels is not None:
+                state = self._sim_levels[i]
+                resident += state.resident_lines
+                dirty += state.dirty_lines
+                state.flush()
             line = cache.config.line_size
             total_time += cost_model.flush_time(resident, dirty, line, dram_bw)
             total_bytes += dirty * line
             cache.flush()
         self.dram.record(0, total_bytes)
         return FlushResult(time_s=total_time, writeback_bytes=total_bytes)
+
+    # -- event-driven state management -----------------------------------
+
+    def _sim_states(self) -> List[sim_engine.CacheSimState]:
+        """Per-level bit-PLRU states, created on first simulated use."""
+        if self._sim_levels is None:
+            self._sim_levels = [
+                sim_engine.CacheSimState(
+                    num_sets=cache.config.num_sets,
+                    ways=cache.config.ways,
+                    line_size=cache.config.line_size,
+                )
+                for cache in self.caches
+            ]
+        return self._sim_levels
+
+    def _sim_dram_state(self, config) -> sim_dram.DRAMSimState:
+        """Row-buffer state, created on first simulated use."""
+        if self._sim_dram is None:
+            self._sim_dram = sim_dram.DRAMSimState(config)
+        return self._sim_dram
+
+    def _sim_invalidate_level(self, index: int) -> None:
+        if self._sim_levels is not None:
+            self._sim_levels[index].invalidate()
+
+    def _sim_clear(self) -> None:
+        if self._sim_levels is not None:
+            for state in self._sim_levels:
+                state.invalidate()
+        if self._sim_dram is not None:
+            self._sim_dram.reset()
 
     # ------------------------------------------------------------------
     # stream processing
@@ -258,10 +326,17 @@ class CacheHierarchy:
 
         Args:
             stream: the access trace.
-            mode: ``"exact"``, ``"analytic"`` or ``"auto"``.
+            mode: ``"exact"``, ``"analytic"`` or ``"auto"``.  The mode
+                steers the analytic backend's exact-vs-closed-form
+                routing; the event-driven backend always replays the
+                (possibly synthesized) trace and ignores it.
         """
         if mode not in ("auto", "exact", "analytic"):
             raise SimulationError(f"unknown processing mode {mode!r}")
+        return self.backend.process(self, stream, mode)
+
+    def _process_default(self, stream: AccessStream, mode: str) -> MemoryResult:
+        """Analytic-backend routing: exact LRU replay or closed form."""
         if stream.is_virtual:
             if mode == "exact":
                 raise SimulationError(
@@ -385,6 +460,160 @@ class CacheHierarchy:
         )
         return self._combine(stream, [raw], [1.0])
 
+    # -- event-driven (simulated) path -------------------------------------
+
+    def _process_simulated(self, stream: AccessStream, backend) -> MemoryResult:
+        """Serve ``stream`` through the event-driven simulator.
+
+        Materialized traces replay verbatim; virtual traces replay a
+        synthesized window (see
+        :meth:`repro.sim.backend.SimulatedBackend.synthesize`) with the
+        resulting counts scaled back to the full stream.  Like the
+        exact path, repeated executions are a cold pass plus a warm
+        pass weighted ``repeats - 1``.
+        """
+        addresses, writes, scale = backend.synthesize(stream, self)
+        config = backend.config
+        with obs.span(
+            "sim.process",
+            hierarchy=self.name,
+            transactions=int(len(addresses)),
+            scale=float(scale),
+        ):
+            passes = [
+                self._run_sim_pass(
+                    addresses, writes, stream.transaction_size, scale, config
+                )
+            ]
+            multipliers = [1.0]
+            if stream.repeats > 1:
+                passes.append(
+                    self._run_sim_pass(
+                        addresses, writes, stream.transaction_size, scale, config
+                    )
+                )
+                multipliers.append(float(stream.repeats - 1))
+            obs.counter_inc("sim.transactions", int(len(addresses)) * len(passes))
+            obs.counter_inc("sim.passes", len(passes))
+            return self._combine(stream, passes, multipliers)
+
+    def _run_sim_pass(
+        self,
+        addresses: np.ndarray,
+        writes: np.ndarray,
+        transaction_size: int,
+        scale: float,
+        config,
+    ) -> dict:
+        """Replay one pass through the bit-PLRU levels and row buffers.
+
+        Counts are scaled from the simulated window back to the full
+        stream (``scale`` is 1.0 for materialized traces); hit counts
+        are derived from rounded accesses minus rounded misses so the
+        per-level identity ``hits + misses == accesses`` always holds.
+        """
+        states = self._sim_states()
+        per_level = []
+        current_addrs = np.asarray(addresses, dtype=np.int64)
+        current_writes = np.asarray(writes, dtype=bool)
+        granularity = transaction_size
+        writeback_bytes_from_above = 0.0
+        stage_bytes: List[float] = []
+        for i, cache in enumerate(self.caches):
+            n = len(current_addrs)
+            if cache.enabled:
+                result = sim_engine.access_trace(
+                    states[i],
+                    current_addrs,
+                    current_writes,
+                    write_back=cache.config.write_back,
+                    write_allocate=cache.config.write_allocate,
+                    vectorized=config.vectorized,
+                )
+                hits = result.num_hits
+                misses = result.num_misses
+                writebacks = result.writeback_lines
+                next_addrs = result.miss_line_addresses
+                next_writes = np.zeros(len(next_addrs), dtype=bool)
+                next_granularity = cache.config.line_size
+            else:
+                # Disabled levels pass accesses through untouched at
+                # the original granularity (the zero-copy uncached
+                # path), exactly like the exact-LRU bypass.
+                hits = 0
+                misses = n
+                writebacks = 0
+                next_addrs = current_addrs
+                next_writes = current_writes
+                next_granularity = granularity
+            # The cache's own counters record actual simulator events
+            # (window-sized, unscaled) so hit *rates* stay exact.
+            writes_n = int(np.count_nonzero(current_writes))
+            cache.stats.accesses += n
+            cache.stats.write_accesses += writes_n
+            cache.stats.read_accesses += n - writes_n
+            cache.stats.hits += hits
+            cache.stats.misses += misses
+            cache.stats.writebacks += writebacks
+            if not cache.enabled:
+                cache.stats.bypassed += n
+            acc_s = int(round(n * scale))
+            miss_s = int(round(misses * scale))
+            wb_s = int(round(writebacks * scale))
+            per_level.append(
+                dict(
+                    accesses=acc_s,
+                    hits=acc_s - miss_s,
+                    misses=miss_s,
+                    writebacks=wb_s,
+                    bytes_in=acc_s * granularity,
+                )
+            )
+            stage_bytes.append(acc_s * granularity + writeback_bytes_from_above)
+            writeback_bytes_from_above += wb_s * cache.config.line_size
+            current_addrs = next_addrs
+            current_writes = next_writes
+            granularity = next_granularity
+        dram_transactions = len(current_addrs)
+        passthrough_writes = int(np.count_nonzero(current_writes))
+        read_s = int(round((dram_transactions - passthrough_writes) * scale))
+        write_s = int(round(passthrough_writes * scale))
+        dram_read = read_s * granularity
+        dram_write = write_s * granularity + writeback_bytes_from_above
+        raw = dict(
+            levels=per_level,
+            stage_bytes=stage_bytes,
+            dram_read=dram_read,
+            dram_write=dram_write,
+            dram_transactions=int(round(dram_transactions * scale)),
+        )
+        # Replay the DRAM-visible trace through the row buffers; the
+        # observed hit/miss mix sets the sustained bandwidth for the
+        # DRAM stage of this pass (picked up by _combine).
+        dram_bytes = dram_read + dram_write
+        if dram_transactions > 0:
+            dram_result = sim_dram.access(
+                self._sim_dram_state(config),
+                current_addrs,
+                vectorized=config.vectorized,
+            )
+            obs.counter_inc("sim.dram.row_hits", dram_result.row_hits)
+            obs.counter_inc("sim.dram.row_misses", dram_result.row_misses)
+            bandwidth = min(
+                self.memory_port_bandwidth,
+                self.dram.config.peak_bandwidth
+                * dram_result.mix_efficiency(config),
+            )
+            raw["dram_time_s"] = dram_bytes / bandwidth
+        elif dram_bytes > 0:
+            # Writeback-only traffic: no request trace to replay, fall
+            # back to the streaming effective bandwidth.
+            bandwidth = min(
+                self.memory_port_bandwidth, self.dram.config.effective_bandwidth
+            )
+            raw["dram_time_s"] = dram_bytes / bandwidth
+        return raw
+
     # -- batch analytic path ----------------------------------------------
 
     def process_summaries(
@@ -400,7 +629,18 @@ class CacheHierarchy:
         results match ``process(..., mode="analytic")`` exactly (the
         arithmetic is identical; the equivalence is pinned by
         ``tests/perf``).
+
+        This is an analytic-only fast path: it evaluates the closed
+        form directly, so it cannot express another backend's timing.
+        Callers (see :mod:`repro.perf.batch`) must check
+        ``backend.is_analytic`` first and fall back to scalar
+        :meth:`process` calls.
         """
+        if not self.backend.is_analytic:
+            raise SimulationError(
+                "process_summaries is an analytic-only fast path; the "
+                f"{self.backend.name!r} backend must route through process()"
+            )
         n = len(batch)
         batches: List[analytic.SummaryBatch] = [batch]
         stage_bytes: List[np.ndarray] = []
@@ -504,7 +744,16 @@ class CacheHierarchy:
             if cache.enabled and stage_bytes[i] > 0:
                 stage_times[cache.config.name] = stage_bytes[i] / self.specs[i].bandwidth
         dram_bytes = dram_read + dram_write
-        if dram_bytes > 0:
+        if any("dram_time_s" in raw for raw in passes):
+            # Simulated passes carry their own DRAM timing (row-buffer
+            # mix efficiency) instead of the flat effective bandwidth.
+            sim_time = sum(
+                raw.get("dram_time_s", 0.0) * mult
+                for raw, mult in zip(passes, multipliers)
+            )
+            if sim_time > 0:
+                stage_times["dram"] = sim_time
+        elif dram_bytes > 0:
             stage_times["dram"] = dram_bytes / dram_bandwidth
         streaming_time = max(stage_times.values()) if stage_times else 0.0
         # Streaming workloads pipeline DRAM accesses, so latency is a

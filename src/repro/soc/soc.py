@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim.backend import get_backend
+from repro.sim.contention import run_contended
 from repro.soc.address import AddressSpace, RegionKind
 from repro.soc.board import BoardConfig
 from repro.soc.coherence import CoherenceMode
@@ -56,11 +58,14 @@ class CopyResult:
 class SoC:
     """A board instantiated for simulation."""
 
-    def __init__(self, board: BoardConfig) -> None:
+    def __init__(self, board: BoardConfig, backend=None) -> None:
         self.board = board
+        #: Timing backend shared by both hierarchies and the overlap
+        #: engine (``"analytic"`` default; see :mod:`repro.sim.backend`).
+        self.backend = get_backend(backend)
         self.dram = DRAMModel(board.dram)
-        self.cpu = CPUModel(board.cpu, self.dram)
-        self.gpu = GPUModel(board.gpu, self.dram)
+        self.cpu = CPUModel(board.cpu, self.dram, backend=self.backend)
+        self.gpu = GPUModel(board.gpu, self.dram, backend=self.backend)
         self.energy = EnergyModel(board.energy)
         self.address_space = AddressSpace(board.address_space_bytes)
         self._active_model: Optional[str] = None
@@ -248,7 +253,14 @@ class SoC:
     # ------------------------------------------------------------------
 
     def overlap(self, jobs: List[OverlapJob]) -> OverlapResult:
-        """Run jobs concurrently through the shared fabric."""
+        """Run jobs concurrently through the shared fabric.
+
+        The analytic backend resolves contention with max-min fair
+        water-filling; the event-driven backend time-multiplexes the
+        fabric quantum by quantum (:mod:`repro.sim.contention`).
+        """
+        if not self.backend.is_analytic:
+            return run_contended(jobs, self.board.interconnect, self.backend.config)
         return run_overlapped(jobs, self.board.interconnect)
 
     def serialize(self, jobs: List[OverlapJob]) -> OverlapResult:

@@ -1,0 +1,124 @@
+"""Unit tests of the crosscheck report and its CLI command.
+
+The full-grid crosscheck (every paper board and app) lives in
+``tests/integration/test_backend_agreement.py``; here we pin the
+report mechanics and a single-cell end-to-end run.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.sim.crosscheck import (
+    CrosscheckReport,
+    DecisionCheck,
+    TimingDelta,
+    run_crosscheck,
+)
+
+
+def check(agree=True, zone_a=1, zone_s=1):
+    return DecisionCheck(
+        app="shwfs",
+        board="tx2",
+        analytic_decision="ZC",
+        simulated_decision="ZC" if agree else "SC",
+        analytic_zone=zone_a,
+        simulated_zone=zone_s,
+    )
+
+
+def delta(analytic=1e-3, simulated=1.1e-3):
+    return TimingDelta(
+        app="shwfs",
+        board="tx2",
+        model="SC",
+        quantity="time_per_iteration_s",
+        analytic_s=analytic,
+        simulated_s=simulated,
+    )
+
+
+class TestReportMechanics:
+    def test_agreement_requires_decision_and_zone(self):
+        assert check().agree
+        assert not check(agree=False).agree
+        assert not check(zone_s=2).agree
+
+    def test_relative_error_cases(self):
+        assert delta(1e-3, 1.1e-3).relative_error == pytest.approx(0.1)
+        assert delta(0.0, 0.0).relative_error == 0.0
+        assert delta(0.0, 1e-6).relative_error == float("inf")
+
+    def test_pass_fail_verdict(self):
+        report = CrosscheckReport(tolerance=0.35, decisions=[check()])
+        assert report.passed
+        report.decisions.append(check(agree=False))
+        assert not report.passed
+        assert len(report.disagreements) == 1
+
+    def test_excursions_do_not_fail_the_report(self):
+        report = CrosscheckReport(
+            tolerance=0.05,
+            decisions=[check()],
+            timings=[delta(1e-3, 2e-3)],
+        )
+        assert report.excursions
+        assert report.max_relative_error == pytest.approx(1.0)
+        assert report.passed
+
+    def test_render_marks_rows(self):
+        report = CrosscheckReport(
+            tolerance=0.05,
+            decisions=[check(), check(agree=False)],
+            timings=[delta(1e-3, 2e-3)],
+        )
+        text = report.render()
+        assert "[OK ]" in text
+        assert "[DIFF]" in text
+        assert "FAIL — 1 decision disagreement(s)" in text
+
+    def test_to_dict_roundtrips_through_json(self):
+        report = CrosscheckReport(
+            tolerance=0.35, decisions=[check()], timings=[delta()]
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is True
+        assert payload["decisions"][0]["agree"] is True
+        assert payload["timings"][0]["relative_error"] == pytest.approx(0.1)
+
+
+class TestRunValidation:
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            run_crosscheck(tolerance=0.0)
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ConfigurationError):
+            run_crosscheck(boards=("tx2",), apps=("doom",))
+
+
+class TestSingleCellEndToEnd:
+    def test_one_cell_passes_and_cli_exits_zero(self, capsys, tmp_path):
+        artifact = tmp_path / "crosscheck.json"
+        code = main(
+            [
+                "crosscheck",
+                "--boards",
+                "tx2",
+                "--apps",
+                "shwfs",
+                "--json",
+                str(artifact),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "PASS — all decisions agree" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["passed"] is True
+        assert len(payload["decisions"]) == 1
+        # 3 models x 4 timing quantities for the single cell.
+        assert len(payload["timings"]) == 12

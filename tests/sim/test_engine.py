@@ -1,0 +1,155 @@
+"""Unit tests of the bit-PLRU cache simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import CacheSimState, access_trace
+
+
+def make_state(num_sets=4, ways=2, line_size=64):
+    return CacheSimState(num_sets=num_sets, ways=ways, line_size=line_size)
+
+
+def run(state, addrs, writes=None, **kwargs):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    if writes is None:
+        writes = np.zeros(len(addrs), dtype=bool)
+    else:
+        writes = np.asarray(writes, dtype=bool)
+    return access_trace(state, addrs, writes, **kwargs)
+
+
+class TestStateValidation:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheSimState(num_sets=3, ways=2, line_size=64)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheSimState(num_sets=4, ways=2, line_size=48)
+
+    def test_rejects_bad_way_counts(self):
+        with pytest.raises(ConfigurationError):
+            CacheSimState(num_sets=4, ways=0, line_size=64)
+        with pytest.raises(ConfigurationError):
+            CacheSimState(num_sets=4, ways=63, line_size=64)
+
+    def test_six_way_allowed(self):
+        # Boards carry non-power-of-two associativities (6-way SMs);
+        # bit-PLRU must accept any way count, unlike a tree PLRU.
+        state = CacheSimState(num_sets=8, ways=6, line_size=64)
+        assert state.ways == 6
+
+
+class TestBasicSemantics:
+    def test_empty_trace(self):
+        state = make_state()
+        result = run(state, [])
+        assert result.num_hits == 0
+        assert result.num_misses == 0
+        assert len(result.miss_line_addresses) == 0
+
+    def test_cold_miss_then_hit(self):
+        state = make_state()
+        result = run(state, [0, 0])
+        assert list(result.hits) == [False, True]
+        assert list(result.miss_line_addresses) == [0]
+
+    def test_same_line_different_offsets_hit(self):
+        state = make_state(line_size=64)
+        result = run(state, [0, 8, 63])
+        assert result.num_misses == 1
+        assert result.num_hits == 2
+
+    def test_miss_lines_are_line_aligned_and_temporal(self):
+        state = make_state(line_size=64)
+        result = run(state, [130, 4096, 131])
+        assert list(result.miss_line_addresses) == [128, 4096]
+
+    def test_capacity_eviction_direct_mapped(self):
+        # One way: two lines mapping to the same set must thrash.
+        state = make_state(num_sets=4, ways=1)
+        # lines 0 and 4 share set 0 (set = line & 3).
+        result = run(state, [0 * 64, 4 * 64, 0 * 64])
+        assert result.num_hits == 0
+        assert result.num_misses == 3
+
+    def test_resident_and_dirty_accounting(self):
+        state = make_state()
+        run(state, [0, 64, 128], writes=[True, False, True])
+        assert state.resident_lines == 3
+        assert state.dirty_lines == 2
+
+    def test_invalidate_drops_without_writeback(self):
+        state = make_state()
+        run(state, [0], writes=[True])
+        dropped = state.invalidate()
+        assert dropped == 1
+        assert state.resident_lines == 0
+        assert state.dirty_lines == 0
+
+    def test_flush_reports_dirty_lines(self):
+        state = make_state()
+        run(state, [0, 64], writes=[True, False])
+        assert state.flush() == 1
+        assert state.resident_lines == 0
+
+
+class TestWritePolicies:
+    def test_dirty_eviction_counts_writeback(self):
+        state = make_state(num_sets=1, ways=1, line_size=64)
+        result = run(state, [0, 64], writes=[True, False])
+        assert result.writeback_lines == 1
+
+    def test_clean_eviction_no_writeback(self):
+        state = make_state(num_sets=1, ways=1, line_size=64)
+        result = run(state, [0, 64], writes=[False, False])
+        assert result.writeback_lines == 0
+
+    def test_write_through_never_dirties(self):
+        state = make_state(num_sets=1, ways=1)
+        result = run(state, [0, 64], writes=[True, True], write_back=False)
+        assert result.writeback_lines == 0
+        assert state.dirty_lines == 0
+
+    def test_no_allocate_write_miss_bypasses(self):
+        state = make_state()
+        result = run(state, [0, 0], writes=[True, True], write_allocate=False)
+        # First write misses and does NOT allocate, so the second write
+        # misses again.
+        assert result.num_misses == 2
+        assert state.resident_lines == 0
+
+    def test_no_allocate_read_miss_still_fills(self):
+        state = make_state()
+        result = run(state, [0, 0], writes=[False, False], write_allocate=False)
+        assert list(result.hits) == [False, True]
+
+
+class TestPLRUVictimSelection:
+    def test_victim_prefers_invalid_way(self):
+        state = make_state(num_sets=1, ways=2)
+        run(state, [0])
+        # Way 1 is still invalid, so the next distinct line fills it
+        # instead of evicting line 0.
+        run(state, [64])
+        result = run(state, [0])
+        assert result.num_hits == 1
+
+    def test_mru_saturation_clears_other_bits(self):
+        # 2-way set: touch A then B (bits saturate, keeping only B's),
+        # so the next miss evicts A, not B.
+        state = make_state(num_sets=1, ways=2)
+        run(state, [0, 64])  # A, B -> MRU holds only B
+        run(state, [128])  # evicts A (way 0, clear bit)
+        assert run(state, [64]).num_hits == 1  # B survived
+        assert run(state, [0]).num_misses == 1  # A was evicted
+
+    def test_clone_and_state_equal(self):
+        state = make_state()
+        run(state, [0, 64, 128], writes=[True, False, False])
+        copy = state.clone()
+        assert state.state_equal(copy)
+        run(copy, [999 * 64])
+        assert not state.state_equal(copy)

@@ -1,0 +1,42 @@
+"""The guard suite must hold identically under both timing backends."""
+
+import pytest
+
+from repro.apps.shwfs import build_shwfs_workload
+from repro.robustness.guards import validate
+
+
+@pytest.fixture(scope="module")
+def reports():
+    from repro.soc.board import get_board
+
+    board = get_board("xavier")
+    out = {}
+    for backend in ("analytic", "simulated"):
+        out[backend] = validate(
+            board, build_shwfs_workload(), characterize=False, backend=backend
+        )
+    return out
+
+
+def test_simulated_backend_passes_all_guards(reports):
+    report = reports["simulated"]
+    assert report.passed, report.render()
+    assert report.guard_checks_passed > 0
+
+
+def test_same_checks_run_under_both_backends(reports):
+    names_analytic = [o.name for o in reports["analytic"].outcomes]
+    names_simulated = [o.name for o in reports["simulated"].outcomes]
+    assert names_analytic == names_simulated
+
+
+def test_no_backend_specific_violation_codes(reports):
+    # Identical (empty) violation sets: the invariants are
+    # backend-agnostic, so a code firing under only one backend means
+    # the guard leaked a timing-engine assumption.
+    codes = {
+        backend: sorted(o.code for o in report.violations)
+        for backend, report in reports.items()
+    }
+    assert codes["analytic"] == codes["simulated"] == []
